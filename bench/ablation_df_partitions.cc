@@ -1,0 +1,71 @@
+// Ablation: DataFrame partition count. The preprocessing module's
+// scalability rests on partition-parallel execution (one partition per
+// simulated executor). This bench sweeps the partition count through
+// the full trip-aggregation pipeline.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/stopwatch.h"
+#include "df/dataframe.h"
+#include "prep/st_manager.h"
+#include "synth/taxi.h"
+
+namespace geotorch::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  const int64_t n = args.paper_scale ? 5000000 : 800000;
+  synth::TaxiTripConfig config;
+  config.num_records = n;
+  config.seed = 4;
+  auto trips = synth::GenerateTaxiTrips(config);
+
+  std::printf("ABLATION: ST Aggregation Pipeline vs Partition Count "
+              "(%lld records)\n",
+              static_cast<long long>(n));
+  PrintRule();
+  std::printf("%-12s %-12s %-10s\n", "partitions", "time (s)", "speedup");
+  PrintRule();
+  // Warm-up: one unmeasured pipeline run so first-touch page faults do
+  // not pollute the first measured row.
+  {
+    df::DataFrame warm_raw = synth::TripsToDataFrame(trips, 4);
+    df::DataFrame warm =
+        prep::STManager::AddSpatialPoints(warm_raw, "lat", "lon", "point");
+    prep::StGridSpec spec;
+    spec.partitions_x = 12;
+    spec.partitions_y = 16;
+    spec.step_duration_sec = 1800;
+    prep::STManager::GetStGridDataFrame(warm, spec);
+  }
+  double base_secs = 0.0;
+  for (int parts : {1, 2, 4, 8}) {
+    Stopwatch timer;
+    df::DataFrame raw = synth::TripsToDataFrame(trips, parts);
+    df::DataFrame with_points =
+        prep::STManager::AddSpatialPoints(raw, "lat", "lon", "point");
+    prep::StGridSpec spec;
+    spec.partitions_x = 12;
+    spec.partitions_y = 16;
+    spec.step_duration_sec = 1800;
+    prep::StGridResult result =
+        prep::STManager::GetStGridDataFrame(with_points, spec);
+    prep::STManager::GetStGridTensor(result, {"count"});
+    const double secs = timer.ElapsedSeconds();
+    if (parts == 1) base_secs = secs;
+    std::printf("%-12d %-12.3f %-10.2fx\n", parts, secs,
+                base_secs / secs);
+  }
+  PrintRule();
+  std::printf("shape check: time falls with partitions until the core "
+              "count, then flattens.\n");
+}
+
+}  // namespace
+}  // namespace geotorch::bench
+
+int main(int argc, char** argv) {
+  geotorch::bench::Run(geotorch::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef GEOTORCH_BENCH_BENCH_UTIL_H_
+#define GEOTORCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace geotorch::bench {
+
+/// Command-line knobs shared by the table/figure harnesses. Every bench
+/// defaults to a laptop-scale configuration; pass --iterations=N to
+/// average over more seeds (the paper uses 5) and --scale=paper to use
+/// the paper's full dataset shapes (slower).
+struct BenchArgs {
+  int iterations = 1;
+  bool paper_scale = false;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--iterations=", 13) == 0) {
+        args.iterations = std::atoi(argv[i] + 13);
+      } else if (std::strcmp(argv[i], "--scale=paper") == 0) {
+        args.paper_scale = true;
+      }
+    }
+    if (args.iterations < 1) args.iterations = 1;
+    return args;
+  }
+};
+
+/// "12.345±0.678" formatting used by the paper's tables.
+inline std::string PlusMinus(double mean, double dev, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, mean,
+                precision, dev);
+  return buf;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace geotorch::bench
+
+#endif  // GEOTORCH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks of the kernels that dominate the
+// end-to-end experiments: elementwise ops, GEMM, im2col convolution,
+// GLCM extraction, STR-tree probes, and DataFrame group-by.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "df/dataframe.h"
+#include "raster/glcm.h"
+#include "spatial/strtree.h"
+#include "tensor/conv.h"
+#include "tensor/device.h"
+#include "tensor/ops.h"
+
+namespace geotorch {
+namespace {
+
+namespace ts = ::geotorch::tensor;
+
+void BM_ElementwiseAdd(benchmark::State& state) {
+  Rng rng(1);
+  const int64_t n = state.range(0);
+  ts::Tensor a = ts::Tensor::Randn({n}, rng);
+  ts::Tensor b = ts::Tensor::Randn({n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::Add(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BroadcastChannelMul(benchmark::State& state) {
+  Rng rng(2);
+  ts::Tensor x = ts::Tensor::Randn({16, 32, 16, 16}, rng);
+  ts::Tensor g = ts::Tensor::Randn({1, 32, 1, 1}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::Mul(x, g));
+  }
+}
+BENCHMARK(BM_BroadcastChannelMul);
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(3);
+  const int64_t n = state.range(0);
+  ts::Tensor a = ts::Tensor::Randn({n, n}, rng);
+  ts::Tensor b = ts::Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(4);
+  const int64_t hw = state.range(0);
+  ts::Tensor x = ts::Tensor::Randn({8, 8, hw, hw}, rng);
+  ts::Tensor w = ts::Tensor::Randn({16, 8, 3, 3}, rng, 0, 0.1f);
+  ts::ConvSpec spec{.stride = 1, .padding = 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::Conv2dForward(x, w, ts::Tensor(), spec));
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(5);
+  const int64_t hw = state.range(0);
+  ts::Tensor x = ts::Tensor::Randn({8, 8, hw, hw}, rng);
+  ts::Tensor w = ts::Tensor::Randn({16, 8, 3, 3}, rng, 0, 0.1f);
+  ts::ConvSpec spec{.stride = 1, .padding = 1};
+  ts::Tensor g = ts::Tensor::Randn({8, 16, hw, hw}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::Conv2dBackward(g, x, w, false, spec));
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(32);
+
+void BM_GlcmFeatures(benchmark::State& state) {
+  Rng rng(6);
+  const int64_t size = state.range(0);
+  raster::RasterImage img(size, size, 1);
+  for (auto& v : img.data()) v = static_cast<float>(rng.Uniform(0, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raster::GlcmFeatureVector(img, 0));
+  }
+}
+BENCHMARK(BM_GlcmFeatures)->Arg(28)->Arg(64)->Arg(128);
+
+void BM_StrTreeBuildAndProbe(benchmark::State& state) {
+  Rng rng(7);
+  const int64_t n = state.range(0);
+  std::vector<spatial::StrTree::Entry> entries;
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 1000);
+    const double y = rng.Uniform(0, 1000);
+    entries.push_back({spatial::Envelope(x, y, x + 1, y + 1), i});
+  }
+  spatial::StrTree tree(entries);
+  std::vector<spatial::Point> probes;
+  for (int i = 0; i < 1000; ++i) {
+    probes.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  for (auto _ : state) {
+    int64_t hits = 0;
+    for (const auto& p : probes) {
+      tree.Visit(spatial::Envelope(p.x, p.y, p.x, p.y),
+                 [&hits](int64_t) { ++hits; });
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_StrTreeBuildAndProbe)->Arg(1000)->Arg(100000);
+
+void BM_DataFrameGroupBy(benchmark::State& state) {
+  Rng rng(8);
+  const int64_t n = state.range(0);
+  std::vector<int64_t> keys(n);
+  std::vector<double> values(n);
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = rng.UniformInt(0, 500);
+    values[i] = rng.Uniform(0, 1);
+  }
+  df::DataFrame frame =
+      df::DataFrame::FromColumns({{"k", df::Column::FromInt64s(keys)},
+                                  {"v", df::Column::FromDoubles(values)}})
+          .Repartition(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame.GroupByAgg(
+        {"k"}, {{df::AggKind::kCount, "", "n"},
+                {df::AggKind::kSum, "v", "s"}}));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DataFrameGroupBy)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+}  // namespace geotorch
+
+BENCHMARK_MAIN();

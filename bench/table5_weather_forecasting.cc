@@ -1,0 +1,91 @@
+// Reproduces Table V: weather forecasting MAE/RMSE of the four grid
+// models on the Temperature, Total Precipitation, and Total Cloud
+// Cover datasets (WeatherBench-style synthetic fields). Errors are on
+// min-max-normalized data. Expected shape (paper): DeepSTN+ and
+// ConvLSTM close together in front (weather has little weekly-trend
+// structure), Periodical CNN and ST-ResNet behind.
+//
+// Flags: --iterations=N (default 2), --scale=paper.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/grid_bench_common.h"
+#include "datasets/benchmarks.h"
+
+namespace geotorch::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  const int64_t t = args.paper_scale ? 8760 : 500;
+  const int64_t h = args.paper_scale ? 32 : 16;
+  const int64_t w = args.paper_scale ? 64 : 32;
+
+  struct DatasetSpec {
+    const char* name;
+    std::function<datasets::GridDataset(uint64_t)> make;
+  };
+  std::vector<DatasetSpec> specs = {
+      {"Temperature",
+       [=](uint64_t seed) {
+         return datasets::MakeTemperature(t, h, w, seed);
+       }},
+      {"Precipitation",
+       [=](uint64_t seed) {
+         return datasets::MakePrecipitation(t, h, w, seed);
+       }},
+      {"CloudCover", [=](uint64_t seed) {
+         return datasets::MakeTotalCloudCover(t, h, w, seed);
+       }}};
+
+  models::TrainConfig tc;
+  tc.max_epochs = args.paper_scale ? 12 : 4;
+  tc.patience = 4;
+  tc.batch_size = 16;
+  tc.lr = 5e-3f;
+
+  std::printf("TABLE V: Weather Forecasting with Spatiotemporal Models\n");
+  std::printf("(normalized units; %d iteration(s) per cell)\n",
+              args.iterations);
+  PrintRule();
+  std::printf("%-15s %-6s %-16s %-16s %-16s %-16s\n", "Dataset", "Metric",
+              "Periodical CNN", "ConvLSTM", "ST-ResNet", "DeepSTN+");
+  PrintRule();
+
+  const GridModelKind kinds[] = {
+      GridModelKind::kPeriodicalCnn, GridModelKind::kConvLstm,
+      GridModelKind::kStResNet, GridModelKind::kDeepStnPlus};
+  for (const auto& spec : specs) {
+    std::vector<GridRunResult> results;
+    for (GridModelKind kind : kinds) {
+      results.push_back(RunGridModel(kind, spec.make, tc, args.iterations));
+    }
+    std::printf("%-15s %-6s %-16s %-16s %-16s %-16s\n", spec.name, "MAE",
+                PlusMinus(results[0].mae.mean(),
+                          results[0].mae.max_deviation(), 4).c_str(),
+                PlusMinus(results[1].mae.mean(),
+                          results[1].mae.max_deviation(), 4).c_str(),
+                PlusMinus(results[2].mae.mean(),
+                          results[2].mae.max_deviation(), 4).c_str(),
+                PlusMinus(results[3].mae.mean(),
+                          results[3].mae.max_deviation(), 4).c_str());
+    std::printf("%-15s %-6s %-16s %-16s %-16s %-16s\n", "", "RMSE",
+                PlusMinus(results[0].rmse.mean(),
+                          results[0].rmse.max_deviation(), 4).c_str(),
+                PlusMinus(results[1].rmse.mean(),
+                          results[1].rmse.max_deviation(), 4).c_str(),
+                PlusMinus(results[2].rmse.mean(),
+                          results[2].rmse.max_deviation(), 4).c_str(),
+                PlusMinus(results[3].rmse.mean(),
+                          results[3].rmse.max_deviation(), 4).c_str());
+  }
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace geotorch::bench
+
+int main(int argc, char** argv) {
+  geotorch::bench::Run(geotorch::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

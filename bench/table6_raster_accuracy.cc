@@ -1,0 +1,168 @@
+// Reproduces Table VI: classification accuracy of DeepSAT-V2 and
+// SatCNN on EuroSAT / SAT-6, and segmentation accuracy of UNet, FCN,
+// and UNet++ on 38-Cloud. Synthetic datasets with the originals'
+// shapes; DeepSAT-V2 gets the handcrafted spectral + GLCM features.
+// Expected shape (paper): the two classifiers are comparable on both
+// datasets; UNet++ is the most accurate segmenter.
+//
+// Flags: --iterations=N (default 2), --scale=paper.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "data/dataset.h"
+#include "data/metrics.h"
+#include "datasets/benchmarks.h"
+#include "models/raster_models.h"
+#include "models/segmentation_models.h"
+#include "models/trainer.h"
+
+namespace geotorch::bench {
+namespace {
+
+namespace ds = ::geotorch::datasets;
+
+struct ClsSpec {
+  const char* dataset;
+  int64_t n;
+  int64_t size;
+  int64_t bands;
+  int64_t classes;
+  std::function<ds::RasterClassificationDataset(ds::RasterDatasetOptions,
+                                                uint64_t)>
+      make;
+};
+
+data::RunStats RunClassifier(const char* model_name, const ClsSpec& spec,
+                             const models::TrainConfig& tc, int iterations) {
+  data::RunStats stats;
+  for (int it = 0; it < iterations; ++it) {
+    ds::RasterDatasetOptions options;
+    const bool deepsat = std::string(model_name) == "DeepSAT V2";
+    options.include_additional_features = deepsat;
+    ds::RasterClassificationDataset dataset =
+        spec.make(options, static_cast<uint64_t>(it));
+    data::SplitIndices split = data::ChronologicalSplit(dataset.Size());
+    data::SubsetDataset train(&dataset, split.train);
+    data::SubsetDataset val(&dataset, split.val);
+    data::SubsetDataset test(&dataset, split.test);
+
+    models::RasterModelConfig mc;
+    mc.in_channels = spec.bands;
+    mc.in_height = spec.size;
+    mc.in_width = spec.size;
+    mc.num_classes = spec.classes;
+    mc.num_filtered_features =
+        deepsat ? dataset.num_additional_features() : 0;
+    mc.base_filters = 8;
+    mc.seed = 500 + it;
+
+    std::unique_ptr<models::RasterClassifier> model;
+    if (deepsat) {
+      model = std::make_unique<models::DeepSatV2>(mc);
+    } else {
+      model = std::make_unique<models::SatCnn>(mc);
+    }
+    models::TrainConfig run_tc = tc;
+    run_tc.seed = 31 + it;
+    models::ClassificationResult result =
+        models::TrainClassifier(*model, train, val, test, run_tc);
+    stats.Add(100.0 * result.accuracy);
+  }
+  return stats;
+}
+
+data::RunStats RunSegmenter(const char* model_name, int64_t n, int64_t size,
+                            const models::TrainConfig& tc, int iterations) {
+  data::RunStats stats;
+  for (int it = 0; it < iterations; ++it) {
+    ds::RasterSegmentationDataset dataset =
+        ds::MakeCloud38(n, size, {}, static_cast<uint64_t>(it));
+    data::SplitIndices split = data::ChronologicalSplit(dataset.Size());
+    data::SubsetDataset train(&dataset, split.train);
+    data::SubsetDataset val(&dataset, split.val);
+    data::SubsetDataset test(&dataset, split.test);
+
+    models::SegModelConfig mc;
+    mc.in_channels = 4;
+    mc.num_classes = 2;
+    mc.base_filters = 8;
+    mc.seed = 800 + it;
+
+    std::unique_ptr<nn::UnaryModule> model;
+    const std::string name = model_name;
+    if (name == "UNet") {
+      model = std::make_unique<models::UNet>(mc);
+    } else if (name == "FCN") {
+      model = std::make_unique<models::Fcn>(mc);
+    } else {
+      model = std::make_unique<models::UNetPlusPlus>(mc);
+    }
+    models::TrainConfig run_tc = tc;
+    run_tc.seed = 61 + it;
+    models::ClassificationResult result =
+        models::TrainSegmenter(*model, train, val, test, run_tc);
+    stats.Add(100.0 * result.accuracy);
+  }
+  return stats;
+}
+
+void Run(const BenchArgs& args) {
+  const int64_t n_eurosat = args.paper_scale ? 2000 : 300;
+  const int64_t n_sat6 = args.paper_scale ? 3000 : 500;
+  const int64_t n_cloud = args.paper_scale ? 300 : 48;
+  const int64_t cloud_size = args.paper_scale ? 128 : 32;
+
+  ClsSpec eurosat{"EuroSAT", n_eurosat, 64, 13, 10,
+                  [n_eurosat](ds::RasterDatasetOptions o, uint64_t s) {
+                    return ds::MakeEuroSat(n_eurosat, std::move(o), s);
+                  }};
+  ClsSpec sat6{"SAT6", n_sat6, 28, 4, 6,
+               [n_sat6](ds::RasterDatasetOptions o, uint64_t s) {
+                 return ds::MakeSat6(n_sat6, std::move(o), s);
+               }};
+
+  models::TrainConfig cls_tc;
+  cls_tc.max_epochs = args.paper_scale ? 40 : 14;
+  cls_tc.patience = 3;
+  cls_tc.batch_size = 16;
+  cls_tc.lr = 2e-3f;
+
+  models::TrainConfig seg_tc = cls_tc;
+  seg_tc.max_epochs = args.paper_scale ? 30 : 6;
+  seg_tc.batch_size = 8;
+
+  std::printf("TABLE VI: Accuracy of Raster Models on Satellite Image\n");
+  std::printf("Classification and Segmentation (%d iteration(s))\n",
+              args.iterations);
+  PrintRule();
+  std::printf("%-12s %-10s %-16s %-16s\n", "Model", "Dataset",
+              "Application", "Accuracy");
+  PrintRule();
+  for (const char* model : {"DeepSAT V2", "SatCNN"}) {
+    for (const ClsSpec* spec : {&eurosat, &sat6}) {
+      data::RunStats stats =
+          RunClassifier(model, *spec, cls_tc, args.iterations);
+      std::printf("%-12s %-10s %-16s %s%%\n", model, spec->dataset,
+                  "Classification",
+                  PlusMinus(stats.mean(), stats.max_deviation()).c_str());
+    }
+  }
+  for (const char* model : {"UNet", "FCN", "UNet++"}) {
+    data::RunStats stats =
+        RunSegmenter(model, n_cloud, cloud_size, seg_tc, args.iterations);
+    std::printf("%-12s %-10s %-16s %s%%\n", model, "38-Cloud",
+                "Segmentation",
+                PlusMinus(stats.mean(), stats.max_deviation()).c_str());
+  }
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace geotorch::bench
+
+int main(int argc, char** argv) {
+  geotorch::bench::Run(geotorch::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Reproduces Table VIII: elapsed time for training with on-the-fly
+// raster transforms vs pre-transforming offline with the preprocessing
+// module and then training, for transform counts 1..5. Following the
+// paper's Limitation 4, each transformation both appends a normalized
+// difference index band and extracts a GLCM texture feature channel —
+// the feature-extraction work the paper argues should happen offline.
+// Expected shape (paper): on-the-fly training time grows with the
+// transform count and sits well above the pre-transformed runs; the
+// pre-transformed training time stays flat; pre-transformation itself
+// is cheap.
+//
+// Flags: --scale=paper for more/larger images and epochs.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/stopwatch.h"
+#include "data/dataset.h"
+#include "datasets/raster_dataset.h"
+#include "models/raster_models.h"
+#include "models/trainer.h"
+#include "prep/raster_processing.h"
+#include "raster/glcm.h"
+#include "raster/ops.h"
+#include "synth/satimage.h"
+#include "tensor/ops.h"
+#include "transforms/transforms.h"
+
+namespace geotorch::bench {
+namespace {
+
+namespace ds = ::geotorch::datasets;
+namespace tr = ::geotorch::transforms;
+namespace ts = ::geotorch::tensor;
+
+// Band pairs for the k-th appended index, referencing original bands.
+std::pair<int64_t, int64_t> NdiPair(int k) {
+  return {k % 4, (k + 1) % 4};
+}
+
+double TrainEpochs(const data::Dataset& dataset, int64_t bands,
+                   int64_t size, int epochs, int num_classes) {
+  models::RasterModelConfig mc;
+  mc.in_channels = bands;
+  mc.in_height = size;
+  mc.in_width = size;
+  mc.num_classes = num_classes;
+  mc.base_filters = 4;
+  models::SatCnn model(mc);
+  models::TrainConfig tc;
+  tc.batch_size = 16;
+  Stopwatch timer;
+  for (int e = 0; e < epochs; ++e) {
+    models::TimeOneEpochClassifier(model, dataset, tc);
+  }
+  return timer.ElapsedSeconds();
+}
+
+void Run(const BenchArgs& args) {
+  const int64_t n = args.paper_scale ? 512 : 96;
+  const int64_t size = args.paper_scale ? 64 : 48;
+  const int epochs = args.paper_scale ? 5 : 3;
+  const int num_classes = 6;
+
+  synth::SceneConfig scene;
+  scene.size = size;
+  scene.bands = 4;
+  scene.num_classes = num_classes;
+  scene.seed = 7;
+  auto [images, labels] = synth::GenerateClassificationSet(n, scene);
+
+  std::vector<raster::RasterImage> collection;
+  collection.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    collection.push_back(raster::RasterImage::FromTensor(
+        ts::Slice(images, 0, i, i + 1).Reshape({4, size, size})));
+  }
+
+  std::printf("TABLE VIII: Elapsed Time in Seconds for Various Training "
+              "and Preprocessing Settings\n");
+  std::printf("(%lld images of %lldx%lldx4, %d epochs; each transform = NDI band\n"
+              " + 6 GLCM texture channels at 256 gray levels)\n",
+              static_cast<long long>(n), static_cast<long long>(size),
+              static_cast<long long>(size), epochs);
+  PrintRule();
+  std::printf("%-10s %-18s %-22s %-14s\n", "Transforms", "Train w/",
+              "Train w/", "Pretransforms");
+  std::printf("%-10s %-18s %-22s %-14s\n", "Count", "Transforms",
+              "Pretransforms", "");
+  PrintRule();
+
+  // Warm-up: one full pass of each path so first-touch page faults do
+  // not pollute the k=1 rows.
+  {
+    ds::RasterDatasetOptions warm;
+    warm.transform = tr::AppendNormalizedDifferenceIndex(0, 1);
+    ds::RasterClassificationDataset warm_dataset(images, labels, warm);
+    TrainEpochs(warm_dataset, 5, size, 1, num_classes);
+  }
+
+  for (int k = 1; k <= 5; ++k) {
+    // (a) On the fly: the transform chain runs inside every Get().
+    std::vector<tr::Transform> chain;
+    for (int j = 0; j < k; ++j) {
+      auto [b1, b2] = NdiPair(j);
+      chain.push_back(tr::AppendNormalizedDifferenceIndex(b1, b2));
+      chain.push_back(tr::AppendGlcmFeatureChannels(j % 4));
+    }
+    ds::RasterDatasetOptions fly_options;
+    fly_options.transform = tr::Compose(chain);
+    ds::RasterClassificationDataset fly_dataset(images, labels,
+                                                fly_options);
+    const double fly_secs =
+        TrainEpochs(fly_dataset, 4 + 7 * k, size, epochs, num_classes);
+
+    // (b) Offline: pre-transform in parallel, write to disk, reload,
+    // train without per-sample transforms.
+    Stopwatch pre_timer;
+    std::vector<raster::RasterImage> transformed = collection;
+    for (int j = 0; j < k; ++j) {
+      auto [b1, b2] = NdiPair(j);
+      transformed = prep::RasterProcessing::AppendNormalizedDifferenceIndex(
+          transformed, b1, b2);
+      const int64_t glcm_band = j % 4;
+      transformed = prep::RasterProcessing::TransformParallel(
+          transformed, [glcm_band](const raster::RasterImage& img) {
+            const std::vector<float> features =
+                raster::GlcmFeatureVector(img, glcm_band, /*levels=*/256);
+            raster::RasterImage out = img;
+            for (float f : features) {
+              std::vector<float> plane(out.PixelsPerBand(), f);
+              out = raster::AppendBand(out, plane);
+            }
+            return out;
+          });
+    }
+    auto paths = prep::RasterProcessing::WriteGeotiffImages(
+        transformed, "/tmp", "table8_");
+    const double pre_secs = pre_timer.ElapsedSeconds();
+    if (!paths.ok()) {
+      std::printf("pretransform write failed: %s\n",
+                  paths.status().ToString().c_str());
+      return;
+    }
+    auto reloaded = prep::RasterProcessing::LoadGeotiffImages(*paths);
+    if (!reloaded.ok()) {
+      std::printf("pretransform load failed: %s\n",
+                  reloaded.status().ToString().c_str());
+      return;
+    }
+    std::vector<ts::Tensor> stacked;
+    stacked.reserve(reloaded->size());
+    for (const auto& img : *reloaded) stacked.push_back(img.ToTensor());
+    ds::RasterClassificationDataset pre_dataset(ts::Stack(stacked), labels,
+                                                {});
+    const double pre_train_secs =
+        TrainEpochs(pre_dataset, 4 + 7 * k, size, epochs, num_classes);
+
+    std::printf("%-10d %-18.2f %-22.2f %-14.2f\n", k, fly_secs,
+                pre_train_secs, pre_secs);
+  }
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace geotorch::bench
+
+int main(int argc, char** argv) {
+  geotorch::bench::Run(geotorch::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Feature-engineering pipeline with the DFtoTorch converter: spectral
+// and GLCM features are extracted offline into a DataFrame with the
+// preprocessing module, converted into tensors without a master
+// collect (Fig. 7), and used to train the feature-driven DeepSAT
+// classifier — the scalable counterpart of the quickstart.
+//
+// Run:  ./build/examples/feature_classification
+
+#include <cstdio>
+
+#include "data/dataloader.h"
+#include "datasets/benchmarks.h"
+#include "df/dataframe.h"
+#include "models/raster_models.h"
+#include "models/trainer.h"
+#include "prep/df_to_torch.h"
+#include "raster/glcm.h"
+#include "raster/raster.h"
+#include "synth/satimage.h"
+#include "tensor/ops.h"
+
+namespace ds = geotorch::datasets;
+namespace df = geotorch::df;
+namespace prep = geotorch::prep;
+namespace models = geotorch::models;
+namespace data = geotorch::data;
+namespace raster = geotorch::raster;
+namespace synth = geotorch::synth;
+namespace ts = geotorch::tensor;
+
+int main() {
+  std::printf("== Offline features -> DFtoTorch -> DeepSAT ==\n");
+
+  // 1. Scenes.
+  geotorch::synth::SceneConfig scene;
+  scene.size = 28;
+  scene.bands = 4;
+  scene.num_classes = 6;
+  scene.seed = 13;
+  const int64_t n = 360;
+  auto [images, labels] = synth::GenerateClassificationSet(n, scene);
+
+  // 2. Offline feature extraction into a DataFrame (one row per image:
+  //    3 mean-NDI features + 6 GLCM features + label), partitioned.
+  std::vector<std::vector<double>> feature_cols(9);
+  std::vector<int64_t> label_col;
+  for (int64_t i = 0; i < n; ++i) {
+    ts::Tensor img =
+        ts::Slice(images, 0, i, i + 1).Reshape({4, 28, 28});
+    const std::vector<float> features = ds::ExtractImageFeatures(img);
+    for (size_t f = 0; f < feature_cols.size(); ++f) {
+      feature_cols[f].push_back(features[f]);
+    }
+    label_col.push_back(static_cast<int64_t>(labels.flat(i)));
+  }
+  std::vector<std::pair<std::string, df::Column>> columns;
+  std::vector<std::string> feature_names;
+  for (size_t f = 0; f < feature_cols.size(); ++f) {
+    const std::string name = "f" + std::to_string(f);
+    feature_names.push_back(name);
+    columns.emplace_back(name,
+                         df::Column::FromDoubles(std::move(feature_cols[f])));
+  }
+  columns.emplace_back("label", df::Column::FromInt64s(std::move(label_col)));
+  df::DataFrame features_df =
+      df::DataFrame::FromColumns(std::move(columns)).Repartition(4);
+  std::printf("feature frame: %lld rows x %d columns in %d partitions\n",
+              static_cast<long long>(features_df.NumRows()),
+              features_df.schema().num_fields(),
+              features_df.num_partitions());
+
+  // 3. DFtoTorch conversion (no master collect) into a Dataset the
+  //    trainer can consume — but DeepSAT also wants the images, so we
+  //    verify the converter batches first, then assemble the dataset.
+  prep::DfToTorch::Options options;
+  options.feature_columns = feature_names;
+  options.label_column = "label";
+  options.batch_size = 64;
+  prep::DfToTorch converter(features_df, options);
+  ts::Tensor bx;
+  ts::Tensor by;
+  int64_t rows = 0;
+  while (converter.NextBatch(&bx, &by)) rows += bx.size(0);
+  std::printf("DFtoTorch streamed %lld rows of %lld features\n",
+              static_cast<long long>(rows),
+              static_cast<long long>(converter.num_features()));
+
+  // 4. Train DeepSAT (v1, feature-driven) on images + features.
+  ds::RasterDatasetOptions dso;
+  dso.include_additional_features = true;
+  ds::RasterClassificationDataset dataset =
+      ds::MakeSat6(n, dso, /*seed=*/13);
+  data::SplitIndices split = data::ChronologicalSplit(dataset.Size());
+  data::SubsetDataset train(&dataset, split.train);
+  data::SubsetDataset val(&dataset, split.val);
+  data::SubsetDataset test(&dataset, split.test);
+
+  models::RasterModelConfig mc;
+  mc.in_channels = 4;
+  mc.in_height = 28;
+  mc.in_width = 28;
+  mc.num_classes = 6;
+  mc.num_filtered_features = dataset.num_additional_features();
+  mc.base_filters = 16;
+  models::DeepSat model(mc);
+  models::TrainConfig tc;
+  tc.max_epochs = 12;
+  tc.batch_size = 32;
+  tc.lr = 2e-3f;
+  models::ClassificationResult result =
+      models::TrainClassifier(model, train, val, test, tc);
+  std::printf("DeepSAT (feature MLP) test accuracy: %.1f%% after %d "
+              "epochs\n",
+              100.0 * result.accuracy, result.epochs_run);
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "baseline/geopandas_like.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/check.h"
+#include "core/stopwatch.h"
+#include "spatial/grid.h"
+#include "spatial/strtree.h"
+
+namespace geotorch::baseline {
+namespace {
+
+// A GeoSeries-style row: boxed geometry plus an attribute dictionary,
+// mimicking the per-row Python object overhead of a GeoDataFrame.
+struct RowObject {
+  std::unique_ptr<spatial::Point> geometry;
+  std::map<std::string, double> attributes;
+};
+
+// Approximate logical bytes of one RowObject (pointer boxes, map nodes,
+// string keys) — the quantity a Python heap would actually pay.
+constexpr int64_t kRowOverheadBytes =
+    sizeof(RowObject) + sizeof(spatial::Point) + 16 /* allocator */ +
+    3 * (48 /* map node */ + 24 /* key */ + 8 /* value */);
+
+class Accountant {
+ public:
+  explicit Accountant(int64_t limit) : limit_(limit) {}
+
+  // Returns false when the allocation would exceed the budget (OOM).
+  bool Allocate(int64_t bytes) {
+    current_ += bytes;
+    peak_ = std::max(peak_, current_);
+    return limit_ <= 0 || current_ <= limit_;
+  }
+  void Release(int64_t bytes) { current_ -= bytes; }
+  int64_t peak() const { return peak_; }
+
+ private:
+  int64_t limit_;
+  int64_t current_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace
+
+BaselineOutcome GeoPandasLikePrepare(
+    const std::vector<synth::TripRecord>& trips,
+    const BaselineOptions& options) {
+  BaselineOutcome outcome;
+  Stopwatch timer;
+  Accountant mem(options.memory_limit_bytes);
+
+  auto fail_oom = [&]() {
+    outcome.out_of_memory = true;
+    outcome.peak_logical_bytes = mem.peak();
+    outcome.elapsed_sec = timer.ElapsedSeconds();
+    return outcome;
+  };
+
+  // 1. Load: one boxed row object per record.
+  std::vector<RowObject> frame;
+  frame.reserve(trips.size());
+  spatial::Envelope extent = spatial::Envelope::Empty();
+  for (const auto& t : trips) {
+    RowObject row;
+    row.geometry = std::make_unique<spatial::Point>(
+        spatial::Point{t.lon, t.lat});
+    row.attributes["time"] = static_cast<double>(t.time_sec);
+    row.attributes["is_pickup"] = static_cast<double>(t.is_pickup);
+    row.attributes["weight"] = 1.0;
+    extent.ExpandToInclude(*row.geometry);
+    frame.push_back(std::move(row));
+    if (!mem.Allocate(kRowOverheadBytes)) return fail_oom();
+  }
+  if (frame.empty()) {
+    outcome.peak_logical_bytes = mem.peak();
+    outcome.elapsed_sec = timer.ElapsedSeconds();
+    return outcome;
+  }
+
+  // 2. sjoin against the grid polygons via an R-tree, materializing the
+  // full join product as a new frame of copied rows + cell attribute.
+  spatial::GridPartitioner grid(extent, options.partitions_x,
+                                options.partitions_y);
+  std::vector<spatial::Polygon> cells = grid.CellPolygons();
+  std::vector<spatial::StrTree::Entry> entries;
+  entries.reserve(cells.size());
+  for (int64_t c = 0; c < static_cast<int64_t>(cells.size()); ++c) {
+    entries.push_back({cells[c].bounds(), c});
+  }
+  spatial::StrTree tree(std::move(entries));
+  if (!mem.Allocate(static_cast<int64_t>(cells.size()) * 128)) {
+    return fail_oom();
+  }
+
+  struct JoinedRow {
+    RowObject row;
+    int64_t cell;
+  };
+  std::vector<JoinedRow> joined;
+  joined.reserve(frame.size());
+  for (const auto& row : frame) {
+    int64_t matched = -1;
+    tree.Visit(spatial::Envelope(row.geometry->x, row.geometry->y,
+                                 row.geometry->x, row.geometry->y),
+               [&](int64_t c) {
+                 if (matched < 0 && cells[c].Contains(*row.geometry)) {
+                   matched = c;
+                 }
+               });
+    if (matched < 0) {
+      // Boundary-inclusive semantics: ray casting misses points lying
+      // exactly on a cell edge; assign them like the grid partitioner
+      // does so both pipelines produce the same tensor.
+      auto cell = grid.CellOf(*row.geometry);
+      if (cell.has_value()) matched = *cell;
+    }
+    if (matched < 0) continue;
+    JoinedRow jr;
+    jr.row.geometry = std::make_unique<spatial::Point>(*row.geometry);
+    jr.row.attributes = row.attributes;  // full attribute copy
+    jr.cell = matched;
+    joined.push_back(std::move(jr));
+    if (!mem.Allocate(kRowOverheadBytes + 8)) return fail_oom();
+  }
+
+  // 3. groupby (cell, time slot): materialized group lists.
+  std::map<std::pair<int64_t, int64_t>, std::vector<const JoinedRow*>>
+      groups;
+  for (const auto& jr : joined) {
+    const int64_t slot = static_cast<int64_t>(
+        jr.row.attributes.at("time") / options.step_duration_sec);
+    groups[{jr.cell, slot}].push_back(&jr);
+    if (!mem.Allocate(sizeof(void*) + 16)) return fail_oom();
+  }
+
+  // 4. Aggregate + pivot into the dense (T, 2, H, W) tensor.
+  int64_t max_slot = 0;
+  for (const auto& [key, rows] : groups) {
+    max_slot = std::max(max_slot, key.second);
+  }
+  const int64_t t = max_slot + 1;
+  const int64_t h = options.partitions_y;
+  const int64_t w = options.partitions_x;
+  tensor::Tensor out = tensor::Tensor::Zeros({t, 2, h, w});
+  if (!mem.Allocate(out.numel() * static_cast<int64_t>(sizeof(float)))) {
+    return fail_oom();
+  }
+  float* po = out.data();
+  for (const auto& [key, rows] : groups) {
+    const int64_t cell = key.first;
+    const int64_t slot = key.second;
+    const int64_t iy = cell / w;
+    const int64_t ix = cell % w;
+    double pickups = 0.0;
+    double dropoffs = 0.0;
+    for (const JoinedRow* jr : rows) {
+      if (jr->row.attributes.at("is_pickup") > 0.5) {
+        pickups += 1.0;
+      } else {
+        dropoffs += 1.0;
+      }
+    }
+    po[((slot * 2 + 0) * h + iy) * w + ix] = static_cast<float>(pickups);
+    po[((slot * 2 + 1) * h + iy) * w + ix] = static_cast<float>(dropoffs);
+  }
+
+  outcome.st_tensor = std::move(out);
+  outcome.peak_logical_bytes = mem.peak();
+  outcome.elapsed_sec = timer.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace geotorch::baseline

@@ -1,0 +1,47 @@
+#ifndef GEOTORCH_BASELINE_GEOPANDAS_LIKE_H_
+#define GEOTORCH_BASELINE_GEOPANDAS_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/taxi.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::baseline {
+
+/// Configuration of the baseline pipeline.
+struct BaselineOptions {
+  int partitions_x = 12;
+  int partitions_y = 16;
+  int64_t step_duration_sec = 1800;
+  /// Simulated heap budget: when the pipeline's logical allocations
+  /// exceed this, it aborts with out_of_memory = true — reproducing the
+  /// OOM GeoPandas hits on the paper's largest dataset (Fig. 8).
+  /// 0 disables the guard.
+  int64_t memory_limit_bytes = 0;
+};
+
+/// Result of the baseline run.
+struct BaselineOutcome {
+  bool out_of_memory = false;
+  tensor::Tensor st_tensor;        ///< (T, 2, H, W); empty on OOM
+  int64_t peak_logical_bytes = 0;  ///< peak of the pipeline's accounting
+  double elapsed_sec = 0.0;
+};
+
+/// A GeoPandas-style spatiotemporal tensor preparation: the comparison
+/// system of Fig. 8. Reproduces the cost profile that makes GeoPandas
+/// slow and memory-hungry on this task (DESIGN.md §1):
+///   * one heap-allocated geometry object and a per-row attribute
+///     dictionary per record (Python object model),
+///   * a fully materialized sjoin product (every matched row copied
+///     into a new frame),
+///   * materialized group lists before aggregation,
+///   * strictly single-threaded execution.
+BaselineOutcome GeoPandasLikePrepare(
+    const std::vector<synth::TripRecord>& trips,
+    const BaselineOptions& options);
+
+}  // namespace geotorch::baseline
+
+#endif  // GEOTORCH_BASELINE_GEOPANDAS_LIKE_H_

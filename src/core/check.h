@@ -1,0 +1,54 @@
+#ifndef GEOTORCH_CORE_CHECK_H_
+#define GEOTORCH_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace geotorch::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "GEO_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+/// Stream collector so GEO_CHECK(x) << "context" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFail(file_, line_, expr_, out_.str()); }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace geotorch::internal
+
+/// Aborts with a message when `cond` is false. For programmer errors
+/// (shape mismatches, index bounds) that indicate a bug, not a runtime
+/// condition the caller should handle — those use Status instead.
+#define GEO_CHECK(cond)                                                 \
+  if (cond) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::geotorch::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define GEO_CHECK_EQ(a, b) GEO_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GEO_CHECK_NE(a, b) GEO_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GEO_CHECK_LT(a, b) GEO_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GEO_CHECK_LE(a, b) GEO_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GEO_CHECK_GT(a, b) GEO_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GEO_CHECK_GE(a, b) GEO_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+#endif  // GEOTORCH_CORE_CHECK_H_

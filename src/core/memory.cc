@@ -1,0 +1,43 @@
+#include "core/memory.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace geotorch {
+
+void MemoryTracker::Allocate(int64_t bytes) {
+  int64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::Reset() {
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+int64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0;
+  long resident = 0;
+  int scanned = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (scanned != 2) return 0;
+  return static_cast<int64_t>(resident) * sysconf(_SC_PAGESIZE);
+}
+
+}  // namespace geotorch

@@ -1,0 +1,58 @@
+#ifndef GEOTORCH_CORE_MEMORY_H_
+#define GEOTORCH_CORE_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace geotorch {
+
+/// Logical-bytes accounting shared by the DataFrame engine and the
+/// GeoPandas-style baseline. Both sides report the same quantity
+/// (bytes of live data structures they have materialised), which makes
+/// the Fig. 8 memory comparison an in-process, machine-independent
+/// measurement.
+class MemoryTracker {
+ public:
+  /// Records an allocation of `bytes` and updates the peak.
+  void Allocate(int64_t bytes);
+  /// Records a release of `bytes`.
+  void Release(int64_t bytes);
+
+  int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+  /// Process-wide tracker.
+  static MemoryTracker& Global();
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// RAII registration of a block of logical memory with a tracker.
+class ScopedAllocation {
+ public:
+  ScopedAllocation(MemoryTracker* tracker, int64_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    tracker_->Allocate(bytes_);
+  }
+  ~ScopedAllocation() { tracker_->Release(bytes_); }
+  ScopedAllocation(const ScopedAllocation&) = delete;
+  ScopedAllocation& operator=(const ScopedAllocation&) = delete;
+
+ private:
+  MemoryTracker* tracker_;
+  int64_t bytes_;
+};
+
+/// Resident-set size of this process in bytes (from /proc/self/statm);
+/// 0 when unavailable. Used as a cross-check next to logical accounting.
+int64_t CurrentRssBytes();
+
+}  // namespace geotorch
+
+#endif  // GEOTORCH_CORE_MEMORY_H_

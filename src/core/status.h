@@ -1,0 +1,158 @@
+#ifndef GEOTORCH_CORE_STATUS_H_
+#define GEOTORCH_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace geotorch {
+
+/// Error categories used across the library. Modeled after the
+/// Arrow/RocksDB status idiom: public APIs that can fail return a Status
+/// (or Result<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kOutOfMemory,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result. The value is accessed with ValueOrDie()/operator*
+/// after checking ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps
+  /// call sites terse:  return 42;  /  return Status::IoError(...);
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : payload_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status. OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The contained value. Aborts if this result holds an error.
+  const T& ValueOrDie() const&;
+  T& ValueOrDie() &;
+  /// Moves the contained value out. Aborts if this result holds an error.
+  T ValueOrDie() &&;
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const& {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+  return std::get<T>(payload_);
+}
+
+template <typename T>
+T& Result<T>::ValueOrDie() & {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+  return std::get<T>(payload_);
+}
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+  return std::move(std::get<T>(payload_));
+}
+
+/// Propagates a non-OK Status out of the current function.
+#define GEO_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::geotorch::Status geo_s_ = (expr);        \
+    if (!geo_s_.ok()) return geo_s_;           \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating the error or binding the
+/// value:  GEO_ASSIGN_OR_RETURN(auto df, ReadCsv(path));
+#define GEO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define GEO_ASSIGN_OR_RETURN_CAT_(a, b) a##b
+#define GEO_ASSIGN_OR_RETURN_CAT(a, b) GEO_ASSIGN_OR_RETURN_CAT_(a, b)
+#define GEO_ASSIGN_OR_RETURN(lhs, expr)                                       \
+  GEO_ASSIGN_OR_RETURN_IMPL(GEO_ASSIGN_OR_RETURN_CAT(geo_res_, __LINE__), lhs, \
+                            expr)
+
+}  // namespace geotorch
+
+#endif  // GEOTORCH_CORE_STATUS_H_

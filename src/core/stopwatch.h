@@ -1,0 +1,29 @@
+#ifndef GEOTORCH_CORE_STOPWATCH_H_
+#define GEOTORCH_CORE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace geotorch {
+
+/// Wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace geotorch
+
+#endif  // GEOTORCH_CORE_STOPWATCH_H_

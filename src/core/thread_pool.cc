@@ -1,0 +1,97 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/check.h"
+
+namespace geotorch {
+namespace {
+// True on threads owned by a ThreadPool. Nested ParallelFor calls from a
+// worker run inline instead of re-submitting: a worker blocking on tasks
+// that no free worker can pick up would deadlock the pool.
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  GEO_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> fut = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GEO_CHECK(!shutdown_);
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelForRange(
+    int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  if (t_inside_pool_worker) {
+    fn(0, n);
+    return;
+  }
+  const int64_t chunks = std::min<int64_t>(n, num_threads());
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const int64_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t begin = c * per;
+    const int64_t end = std::min<int64_t>(n, begin + per);
+    if (begin >= end) break;
+    futs.push_back(Submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  ParallelForRange(n, [&fn](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace geotorch

@@ -1,0 +1,56 @@
+#ifndef GEOTORCH_CORE_THREAD_POOL_H_
+#define GEOTORCH_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace geotorch {
+
+/// A fixed-size worker pool. This is the "cluster" that executes
+/// DataFrame partitions and parallel tensor kernels: each worker thread
+/// plays the role of a Spark executor in the original system.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations finish. Iterations are chunked to limit scheduling
+  /// overhead. Safe to call with n == 0.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// Like ParallelFor but hands each worker a [begin, end) range.
+  void ParallelForRange(
+      int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide default pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace geotorch
+
+#endif  // GEOTORCH_CORE_THREAD_POOL_H_

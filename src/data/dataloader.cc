@@ -1,0 +1,107 @@
+#include "data/dataloader.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace geotorch::data {
+
+namespace ts = ::geotorch::tensor;
+
+DataLoader::DataLoader(const Dataset* dataset, int64_t batch_size,
+                       bool shuffle, uint64_t seed, bool drop_last,
+                       bool prefetch)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      drop_last_(drop_last),
+      prefetch_(prefetch),
+      rng_(seed) {
+  GEO_CHECK(dataset_ != nullptr);
+  GEO_CHECK_GE(batch_size_, 1);
+  order_.resize(dataset_->Size());
+  std::iota(order_.begin(), order_.end(), 0);
+  Reset();
+}
+
+void DataLoader::Reset() {
+  if (pending_.has_value()) {
+    pending_->wait();  // drain the in-flight batch before reshuffling
+    pending_.reset();
+  }
+  cursor_ = 0;
+  if (shuffle_) {
+    std::shuffle(order_.begin(), order_.end(), rng_.engine());
+  }
+}
+
+int64_t DataLoader::NumBatches() const {
+  const int64_t n = dataset_->Size();
+  if (drop_last_) return n / batch_size_;
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+Batch DataLoader::BuildRange(int64_t begin, int64_t end) const {
+  std::vector<ts::Tensor> xs;
+  std::vector<ts::Tensor> ys;
+  std::vector<std::vector<ts::Tensor>> extras;
+  xs.reserve(end - begin);
+  ys.reserve(end - begin);
+  for (int64_t i = begin; i < end; ++i) {
+    Sample s = dataset_->Get(order_[i]);
+    xs.push_back(std::move(s.x));
+    ys.push_back(std::move(s.y));
+    if (extras.empty()) extras.resize(s.extras.size());
+    GEO_CHECK_EQ(extras.size(), s.extras.size());
+    for (size_t e = 0; e < s.extras.size(); ++e) {
+      extras[e].push_back(std::move(s.extras[e]));
+    }
+  }
+  Batch batch;
+  batch.x = ts::Stack(xs);
+  batch.y = ts::Stack(ys);
+  for (auto& group : extras) batch.extras.push_back(ts::Stack(group));
+  batch.size = static_cast<int64_t>(xs.size());
+  return batch;
+}
+
+bool DataLoader::NextRange(int64_t* begin, int64_t* end) {
+  const int64_t n = dataset_->Size();
+  if (cursor_ >= n) return false;
+  *begin = cursor_;
+  *end = std::min(n, cursor_ + batch_size_);
+  if (drop_last_ && *end - *begin < batch_size_) return false;
+  cursor_ = *end;
+  return true;
+}
+
+bool DataLoader::Next(Batch* batch) {
+  int64_t begin = 0;
+  int64_t end = 0;
+  if (!prefetch_) {
+    if (!NextRange(&begin, &end)) return false;
+    *batch = BuildRange(begin, end);
+    return true;
+  }
+  // Prefetching: consume the in-flight batch (or build the first one),
+  // then enqueue assembly of the following batch on the pool.
+  if (pending_.has_value()) {
+    *batch = pending_->get();
+    pending_.reset();
+  } else {
+    if (!NextRange(&begin, &end)) return false;
+    *batch = BuildRange(begin, end);
+  }
+  if (NextRange(&begin, &end)) {
+    auto task = std::make_shared<std::packaged_task<Batch()>>(
+        [this, begin, end] { return BuildRange(begin, end); });
+    pending_ = task->get_future();
+    ThreadPool::Global().Submit([task] { (*task)(); });
+  }
+  return true;
+}
+
+}  // namespace geotorch::data

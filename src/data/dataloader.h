@@ -1,0 +1,60 @@
+#ifndef GEOTORCH_DATA_DATALOADER_H_
+#define GEOTORCH_DATA_DATALOADER_H_
+
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace geotorch::data {
+
+/// A minibatch: stacked inputs/labels plus stacked extras.
+struct Batch {
+  tensor::Tensor x;                    // (B, ...)
+  tensor::Tensor y;                    // (B, ...)
+  std::vector<tensor::Tensor> extras;  // each (B, ...)
+  int64_t size = 0;
+};
+
+/// Batches a Dataset, optionally shuffling each epoch — the analogue of
+/// torch.utils.data.DataLoader in the paper's Listing 1 workflow. With
+/// `prefetch`, the next batch is assembled on a worker thread while the
+/// caller trains on the current one (the torch.multiprocessing-workers
+/// role).
+class DataLoader {
+ public:
+  DataLoader(const Dataset* dataset, int64_t batch_size, bool shuffle,
+             uint64_t seed = 0, bool drop_last = false,
+             bool prefetch = false);
+
+  /// Starts a new epoch (reshuffles when shuffling is on).
+  void Reset();
+
+  /// Fills `batch` with the next minibatch; false at epoch end.
+  bool Next(Batch* batch);
+
+  /// Number of batches per epoch.
+  int64_t NumBatches() const;
+
+ private:
+  /// Assembles the batch covering order_[begin, end).
+  Batch BuildRange(int64_t begin, int64_t end) const;
+  /// Next [begin, end) range, or false at epoch end.
+  bool NextRange(int64_t* begin, int64_t* end);
+
+  const Dataset* dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  bool drop_last_;
+  bool prefetch_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+  std::optional<std::future<Batch>> pending_;
+};
+
+}  // namespace geotorch::data
+
+#endif  // GEOTORCH_DATA_DATALOADER_H_

@@ -1,0 +1,64 @@
+#include "data/dataset.h"
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace geotorch::data {
+
+namespace ts = ::geotorch::tensor;
+
+namespace {
+
+// Extracts sample `i` of a stacked (N, ...) tensor as (...)-shaped.
+ts::Tensor TakeRow(const ts::Tensor& stacked, int64_t i) {
+  ts::Tensor row = ts::Slice(stacked, 0, i, i + 1);
+  ts::Shape shape = stacked.shape();
+  shape.erase(shape.begin());
+  if (shape.empty()) shape = {1};
+  return row.Reshape(shape);
+}
+
+}  // namespace
+
+TensorDataset::TensorDataset(ts::Tensor xs, ts::Tensor ys,
+                             std::vector<ts::Tensor> extras)
+    : xs_(std::move(xs)), ys_(std::move(ys)), extras_(std::move(extras)) {
+  GEO_CHECK_GE(xs_.ndim(), 1);
+  n_ = xs_.size(0);
+  GEO_CHECK_EQ(ys_.size(0), n_);
+  for (const auto& e : extras_) GEO_CHECK_EQ(e.size(0), n_);
+}
+
+Sample TensorDataset::Get(int64_t index) const {
+  GEO_CHECK(index >= 0 && index < n_);
+  Sample s;
+  s.x = TakeRow(xs_, index);
+  s.y = TakeRow(ys_, index);
+  s.extras.reserve(extras_.size());
+  for (const auto& e : extras_) s.extras.push_back(TakeRow(e, index));
+  return s;
+}
+
+SubsetDataset::SubsetDataset(const Dataset* base,
+                             std::vector<int64_t> indices)
+    : base_(base), indices_(std::move(indices)) {
+  GEO_CHECK(base_ != nullptr);
+}
+
+Sample SubsetDataset::Get(int64_t index) const {
+  GEO_CHECK(index >= 0 && index < Size());
+  return base_->Get(indices_[index]);
+}
+
+SplitIndices ChronologicalSplit(int64_t n, double train_frac) {
+  GEO_CHECK(train_frac > 0.0 && train_frac < 1.0);
+  SplitIndices split;
+  const int64_t train_end = static_cast<int64_t>(n * train_frac);
+  const int64_t val_end = train_end + (n - train_end) / 2;
+  for (int64_t i = 0; i < train_end; ++i) split.train.push_back(i);
+  for (int64_t i = train_end; i < val_end; ++i) split.val.push_back(i);
+  for (int64_t i = val_end; i < n; ++i) split.test.push_back(i);
+  return split;
+}
+
+}  // namespace geotorch::data

@@ -1,0 +1,76 @@
+#ifndef GEOTORCH_DATA_DATASET_H_
+#define GEOTORCH_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace geotorch::data {
+
+/// One training example. `x` and `y` are the primary input/label;
+/// `extras` carries any additional model inputs — e.g. the period and
+/// trend tensors of the periodical representation, or the handcrafted
+/// feature vector DeepSAT-V2 fuses with its CNN features.
+struct Sample {
+  tensor::Tensor x;
+  tensor::Tensor y;
+  std::vector<tensor::Tensor> extras;
+};
+
+/// Random-access dataset, mirroring torch.utils.data.Dataset: a size
+/// and an index operator. GeoTorchAI datasets extend this class the
+/// same way the Python library extends PyTorch's (Section III-A1).
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual int64_t Size() const = 0;
+  virtual Sample Get(int64_t index) const = 0;
+};
+
+/// In-memory dataset over pre-stacked tensors: xs is (N, ...), ys is
+/// (N, ...), each extra is (N, ...). Get(i) slices out sample i.
+class TensorDataset : public Dataset {
+ public:
+  TensorDataset(tensor::Tensor xs, tensor::Tensor ys,
+                std::vector<tensor::Tensor> extras = {});
+
+  int64_t Size() const override { return n_; }
+  Sample Get(int64_t index) const override;
+
+ private:
+  tensor::Tensor xs_;
+  tensor::Tensor ys_;
+  std::vector<tensor::Tensor> extras_;
+  int64_t n_;
+};
+
+/// A view of another dataset through an index list (train/val/test
+/// splits without copying).
+class SubsetDataset : public Dataset {
+ public:
+  SubsetDataset(const Dataset* base, std::vector<int64_t> indices);
+
+  int64_t Size() const override {
+    return static_cast<int64_t>(indices_.size());
+  }
+  Sample Get(int64_t index) const override;
+
+ private:
+  const Dataset* base_;
+  std::vector<int64_t> indices_;
+};
+
+/// Index split following the paper's protocol (Section V-C): the first
+/// `train_frac` of the timeline is training data, the next half of the
+/// remainder validation, the last half test.
+struct SplitIndices {
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
+};
+SplitIndices ChronologicalSplit(int64_t n, double train_frac = 0.8);
+
+}  // namespace geotorch::data
+
+#endif  // GEOTORCH_DATA_DATASET_H_

@@ -1,0 +1,83 @@
+#include "data/metrics.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace geotorch::data {
+
+namespace ts = ::geotorch::tensor;
+
+float Mae(const ts::Tensor& pred, const ts::Tensor& target) {
+  GEO_CHECK(ts::SameShape(pred.shape(), target.shape()));
+  return ts::MeanAll(ts::Abs(ts::Sub(pred, target)));
+}
+
+float Rmse(const ts::Tensor& pred, const ts::Tensor& target) {
+  GEO_CHECK(ts::SameShape(pred.shape(), target.shape()));
+  ts::Tensor d = ts::Sub(pred, target);
+  return std::sqrt(ts::MeanAll(ts::Mul(d, d)));
+}
+
+float Accuracy(const ts::Tensor& logits, const ts::Tensor& labels) {
+  GEO_CHECK_EQ(logits.ndim(), 2);
+  const int64_t n = logits.size(0);
+  GEO_CHECK_EQ(labels.numel(), n);
+  ts::Tensor pred = ts::Argmax(logits, 1);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (static_cast<int64_t>(pred.flat(i)) ==
+        static_cast<int64_t>(labels.flat(i))) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+float PixelAccuracy(const ts::Tensor& logits, const ts::Tensor& labels) {
+  GEO_CHECK_EQ(logits.ndim(), 4);
+  ts::Tensor pred = ts::Argmax(logits, 1);  // (N, H, W)
+  GEO_CHECK_EQ(pred.numel(), labels.numel());
+  int64_t correct = 0;
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    if (static_cast<int64_t>(pred.flat(i)) ==
+        static_cast<int64_t>(labels.flat(i))) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(pred.numel());
+}
+
+float IoU(const ts::Tensor& logits, const ts::Tensor& labels, int64_t cls) {
+  ts::Tensor pred = ts::Argmax(logits, 1);
+  GEO_CHECK_EQ(pred.numel(), labels.numel());
+  int64_t inter = 0;
+  int64_t uni = 0;
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    const bool p = static_cast<int64_t>(pred.flat(i)) == cls;
+    const bool t = static_cast<int64_t>(labels.flat(i)) == cls;
+    if (p && t) ++inter;
+    if (p || t) ++uni;
+  }
+  if (uni == 0) return 1.0f;
+  return static_cast<float>(inter) / static_cast<float>(uni);
+}
+
+void RunStats::Add(double v) { values_.push_back(v); }
+
+double RunStats::mean() const {
+  GEO_CHECK(!values_.empty());
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double RunStats::max_deviation() const {
+  const double m = mean();
+  double dev = 0.0;
+  for (double v : values_) dev = std::max(dev, std::fabs(v - m));
+  return dev;
+}
+
+}  // namespace geotorch::data

@@ -1,0 +1,42 @@
+#ifndef GEOTORCH_DATA_METRICS_H_
+#define GEOTORCH_DATA_METRICS_H_
+
+#include "tensor/tensor.h"
+
+namespace geotorch::data {
+
+/// Mean absolute error over all elements (Section V-A3 metric).
+float Mae(const tensor::Tensor& pred, const tensor::Tensor& target);
+
+/// Root mean squared error over all elements.
+float Rmse(const tensor::Tensor& pred, const tensor::Tensor& target);
+
+/// Top-1 classification accuracy. logits: (N, C); labels: (N) class ids.
+float Accuracy(const tensor::Tensor& logits, const tensor::Tensor& labels);
+
+/// Per-pixel accuracy for segmentation. logits: (N, C, H, W);
+/// labels: (N, H, W) class ids.
+float PixelAccuracy(const tensor::Tensor& logits,
+                    const tensor::Tensor& labels);
+
+/// Intersection-over-union of class `cls` for segmentation outputs.
+float IoU(const tensor::Tensor& logits, const tensor::Tensor& labels,
+          int64_t cls);
+
+/// Running mean/min/max accumulator used to report the paper's
+/// "average ± variation over 5 iterations" format.
+class RunStats {
+ public:
+  void Add(double v);
+  double mean() const;
+  /// Largest deviation of any run from the mean.
+  double max_deviation() const;
+  int count() const { return static_cast<int>(values_.size()); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace geotorch::data
+
+#endif  // GEOTORCH_DATA_METRICS_H_

@@ -1,0 +1,180 @@
+#include "datasets/benchmarks.h"
+
+#include "prep/st_manager.h"
+#include "synth/satimage.h"
+#include "synth/taxi.h"
+#include "synth/weather.h"
+
+namespace geotorch::datasets {
+
+GridDataset MakeTemperature(int64_t timesteps, int64_t height, int64_t width,
+                            uint64_t seed) {
+  return GridDataset(
+      synth::GenerateWeatherField(synth::WeatherKind::kTemperature,
+                                  timesteps, height, width, seed),
+      /*steps_per_day=*/24);
+}
+
+GridDataset MakePrecipitation(int64_t timesteps, int64_t height,
+                              int64_t width, uint64_t seed) {
+  return GridDataset(
+      synth::GenerateWeatherField(synth::WeatherKind::kPrecipitation,
+                                  timesteps, height, width, seed),
+      /*steps_per_day=*/24);
+}
+
+GridDataset MakeTotalCloudCover(int64_t timesteps, int64_t height,
+                                int64_t width, uint64_t seed) {
+  return GridDataset(
+      synth::GenerateWeatherField(synth::WeatherKind::kCloudCover, timesteps,
+                                  height, width, seed),
+      /*steps_per_day=*/24);
+}
+
+GridDataset MakeGeopotential(int64_t timesteps, int64_t height,
+                             int64_t width, uint64_t seed) {
+  return GridDataset(
+      synth::GenerateWeatherField(synth::WeatherKind::kGeopotential,
+                                  timesteps, height, width, seed),
+      /*steps_per_day=*/24);
+}
+
+GridDataset MakeSolarRadiation(int64_t timesteps, int64_t height,
+                               int64_t width, uint64_t seed) {
+  return GridDataset(
+      synth::GenerateWeatherField(synth::WeatherKind::kSolarRadiation,
+                                  timesteps, height, width, seed),
+      /*steps_per_day=*/24);
+}
+
+GridDataset MakeTaxiNycStdn(int64_t timesteps, uint64_t seed) {
+  return GridDataset(
+      synth::GenerateGridFlow(timesteps, /*c=*/4, /*h=*/10, /*w=*/20,
+                              /*steps_per_day=*/48, seed),
+      /*steps_per_day=*/48);
+}
+
+GridDataset MakeBikeNycStdn(int64_t timesteps, uint64_t seed) {
+  return GridDataset(
+      synth::GenerateGridFlow(timesteps, /*c=*/4, /*h=*/10, /*w=*/20,
+                              /*steps_per_day=*/48, seed + 5),
+      /*steps_per_day=*/48);
+}
+
+GridDataset MakeBikeNycDeepStn(int64_t timesteps, uint64_t seed) {
+  return GridDataset(
+      synth::GenerateGridFlow(timesteps, /*c=*/2, /*h=*/21, /*w=*/12,
+                              /*steps_per_day=*/24, seed),
+      /*steps_per_day=*/24);
+}
+
+GridDataset MakeTaxiBj21(int64_t timesteps, uint64_t seed) {
+  return GridDataset(
+      synth::GenerateGridFlow(timesteps, /*c=*/2, /*h=*/32, /*w=*/32,
+                              /*steps_per_day=*/48, seed),
+      /*steps_per_day=*/48);
+}
+
+GridDataset MakeYellowTripNyc(const YellowTripConfig& config) {
+  // The full end-to-end preprocessing pipeline of Section V-B.
+  synth::TaxiTripConfig trip_config;
+  trip_config.num_records = config.num_records;
+  trip_config.duration_sec = config.duration_sec;
+  trip_config.seed = config.seed;
+  const std::vector<synth::TripRecord> trips =
+      synth::GenerateTaxiTrips(trip_config);
+  df::DataFrame raw =
+      synth::TripsToDataFrame(trips, config.num_df_partitions);
+
+  df::DataFrame spatial =
+      prep::STManager::AddSpatialPoints(raw, "lat", "lon", "point");
+  // Pickup/dropoff indicator channels aggregated by sum.
+  const int pickup_idx = spatial.schema().FieldIndex("is_pickup");
+  df::DataFrame with_channels =
+      spatial
+          .WithColumn("pickup", df::DataType::kDouble,
+                      [pickup_idx](const df::RowView& row) -> df::Value {
+                        return static_cast<double>(row.GetInt64(pickup_idx));
+                      })
+          .WithColumn(
+              "dropoff", df::DataType::kDouble,
+              [pickup_idx](const df::RowView& row) -> df::Value {
+                return 1.0 - static_cast<double>(row.GetInt64(pickup_idx));
+              });
+
+  prep::StGridSpec spec;
+  spec.geometry_column = "point";
+  spec.partitions_x = config.partitions_x;
+  spec.partitions_y = config.partitions_y;
+  spec.time_column = "time";
+  spec.step_duration_sec = config.step_duration_sec;
+  spec.aggs = {{df::AggKind::kSum, "pickup", "pickups"},
+               {df::AggKind::kSum, "dropoff", "dropoffs"}};
+  prep::StGridResult result =
+      prep::STManager::GetStGridDataFrame(with_channels, spec);
+  tensor::Tensor st =
+      prep::STManager::GetStGridTensor(result, {"pickups", "dropoffs"});
+  const int64_t steps_per_day = 86400 / config.step_duration_sec;
+  return GridDataset(std::move(st), steps_per_day);
+}
+
+RasterClassificationDataset MakeEuroSat(int64_t n,
+                                        RasterDatasetOptions options,
+                                        uint64_t seed) {
+  synth::SceneConfig config;
+  config.size = 64;
+  config.bands = 13;
+  config.num_classes = 10;
+  config.seed = seed;
+  auto [images, labels] = synth::GenerateClassificationSet(n, config);
+  return RasterClassificationDataset(std::move(images), std::move(labels),
+                                     std::move(options));
+}
+
+RasterClassificationDataset MakeSat6(int64_t n, RasterDatasetOptions options,
+                                     uint64_t seed) {
+  synth::SceneConfig config;
+  config.size = 28;
+  config.bands = 4;
+  config.num_classes = 6;
+  config.seed = seed + 1;
+  auto [images, labels] = synth::GenerateClassificationSet(n, config);
+  return RasterClassificationDataset(std::move(images), std::move(labels),
+                                     std::move(options));
+}
+
+RasterClassificationDataset MakeSat4(int64_t n, RasterDatasetOptions options,
+                                     uint64_t seed) {
+  synth::SceneConfig config;
+  config.size = 28;
+  config.bands = 4;
+  config.num_classes = 4;
+  config.seed = seed + 4;
+  auto [images, labels] = synth::GenerateClassificationSet(n, config);
+  return RasterClassificationDataset(std::move(images), std::move(labels),
+                                     std::move(options));
+}
+
+RasterClassificationDataset MakeSlumDetection(int64_t n,
+                                              RasterDatasetOptions options,
+                                              uint64_t seed) {
+  synth::SceneConfig config;
+  config.size = 32;
+  config.bands = 4;
+  config.num_classes = 2;
+  config.seed = seed + 2;
+  auto [images, labels] = synth::GenerateClassificationSet(n, config);
+  return RasterClassificationDataset(std::move(images), std::move(labels),
+                                     std::move(options));
+}
+
+RasterSegmentationDataset MakeCloud38(int64_t n, int64_t size,
+                                      RasterDatasetOptions options,
+                                      uint64_t seed) {
+  auto [images, masks] =
+      synth::GenerateCloudSegmentationSet(n, size, /*bands=*/4, seed + 3);
+  return RasterSegmentationDataset(std::move(images), std::move(masks),
+                                   std::move(options));
+}
+
+}  // namespace geotorch::datasets

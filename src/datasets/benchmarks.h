@@ -1,0 +1,88 @@
+#ifndef GEOTORCH_DATASETS_BENCHMARKS_H_
+#define GEOTORCH_DATASETS_BENCHMARKS_H_
+
+#include <cstdint>
+
+#include "datasets/grid_dataset.h"
+#include "datasets/raster_dataset.h"
+
+namespace geotorch::datasets {
+
+// Ready-to-use benchmark datasets mirroring the paper's Tables II and
+// III. Each is generated synthetically with the statistical structure
+// of the original (DESIGN.md §1); shapes match the paper, sample/
+// timestep counts default to laptop-scale and are parameterized.
+
+// --- Grid-based spatiotemporal datasets (Table II) -----------------------
+
+/// WeatherBench temperature on a 32 x 64 grid, 1-hour steps.
+GridDataset MakeTemperature(int64_t timesteps = 1440, int64_t height = 32,
+                            int64_t width = 64, uint64_t seed = 0);
+/// WeatherBench total precipitation.
+GridDataset MakePrecipitation(int64_t timesteps = 1440, int64_t height = 32,
+                              int64_t width = 64, uint64_t seed = 0);
+/// WeatherBench total cloud cover.
+GridDataset MakeTotalCloudCover(int64_t timesteps = 1440, int64_t height = 32,
+                                int64_t width = 64, uint64_t seed = 0);
+/// WeatherBench geopotential (500 hPa).
+GridDataset MakeGeopotential(int64_t timesteps = 1440, int64_t height = 32,
+                             int64_t width = 64, uint64_t seed = 0);
+/// WeatherBench total incident solar radiation.
+GridDataset MakeSolarRadiation(int64_t timesteps = 1440, int64_t height = 32,
+                               int64_t width = 64, uint64_t seed = 0);
+
+/// BikeNYC-DeepSTN: 21 x 12 grid, 1-hour intervals, 2 flow channels.
+GridDataset MakeBikeNycDeepStn(int64_t timesteps = 1080, uint64_t seed = 0);
+
+/// TaxiBJ21: 32 x 32 grid, 30-minute intervals, 2 flow channels.
+GridDataset MakeTaxiBj21(int64_t timesteps = 1440, uint64_t seed = 0);
+
+/// TaxiNYC-STDN: 10 x 20 grid, 30-minute intervals, 4 channels
+/// (in/out flow + in/out volume, per Table II "Flow and Volume").
+GridDataset MakeTaxiNycStdn(int64_t timesteps = 1440, uint64_t seed = 0);
+
+/// BikeNYC-STDN: 10 x 20 grid, 30-minute intervals, 4 channels.
+GridDataset MakeBikeNycStdn(int64_t timesteps = 1440, uint64_t seed = 0);
+
+/// YellowTrip-NYC, produced end-to-end: synthetic NYC trip records run
+/// through the GeoTorchAI preprocessing module (AddSpatialPoints ->
+/// GetStGridDataFrame -> GetStGridTensor), exactly the pipeline the
+/// paper uses to release this dataset. 12 x 16 grid, 30-minute
+/// intervals, channels = (pickups, dropoffs).
+struct YellowTripConfig {
+  int64_t num_records = 200000;
+  int64_t duration_sec = 30LL * 24 * 3600;  // one month
+  int partitions_x = 12;
+  int partitions_y = 16;
+  int64_t step_duration_sec = 1800;
+  int num_df_partitions = 4;
+  uint64_t seed = 0;
+};
+GridDataset MakeYellowTripNyc(const YellowTripConfig& config = {});
+
+// --- Raster imagery datasets (Table III) -----------------------------------
+
+/// EuroSAT: 64 x 64, 13 bands, 10 classes.
+RasterClassificationDataset MakeEuroSat(int64_t n = 600,
+                                        RasterDatasetOptions options = {},
+                                        uint64_t seed = 0);
+/// SAT-6: 28 x 28, 4 bands, 6 classes.
+RasterClassificationDataset MakeSat6(int64_t n = 900,
+                                     RasterDatasetOptions options = {},
+                                     uint64_t seed = 0);
+/// SAT-4: 28 x 28, 4 bands, 4 classes.
+RasterClassificationDataset MakeSat4(int64_t n = 900,
+                                     RasterDatasetOptions options = {},
+                                     uint64_t seed = 0);
+/// SlumDetection: 32 x 32, 4 bands, binary.
+RasterClassificationDataset MakeSlumDetection(
+    int64_t n = 600, RasterDatasetOptions options = {}, uint64_t seed = 0);
+/// 38-Cloud: binary cloud segmentation, 4 bands. The paper's tiles are
+/// 384 x 384; default 64 here for laptop-scale training (parameterized).
+RasterSegmentationDataset MakeCloud38(int64_t n = 120, int64_t size = 64,
+                                      RasterDatasetOptions options = {},
+                                      uint64_t seed = 0);
+
+}  // namespace geotorch::datasets
+
+#endif  // GEOTORCH_DATASETS_BENCHMARKS_H_

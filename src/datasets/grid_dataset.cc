@@ -1,0 +1,138 @@
+#include "datasets/grid_dataset.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace geotorch::datasets {
+
+namespace ts = ::geotorch::tensor;
+
+GridDataset::GridDataset(ts::Tensor st_data, int64_t steps_per_day,
+                         int64_t lead_time)
+    : data_(std::move(st_data)),
+      steps_per_day_(steps_per_day),
+      lead_time_(lead_time) {
+  GEO_CHECK_EQ(data_.ndim(), 4) << "grid data must be (T, C, H, W)";
+  GEO_CHECK_GE(steps_per_day_, 1);
+  GEO_CHECK_GE(lead_time_, 1);
+}
+
+void GridDataset::SetSequentialRepresentation(int64_t history_length,
+                                              int64_t prediction_length) {
+  GEO_CHECK(history_length >= 1 && prediction_length >= 1);
+  representation_ = Representation::kSequential;
+  history_length_ = history_length;
+  prediction_length_ = prediction_length;
+  GEO_CHECK_GT(Size(), 0) << "dataset too short for this representation";
+}
+
+void GridDataset::SetPeriodicalRepresentation(int64_t len_closeness,
+                                              int64_t len_period,
+                                              int64_t len_trend) {
+  GEO_CHECK(len_closeness >= 1 && len_period >= 0 && len_trend >= 0);
+  representation_ = Representation::kPeriodical;
+  len_closeness_ = len_closeness;
+  len_period_ = len_period;
+  len_trend_ = len_trend;
+  GEO_CHECK_GT(Size(), 0) << "dataset too short for this representation";
+}
+
+std::pair<float, float> GridDataset::MinMaxNormalize() {
+  const float mn = ts::MinAll(data_);
+  const float mx = ts::MaxAll(data_);
+  const float range = mx - mn;
+  float* d = data_.data();
+  if (range > 0.0f) {
+    for (int64_t i = 0; i < data_.numel(); ++i) {
+      d[i] = (d[i] - mn) / range;
+    }
+  }
+  return {mn, mx};
+}
+
+int64_t GridDataset::FirstTarget() const {
+  switch (representation_) {
+    case Representation::kBasic:
+      return lead_time_;
+    case Representation::kSequential:
+      return history_length_;
+    case Representation::kPeriodical: {
+      int64_t first = len_closeness_;
+      if (len_period_ > 0) {
+        first = std::max(first, len_period_ * steps_per_day_);
+      }
+      if (len_trend_ > 0) {
+        first = std::max(first, len_trend_ * 7 * steps_per_day_);
+      }
+      return first;
+    }
+  }
+  return 0;
+}
+
+int64_t GridDataset::Size() const {
+  int64_t tail = 0;
+  if (representation_ == Representation::kSequential) {
+    tail = prediction_length_ - 1;
+  }
+  const int64_t n = num_timesteps() - FirstTarget() - tail;
+  return std::max<int64_t>(0, n);
+}
+
+ts::Tensor GridDataset::FrameStack(int64_t t, int64_t len,
+                                   int64_t stride) const {
+  // Stacks frames t - stride*len, ..., t - stride (oldest first) along
+  // the channel axis.
+  std::vector<ts::Tensor> frames;
+  frames.reserve(len);
+  const int64_t c = channels();
+  const int64_t h = height();
+  const int64_t w = width();
+  for (int64_t k = len; k >= 1; --k) {
+    const int64_t src = t - k * stride;
+    GEO_CHECK_GE(src, 0);
+    frames.push_back(
+        ts::Slice(data_, 0, src, src + 1).Reshape({c, h, w}));
+  }
+  return ts::Concat(frames, 0);
+}
+
+data::Sample GridDataset::Get(int64_t index) const {
+  GEO_CHECK(index >= 0 && index < Size())
+      << "index " << index << " out of " << Size();
+  const int64_t c = channels();
+  const int64_t h = height();
+  const int64_t w = width();
+  const int64_t target = FirstTarget() + index;
+  data::Sample s;
+  switch (representation_) {
+    case Representation::kBasic: {
+      const int64_t src = target - lead_time_;
+      s.x = ts::Slice(data_, 0, src, src + 1).Reshape({c, h, w});
+      s.y = ts::Slice(data_, 0, target, target + 1).Reshape({c, h, w});
+      break;
+    }
+    case Representation::kSequential: {
+      s.x = ts::Slice(data_, 0, target - history_length_, target);
+      s.y = ts::Slice(data_, 0, target, target + prediction_length_);
+      break;
+    }
+    case Representation::kPeriodical: {
+      s.x = FrameStack(target, len_closeness_, 1);
+      if (len_period_ > 0) {
+        s.extras.push_back(FrameStack(target, len_period_, steps_per_day_));
+      }
+      if (len_trend_ > 0) {
+        s.extras.push_back(
+            FrameStack(target, len_trend_, 7 * steps_per_day_));
+      }
+      s.y = ts::Slice(data_, 0, target, target + 1).Reshape({c, h, w});
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace geotorch::datasets

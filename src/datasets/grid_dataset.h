@@ -1,0 +1,78 @@
+#ifndef GEOTORCH_DATASETS_GRID_DATASET_H_
+#define GEOTORCH_DATASETS_GRID_DATASET_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::datasets {
+
+/// A grid-based spatiotemporal dataset over a (T, C, H, W) tensor,
+/// with the paper's three sample representations (Section III-A1):
+///
+///  * basic (Listing 2): x = frame t, y = frame t + lead_time;
+///  * sequential (Listing 3): x = frames [t, t+history), y = the next
+///    prediction_length frames — the ConvLSTM input;
+///  * periodical (Listing 4): x = the closeness stack, extras = the
+///    period and trend stacks — the ST-ResNet / DeepSTN+ input.
+///
+/// Samples come out channel-stacked: basic x is (C, H, W); sequential
+/// x is (history, C, H, W) and y is (prediction, C, H, W); periodical
+/// x is (len_closeness*C, H, W), extras[0] = (len_period*C, H, W),
+/// extras[1] = (len_trend*C, H, W), y = (C, H, W).
+class GridDataset : public data::Dataset {
+ public:
+  enum class Representation { kBasic, kSequential, kPeriodical };
+
+  /// `st_data` is (T, C, H, W); `steps_per_day` fixes the daily period
+  /// used by the periodical representation (weekly trend = 7 days).
+  GridDataset(tensor::Tensor st_data, int64_t steps_per_day,
+              int64_t lead_time = 1);
+
+  /// Switches to the sequential representation.
+  void SetSequentialRepresentation(int64_t history_length,
+                                   int64_t prediction_length);
+
+  /// Switches to the periodical representation.
+  void SetPeriodicalRepresentation(int64_t len_closeness, int64_t len_period,
+                                   int64_t len_trend);
+
+  /// Min-max scales the data to [0, 1] in place; returns the (min, max)
+  /// used, for de-normalizing predictions.
+  std::pair<float, float> MinMaxNormalize();
+
+  Representation representation() const { return representation_; }
+  const tensor::Tensor& st_data() const { return data_; }
+  int64_t num_timesteps() const { return data_.size(0); }
+  int64_t channels() const { return data_.size(1); }
+  int64_t height() const { return data_.size(2); }
+  int64_t width() const { return data_.size(3); }
+  int64_t steps_per_day() const { return steps_per_day_; }
+
+  int64_t Size() const override;
+  data::Sample Get(int64_t index) const override;
+
+ private:
+  /// Frames [t, t+len) stacked along channels: (len*C, H, W).
+  tensor::Tensor FrameStack(int64_t t, int64_t len, int64_t stride) const;
+  /// First target timestep usable by the current representation.
+  int64_t FirstTarget() const;
+
+  tensor::Tensor data_;  // (T, C, H, W)
+  int64_t steps_per_day_;
+  Representation representation_ = Representation::kBasic;
+  // Basic.
+  int64_t lead_time_;
+  // Sequential.
+  int64_t history_length_ = 0;
+  int64_t prediction_length_ = 0;
+  // Periodical.
+  int64_t len_closeness_ = 0;
+  int64_t len_period_ = 0;
+  int64_t len_trend_ = 0;
+};
+
+}  // namespace geotorch::datasets
+
+#endif  // GEOTORCH_DATASETS_GRID_DATASET_H_

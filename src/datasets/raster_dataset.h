@@ -1,0 +1,76 @@
+#ifndef GEOTORCH_DATASETS_RASTER_DATASET_H_
+#define GEOTORCH_DATASETS_RASTER_DATASET_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::datasets {
+
+/// Options shared by the raster datasets, mirroring the flexibility of
+/// the Python API (Listing 1): band selection, automatic extraction of
+/// additional features, and a per-sample transform.
+struct RasterDatasetOptions {
+  /// Bands to keep, in order; empty keeps all bands.
+  std::vector<int64_t> selected_bands;
+  /// When true, a handcrafted feature vector is extracted per image and
+  /// returned as extras[0] of every sample — the DeepSAT-V2 input:
+  /// min(bands-1, 7) spectral features (normalized difference index of
+  /// adjacent band pairs, averaged over the image) plus 6 GLCM texture
+  /// features of band 0.
+  bool include_additional_features = false;
+  /// Optional transform applied to x at Get() time (on the fly, like
+  /// passing `transform=` to a GeoTorchAI dataset).
+  std::function<tensor::Tensor(const tensor::Tensor&)> transform;
+};
+
+/// Classification dataset over multispectral images: x = (C, H, W)
+/// image, y = scalar class id, extras[0] = feature vector when
+/// include_additional_features is set.
+class RasterClassificationDataset : public data::Dataset {
+ public:
+  /// images: (N, C, H, W); labels: (N).
+  RasterClassificationDataset(tensor::Tensor images, tensor::Tensor labels,
+                              RasterDatasetOptions options = {});
+
+  int64_t Size() const override { return images_.size(0); }
+  data::Sample Get(int64_t index) const override;
+
+  int64_t bands() const { return images_.size(1); }
+  /// Length of the handcrafted feature vector (0 when disabled).
+  int64_t num_additional_features() const { return num_features_; }
+
+ private:
+  tensor::Tensor images_;
+  tensor::Tensor labels_;
+  tensor::Tensor features_;  // (N, F); empty when disabled
+  RasterDatasetOptions options_;
+  int64_t num_features_ = 0;
+};
+
+/// Segmentation dataset: x = (C, H, W) image, y = (H, W) class mask.
+class RasterSegmentationDataset : public data::Dataset {
+ public:
+  /// images: (N, C, H, W); masks: (N, H, W).
+  RasterSegmentationDataset(tensor::Tensor images, tensor::Tensor masks,
+                            RasterDatasetOptions options = {});
+
+  int64_t Size() const override { return images_.size(0); }
+  data::Sample Get(int64_t index) const override;
+
+ private:
+  tensor::Tensor images_;
+  tensor::Tensor masks_;
+  RasterDatasetOptions options_;
+};
+
+/// Computes the handcrafted feature vector of one (C, H, W) image —
+/// exposed for tests and for offline (pre-training) extraction with the
+/// preprocessing module.
+std::vector<float> ExtractImageFeatures(const tensor::Tensor& image);
+
+}  // namespace geotorch::datasets
+
+#endif  // GEOTORCH_DATASETS_RASTER_DATASET_H_

@@ -1,0 +1,188 @@
+#include "df/column.h"
+
+#include "core/check.h"
+
+namespace geotorch::df {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kDouble:
+      return "double";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kString:
+      return "string";
+    case DataType::kGeometry:
+      return "geometry";
+  }
+  return "unknown";
+}
+
+Column::Column(DataType type) : type_(type) {}
+
+Column Column::FromDoubles(std::vector<double> values) {
+  Column c(DataType::kDouble);
+  c.doubles_ = std::move(values);
+  return c;
+}
+Column Column::FromInt64s(std::vector<int64_t> values) {
+  Column c(DataType::kInt64);
+  c.int64s_ = std::move(values);
+  return c;
+}
+Column Column::FromStrings(std::vector<std::string> values) {
+  Column c(DataType::kString);
+  c.strings_ = std::move(values);
+  return c;
+}
+Column Column::FromPoints(std::vector<spatial::Point> values) {
+  Column c(DataType::kGeometry);
+  c.points_ = std::move(values);
+  return c;
+}
+
+int64_t Column::size() const {
+  switch (type_) {
+    case DataType::kDouble:
+      return static_cast<int64_t>(doubles_.size());
+    case DataType::kInt64:
+      return static_cast<int64_t>(int64s_.size());
+    case DataType::kString:
+      return static_cast<int64_t>(strings_.size());
+    case DataType::kGeometry:
+      return static_cast<int64_t>(points_.size());
+  }
+  return 0;
+}
+
+int64_t Column::ByteSize() const {
+  switch (type_) {
+    case DataType::kDouble:
+      return static_cast<int64_t>(doubles_.capacity() * sizeof(double));
+    case DataType::kInt64:
+      return static_cast<int64_t>(int64s_.capacity() * sizeof(int64_t));
+    case DataType::kString: {
+      int64_t bytes =
+          static_cast<int64_t>(strings_.capacity() * sizeof(std::string));
+      for (const auto& s : strings_) {
+        bytes += static_cast<int64_t>(s.capacity());
+      }
+      return bytes;
+    }
+    case DataType::kGeometry:
+      return static_cast<int64_t>(points_.capacity() *
+                                  sizeof(spatial::Point));
+  }
+  return 0;
+}
+
+const std::vector<double>& Column::doubles() const {
+  GEO_CHECK(type_ == DataType::kDouble);
+  return doubles_;
+}
+const std::vector<int64_t>& Column::int64s() const {
+  GEO_CHECK(type_ == DataType::kInt64);
+  return int64s_;
+}
+const std::vector<std::string>& Column::strings() const {
+  GEO_CHECK(type_ == DataType::kString);
+  return strings_;
+}
+const std::vector<spatial::Point>& Column::points() const {
+  GEO_CHECK(type_ == DataType::kGeometry);
+  return points_;
+}
+std::vector<double>& Column::mutable_doubles() {
+  GEO_CHECK(type_ == DataType::kDouble);
+  return doubles_;
+}
+std::vector<int64_t>& Column::mutable_int64s() {
+  GEO_CHECK(type_ == DataType::kInt64);
+  return int64s_;
+}
+std::vector<std::string>& Column::mutable_strings() {
+  GEO_CHECK(type_ == DataType::kString);
+  return strings_;
+}
+std::vector<spatial::Point>& Column::mutable_points() {
+  GEO_CHECK(type_ == DataType::kGeometry);
+  return points_;
+}
+
+Value Column::Get(int64_t row) const {
+  switch (type_) {
+    case DataType::kDouble:
+      return doubles_.at(row);
+    case DataType::kInt64:
+      return int64s_.at(row);
+    case DataType::kString:
+      return strings_.at(row);
+    case DataType::kGeometry:
+      return points_.at(row);
+  }
+  return 0.0;
+}
+
+void Column::Append(const Value& v) {
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(std::get<double>(v));
+      return;
+    case DataType::kInt64:
+      int64s_.push_back(std::get<int64_t>(v));
+      return;
+    case DataType::kString:
+      strings_.push_back(std::get<std::string>(v));
+      return;
+    case DataType::kGeometry:
+      points_.push_back(std::get<spatial::Point>(v));
+      return;
+  }
+}
+
+Column Column::Gather(const std::vector<int64_t>& indices) const {
+  Column out(type_);
+  switch (type_) {
+    case DataType::kDouble: {
+      out.doubles_.reserve(indices.size());
+      for (int64_t i : indices) out.doubles_.push_back(doubles_[i]);
+      break;
+    }
+    case DataType::kInt64: {
+      out.int64s_.reserve(indices.size());
+      for (int64_t i : indices) out.int64s_.push_back(int64s_[i]);
+      break;
+    }
+    case DataType::kString: {
+      out.strings_.reserve(indices.size());
+      for (int64_t i : indices) out.strings_.push_back(strings_[i]);
+      break;
+    }
+    case DataType::kGeometry: {
+      out.points_.reserve(indices.size());
+      for (int64_t i : indices) out.points_.push_back(points_[i]);
+      break;
+    }
+  }
+  return out;
+}
+
+void Column::AppendFrom(const Column& other, int64_t row) {
+  GEO_CHECK(type_ == other.type_);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(other.doubles_.at(row));
+      return;
+    case DataType::kInt64:
+      int64s_.push_back(other.int64s_.at(row));
+      return;
+    case DataType::kString:
+      strings_.push_back(other.strings_.at(row));
+      return;
+    case DataType::kGeometry:
+      points_.push_back(other.points_.at(row));
+      return;
+  }
+}
+
+}  // namespace geotorch::df

@@ -1,0 +1,75 @@
+#ifndef GEOTORCH_DF_COLUMN_H_
+#define GEOTORCH_DF_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "spatial/geometry.h"
+
+namespace geotorch::df {
+
+/// Column types supported by the engine. kGeometry stores points (the
+/// geometry kind the preprocessing pipeline manipulates; Sedona's
+/// richer geometry types are not needed by any paper experiment).
+enum class DataType {
+  kDouble,
+  kInt64,
+  kString,
+  kGeometry,
+};
+
+const char* DataTypeToString(DataType type);
+
+/// A single cell value (used at API boundaries; bulk access goes
+/// through the typed vectors).
+using Value = std::variant<double, int64_t, std::string, spatial::Point>;
+
+/// A typed, contiguous column of one partition.
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  static Column FromDoubles(std::vector<double> values);
+  static Column FromInt64s(std::vector<int64_t> values);
+  static Column FromStrings(std::vector<std::string> values);
+  static Column FromPoints(std::vector<spatial::Point> values);
+
+  DataType type() const { return type_; }
+  int64_t size() const;
+  /// Approximate heap footprint in bytes (for memory accounting).
+  int64_t ByteSize() const;
+
+  // Typed bulk accessors; abort on type mismatch.
+  const std::vector<double>& doubles() const;
+  const std::vector<int64_t>& int64s() const;
+  const std::vector<std::string>& strings() const;
+  const std::vector<spatial::Point>& points() const;
+  std::vector<double>& mutable_doubles();
+  std::vector<int64_t>& mutable_int64s();
+  std::vector<std::string>& mutable_strings();
+  std::vector<spatial::Point>& mutable_points();
+
+  /// Generic single-cell access.
+  Value Get(int64_t row) const;
+  void Append(const Value& v);
+  /// Appends row `row` of `other` (same type).
+  void AppendFrom(const Column& other, int64_t row);
+
+  /// Bulk row selection: a new column with rows[indices[i]] at i.
+  /// The typed loop avoids per-cell dispatch on hot paths
+  /// (Filter/Repartition/Join).
+  Column Gather(const std::vector<int64_t>& indices) const;
+
+ private:
+  DataType type_;
+  std::vector<double> doubles_;
+  std::vector<int64_t> int64s_;
+  std::vector<std::string> strings_;
+  std::vector<spatial::Point> points_;
+};
+
+}  // namespace geotorch::df
+
+#endif  // GEOTORCH_DF_COLUMN_H_

@@ -1,0 +1,101 @@
+#include "df/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace geotorch::df {
+
+Status WriteCsv(const DataFrame& frame, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  const Schema& schema = frame.schema();
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out << ',';
+    out << schema.name(c);
+  }
+  out << '\n';
+  for (int pi = 0; pi < frame.num_partitions(); ++pi) {
+    const Partition& part = frame.partition(pi);
+    for (int64_t r = 0; r < part.num_rows(); ++r) {
+      for (int c = 0; c < schema.num_fields(); ++c) {
+        if (c > 0) out << ',';
+        switch (schema.type(c)) {
+          case DataType::kDouble:
+            out << part.column(c).doubles()[r];
+            break;
+          case DataType::kInt64:
+            out << part.column(c).int64s()[r];
+            break;
+          case DataType::kString:
+            out << part.column(c).strings()[r];
+            break;
+          case DataType::kGeometry: {
+            const auto& p = part.column(c).points()[r];
+            out << p.x << ';' << p.y;
+            break;
+          }
+        }
+      }
+      out << '\n';
+    }
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty CSV: " + path);
+  }
+  std::vector<Column> cols;
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    cols.emplace_back(schema.type(c));
+  }
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      if (!std::getline(ss, cell, ',')) {
+        return Status::IoError("short row at line " +
+                               std::to_string(line_no) + " in " + path);
+      }
+      switch (schema.type(c)) {
+        case DataType::kDouble:
+          cols[c].mutable_doubles().push_back(std::stod(cell));
+          break;
+        case DataType::kInt64:
+          cols[c].mutable_int64s().push_back(std::stoll(cell));
+          break;
+        case DataType::kString:
+          cols[c].mutable_strings().push_back(cell);
+          break;
+        case DataType::kGeometry: {
+          const size_t semi = cell.find(';');
+          if (semi == std::string::npos) {
+            return Status::IoError("bad geometry cell at line " +
+                                   std::to_string(line_no));
+          }
+          spatial::Point p;
+          p.x = std::stod(cell.substr(0, semi));
+          p.y = std::stod(cell.substr(semi + 1));
+          cols[c].mutable_points().push_back(p);
+          break;
+        }
+      }
+    }
+  }
+  std::vector<std::pair<std::string, Column>> named;
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    named.emplace_back(schema.name(c), std::move(cols[c]));
+  }
+  return DataFrame::FromColumns(std::move(named));
+}
+
+}  // namespace geotorch::df

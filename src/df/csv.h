@@ -1,0 +1,22 @@
+#ifndef GEOTORCH_DF_CSV_H_
+#define GEOTORCH_DF_CSV_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "df/dataframe.h"
+
+namespace geotorch::df {
+
+/// Writes a DataFrame to CSV (header row; geometry columns as
+/// "x;y"). Partitions are written in order.
+Status WriteCsv(const DataFrame& frame, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv (or any headered CSV whose columns
+/// match `schema` in order). The result has one partition; call
+/// Repartition() for parallelism.
+Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema);
+
+}  // namespace geotorch::df
+
+#endif  // GEOTORCH_DF_CSV_H_

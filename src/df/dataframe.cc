@@ -1,0 +1,642 @@
+#include "df/dataframe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/check.h"
+#include "core/thread_pool.h"
+
+namespace geotorch::df {
+namespace {
+
+// Numeric read of a column cell as double (int64 widens).
+double NumericAt(const Column& col, int64_t row) {
+  if (col.type() == DataType::kDouble) return col.doubles()[row];
+  GEO_CHECK(col.type() == DataType::kInt64)
+      << "aggregation column must be numeric";
+  return static_cast<double>(col.int64s()[row]);
+}
+
+uint64_t HashKey(const std::vector<int64_t>& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (int64_t k : key) {
+    h ^= static_cast<uint64_t>(k);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+struct VectorKeyHash {
+  size_t operator()(const std::vector<int64_t>& key) const {
+    return static_cast<size_t>(HashKey(key));
+  }
+};
+
+// Partial state of one group for all requested aggregations. Inline
+// storage: group counts routinely reach the row count (every
+// (cell, timestep) pair distinct), so per-group heap allocations would
+// dominate the aggregation.
+constexpr size_t kMaxAggs = 8;
+
+struct AggState {
+  int64_t count = 0;
+  double sum[kMaxAggs];
+  double sumsq[kMaxAggs];
+  double min[kMaxAggs];
+  double max[kMaxAggs];
+};
+
+void InitState(AggState& state, size_t num_aggs) {
+  if (state.count == 0) {
+    for (size_t a = 0; a < num_aggs; ++a) {
+      state.sum[a] = 0.0;
+      state.sumsq[a] = 0.0;
+      state.min[a] = std::numeric_limits<double>::infinity();
+      state.max[a] = -std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+void MergeState(AggState& dst, const AggState& src, size_t num_aggs) {
+  if (dst.count == 0) {
+    dst = src;
+    return;
+  }
+  dst.count += src.count;
+  for (size_t a = 0; a < num_aggs; ++a) {
+    dst.sum[a] += src.sum[a];
+    dst.sumsq[a] += src.sumsq[a];
+    dst.min[a] = std::min(dst.min[a], src.min[a]);
+    dst.max[a] = std::max(dst.max[a], src.max[a]);
+  }
+}
+
+void EmitAggValue(const AggSpec& spec, const AggState& state, size_t a,
+                  Column& col) {
+  switch (spec.kind) {
+    case AggKind::kCount:
+      col.mutable_int64s().push_back(state.count);
+      break;
+    case AggKind::kSum:
+      col.mutable_doubles().push_back(state.sum[a]);
+      break;
+    case AggKind::kMin:
+      col.mutable_doubles().push_back(state.min[a]);
+      break;
+    case AggKind::kMax:
+      col.mutable_doubles().push_back(state.max[a]);
+      break;
+    case AggKind::kMean:
+      col.mutable_doubles().push_back(
+          state.sum[a] / static_cast<double>(state.count));
+      break;
+    case AggKind::kVariance:
+    case AggKind::kStdDev: {
+      const double n = static_cast<double>(state.count);
+      const double mean = state.sum[a] / n;
+      const double var = std::max(0.0, state.sumsq[a] / n - mean * mean);
+      col.mutable_doubles().push_back(
+          spec.kind == AggKind::kVariance ? var : std::sqrt(var));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+// --- Schema ------------------------------------------------------------
+
+Schema::Schema(std::vector<std::pair<std::string, DataType>> fields)
+    : fields_(std::move(fields)) {}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[i].first == name) return i;
+  }
+  GEO_CHECK(false) << "no column named '" << name << "'";
+  return -1;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  for (const auto& [n, t] : fields_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+// --- Partition ----------------------------------------------------------
+
+SharedColumn TrackColumn(Column column) {
+  const int64_t bytes = column.ByteSize();
+  MemoryTracker::Global().Allocate(bytes);
+  return SharedColumn(new Column(std::move(column)),
+                      [bytes](const Column* c) {
+                        MemoryTracker::Global().Release(bytes);
+                        delete c;
+                      });
+}
+
+Partition::Partition(std::vector<Column> columns) {
+  columns_.reserve(columns.size());
+  for (auto& c : columns) columns_.push_back(TrackColumn(std::move(c)));
+  Init();
+}
+
+Partition::Partition(std::vector<SharedColumn> columns)
+    : columns_(std::move(columns)) {
+  Init();
+}
+
+void Partition::Init() {
+  if (!columns_.empty()) {
+    num_rows_ = columns_[0]->size();
+    for (const auto& c : columns_) {
+      GEO_CHECK_EQ(c->size(), num_rows_) << "ragged partition";
+    }
+  }
+}
+
+int64_t Partition::ByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& c : columns_) bytes += c->ByteSize();
+  return bytes;
+}
+
+// --- DataFrame ------------------------------------------------------------
+
+DataFrame DataFrame::FromColumns(
+    std::vector<std::pair<std::string, Column>> columns) {
+  GEO_CHECK(!columns.empty());
+  std::vector<std::pair<std::string, DataType>> fields;
+  std::vector<Column> cols;
+  for (auto& [name, col] : columns) {
+    fields.emplace_back(name, col.type());
+    cols.push_back(std::move(col));
+  }
+  DataFrame out;
+  out.schema_ = std::make_shared<Schema>(std::move(fields));
+  out.partitions_.push_back(std::make_shared<Partition>(std::move(cols)));
+  return out;
+}
+
+DataFrame DataFrame::FromPartitions(
+    std::shared_ptr<const Schema> schema,
+    std::vector<std::shared_ptr<const Partition>> partitions) {
+  DataFrame out;
+  out.schema_ = std::move(schema);
+  out.partitions_ = std::move(partitions);
+  GEO_CHECK(out.schema_ != nullptr);
+  return out;
+}
+
+int64_t DataFrame::NumRows() const {
+  int64_t n = 0;
+  for (const auto& p : partitions_) n += p->num_rows();
+  return n;
+}
+
+int64_t DataFrame::ByteSize() const {
+  int64_t n = 0;
+  for (const auto& p : partitions_) n += p->ByteSize();
+  return n;
+}
+
+void DataFrame::ForEachPartition(
+    const std::function<void(const Partition&, int)>& fn) const {
+  ThreadPool::Global().ParallelFor(
+      static_cast<int64_t>(partitions_.size()),
+      [&](int64_t i) { fn(*partitions_[i], static_cast<int>(i)); });
+}
+
+DataFrame DataFrame::Repartition(int n) const {
+  GEO_CHECK_GE(n, 1);
+  // Round-robin split by global row id; each output partition gathers
+  // its rows from every input partition.
+  std::vector<int64_t> part_offsets = {0};
+  for (const auto& p : partitions_) {
+    part_offsets.push_back(part_offsets.back() + p->num_rows());
+  }
+  std::vector<std::shared_ptr<const Partition>> out_parts(n);
+  ThreadPool::Global().ParallelFor(n, [&](int64_t target) {
+    std::vector<SharedColumn> cols(schema_->num_fields());
+    std::vector<Column> built;
+    built.reserve(schema_->num_fields());
+    // Per input partition, the local indices this target takes.
+    std::vector<std::vector<int64_t>> take(partitions_.size());
+    for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+      const int64_t begin = part_offsets[pi];
+      const int64_t rows = partitions_[pi]->num_rows();
+      // Global ids congruent to target (mod n) within [begin, begin+rows).
+      int64_t first = begin % n <= target
+                          ? begin + (target - begin % n)
+                          : begin + (n - begin % n + target);
+      for (int64_t g = first; g < begin + rows; g += n) {
+        take[pi].push_back(g - begin);
+      }
+    }
+    for (int c = 0; c < schema_->num_fields(); ++c) {
+      Column merged(schema_->type(c));
+      for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+        if (take[pi].empty()) continue;
+        Column piece = partitions_[pi]->column(c).Gather(take[pi]);
+        if (merged.size() == 0) {
+          merged = std::move(piece);
+        } else {
+          for (int64_t r = 0; r < piece.size(); ++r) {
+            merged.AppendFrom(piece, r);
+          }
+        }
+      }
+      cols[c] = TrackColumn(std::move(merged));
+    }
+    out_parts[target] = std::make_shared<Partition>(std::move(cols));
+  });
+  return FromPartitions(schema_, std::move(out_parts));
+}
+
+DataFrame DataFrame::Select(const std::vector<std::string>& names) const {
+  std::vector<int> indices;
+  std::vector<std::pair<std::string, DataType>> fields;
+  for (const auto& name : names) {
+    const int i = schema_->FieldIndex(name);
+    indices.push_back(i);
+    fields.emplace_back(name, schema_->type(i));
+  }
+  auto out_schema = std::make_shared<Schema>(std::move(fields));
+  std::vector<std::shared_ptr<const Partition>> out_parts(num_partitions());
+  for (int pi = 0; pi < num_partitions(); ++pi) {
+    std::vector<SharedColumn> cols;
+    cols.reserve(indices.size());
+    for (int idx : indices) cols.push_back(partitions_[pi]->column_ptr(idx));
+    out_parts[pi] = std::make_shared<Partition>(std::move(cols));
+  }
+  return FromPartitions(out_schema, std::move(out_parts));
+}
+
+DataFrame DataFrame::Filter(
+    const std::function<bool(const RowView&)>& pred) const {
+  std::vector<std::shared_ptr<const Partition>> out_parts(num_partitions());
+  ForEachPartition([&](const Partition& part, int pi) {
+    std::vector<int64_t> keep;
+    for (int64_t r = 0; r < part.num_rows(); ++r) {
+      RowView row(&part, schema_.get(), r);
+      if (pred(row)) keep.push_back(r);
+    }
+    std::vector<SharedColumn> cols;
+    cols.reserve(schema_->num_fields());
+    for (int c = 0; c < schema_->num_fields(); ++c) {
+      cols.push_back(TrackColumn(part.column(c).Gather(keep)));
+    }
+    out_parts[pi] = std::make_shared<Partition>(std::move(cols));
+  });
+  return FromPartitions(schema_, std::move(out_parts));
+}
+
+DataFrame DataFrame::WithColumn(
+    const std::string& name, DataType type,
+    const std::function<Value(const RowView&)>& fn) const {
+  GEO_CHECK(!schema_->HasField(name))
+      << "column '" << name << "' already exists";
+  auto fields = schema_->fields();
+  fields.emplace_back(name, type);
+  auto out_schema = std::make_shared<Schema>(std::move(fields));
+  std::vector<std::shared_ptr<const Partition>> out_parts(num_partitions());
+  ForEachPartition([&](const Partition& part, int pi) {
+    std::vector<SharedColumn> cols;
+    cols.reserve(schema_->num_fields() + 1);
+    for (int c = 0; c < schema_->num_fields(); ++c) {
+      cols.push_back(part.column_ptr(c));  // structural sharing
+    }
+    Column extra(type);
+    for (int64_t r = 0; r < part.num_rows(); ++r) {
+      RowView row(&part, schema_.get(), r);
+      extra.Append(fn(row));
+    }
+    cols.push_back(TrackColumn(std::move(extra)));
+    out_parts[pi] = std::make_shared<Partition>(std::move(cols));
+  });
+  return FromPartitions(out_schema, std::move(out_parts));
+}
+
+DataFrame DataFrame::Drop(const std::string& name) const {
+  std::vector<std::string> keep;
+  for (const auto& [n, t] : schema_->fields()) {
+    if (n != name) keep.push_back(n);
+  }
+  GEO_CHECK_LT(static_cast<int>(keep.size()), schema_->num_fields())
+      << "Drop: no column named '" << name << "'";
+  return Select(keep);
+}
+
+DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
+                                const std::vector<AggSpec>& aggs,
+                                int num_shards) const {
+  GEO_CHECK(!keys.empty());
+  if (num_shards <= 0) {
+    num_shards = std::max(1, ThreadPool::Global().num_threads());
+  }
+  std::vector<int> key_idx;
+  for (const auto& k : keys) {
+    const int i = schema_->FieldIndex(k);
+    GEO_CHECK(schema_->type(i) == DataType::kInt64)
+        << "group-by keys must be int64 (got " << k << ")";
+    key_idx.push_back(i);
+  }
+  std::vector<int> agg_idx;
+  for (const auto& a : aggs) {
+    agg_idx.push_back(a.kind == AggKind::kCount
+                          ? -1
+                          : schema_->FieldIndex(a.column));
+  }
+  const size_t num_aggs = aggs.size();
+  GEO_CHECK_LE(num_aggs, kMaxAggs) << "too many aggregations";
+
+  // Fast path: one or two non-negative 31-bit keys pack into a single
+  // uint64, avoiding a heap-allocated vector per hash probe.
+  bool packable = key_idx.size() <= 2;
+  if (packable) {
+    for (int pi = 0; pi < num_partitions() && packable; ++pi) {
+      for (int k : key_idx) {
+        const auto& vals = partitions_[pi]->column(k).int64s();
+        for (int64_t v : vals) {
+          if (v < 0 || v >= (int64_t{1} << 31)) {
+            packable = false;
+            break;
+          }
+        }
+        if (!packable) break;
+      }
+    }
+  }
+
+  using PackedMap = std::unordered_map<uint64_t, AggState>;
+  using VectorMap =
+      std::unordered_map<std::vector<int64_t>, AggState, VectorKeyHash>;
+
+  // Phase 1: per-partition partial aggregation, sharded by key hash so
+  // the merge phase needs no locking.
+  std::vector<std::vector<PackedMap>> packed_partials(partitions_.size());
+  std::vector<std::vector<VectorMap>> vector_partials(partitions_.size());
+  ForEachPartition([&](const Partition& part, int pi) {
+    const int64_t rows = part.num_rows();
+    std::vector<const std::vector<int64_t>*> key_cols;
+    for (int k : key_idx) key_cols.push_back(&part.column(k).int64s());
+    if (packable) {
+      std::vector<PackedMap> shards(num_shards);
+      for (auto& m : shards) m.reserve(rows / num_shards + 16);
+      for (int64_t r = 0; r < rows; ++r) {
+        uint64_t packed = static_cast<uint64_t>((*key_cols[0])[r]);
+        if (key_cols.size() == 2) {
+          packed = (packed << 31) | static_cast<uint64_t>((*key_cols[1])[r]);
+        }
+        const int shard = static_cast<int>(MixHash(packed) % num_shards);
+        AggState& state = shards[shard][packed];
+        InitState(state, num_aggs);
+        ++state.count;
+        for (size_t a = 0; a < num_aggs; ++a) {
+          if (agg_idx[a] < 0) continue;
+          const double v = NumericAt(part.column(agg_idx[a]), r);
+          state.sum[a] += v;
+          state.sumsq[a] += v * v;
+          state.min[a] = std::min(state.min[a], v);
+          state.max[a] = std::max(state.max[a], v);
+        }
+      }
+      packed_partials[pi] = std::move(shards);
+    } else {
+      std::vector<VectorMap> shards(num_shards);
+      for (auto& m : shards) m.reserve(rows / num_shards + 16);
+      std::vector<int64_t> key(key_idx.size());
+      for (int64_t r = 0; r < rows; ++r) {
+        for (size_t k = 0; k < key_cols.size(); ++k) {
+          key[k] = (*key_cols[k])[r];
+        }
+        const int shard = static_cast<int>(HashKey(key) % num_shards);
+        AggState& state = shards[shard][key];
+        InitState(state, num_aggs);
+        ++state.count;
+        for (size_t a = 0; a < num_aggs; ++a) {
+          if (agg_idx[a] < 0) continue;
+          const double v = NumericAt(part.column(agg_idx[a]), r);
+          state.sum[a] += v;
+          state.sumsq[a] += v * v;
+          state.min[a] = std::min(state.min[a], v);
+          state.max[a] = std::max(state.max[a], v);
+        }
+      }
+      vector_partials[pi] = std::move(shards);
+    }
+  });
+
+  // Output schema: keys then agg aliases.
+  std::vector<std::pair<std::string, DataType>> fields;
+  for (const auto& k : keys) fields.emplace_back(k, DataType::kInt64);
+  for (const auto& a : aggs) {
+    fields.emplace_back(a.alias, a.kind == AggKind::kCount
+                                     ? DataType::kInt64
+                                     : DataType::kDouble);
+  }
+  auto out_schema = std::make_shared<Schema>(std::move(fields));
+
+  // Phase 2: shard-parallel merge; one output partition per shard.
+  const size_t num_keys = key_idx.size();
+  std::vector<std::shared_ptr<const Partition>> out_parts(num_shards);
+  ThreadPool::Global().ParallelFor(num_shards, [&](int64_t shard) {
+    std::vector<Column> cols;
+    for (size_t k = 0; k < num_keys; ++k) {
+      cols.emplace_back(DataType::kInt64);
+    }
+    for (const auto& a : aggs) {
+      cols.emplace_back(a.kind == AggKind::kCount ? DataType::kInt64
+                                                  : DataType::kDouble);
+    }
+    if (packable) {
+      PackedMap merged;
+      size_t total = 0;
+      for (auto& parts : packed_partials) total += parts[shard].size();
+      merged.reserve(total);
+      for (auto& parts : packed_partials) {
+        for (auto& [key, state] : parts[shard]) {
+          MergeState(merged[key], state, num_aggs);
+        }
+      }
+      for (auto& [packed, state] : merged) {
+        if (num_keys == 2) {
+          cols[0].mutable_int64s().push_back(
+              static_cast<int64_t>(packed >> 31));
+          cols[1].mutable_int64s().push_back(
+              static_cast<int64_t>(packed & ((uint64_t{1} << 31) - 1)));
+        } else {
+          cols[0].mutable_int64s().push_back(static_cast<int64_t>(packed));
+        }
+        for (size_t a = 0; a < num_aggs; ++a) {
+          EmitAggValue(aggs[a], state, a, cols[num_keys + a]);
+        }
+      }
+    } else {
+      VectorMap merged;
+      for (auto& parts : vector_partials) {
+        for (auto& [key, state] : parts[shard]) {
+          MergeState(merged[key], state, num_aggs);
+        }
+      }
+      for (auto& [key, state] : merged) {
+        for (size_t k = 0; k < num_keys; ++k) {
+          cols[k].mutable_int64s().push_back(key[k]);
+        }
+        for (size_t a = 0; a < num_aggs; ++a) {
+          EmitAggValue(aggs[a], state, a, cols[num_keys + a]);
+        }
+      }
+    }
+    out_parts[shard] = std::make_shared<Partition>(std::move(cols));
+  });
+  return FromPartitions(out_schema, std::move(out_parts));
+}
+
+DataFrame DataFrame::JoinInner(const DataFrame& right,
+                               const std::string& left_key,
+                               const std::string& right_key) const {
+  const int lk = schema_->FieldIndex(left_key);
+  const int rk = right.schema().FieldIndex(right_key);
+  GEO_CHECK(schema_->type(lk) == DataType::kInt64 &&
+            right.schema().type(rk) == DataType::kInt64)
+      << "join keys must be int64";
+
+  // Build side: key -> (partition, row) list.
+  std::unordered_multimap<int64_t, std::pair<int, int64_t>> build;
+  for (int pi = 0; pi < right.num_partitions(); ++pi) {
+    const Partition& part = right.partition(pi);
+    const auto& keys = part.column(rk).int64s();
+    for (int64_t r = 0; r < part.num_rows(); ++r) {
+      build.emplace(keys[r], std::make_pair(pi, r));
+    }
+  }
+
+  // Output schema: all left fields + right fields (right key dropped;
+  // name-collisions get a "right_" prefix).
+  std::vector<std::pair<std::string, DataType>> fields = schema_->fields();
+  std::vector<int> right_cols;
+  for (int c = 0; c < right.schema().num_fields(); ++c) {
+    if (c == rk) continue;
+    right_cols.push_back(c);
+    std::string name = right.schema().name(c);
+    if (schema_->HasField(name)) name = "right_" + name;
+    fields.emplace_back(name, right.schema().type(c));
+  }
+  auto out_schema = std::make_shared<Schema>(std::move(fields));
+
+  std::vector<std::shared_ptr<const Partition>> out_parts(num_partitions());
+  ForEachPartition([&](const Partition& part, int pi) {
+    // Matched (left row, right partition, right row) triples.
+    std::vector<int64_t> left_rows;
+    std::vector<std::pair<int, int64_t>> right_rows;
+    const auto& keys = part.column(lk).int64s();
+    for (int64_t r = 0; r < part.num_rows(); ++r) {
+      auto [begin, end] = build.equal_range(keys[r]);
+      for (auto it = begin; it != end; ++it) {
+        left_rows.push_back(r);
+        right_rows.push_back(it->second);
+      }
+    }
+    std::vector<SharedColumn> cols;
+    cols.reserve(out_schema->num_fields());
+    for (int c = 0; c < schema_->num_fields(); ++c) {
+      cols.push_back(TrackColumn(part.column(c).Gather(left_rows)));
+    }
+    for (int rc : right_cols) {
+      Column gathered(right.schema().type(rc));
+      for (const auto& [rpi, rr] : right_rows) {
+        gathered.AppendFrom(right.partition(rpi).column(rc), rr);
+      }
+      cols.push_back(TrackColumn(std::move(gathered)));
+    }
+    out_parts[pi] = std::make_shared<Partition>(std::move(cols));
+  });
+  return FromPartitions(out_schema, std::move(out_parts));
+}
+
+DataFrame DataFrame::SortByInt64(const std::string& name) const {
+  const int idx = schema_->FieldIndex(name);
+  GEO_CHECK(schema_->type(idx) == DataType::kInt64);
+  // Gather (key, partition, row), sort, emit one partition.
+  struct Loc {
+    int64_t key;
+    int part;
+    int64_t row;
+  };
+  std::vector<Loc> locs;
+  locs.reserve(NumRows());
+  for (int pi = 0; pi < num_partitions(); ++pi) {
+    const auto& keys = partitions_[pi]->column(idx).int64s();
+    for (int64_t r = 0; r < partitions_[pi]->num_rows(); ++r) {
+      locs.push_back({keys[r], pi, r});
+    }
+  }
+  std::stable_sort(locs.begin(), locs.end(),
+                   [](const Loc& a, const Loc& b) { return a.key < b.key; });
+  std::vector<Column> cols;
+  for (int c = 0; c < schema_->num_fields(); ++c) {
+    cols.emplace_back(schema_->type(c));
+  }
+  for (const Loc& loc : locs) {
+    for (int c = 0; c < schema_->num_fields(); ++c) {
+      cols[c].AppendFrom(partitions_[loc.part]->column(c), loc.row);
+    }
+  }
+  std::vector<std::shared_ptr<const Partition>> parts;
+  parts.push_back(std::make_shared<Partition>(std::move(cols)));
+  return FromPartitions(schema_, std::move(parts));
+}
+
+DataFrame DataFrame::Union(const DataFrame& other) const {
+  GEO_CHECK_EQ(schema_->num_fields(), other.schema().num_fields());
+  for (int c = 0; c < schema_->num_fields(); ++c) {
+    GEO_CHECK(schema_->name(c) == other.schema().name(c) &&
+              schema_->type(c) == other.schema().type(c))
+        << "Union: schema mismatch at column " << c;
+  }
+  std::vector<std::shared_ptr<const Partition>> parts = partitions_;
+  for (int pi = 0; pi < other.num_partitions(); ++pi) {
+    parts.push_back(other.partition_ptr(pi));
+  }
+  return FromPartitions(schema_, std::move(parts));
+}
+
+DataFrame DataFrame::Distinct(const std::vector<std::string>& keys) const {
+  return GroupByAgg(keys, {{AggKind::kCount, "", "_n"}}).Drop("_n");
+}
+
+std::vector<int64_t> DataFrame::CollectInt64(const std::string& name) const {
+  const int idx = schema_->FieldIndex(name);
+  std::vector<int64_t> out;
+  out.reserve(NumRows());
+  for (const auto& p : partitions_) {
+    const auto& v = p->column(idx).int64s();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::vector<double> DataFrame::CollectDouble(const std::string& name) const {
+  const int idx = schema_->FieldIndex(name);
+  std::vector<double> out;
+  out.reserve(NumRows());
+  for (const auto& p : partitions_) {
+    const auto& v = p->column(idx).doubles();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+}  // namespace geotorch::df

@@ -1,0 +1,269 @@
+#include "models/grid_models.h"
+
+#include "core/check.h"
+
+namespace geotorch::models {
+
+namespace ag = ::geotorch::autograd;
+namespace ts = ::geotorch::tensor;
+
+namespace {
+
+// Concatenates x and extras along channels: the full periodical input.
+ag::Variable PeriodicalInput(const data::Batch& batch) {
+  ag::Variable x(batch.x);
+  if (batch.extras.empty()) return x;
+  std::vector<ag::Variable> parts = {x};
+  for (const auto& e : batch.extras) parts.emplace_back(e);
+  return ag::Concat(parts, 1);
+}
+
+int64_t PeriodicalInputChannels(const GridModelConfig& c) {
+  return (c.len_closeness + c.len_period + c.len_trend) * c.channels;
+}
+
+}  // namespace
+
+// --- PeriodicalCnn -----------------------------------------------------------
+
+PeriodicalCnn::PeriodicalCnn(const GridModelConfig& config)
+    : config_(config),
+      conv1_(PeriodicalInputChannels(config), config.hidden, 3,
+             *std::make_unique<Rng>(config.seed), 1, 1),
+      conv2_(config.hidden, config.hidden, 3,
+             *std::make_unique<Rng>(config.seed + 1), 1, 1),
+      conv3_(config.hidden, config.channels, 3,
+             *std::make_unique<Rng>(config.seed + 2), 1, 1) {
+  RegisterModule("conv1", &conv1_);
+  RegisterModule("conv2", &conv2_);
+  RegisterModule("conv3", &conv3_);
+}
+
+ag::Variable PeriodicalCnn::Forward(const data::Batch& batch) {
+  ag::Variable h = PeriodicalInput(batch);
+  h = ag::Relu(conv1_.Forward(h));
+  h = ag::Relu(conv2_.Forward(h));
+  return conv3_.Forward(h);
+}
+
+// --- ConvLstm ----------------------------------------------------------------
+
+ConvLstm::ConvLstm(const GridModelConfig& config, int64_t prediction_length,
+                   int64_t kernel)
+    : config_(config),
+      prediction_length_(prediction_length),
+      cell_(config.channels, config.hidden, kernel,
+            *std::make_unique<Rng>(config.seed)),
+      head_(config.hidden, config.channels, 1,
+            *std::make_unique<Rng>(config.seed + 1)) {
+  RegisterModule("cell", &cell_);
+  RegisterModule("head", &head_);
+}
+
+ag::Variable ConvLstm::Forward(const data::Batch& batch) {
+  GEO_CHECK_EQ(static_cast<int>(batch.x.ndim()), 5)
+      << "ConvLSTM expects the sequential representation (B, T, C, H, W)";
+  const int64_t b = batch.x.size(0);
+  const int64_t t = batch.x.size(1);
+  const int64_t c = batch.x.size(2);
+  const int64_t h = batch.x.size(3);
+  const int64_t w = batch.x.size(4);
+  ag::Variable x(batch.x);
+
+  nn::ConvLstmCell::State state = cell_.InitialState(b, h, w);
+  ag::Variable frame;
+  for (int64_t step = 0; step < t; ++step) {
+    frame = ag::Reshape(ag::Slice(x, 1, step, step + 1), {b, c, h, w});
+    state = cell_.Step(frame, state);
+  }
+  // Decode: feed back the model's own prediction.
+  std::vector<ag::Variable> outputs;
+  ag::Variable prev = frame;  // last observed frame
+  for (int64_t step = 0; step < prediction_length_; ++step) {
+    state = cell_.Step(prev, state);
+    ag::Variable pred = head_.Forward(state.h);
+    outputs.push_back(ag::Reshape(pred, {b, 1, c, h, w}));
+    prev = pred;
+  }
+  if (outputs.size() == 1) return outputs[0];
+  return ag::Concat(outputs, 1);
+}
+
+// --- StResNet ------------------------------------------------------------------
+
+ResUnit::ResUnit(int64_t channels, Rng& rng)
+    : conv1_(channels, channels, 3, rng, 1, 1),
+      conv2_(channels, channels, 3, rng, 1, 1) {
+  RegisterModule("conv1", &conv1_);
+  RegisterModule("conv2", &conv2_);
+}
+
+ag::Variable ResUnit::Forward(const ag::Variable& x) {
+  ag::Variable h = conv1_.Forward(ag::Relu(x));
+  h = conv2_.Forward(ag::Relu(h));
+  return ag::Add(x, h);
+}
+
+StResNet::StResNet(const GridModelConfig& config, int num_res_units,
+                   int64_t external_dim)
+    : config_(config), external_dim_(external_dim) {
+  Rng rng(config.seed);
+  auto make_branch = [&](Branch& branch, int64_t len, const char* name) {
+    branch.in_conv = std::make_unique<nn::Conv2d>(
+        len * config.channels, config.hidden, 3, rng, 1, 1);
+    RegisterModule(std::string(name) + ".in", branch.in_conv.get());
+    for (int u = 0; u < num_res_units; ++u) {
+      branch.res_units.push_back(
+          std::make_unique<ResUnit>(config.hidden, rng));
+      RegisterModule(std::string(name) + ".res" + std::to_string(u),
+                     branch.res_units.back().get());
+    }
+    branch.out_conv = std::make_unique<nn::Conv2d>(config.hidden,
+                                                   config.channels, 3, rng,
+                                                   1, 1);
+    RegisterModule(std::string(name) + ".out", branch.out_conv.get());
+  };
+  make_branch(closeness_, config.len_closeness, "closeness");
+  make_branch(period_, config.len_period, "period");
+  make_branch(trend_, config.len_trend, "trend");
+
+  const ts::Shape fusion_shape = {1, config.channels, config.height,
+                                  config.width};
+  // Fusion matrices start at 1 (all branches contribute equally) —
+  // random init slows early convergence noticeably.
+  w_closeness_ =
+      RegisterParameter("w_closeness", ts::Tensor::Ones(fusion_shape));
+  w_period_ = RegisterParameter("w_period", ts::Tensor::Ones(fusion_shape));
+  w_trend_ = RegisterParameter("w_trend", ts::Tensor::Ones(fusion_shape));
+  if (external_dim_ > 0) {
+    external_fc_ = std::make_unique<nn::Linear>(
+        external_dim_, config.channels * config.height * config.width, rng);
+    RegisterModule("external", external_fc_.get());
+  }
+}
+
+ag::Variable StResNet::RunBranch(Branch& branch, const ag::Variable& x) {
+  ag::Variable h = branch.in_conv->Forward(x);
+  for (auto& unit : branch.res_units) h = unit->Forward(h);
+  return branch.out_conv->Forward(ag::Relu(h));
+}
+
+ag::Variable StResNet::Forward(const data::Batch& batch) {
+  GEO_CHECK_GE(batch.extras.size(), 2u)
+      << "ST-ResNet expects the periodical representation "
+         "(closeness + period + trend)";
+  ag::Variable xc = RunBranch(closeness_, ag::Variable(batch.x));
+  ag::Variable xp = RunBranch(period_, ag::Variable(batch.extras[0]));
+  ag::Variable xq = RunBranch(trend_, ag::Variable(batch.extras[1]));
+  // Parametric-matrix fusion.
+  ag::Variable fused = ag::Add(
+      ag::Add(ag::Mul(w_closeness_, xc), ag::Mul(w_period_, xp)),
+      ag::Mul(w_trend_, xq));
+  if (external_dim_ > 0 && batch.extras.size() >= 3) {
+    ag::Variable ext = external_fc_->Forward(ag::Variable(batch.extras[2]));
+    fused = ag::Add(fused,
+                    ag::Reshape(ext, {batch.x.size(0), config_.channels,
+                                      config_.height, config_.width}));
+  }
+  return fused;
+}
+
+// --- DeepStnPlus ----------------------------------------------------------------
+
+DeepStnPlus::DeepStnPlus(const GridModelConfig& config, int num_blocks)
+    : config_(config) {
+  Rng rng(config.seed + 7);
+  fuse_conv_ = std::make_unique<nn::Conv2d>(PeriodicalInputChannels(config),
+                                            config.hidden, 3, rng, 1, 1);
+  RegisterModule("fuse", fuse_conv_.get());
+  for (int i = 0; i < num_blocks; ++i) {
+    ConvPlusBlock block;
+    block.conv = std::make_unique<nn::Conv2d>(config.hidden, config.hidden,
+                                              3, rng, 1, 1);
+    block.context_fc =
+        std::make_unique<nn::Linear>(config.hidden, config.hidden, rng);
+    RegisterModule("block" + std::to_string(i) + ".conv", block.conv.get());
+    RegisterModule("block" + std::to_string(i) + ".ctx",
+                   block.context_fc.get());
+    blocks_.push_back(std::move(block));
+  }
+  out_conv_ = std::make_unique<nn::Conv2d>(config.hidden, config.channels, 3,
+                                           rng, 1, 1);
+  RegisterModule("out", out_conv_.get());
+  residual_scale_ = RegisterParameter(
+      "residual_scale",
+      ts::Tensor::Ones({1, config.channels, config.height, config.width}));
+}
+
+ag::Variable DeepStnPlus::RunConvPlus(ConvPlusBlock& block,
+                                      const ag::Variable& x) {
+  ag::Variable local = block.conv->Forward(x);
+  // Global context: GAP -> FC -> broadcast back over space.
+  ag::Variable gap = ag::Mean(ag::Mean(x, 2, true), 3, true);
+  const int64_t b = x.shape()[0];
+  const int64_t ch = x.shape()[1];
+  ag::Variable ctx = block.context_fc->Forward(ag::Reshape(gap, {b, ch}));
+  ctx = ag::Reshape(ctx, {b, ch, 1, 1});
+  return ag::Relu(ag::Add(ag::Add(local, ctx), x));  // residual ConvPlus
+}
+
+ag::Variable DeepStnPlus::Forward(const data::Batch& batch) {
+  GEO_CHECK_GE(batch.extras.size(), 2u)
+      << "DeepSTN+ expects the periodical representation";
+  ag::Variable h = ag::Relu(fuse_conv_->Forward(PeriodicalInput(batch)));
+  for (auto& block : blocks_) h = RunConvPlus(block, h);
+  ag::Variable correction = out_conv_->Forward(h);
+  // Persistence residual: prediction = scale .* last closeness frame
+  // + learned correction.
+  const int64_t c = config_.channels;
+  const int64_t lc = config_.len_closeness;
+  ag::Variable last_frame =
+      ag::Slice(ag::Variable(batch.x), 1, (lc - 1) * c, lc * c);
+  return ag::Add(ag::Mul(residual_scale_, last_frame), correction);
+}
+
+// --- CnnLstm -----------------------------------------------------------------
+
+CnnLstm::CnnLstm(const GridModelConfig& config)
+    : config_(config),
+      conv1_(config.channels, config.hidden, 3,
+             *std::make_unique<Rng>(config.seed + 21), 1, 1),
+      conv2_(config.hidden, config.hidden, 3,
+             *std::make_unique<Rng>(config.seed + 22), 2, 1),
+      feature_dim_(config.hidden *
+                   ((config.height + 1) / 2) * ((config.width + 1) / 2)),
+      lstm_(feature_dim_, 2 * config.hidden,
+            *std::make_unique<Rng>(config.seed + 23)) {
+  Rng rng(config.seed + 24);
+  head_ = std::make_unique<nn::Linear>(
+      2 * config.hidden, config.channels * config.height * config.width,
+      rng);
+  RegisterModule("conv1", &conv1_);
+  RegisterModule("conv2", &conv2_);
+  RegisterModule("lstm", &lstm_);
+  RegisterModule("head", head_.get());
+}
+
+ag::Variable CnnLstm::Forward(const data::Batch& batch) {
+  GEO_CHECK_EQ(static_cast<int>(batch.x.ndim()), 5)
+      << "CnnLstm expects the sequential representation (B, T, C, H, W)";
+  const int64_t b = batch.x.size(0);
+  const int64_t t = batch.x.size(1);
+  const int64_t c = batch.x.size(2);
+  const int64_t h = batch.x.size(3);
+  const int64_t w = batch.x.size(4);
+  ag::Variable x(batch.x);
+
+  nn::LstmCell::State state = lstm_.InitialState(b);
+  for (int64_t step = 0; step < t; ++step) {
+    ag::Variable frame =
+        ag::Reshape(ag::Slice(x, 1, step, step + 1), {b, c, h, w});
+    ag::Variable feat = ag::Relu(conv1_.Forward(frame));
+    feat = ag::Relu(conv2_.Forward(feat));  // stride-2 local summary
+    state = lstm_.Step(ag::Reshape(feat, {b, feature_dim_}), state);
+  }
+  ag::Variable out = head_->Forward(state.h);
+  return ag::Reshape(out, {b, 1, c, h, w});
+}
+
+}  // namespace geotorch::models

@@ -1,0 +1,154 @@
+#ifndef GEOTORCH_MODELS_GRID_MODELS_H_
+#define GEOTORCH_MODELS_GRID_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "nn/layers.h"
+
+namespace geotorch::models {
+
+/// Common interface of the grid-based spatiotemporal predictors
+/// (Periodical CNN, ConvLSTM, ST-ResNet, DeepSTN+): a batch goes in
+/// (whatever representation the model needs), a prediction with the
+/// shape of batch.y comes out. This is what lets the Table IV/V/VII
+/// harnesses train every model with one loop.
+class GridModel : public nn::Module {
+ public:
+  virtual autograd::Variable Forward(const data::Batch& batch) = 0;
+};
+
+/// Shape parameters shared by the grid models.
+struct GridModelConfig {
+  int64_t channels = 2;      ///< data channels C
+  int64_t height = 16;
+  int64_t width = 16;
+  int64_t len_closeness = 3; ///< periodical representation lengths
+  int64_t len_period = 2;
+  int64_t len_trend = 1;
+  int64_t hidden = 32;       ///< conv width
+  uint64_t seed = 0;
+};
+
+/// Periodical CNN: the paper's simplest periodical baseline — the
+/// closeness/period/trend stacks are concatenated along channels and
+/// pushed through a plain CNN.
+class PeriodicalCnn : public GridModel {
+ public:
+  explicit PeriodicalCnn(const GridModelConfig& config);
+  autograd::Variable Forward(const data::Batch& batch) override;
+
+ private:
+  GridModelConfig config_;
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+  nn::Conv2d conv3_;
+};
+
+/// ConvLSTM (Shi et al., 2015): sequential representation. The encoder
+/// consumes the history frames; the decoder rolls the cell forward
+/// feeding back its own output for prediction_length steps.
+class ConvLstm : public GridModel {
+ public:
+  ConvLstm(const GridModelConfig& config, int64_t prediction_length = 1,
+           int64_t kernel = 3);
+  autograd::Variable Forward(const data::Batch& batch) override;
+
+ private:
+  GridModelConfig config_;
+  int64_t prediction_length_;
+  nn::ConvLstmCell cell_;
+  nn::Conv2d head_;  // 1x1 hidden -> C
+};
+
+/// One ST-ResNet residual unit: ReLU-conv twice with identity skip.
+/// (The original optionally inserts BatchNorm; under this repo's short
+/// training budgets the train/eval statistics gap hurts, so the unit
+/// follows the no-BN variant of the reference implementation.)
+class ResUnit : public nn::UnaryModule {
+ public:
+  ResUnit(int64_t channels, Rng& rng);
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+ private:
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+};
+
+/// ST-ResNet (Zhang et al., AAAI'17): three residual CNN branches for
+/// closeness / period / trend, fused with learned per-cell parametric
+/// matrices (the paper's X = Wc.Xc + Wp.Xp + Wq.Xq fusion).
+class StResNet : public GridModel {
+ public:
+  explicit StResNet(const GridModelConfig& config, int num_res_units = 2,
+                    int64_t external_dim = 0);
+  autograd::Variable Forward(const data::Batch& batch) override;
+
+ private:
+  struct Branch {
+    std::unique_ptr<nn::Conv2d> in_conv;
+    std::vector<std::unique_ptr<ResUnit>> res_units;
+    std::unique_ptr<nn::Conv2d> out_conv;
+  };
+  autograd::Variable RunBranch(Branch& branch, const autograd::Variable& x);
+
+  GridModelConfig config_;
+  Branch closeness_;
+  Branch period_;
+  Branch trend_;
+  autograd::Variable w_closeness_;  // (1, C, H, W) fusion matrices
+  autograd::Variable w_period_;
+  autograd::Variable w_trend_;
+  int64_t external_dim_;
+  std::unique_ptr<nn::Linear> external_fc_;
+};
+
+/// DeepSTN+ (Lin et al., AAAI'19): early fusion of the three temporal
+/// stacks, ConvPlus blocks (local convolution plus a global
+/// squeeze-excite-style context path), multi-scale aggregation, and a
+/// residual output head — the strongest model in the paper's tables.
+class DeepStnPlus : public GridModel {
+ public:
+  explicit DeepStnPlus(const GridModelConfig& config, int num_blocks = 3);
+  autograd::Variable Forward(const data::Batch& batch) override;
+
+ private:
+  /// ConvPlus: conv(x) + broadcast(fc(globalavgpool(x))).
+  struct ConvPlusBlock {
+    std::unique_ptr<nn::Conv2d> conv;
+    std::unique_ptr<nn::Linear> context_fc;
+  };
+  autograd::Variable RunConvPlus(ConvPlusBlock& block,
+                                 const autograd::Variable& x);
+
+  GridModelConfig config_;
+  std::unique_ptr<nn::Conv2d> fuse_conv_;
+  std::vector<ConvPlusBlock> blocks_;
+  std::unique_ptr<nn::Conv2d> out_conv_;
+  autograd::Variable residual_scale_;  // (1, C, H, W)
+};
+
+/// CNN+LSTM hybrid in the style of STDN / DMVST-Net (Section II-B of
+/// the paper: models that "employ LSTM to connect with a CNN at each
+/// timestep"). A shared CNN encodes each history frame into a feature
+/// vector; an LSTM consumes the sequence; a linear head decodes the
+/// final hidden state back into a grid. Uses the sequential
+/// representation with prediction_length 1.
+class CnnLstm : public GridModel {
+ public:
+  explicit CnnLstm(const GridModelConfig& config);
+  autograd::Variable Forward(const data::Batch& batch) override;
+
+ private:
+  GridModelConfig config_;
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+  int64_t feature_dim_;
+  nn::LstmCell lstm_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace geotorch::models
+
+#endif  // GEOTORCH_MODELS_GRID_MODELS_H_

@@ -1,0 +1,139 @@
+#include "models/raster_models.h"
+
+#include "core/check.h"
+
+namespace geotorch::models {
+
+namespace ag = ::geotorch::autograd;
+
+namespace {
+// Stage-wise pooling decisions are made in the constructors: a stage
+// pools only while both spatial dims stay even, so 28x28 (SAT-4/6) and
+// 64x64 (EuroSAT) inputs both work.
+}  // namespace
+
+// --- SatCnn ---------------------------------------------------------------
+
+SatCnn::SatCnn(const RasterModelConfig& config)
+    : config_(config), dropout_(0.3f, config.seed + 99) {
+  Rng rng(config.seed);
+  const int64_t f = config.base_filters;
+  // Deep "agile CNN": two convolutions per stage, three stages; each
+  // stage pools 2x while the spatial dims stay even.
+  int64_t oh = config.in_height;
+  int64_t ow = config.in_width;
+  const int64_t widths[4] = {config.in_channels, f, 2 * f, 2 * f};
+  for (int stage = 0; stage < 3; ++stage) {
+    features_net_
+        .Emplace<nn::Conv2d>(widths[stage], widths[stage + 1], 3, rng, 1, 1)
+        .Emplace<nn::ReluLayer>()
+        .Emplace<nn::Conv2d>(widths[stage + 1], widths[stage + 1], 3, rng, 1,
+                             1)
+        .Emplace<nn::ReluLayer>();
+    if (oh % 2 == 0 && ow % 2 == 0) {
+      features_net_.Emplace<nn::MaxPool2d>(2);
+      oh /= 2;
+      ow /= 2;
+    }
+  }
+  flat_size_ = 2 * f * oh * ow;
+  fc1_ = std::make_unique<nn::Linear>(flat_size_, 4 * f, rng);
+  fc2_ = std::make_unique<nn::Linear>(4 * f, config.num_classes, rng);
+  RegisterModule("features", &features_net_);
+  RegisterModule("fc1", fc1_.get());
+  RegisterModule("fc2", fc2_.get());
+  RegisterModule("dropout", &dropout_);
+}
+
+ag::Variable SatCnn::Forward(const ag::Variable& x,
+                             const ag::Variable& features) {
+  (void)features;  // SatCNN is image-only.
+  ag::Variable h = features_net_.Forward(x);
+  h = ag::Reshape(h, {x.shape()[0], flat_size_});
+  h = ag::Relu(fc1_->Forward(h));
+  h = dropout_.Forward(h);
+  return fc2_->Forward(h);
+}
+
+// --- DeepSat ----------------------------------------------------------------
+
+DeepSat::DeepSat(const RasterModelConfig& config)
+    : config_(config), dropout_(0.2f, config.seed + 103) {
+  GEO_CHECK_GT(config.num_filtered_features, 0)
+      << "DeepSAT is feature-driven; configure num_filtered_features";
+  Rng rng(config.seed + 2);
+  const int64_t in_dim =
+      config.num_filtered_features + 2 * config.in_channels;
+  const int64_t hidden = 4 * config.base_filters;
+  fc1_ = std::make_unique<nn::Linear>(in_dim, hidden, rng);
+  fc2_ = std::make_unique<nn::Linear>(hidden, hidden, rng);
+  fc3_ = std::make_unique<nn::Linear>(hidden, config.num_classes, rng);
+  RegisterModule("fc1", fc1_.get());
+  RegisterModule("fc2", fc2_.get());
+  RegisterModule("fc3", fc3_.get());
+  RegisterModule("dropout", &dropout_);
+}
+
+ag::Variable DeepSat::Forward(const ag::Variable& x,
+                              const ag::Variable& features) {
+  GEO_CHECK(features.defined()) << "DeepSAT needs the feature vector";
+  // Per-band mean and stddev of the image, computed on the fly.
+  ag::Variable mean = ag::Mean(ag::Mean(x, 2, false), 2, false);  // (B, C)
+  ag::Variable sq_mean =
+      ag::Mean(ag::Mean(ag::Mul(x, x), 2, false), 2, false);
+  ag::Variable var = ag::Sub(sq_mean, ag::Mul(mean, mean));
+  ag::Variable stddev = ag::Sqrt(ag::AddScalar(var, 1e-6f));
+  ag::Variable h = ag::Concat({features, mean, stddev}, 1);
+  h = ag::Relu(fc1_->Forward(h));
+  h = dropout_.Forward(h);
+  h = ag::Relu(fc2_->Forward(h));
+  return fc3_->Forward(h);
+}
+
+// --- DeepSatV2 ------------------------------------------------------------
+
+DeepSatV2::DeepSatV2(const RasterModelConfig& config)
+    : config_(config), dropout_(0.3f, config.seed + 101) {
+  Rng rng(config.seed + 1);
+  const int64_t f = config.base_filters;
+  // Fewer convolution layers than SatCNN (the paper notes DeepSAT-V2 is
+  // the lighter model); accuracy comes from the feature fusion.
+  int64_t oh = config.in_height;
+  int64_t ow = config.in_width;
+  for (int stage = 0; stage < 2; ++stage) {
+    conv_net_
+        .Emplace<nn::Conv2d>(stage == 0 ? config.in_channels : f, f, 3, rng,
+                             1, 1)
+        .Emplace<nn::ReluLayer>();
+    if (oh % 2 == 0 && ow % 2 == 0) {
+      conv_net_.Emplace<nn::MaxPool2d>(2);
+      oh /= 2;
+      ow /= 2;
+    }
+  }
+  flat_size_ = f * oh * ow;
+  fc1_ = std::make_unique<nn::Linear>(
+      flat_size_ + config.num_filtered_features, 2 * f, rng);
+  fc2_ = std::make_unique<nn::Linear>(2 * f, config.num_classes, rng);
+  RegisterModule("conv", &conv_net_);
+  RegisterModule("fc1", fc1_.get());
+  RegisterModule("fc2", fc2_.get());
+  RegisterModule("dropout", &dropout_);
+}
+
+ag::Variable DeepSatV2::Forward(const ag::Variable& x,
+                                const ag::Variable& features) {
+  ag::Variable h = conv_net_.Forward(x);
+  h = ag::Reshape(h, {x.shape()[0], flat_size_});
+  if (config_.num_filtered_features > 0) {
+    GEO_CHECK(features.defined())
+        << "DeepSAT-V2 configured with features but none were passed";
+    GEO_CHECK_EQ(features.shape()[1], config_.num_filtered_features);
+    h = ag::Concat({h, features}, 1);  // feature fusion
+  }
+  h = ag::Relu(fc1_->Forward(h));
+  h = dropout_.Forward(h);
+  return fc2_->Forward(h);
+}
+
+}  // namespace geotorch::models

@@ -1,0 +1,91 @@
+#ifndef GEOTORCH_MODELS_RASTER_MODELS_H_
+#define GEOTORCH_MODELS_RASTER_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace geotorch::models {
+
+/// Common interface of the raster classification models: images (and
+/// optionally a handcrafted feature vector) in, class logits out.
+class RasterClassifier : public nn::Module {
+ public:
+  /// x: (B, C, H, W); features: (B, F) or empty for models that ignore
+  /// them. Returns (B, num_classes) logits.
+  virtual autograd::Variable Forward(const autograd::Variable& x,
+                                     const autograd::Variable& features) = 0;
+};
+
+struct RasterModelConfig {
+  int64_t in_channels = 13;
+  int64_t in_height = 64;
+  int64_t in_width = 64;
+  int64_t num_classes = 10;
+  /// Length of the handcrafted feature vector fused by DeepSAT-V2
+  /// (`num_filtered_features` in the paper's Listing 6).
+  int64_t num_filtered_features = 0;
+  int64_t base_filters = 32;
+  uint64_t seed = 0;
+};
+
+/// SatCNN (Zhong et al., 2017): an "agile" deep CNN — three conv-pool
+/// stages and two fully connected layers. The deeper, slower
+/// classifier of Table VII.
+class SatCnn : public RasterClassifier {
+ public:
+  explicit SatCnn(const RasterModelConfig& config);
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& features) override;
+
+ private:
+  RasterModelConfig config_;
+  nn::Sequential features_net_;
+  int64_t flat_size_;
+  std::unique_ptr<nn::Linear> fc1_;
+  std::unique_ptr<nn::Linear> fc2_;
+  nn::Dropout dropout_;
+};
+
+/// DeepSAT (Basu et al., 2015): the original feature-driven
+/// classifier — no convolutions; a deep fully connected network over
+/// the handcrafted spectral/GLCM feature vector concatenated with
+/// per-band mean/stddev statistics (the DBN of the original replaced
+/// by an MLP of the same depth).
+class DeepSat : public RasterClassifier {
+ public:
+  explicit DeepSat(const RasterModelConfig& config);
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& features) override;
+
+ private:
+  RasterModelConfig config_;
+  std::unique_ptr<nn::Linear> fc1_;
+  std::unique_ptr<nn::Linear> fc2_;
+  std::unique_ptr<nn::Linear> fc3_;
+  nn::Dropout dropout_;
+};
+
+/// DeepSAT-V2 (Liu et al., 2019): a compact CNN whose flattened
+/// features are concatenated with the handcrafted spectral/GLCM
+/// feature vector before the classifier head — the feature-fusion idea
+/// the paper highlights (Section II-C).
+class DeepSatV2 : public RasterClassifier {
+ public:
+  explicit DeepSatV2(const RasterModelConfig& config);
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& features) override;
+
+ private:
+  RasterModelConfig config_;
+  nn::Sequential conv_net_;
+  int64_t flat_size_;
+  std::unique_ptr<nn::Linear> fc1_;
+  std::unique_ptr<nn::Linear> fc2_;
+  nn::Dropout dropout_;
+};
+
+}  // namespace geotorch::models
+
+#endif  // GEOTORCH_MODELS_RASTER_MODELS_H_

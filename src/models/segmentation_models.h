@@ -1,0 +1,94 @@
+#ifndef GEOTORCH_MODELS_SEGMENTATION_MODELS_H_
+#define GEOTORCH_MODELS_SEGMENTATION_MODELS_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace geotorch::models {
+
+struct SegModelConfig {
+  int64_t in_channels = 4;
+  int64_t num_classes = 2;
+  int64_t base_filters = 16;
+  uint64_t seed = 0;
+};
+
+/// Two 3x3 conv + ReLU layers — the building block shared by the
+/// segmentation models.
+class DoubleConv : public nn::UnaryModule {
+ public:
+  DoubleConv(int64_t in, int64_t out, Rng& rng);
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+ private:
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+};
+
+/// Fully Convolutional Network (Shelhamer et al.): an encoder with two
+/// downsamplings, a 1x1 classifier at 1/4 resolution, and a skip-fused
+/// upsampling path (FCN-8s style collapsed to two scales).
+class Fcn : public nn::UnaryModule {
+ public:
+  explicit Fcn(const SegModelConfig& config);
+  /// x: (B, C, H, W) -> logits (B, num_classes, H, W).
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+ private:
+  SegModelConfig config_;
+  DoubleConv enc1_;
+  DoubleConv enc2_;
+  DoubleConv enc3_;
+  nn::Conv2d score3_;  // 1x1 at 1/4 res
+  nn::Conv2d score2_;  // 1x1 skip at 1/2 res
+  nn::Conv2d score1_;  // 1x1 skip at full res
+};
+
+/// U-Net (Ronneberger et al.): 2-level encoder/decoder with skip
+/// concatenation.
+class UNet : public nn::UnaryModule {
+ public:
+  explicit UNet(const SegModelConfig& config);
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+ private:
+  SegModelConfig config_;
+  DoubleConv enc1_;
+  DoubleConv enc2_;
+  DoubleConv bottleneck_;
+  nn::ConvTranspose2d up2_;
+  DoubleConv dec2_;
+  nn::ConvTranspose2d up1_;
+  DoubleConv dec1_;
+  nn::Conv2d head_;
+};
+
+/// UNet++ (Zhou et al.): the nested-skip U-Net. Depth-2 realization:
+/// nodes X(0,0), X(1,0), X(2,0) on the encoder, intermediate X(0,1),
+/// X(1,1), and the dense node X(0,2) that sees X(0,0), X(0,1), and the
+/// upsampled X(1,1).
+class UNetPlusPlus : public nn::UnaryModule {
+ public:
+  explicit UNetPlusPlus(const SegModelConfig& config);
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+ private:
+  SegModelConfig config_;
+  DoubleConv x00_;
+  DoubleConv x10_;
+  DoubleConv x20_;
+  nn::ConvTranspose2d up10_;
+  DoubleConv x01_;
+  nn::ConvTranspose2d up20_;
+  DoubleConv x11_;
+  nn::ConvTranspose2d up11_;
+  DoubleConv x02_;
+  nn::Conv2d head_;
+};
+
+}  // namespace geotorch::models
+
+#endif  // GEOTORCH_MODELS_SEGMENTATION_MODELS_H_

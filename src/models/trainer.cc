@@ -1,0 +1,279 @@
+#include "models/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/stopwatch.h"
+#include "data/metrics.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace geotorch::models {
+
+namespace ag = ::geotorch::autograd;
+namespace ts = ::geotorch::tensor;
+
+namespace {
+
+// Labels arrive as (B, 1) from the stacked scalar samples; flatten.
+ts::Tensor FlattenLabels(const ts::Tensor& y) {
+  return y.Reshape({y.numel()});
+}
+
+ag::Variable ClassifierLogits(RasterClassifier& model,
+                              const data::Batch& batch) {
+  ag::Variable features;
+  if (!batch.extras.empty()) features = ag::Variable(batch.extras[0]);
+  return model.Forward(ag::Variable(batch.x), features);
+}
+
+// Runs one epoch over `loader`, returning the mean batch loss.
+// Incremental mode steps per batch; cumulative mode accumulates
+// gradients and steps once at epoch end (Section III-A2).
+template <typename LossFn>
+float RunEpoch(nn::Module& model, optim::Optimizer& opt,
+               data::DataLoader& loader, const TrainConfig& config,
+               LossFn loss_fn) {
+  model.SetTraining(true);
+  loader.Reset();
+  data::Batch batch;
+  double total = 0.0;
+  int64_t batches = 0;
+  if (!config.cumulative) {
+    while (loader.Next(&batch)) {
+      opt.ZeroGrad();
+      ag::Variable loss = loss_fn(batch);
+      loss.Backward();
+      if (config.grad_clip > 0.0f) opt.ClipGradNorm(config.grad_clip);
+      opt.Step();
+      total += loss.value().flat(0);
+      ++batches;
+    }
+  } else {
+    opt.ZeroGrad();
+    while (loader.Next(&batch)) {
+      ag::Variable loss = loss_fn(batch);
+      loss.Backward();
+      total += loss.value().flat(0);
+      ++batches;
+    }
+    if (batches > 0) {
+      if (config.grad_clip > 0.0f) {
+        opt.ClipGradNorm(config.grad_clip * static_cast<float>(batches));
+      }
+      opt.Step();
+    }
+  }
+  return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
+}
+
+// Mean loss over a dataset without gradient tracking.
+template <typename LossFn>
+float Evaluate(nn::Module& model, const data::Dataset& dataset,
+               int64_t batch_size, LossFn loss_fn) {
+  ag::NoGradGuard guard;
+  model.SetTraining(false);
+  data::DataLoader loader(&dataset, batch_size, /*shuffle=*/false);
+  data::Batch batch;
+  double total = 0.0;
+  int64_t batches = 0;
+  while (loader.Next(&batch)) {
+    total += loss_fn(batch).value().flat(0);
+    ++batches;
+  }
+  return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
+}
+
+}  // namespace
+
+RegressionResult TrainGridModel(GridModel& model, const data::Dataset& train,
+                                const data::Dataset& val,
+                                const data::Dataset& test,
+                                const TrainConfig& config) {
+  optim::Adam opt(model.Parameters(), config.lr);
+  optim::EarlyStopping stopper(config.patience, config.min_delta);
+  data::DataLoader train_loader(&train, config.batch_size, /*shuffle=*/true,
+                                config.seed);
+  auto loss_fn = [&model](const data::Batch& batch) {
+    return ag::MseLoss(model.Forward(batch), batch.y);
+  };
+
+  RegressionResult result;
+  Stopwatch total_timer;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    const float train_loss =
+        RunEpoch(model, opt, train_loader, config, loss_fn);
+    const float val_loss =
+        Evaluate(model, val, config.batch_size, loss_fn);
+    ++result.epochs_run;
+    if (config.verbose) {
+      std::printf("  epoch %2d train_mse=%.5f val_mse=%.5f\n", epoch,
+                  train_loss, val_loss);
+    }
+    if (stopper.Update(val_loss)) break;
+  }
+  result.seconds_per_epoch =
+      total_timer.ElapsedSeconds() / std::max(1, result.epochs_run);
+
+  // Test metrics.
+  ag::NoGradGuard guard;
+  model.SetTraining(false);
+  data::DataLoader test_loader(&test, config.batch_size, /*shuffle=*/false);
+  data::Batch batch;
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  int64_t count = 0;
+  while (test_loader.Next(&batch)) {
+    ts::Tensor pred = model.Forward(batch).value();
+    ts::Tensor diff = ts::Sub(pred, batch.y);
+    const float* d = diff.data();
+    for (int64_t i = 0; i < diff.numel(); ++i) {
+      abs_sum += std::fabs(d[i]);
+      sq_sum += static_cast<double>(d[i]) * d[i];
+    }
+    count += diff.numel();
+  }
+  result.mae = static_cast<float>(abs_sum / count);
+  result.rmse = static_cast<float>(std::sqrt(sq_sum / count));
+  return result;
+}
+
+ClassificationResult TrainClassifier(RasterClassifier& model,
+                                     const data::Dataset& train,
+                                     const data::Dataset& val,
+                                     const data::Dataset& test,
+                                     const TrainConfig& config) {
+  optim::Adam opt(model.Parameters(), config.lr);
+  optim::EarlyStopping stopper(config.patience, config.min_delta);
+  data::DataLoader train_loader(&train, config.batch_size, /*shuffle=*/true,
+                                config.seed);
+  auto loss_fn = [&model](const data::Batch& batch) {
+    return ag::CrossEntropyLoss(ClassifierLogits(model, batch),
+                                FlattenLabels(batch.y));
+  };
+
+  ClassificationResult result;
+  Stopwatch total_timer;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    const float train_loss =
+        RunEpoch(model, opt, train_loader, config, loss_fn);
+    const float val_loss =
+        Evaluate(model, val, config.batch_size, loss_fn);
+    ++result.epochs_run;
+    if (config.verbose) {
+      std::printf("  epoch %2d train_ce=%.4f val_ce=%.4f\n", epoch,
+                  train_loss, val_loss);
+    }
+    if (stopper.Update(val_loss)) break;
+  }
+  result.seconds_per_epoch =
+      total_timer.ElapsedSeconds() / std::max(1, result.epochs_run);
+
+  ag::NoGradGuard guard;
+  model.SetTraining(false);
+  data::DataLoader test_loader(&test, config.batch_size, /*shuffle=*/false);
+  data::Batch batch;
+  int64_t correct = 0;
+  int64_t total = 0;
+  while (test_loader.Next(&batch)) {
+    ts::Tensor logits = ClassifierLogits(model, batch).value();
+    ts::Tensor pred = ts::Argmax(logits, 1);
+    ts::Tensor labels = FlattenLabels(batch.y);
+    for (int64_t i = 0; i < pred.numel(); ++i) {
+      if (static_cast<int64_t>(pred.flat(i)) ==
+          static_cast<int64_t>(labels.flat(i))) {
+        ++correct;
+      }
+    }
+    total += pred.numel();
+  }
+  result.accuracy = static_cast<float>(correct) / static_cast<float>(total);
+  return result;
+}
+
+ClassificationResult TrainSegmenter(nn::UnaryModule& model,
+                                    const data::Dataset& train,
+                                    const data::Dataset& val,
+                                    const data::Dataset& test,
+                                    const TrainConfig& config) {
+  optim::Adam opt(model.Parameters(), config.lr);
+  optim::EarlyStopping stopper(config.patience, config.min_delta);
+  data::DataLoader train_loader(&train, config.batch_size, /*shuffle=*/true,
+                                config.seed);
+  auto loss_fn = [&model](const data::Batch& batch) {
+    return ag::CrossEntropyLoss(model.Forward(ag::Variable(batch.x)),
+                                batch.y);
+  };
+
+  ClassificationResult result;
+  Stopwatch total_timer;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    const float train_loss =
+        RunEpoch(model, opt, train_loader, config, loss_fn);
+    const float val_loss =
+        Evaluate(model, val, config.batch_size, loss_fn);
+    ++result.epochs_run;
+    if (config.verbose) {
+      std::printf("  epoch %2d train_ce=%.4f val_ce=%.4f\n", epoch,
+                  train_loss, val_loss);
+    }
+    if (stopper.Update(val_loss)) break;
+  }
+  result.seconds_per_epoch =
+      total_timer.ElapsedSeconds() / std::max(1, result.epochs_run);
+
+  ag::NoGradGuard guard;
+  model.SetTraining(false);
+  data::DataLoader test_loader(&test, config.batch_size, /*shuffle=*/false);
+  data::Batch batch;
+  double acc_sum = 0.0;
+  int64_t batches = 0;
+  while (test_loader.Next(&batch)) {
+    ts::Tensor logits = model.Forward(ag::Variable(batch.x)).value();
+    acc_sum += data::PixelAccuracy(logits, batch.y);
+    ++batches;
+  }
+  result.accuracy = static_cast<float>(acc_sum / std::max<int64_t>(1, batches));
+  return result;
+}
+
+namespace {
+
+template <typename LossFn>
+double TimeOneEpoch(nn::Module& model, const data::Dataset& train,
+                    const TrainConfig& config, LossFn loss_fn) {
+  optim::Adam opt(model.Parameters(), config.lr);
+  data::DataLoader loader(&train, config.batch_size, /*shuffle=*/true,
+                          config.seed);
+  Stopwatch timer;
+  RunEpoch(model, opt, loader, config, loss_fn);
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+double TimeOneEpochGrid(GridModel& model, const data::Dataset& train,
+                        const TrainConfig& config) {
+  return TimeOneEpoch(model, train, config, [&model](const data::Batch& b) {
+    return ag::MseLoss(model.Forward(b), b.y);
+  });
+}
+
+double TimeOneEpochClassifier(RasterClassifier& model,
+                              const data::Dataset& train,
+                              const TrainConfig& config) {
+  return TimeOneEpoch(model, train, config, [&model](const data::Batch& b) {
+    return ag::CrossEntropyLoss(ClassifierLogits(model, b),
+                                FlattenLabels(b.y));
+  });
+}
+
+double TimeOneEpochSegmenter(nn::UnaryModule& model,
+                             const data::Dataset& train,
+                             const TrainConfig& config) {
+  return TimeOneEpoch(model, train, config, [&model](const data::Batch& b) {
+    return ag::CrossEntropyLoss(model.Forward(ag::Variable(b.x)), b.y);
+  });
+}
+
+}  // namespace geotorch::models

@@ -1,0 +1,81 @@
+#ifndef GEOTORCH_MODELS_TRAINER_H_
+#define GEOTORCH_MODELS_TRAINER_H_
+
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "models/grid_models.h"
+#include "models/raster_models.h"
+
+namespace geotorch::models {
+
+/// Training protocol shared by every experiment, following Section V-C:
+/// Adam, MSE (regression) or cross-entropy (classification), early
+/// stopping on the validation loss, incremental (per-batch) updates.
+struct TrainConfig {
+  int max_epochs = 20;
+  int patience = 3;
+  /// Validation-loss improvement below this does not reset patience.
+  float min_delta = 0.0f;
+  int64_t batch_size = 16;
+  float lr = 1e-3f;
+  float grad_clip = 5.0f;  ///< 0 disables clipping
+  uint64_t seed = 0;
+  bool verbose = false;
+  /// false = incremental training (weights updated after every batch);
+  /// true = cumulative training (gradients accumulate across the epoch
+  /// and weights update once at its end) — both modes of Section
+  /// III-A2. The paper's experiments use incremental.
+  bool cumulative = false;
+};
+
+/// Outcome of a spatiotemporal regression run.
+struct RegressionResult {
+  float mae = 0.0f;
+  float rmse = 0.0f;
+  int epochs_run = 0;
+  double seconds_per_epoch = 0.0;
+};
+
+/// Trains a grid model and evaluates MAE/RMSE on the test set.
+RegressionResult TrainGridModel(GridModel& model, const data::Dataset& train,
+                                const data::Dataset& val,
+                                const data::Dataset& test,
+                                const TrainConfig& config);
+
+/// Outcome of a classification / segmentation run.
+struct ClassificationResult {
+  float accuracy = 0.0f;
+  int epochs_run = 0;
+  double seconds_per_epoch = 0.0;
+};
+
+/// Trains a raster classifier (labels in batch.y; handcrafted features,
+/// if any, in batch.extras[0]) and reports test accuracy.
+ClassificationResult TrainClassifier(RasterClassifier& model,
+                                     const data::Dataset& train,
+                                     const data::Dataset& val,
+                                     const data::Dataset& test,
+                                     const TrainConfig& config);
+
+/// Trains a segmentation model (masks in batch.y) and reports per-pixel
+/// test accuracy.
+ClassificationResult TrainSegmenter(nn::UnaryModule& model,
+                                    const data::Dataset& train,
+                                    const data::Dataset& val,
+                                    const data::Dataset& test,
+                                    const TrainConfig& config);
+
+/// Times one training epoch (forward+backward+step over the whole
+/// loader) without early stopping — the Table VII / Fig. 9 measurement.
+double TimeOneEpochGrid(GridModel& model, const data::Dataset& train,
+                        const TrainConfig& config);
+double TimeOneEpochClassifier(RasterClassifier& model,
+                              const data::Dataset& train,
+                              const TrainConfig& config);
+double TimeOneEpochSegmenter(nn::UnaryModule& model,
+                             const data::Dataset& train,
+                             const TrainConfig& config);
+
+}  // namespace geotorch::models
+
+#endif  // GEOTORCH_MODELS_TRAINER_H_

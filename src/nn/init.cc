@@ -1,0 +1,30 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace geotorch::nn {
+
+tensor::Tensor KaimingUniform(tensor::Shape shape, int64_t fan_in, Rng& rng) {
+  GEO_CHECK_GT(fan_in, 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  return tensor::Tensor::Rand(std::move(shape), rng, -bound, bound);
+}
+
+tensor::Tensor XavierUniform(tensor::Shape shape, int64_t fan_in,
+                             int64_t fan_out, Rng& rng) {
+  GEO_CHECK(fan_in > 0 && fan_out > 0);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::Rand(std::move(shape), rng, -bound, bound);
+}
+
+int64_t ConvFanIn(const tensor::Shape& weight_shape) {
+  GEO_CHECK_GE(weight_shape.size(), 2u);
+  int64_t fan = 1;
+  for (size_t i = 1; i < weight_shape.size(); ++i) fan *= weight_shape[i];
+  return fan;
+}
+
+}  // namespace geotorch::nn

@@ -1,0 +1,24 @@
+#ifndef GEOTORCH_NN_INIT_H_
+#define GEOTORCH_NN_INIT_H_
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::nn {
+
+/// He/Kaiming uniform initialization: U[-sqrt(6/fan_in), sqrt(6/fan_in)].
+/// Default for layers followed by ReLU.
+tensor::Tensor KaimingUniform(tensor::Shape shape, int64_t fan_in, Rng& rng);
+
+/// Glorot/Xavier uniform: U[-sqrt(6/(fan_in+fan_out)), +...]. Default
+/// for layers followed by tanh/sigmoid (the ConvLSTM gates).
+tensor::Tensor XavierUniform(tensor::Shape shape, int64_t fan_in,
+                             int64_t fan_out, Rng& rng);
+
+/// fan_in of a conv weight (F, C, KH, KW) = C*KH*KW; of a linear
+/// weight (in, out) = in.
+int64_t ConvFanIn(const tensor::Shape& weight_shape);
+
+}  // namespace geotorch::nn
+
+#endif  // GEOTORCH_NN_INIT_H_

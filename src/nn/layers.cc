@@ -1,0 +1,223 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace geotorch::nn {
+
+namespace ag = ::geotorch::autograd;
+namespace ts = ::geotorch::tensor;
+
+// --- Linear ---------------------------------------------------------------
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               bool bias)
+    : has_bias_(bias) {
+  weight_ = RegisterParameter(
+      "weight",
+      KaimingUniform({in_features, out_features}, in_features, rng));
+  if (has_bias_) {
+    bias_ = RegisterParameter("bias", ts::Tensor::Zeros({out_features}));
+  }
+}
+
+ag::Variable Linear::Forward(const ag::Variable& x) {
+  GEO_CHECK_EQ(x.value().ndim(), 2);
+  ag::Variable y = ag::MatMul(x, weight_);
+  if (has_bias_) y = ag::Add(y, bias_);
+  return y;
+}
+
+// --- Conv2d ---------------------------------------------------------------
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               Rng& rng, int64_t stride, int64_t padding, bool bias)
+    : has_bias_(bias) {
+  spec_.stride = stride;
+  spec_.padding = padding;
+  const int64_t fan_in = in_channels * kernel * kernel;
+  weight_ = RegisterParameter(
+      "weight", KaimingUniform({out_channels, in_channels, kernel, kernel},
+                               fan_in, rng));
+  if (has_bias_) {
+    bias_ = RegisterParameter("bias", ts::Tensor::Zeros({out_channels}));
+  }
+}
+
+ag::Variable Conv2d::Forward(const ag::Variable& x) {
+  return ag::Conv2d(x, weight_, has_bias_ ? bias_ : ag::Variable(), spec_);
+}
+
+// --- ConvTranspose2d -------------------------------------------------------
+
+ConvTranspose2d::ConvTranspose2d(int64_t in_channels, int64_t out_channels,
+                                 int64_t kernel, Rng& rng, int64_t stride,
+                                 int64_t padding, bool bias)
+    : has_bias_(bias) {
+  spec_.stride = stride;
+  spec_.padding = padding;
+  const int64_t fan_in = in_channels * kernel * kernel;
+  weight_ = RegisterParameter(
+      "weight", KaimingUniform({in_channels, out_channels, kernel, kernel},
+                               fan_in, rng));
+  if (has_bias_) {
+    bias_ = RegisterParameter("bias", ts::Tensor::Zeros({out_channels}));
+  }
+}
+
+ag::Variable ConvTranspose2d::Forward(const ag::Variable& x) {
+  return ag::ConvTranspose2d(x, weight_,
+                             has_bias_ ? bias_ : ag::Variable(), spec_);
+}
+
+// --- BatchNorm2d ------------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : eps_(eps), momentum_(momentum), channels_(channels) {
+  gamma_ = RegisterParameter("gamma", ts::Tensor::Ones({1, channels, 1, 1}));
+  beta_ = RegisterParameter("beta", ts::Tensor::Zeros({1, channels, 1, 1}));
+  running_mean_ = ts::Tensor::Zeros({1, channels, 1, 1});
+  running_var_ = ts::Tensor::Ones({1, channels, 1, 1});
+}
+
+ag::Variable BatchNorm2d::Forward(const ag::Variable& x) {
+  GEO_CHECK_EQ(x.value().ndim(), 4);
+  GEO_CHECK_EQ(x.shape()[1], channels_);
+  if (training()) {
+    // Batch statistics over (N, H, W), differentiable.
+    ag::Variable mean =
+        ag::Mean(ag::Mean(ag::Mean(x, 0, true), 2, true), 3, true);
+    ag::Variable centered = ag::Sub(x, mean);
+    ag::Variable var = ag::Mean(
+        ag::Mean(ag::Mean(ag::Mul(centered, centered), 0, true), 2, true), 3,
+        true);
+    ag::Variable inv_std = ag::PowScalar(ag::AddScalar(var, eps_), -0.5f);
+    ag::Variable norm = ag::Mul(centered, inv_std);
+    // Running statistics (no autograd): ema of batch stats.
+    {
+      const float m = momentum_;
+      ts::Tensor bm = mean.value();
+      ts::Tensor bv = var.value();
+      running_mean_ = ts::Add(ts::MulScalar(running_mean_, 1.0f - m),
+                              ts::MulScalar(bm, m));
+      running_var_ = ts::Add(ts::MulScalar(running_var_, 1.0f - m),
+                             ts::MulScalar(bv, m));
+    }
+    return ag::Add(ag::Mul(norm, gamma_), beta_);
+  }
+  // Eval: use running stats as constants.
+  ag::Variable mean(running_mean_);
+  ag::Variable inv_std(ts::PowScalar(ts::AddScalar(running_var_, eps_), -0.5f));
+  ag::Variable norm = ag::Mul(ag::Sub(x, mean), inv_std);
+  return ag::Add(ag::Mul(norm, gamma_), beta_);
+}
+
+// --- Dropout -----------------------------------------------------------------
+
+Dropout::Dropout(float p, uint64_t seed) : p_(p), rng_(seed) {
+  GEO_CHECK(p >= 0.0f && p < 1.0f);
+}
+
+ag::Variable Dropout::Forward(const ag::Variable& x) {
+  return ag::Dropout(x, p_, training(), rng_);
+}
+
+// --- Sequential ----------------------------------------------------------------
+
+Sequential& Sequential::Add(std::unique_ptr<UnaryModule> layer) {
+  RegisterModule("layer" + std::to_string(layers_.size()), layer.get());
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+ag::Variable Sequential::Forward(const ag::Variable& x) {
+  ag::Variable cur = x;
+  for (auto& layer : layers_) cur = layer->Forward(cur);
+  return cur;
+}
+
+// --- LstmCell ---------------------------------------------------------------
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : hidden_size_(hidden_size) {
+  const int64_t gates = 4 * hidden_size;
+  w_x_ = RegisterParameter(
+      "w_x", XavierUniform({input_size, gates}, input_size, hidden_size, rng));
+  w_h_ = RegisterParameter(
+      "w_h", XavierUniform({hidden_size, gates}, hidden_size, hidden_size,
+                           rng));
+  ts::Tensor b = ts::Tensor::Zeros({gates});
+  for (int64_t i = hidden_size; i < 2 * hidden_size; ++i) b.flat(i) = 1.0f;
+  bias_ = RegisterParameter("bias", b);
+}
+
+LstmCell::State LstmCell::InitialState(int64_t n) const {
+  return State{ag::Variable(ts::Tensor::Zeros({n, hidden_size_})),
+               ag::Variable(ts::Tensor::Zeros({n, hidden_size_}))};
+}
+
+LstmCell::State LstmCell::Step(const ag::Variable& x, const State& prev) {
+  ag::Variable gates = ag::Add(
+      ag::Add(ag::MatMul(x, w_x_), ag::MatMul(prev.h, w_h_)), bias_);
+  const int64_t hs = hidden_size_;
+  ag::Variable i = ag::Sigmoid(ag::Slice(gates, 1, 0, hs));
+  ag::Variable f = ag::Sigmoid(ag::Slice(gates, 1, hs, 2 * hs));
+  ag::Variable g = ag::Tanh(ag::Slice(gates, 1, 2 * hs, 3 * hs));
+  ag::Variable o = ag::Sigmoid(ag::Slice(gates, 1, 3 * hs, 4 * hs));
+  State next;
+  next.c = ag::Add(ag::Mul(f, prev.c), ag::Mul(i, g));
+  next.h = ag::Mul(o, ag::Tanh(next.c));
+  return next;
+}
+
+// --- ConvLstmCell -----------------------------------------------------------
+
+ConvLstmCell::ConvLstmCell(int64_t in_channels, int64_t hidden_channels,
+                           int64_t kernel, Rng& rng)
+    : hidden_channels_(hidden_channels) {
+  GEO_CHECK_EQ(kernel % 2, 1) << "ConvLSTM kernel must be odd (same pad)";
+  spec_.stride = 1;
+  spec_.padding = kernel / 2;
+  const int64_t gates = 4 * hidden_channels;
+  w_x_ = RegisterParameter(
+      "w_x", XavierUniform({gates, in_channels, kernel, kernel},
+                           in_channels * kernel * kernel,
+                           hidden_channels * kernel * kernel, rng));
+  w_h_ = RegisterParameter(
+      "w_h", XavierUniform({gates, hidden_channels, kernel, kernel},
+                           hidden_channels * kernel * kernel,
+                           hidden_channels * kernel * kernel, rng));
+  // Forget-gate bias starts positive so early training remembers.
+  ts::Tensor b = ts::Tensor::Zeros({gates});
+  for (int64_t i = hidden_channels; i < 2 * hidden_channels; ++i) {
+    b.flat(i) = 1.0f;
+  }
+  bias_ = RegisterParameter("bias", b);
+}
+
+ConvLstmCell::State ConvLstmCell::InitialState(int64_t n, int64_t h,
+                                               int64_t w) const {
+  return State{
+      ag::Variable(ts::Tensor::Zeros({n, hidden_channels_, h, w})),
+      ag::Variable(ts::Tensor::Zeros({n, hidden_channels_, h, w}))};
+}
+
+ConvLstmCell::State ConvLstmCell::Step(const ag::Variable& x,
+                                       const State& prev) {
+  ag::Variable gates = ag::Add(ag::Conv2d(x, w_x_, bias_, spec_),
+                               ag::Conv2d(prev.h, w_h_, ag::Variable(), spec_));
+  const int64_t hc = hidden_channels_;
+  ag::Variable i = ag::Sigmoid(ag::Slice(gates, 1, 0, hc));
+  ag::Variable f = ag::Sigmoid(ag::Slice(gates, 1, hc, 2 * hc));
+  ag::Variable g = ag::Tanh(ag::Slice(gates, 1, 2 * hc, 3 * hc));
+  ag::Variable o = ag::Sigmoid(ag::Slice(gates, 1, 3 * hc, 4 * hc));
+  State next;
+  next.c = ag::Add(ag::Mul(f, prev.c), ag::Mul(i, g));
+  next.h = ag::Mul(o, ag::Tanh(next.c));
+  return next;
+}
+
+}  // namespace geotorch::nn

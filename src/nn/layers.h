@@ -1,0 +1,236 @@
+#ifndef GEOTORCH_NN_LAYERS_H_
+#define GEOTORCH_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace geotorch::nn {
+
+/// Fully connected layer: y = x @ W + b with x: (N, in), W: (in, out).
+class Linear : public UnaryModule {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+ private:
+  autograd::Variable weight_;
+  autograd::Variable bias_;
+  bool has_bias_;
+};
+
+/// 2-D convolution over NCHW input.
+class Conv2d : public UnaryModule {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         Rng& rng, int64_t stride = 1, int64_t padding = 0,
+         bool bias = true);
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+ private:
+  autograd::Variable weight_;
+  autograd::Variable bias_;
+  tensor::ConvSpec spec_;
+  bool has_bias_;
+};
+
+/// Transposed 2-D convolution (upsampling decoder layers).
+class ConvTranspose2d : public UnaryModule {
+ public:
+  ConvTranspose2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+                  Rng& rng, int64_t stride = 1, int64_t padding = 0,
+                  bool bias = true);
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+ private:
+  autograd::Variable weight_;
+  autograd::Variable bias_;
+  tensor::ConvSpec spec_;
+  bool has_bias_;
+};
+
+/// Batch normalization over the channel dim of NCHW input. Keeps
+/// running statistics for eval mode.
+class BatchNorm2d : public UnaryModule {
+ public:
+  explicit BatchNorm2d(int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+  const tensor::Tensor& running_mean() const { return running_mean_; }
+  const tensor::Tensor& running_var() const { return running_var_; }
+
+ private:
+  autograd::Variable gamma_;
+  autograd::Variable beta_;
+  tensor::Tensor running_mean_;  // (1, C, 1, 1)
+  tensor::Tensor running_var_;
+  float eps_;
+  float momentum_;
+  int64_t channels_;
+};
+
+/// Inverted dropout; identity in eval mode.
+class Dropout : public UnaryModule {
+ public:
+  explicit Dropout(float p, uint64_t seed = 17);
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+ private:
+  float p_;
+  Rng rng_;
+};
+
+/// Stateless activation layers (composable in Sequential).
+class ReluLayer : public UnaryModule {
+ public:
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    return autograd::Relu(x);
+  }
+};
+class SigmoidLayer : public UnaryModule {
+ public:
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    return autograd::Sigmoid(x);
+  }
+};
+class LeakyReluLayer : public UnaryModule {
+ public:
+  explicit LeakyReluLayer(float slope = 0.01f) : slope_(slope) {}
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    return autograd::LeakyRelu(x, slope_);
+  }
+
+ private:
+  float slope_;
+};
+class TanhLayer : public UnaryModule {
+ public:
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    return autograd::Tanh(x);
+  }
+};
+
+/// Max pooling with stride == kernel.
+class MaxPool2d : public UnaryModule {
+ public:
+  explicit MaxPool2d(int64_t kernel) : kernel_(kernel) {}
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    return autograd::MaxPool2d(x, kernel_);
+  }
+
+ private:
+  int64_t kernel_;
+};
+
+/// Average pooling with stride == kernel.
+class AvgPool2d : public UnaryModule {
+ public:
+  explicit AvgPool2d(int64_t kernel) : kernel_(kernel) {}
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    return autograd::AvgPool2d(x, kernel_);
+  }
+
+ private:
+  int64_t kernel_;
+};
+
+/// Nearest-neighbour 2x upsampling.
+class Upsample2x : public UnaryModule {
+ public:
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    return autograd::UpsampleNearest2x(x);
+  }
+};
+
+/// Flattens (N, ...) to (N, rest).
+class Flatten : public UnaryModule {
+ public:
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    return autograd::Reshape(x, {x.shape()[0], -1});
+  }
+};
+
+/// Runs child modules in order. Owns them.
+class Sequential : public UnaryModule {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& Add(std::unique_ptr<UnaryModule> layer);
+
+  /// Convenience: emplace a layer of type T.
+  template <typename T, typename... Args>
+  Sequential& Emplace(Args&&... args) {
+    return Add(std::make_unique<T>(std::forward<Args>(args)...));
+  }
+
+  autograd::Variable Forward(const autograd::Variable& x) override;
+  size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<UnaryModule>> layers_;
+};
+
+/// Plain (fully connected) LSTM cell over feature vectors. Used by the
+/// STDN/DMVST-style hybrid models that attach an LSTM to per-timestep
+/// CNN features (Section II-B of the paper).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  struct State {
+    autograd::Variable h;  // (N, hidden)
+    autograd::Variable c;  // (N, hidden)
+  };
+
+  /// Zero state for a batch of n.
+  State InitialState(int64_t n) const;
+
+  /// One timestep: x is (N, input_size).
+  State Step(const autograd::Variable& x, const State& prev);
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  autograd::Variable w_x_;   // (input, 4*hidden)
+  autograd::Variable w_h_;   // (hidden, 4*hidden)
+  autograd::Variable bias_;  // (4*hidden)
+  int64_t hidden_size_;
+};
+
+/// Convolutional LSTM cell (Shi et al., 2015): the recurrent unit of
+/// the paper's ConvLSTM precipitation-nowcasting model. All gates are
+/// convolutions; state h/c are (N, hidden, H, W).
+class ConvLstmCell : public Module {
+ public:
+  ConvLstmCell(int64_t in_channels, int64_t hidden_channels, int64_t kernel,
+               Rng& rng);
+
+  struct State {
+    autograd::Variable h;
+    autograd::Variable c;
+  };
+
+  /// Zero-initialized state for a batch of n frames of h x w.
+  State InitialState(int64_t n, int64_t h, int64_t w) const;
+
+  /// One timestep: consumes x_t (N, in, H, W) and the previous state.
+  State Step(const autograd::Variable& x, const State& prev);
+
+  int64_t hidden_channels() const { return hidden_channels_; }
+
+ private:
+  autograd::Variable w_x_;  // (4*hidden, in, k, k)
+  autograd::Variable w_h_;  // (4*hidden, hidden, k, k)
+  autograd::Variable bias_;  // (4*hidden)
+  tensor::ConvSpec spec_;
+  int64_t hidden_channels_;
+};
+
+}  // namespace geotorch::nn
+
+#endif  // GEOTORCH_NN_LAYERS_H_

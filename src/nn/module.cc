@@ -1,0 +1,56 @@
+#include "nn/module.h"
+
+#include "core/check.h"
+
+namespace geotorch::nn {
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& [name, p] : params_) out.push_back(p);
+  for (const auto& [name, child] : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedParameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  for (const auto& [name, p] : params_) out.emplace_back(name, p);
+  for (const auto& [child_name, child] : children_) {
+    for (auto& [name, p] : child->NamedParameters()) {
+      out.emplace_back(child_name + "." + name, p);
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.numel();
+  return n;
+}
+
+autograd::Variable Module::RegisterParameter(std::string name,
+                                             tensor::Tensor init) {
+  autograd::Variable param(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), param);
+  return param;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  GEO_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace geotorch::nn

@@ -1,0 +1,66 @@
+#ifndef GEOTORCH_NN_MODULE_H_
+#define GEOTORCH_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace geotorch::nn {
+
+/// Base class for neural-network layers and models. Mirrors
+/// torch.nn.Module: parameters register themselves at construction,
+/// Parameters() walks the module tree, and SetTraining toggles
+/// behaviours such as dropout and batch-norm statistics.
+///
+/// Modules are neither copyable nor movable; compose them as members
+/// and register each child with RegisterModule in the constructor.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its children.
+  std::vector<autograd::Variable> Parameters() const;
+
+  /// Named parameters, prefixed with the child path ("conv1.weight").
+  std::vector<std::pair<std::string, autograd::Variable>> NamedParameters()
+      const;
+
+  /// Clears every parameter gradient.
+  void ZeroGrad();
+
+  /// Switches training/eval mode recursively.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+ protected:
+  /// Registers a leaf parameter initialized to `init`.
+  autograd::Variable RegisterParameter(std::string name,
+                                       tensor::Tensor init);
+  /// Registers a child module (must outlive this module; typically a
+  /// data member).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+/// A module with the common one-in/one-out forward signature, enabling
+/// generic composition via Sequential.
+class UnaryModule : public Module {
+ public:
+  virtual autograd::Variable Forward(const autograd::Variable& x) = 0;
+};
+
+}  // namespace geotorch::nn
+
+#endif  // GEOTORCH_NN_MODULE_H_

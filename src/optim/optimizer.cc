@@ -1,0 +1,166 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace geotorch::optim {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      if (!p.has_grad()) continue;
+      p.node()->grad.ScaleInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) {
+      velocity_.push_back(tensor::Tensor::Zeros(p.shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.mutable_value().data();
+    const float* g = p.grad().data();
+    const int64_t n = p.numel();
+    if (momentum_ > 0.0f) {
+      float* v = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = g[j] + weight_decay_ * w[j];
+        v[j] = momentum_ * v[j] + grad;
+        w[j] -= lr_ * v[j];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        w[j] -= lr_ * (g[j] + weight_decay_ * w[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.push_back(tensor::Tensor::Zeros(p.shape()));
+    v_.push_back(tensor::Tensor::Zeros(p.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.mutable_value().data();
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<autograd::Variable> params, float lr,
+                 float alpha, float eps)
+    : Optimizer(std::move(params)), alpha_(alpha), eps_(eps) {
+  lr_ = lr;
+  sq_avg_.reserve(params_.size());
+  for (auto& p : params_) {
+    sq_avg_.push_back(tensor::Tensor::Zeros(p.shape()));
+  }
+}
+
+void RmsProp::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.mutable_value().data();
+    const float* g = p.grad().data();
+    float* s = sq_avg_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      s[j] = alpha_ * s[j] + (1.0f - alpha_) * g[j] * g[j];
+      w[j] -= lr_ * g[j] / (std::sqrt(s[j]) + eps_);
+    }
+  }
+}
+
+CosineLrScheduler::CosineLrScheduler(Optimizer* optimizer, int total_epochs,
+                                     float min_lr)
+    : optimizer_(optimizer),
+      total_epochs_(total_epochs),
+      base_lr_(optimizer->lr()),
+      min_lr_(min_lr) {}
+
+void CosineLrScheduler::Step() {
+  ++epoch_;
+  const float t = std::min(1.0f, static_cast<float>(epoch_) /
+                                     static_cast<float>(total_epochs_));
+  const float cosine = 0.5f * (1.0f + std::cos(t * static_cast<float>(M_PI)));
+  optimizer_->set_lr(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+void StepLrScheduler::Step() {
+  ++epoch_;
+  if (epoch_ % step_size_ == 0) {
+    optimizer_->set_lr(optimizer_->lr() * gamma_);
+  }
+}
+
+bool EarlyStopping::Update(float val_loss) {
+  if (val_loss < best_ - min_delta_) {
+    best_ = val_loss;
+    bad_epochs_ = 0;
+  } else {
+    ++bad_epochs_;
+    if (bad_epochs_ >= patience_) should_stop_ = true;
+  }
+  return should_stop_;
+}
+
+}  // namespace geotorch::optim

@@ -1,0 +1,142 @@
+#ifndef GEOTORCH_OPTIM_OPTIMIZER_H_
+#define GEOTORCH_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace geotorch::optim {
+
+/// Base optimizer: owns references to the parameter variables and
+/// updates their values in-place from accumulated gradients.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the current gradients (parameters without
+  /// a gradient are skipped).
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+  float lr_ = 1e-3f;
+};
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float lr,
+      float momentum = 0.0f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba). The optimizer used throughout the paper's
+/// evaluation (Section V-C).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+/// RMSprop (Tieleman & Hinton): per-parameter learning rates from an
+/// EMA of squared gradients.
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<autograd::Variable> params, float lr,
+          float alpha = 0.99f, float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float alpha_;
+  float eps_;
+  std::vector<tensor::Tensor> sq_avg_;
+};
+
+/// Cosine-annealing LR schedule over `total_epochs` epochs from the
+/// initial LR down to `min_lr`.
+class CosineLrScheduler {
+ public:
+  CosineLrScheduler(Optimizer* optimizer, int total_epochs,
+                    float min_lr = 0.0f);
+  /// Call once per epoch.
+  void Step();
+
+ private:
+  Optimizer* optimizer_;
+  int total_epochs_;
+  float base_lr_;
+  float min_lr_;
+  int epoch_ = 0;
+};
+
+/// Multiplies the LR by `gamma` every `step_size` epochs.
+class StepLrScheduler {
+ public:
+  StepLrScheduler(Optimizer* optimizer, int step_size, float gamma)
+      : optimizer_(optimizer), step_size_(step_size), gamma_(gamma) {}
+
+  /// Call once per epoch.
+  void Step();
+
+ private:
+  Optimizer* optimizer_;
+  int step_size_;
+  float gamma_;
+  int epoch_ = 0;
+};
+
+/// Stops training when the validation metric has not improved for
+/// `patience` epochs — the paper's early-stopping criterion.
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(int patience, float min_delta = 0.0f)
+      : patience_(patience), min_delta_(min_delta) {}
+
+  /// Reports a new validation loss; returns true when training should
+  /// stop.
+  bool Update(float val_loss);
+
+  bool should_stop() const { return should_stop_; }
+  float best() const { return best_; }
+  int bad_epochs() const { return bad_epochs_; }
+
+ private:
+  int patience_;
+  float min_delta_;
+  float best_ = 1e30f;
+  int bad_epochs_ = 0;
+  bool should_stop_ = false;
+};
+
+}  // namespace geotorch::optim
+
+#endif  // GEOTORCH_OPTIM_OPTIMIZER_H_

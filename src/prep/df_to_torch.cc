@@ -1,0 +1,110 @@
+#include "prep/df_to_torch.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace geotorch::prep {
+namespace {
+
+float NumericCell(const df::Column& col, int64_t row) {
+  if (col.type() == df::DataType::kDouble) {
+    return static_cast<float>(col.doubles()[row]);
+  }
+  GEO_CHECK(col.type() == df::DataType::kInt64)
+      << "DFtoTorch columns must be numeric";
+  return static_cast<float>(col.int64s()[row]);
+}
+
+}  // namespace
+
+DfToTorch::DfToTorch(const df::DataFrame& frame, Options options)
+    : options_(std::move(options)) {
+  GEO_CHECK(!options_.feature_columns.empty());
+  GEO_CHECK_GE(options_.batch_size, 1);
+  std::vector<int> feature_idx;
+  for (const auto& name : options_.feature_columns) {
+    feature_idx.push_back(frame.schema().FieldIndex(name));
+  }
+  const bool has_label = !options_.label_column.empty();
+  const int label_idx =
+      has_label ? frame.schema().FieldIndex(options_.label_column) : -1;
+
+  // DF Formatter: per-partition row -> array, in parallel.
+  features_.resize(frame.num_partitions());
+  labels_.resize(frame.num_partitions());
+  frame.ForEachPartition([&](const df::Partition& part, int pi) {
+    const int64_t rows = part.num_rows();
+    std::vector<float>& fx = features_[pi];
+    fx.resize(rows * feature_idx.size());
+    for (int64_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < feature_idx.size(); ++c) {
+        fx[r * feature_idx.size() + c] =
+            NumericCell(part.column(feature_idx[c]), r);
+      }
+    }
+    std::vector<float>& fy = labels_[pi];
+    fy.resize(rows, 0.0f);
+    if (has_label) {
+      for (int64_t r = 0; r < rows; ++r) {
+        fy[r] = NumericCell(part.column(label_idx), r);
+      }
+    }
+  });
+  for (const auto& fy : labels_) {
+    num_rows_ += static_cast<int64_t>(fy.size());
+  }
+}
+
+void DfToTorch::Reset() {
+  part_ = 0;
+  row_in_part_ = 0;
+}
+
+bool DfToTorch::NextBatch(tensor::Tensor* x, tensor::Tensor* y) {
+  const int64_t nf = num_features();
+  std::vector<float> bx;
+  std::vector<float> by;
+  while (static_cast<int64_t>(by.size()) < options_.batch_size &&
+         part_ < features_.size()) {
+    const int64_t rows_here =
+        static_cast<int64_t>(labels_[part_].size());
+    if (row_in_part_ >= rows_here) {
+      ++part_;
+      row_in_part_ = 0;
+      continue;
+    }
+    const int64_t take = std::min(
+        options_.batch_size - static_cast<int64_t>(by.size()),
+        rows_here - row_in_part_);
+    const float* fx = features_[part_].data() + row_in_part_ * nf;
+    bx.insert(bx.end(), fx, fx + take * nf);
+    const float* fy = labels_[part_].data() + row_in_part_;
+    by.insert(by.end(), fy, fy + take);
+    row_in_part_ += take;
+  }
+  if (by.empty()) return false;
+  const int64_t b = static_cast<int64_t>(by.size());
+  tensor::Tensor batch_x = tensor::Tensor::FromVector({b, nf}, std::move(bx));
+  if (options_.transform) batch_x = options_.transform(batch_x);
+  *x = std::move(batch_x);
+  *y = tensor::Tensor::FromVector({b}, std::move(by));
+  return true;
+}
+
+std::unique_ptr<data::Dataset> DfToTorch::ToDataset() const {
+  const int64_t nf = num_features();
+  std::vector<float> all_x;
+  std::vector<float> all_y;
+  all_x.reserve(num_rows_ * nf);
+  all_y.reserve(num_rows_);
+  for (size_t p = 0; p < features_.size(); ++p) {
+    all_x.insert(all_x.end(), features_[p].begin(), features_[p].end());
+    all_y.insert(all_y.end(), labels_[p].begin(), labels_[p].end());
+  }
+  return std::make_unique<data::TensorDataset>(
+      tensor::Tensor::FromVector({num_rows_, nf}, std::move(all_x)),
+      tensor::Tensor::FromVector({num_rows_}, std::move(all_y)));
+}
+
+}  // namespace geotorch::prep

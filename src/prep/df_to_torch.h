@@ -1,0 +1,69 @@
+#ifndef GEOTORCH_PREP_DF_TO_TORCH_H_
+#define GEOTORCH_PREP_DF_TO_TORCH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "df/dataframe.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::prep {
+
+/// The DFtoTorch Converter (Section III-C, Fig. 7): maps a preprocessed
+/// DataFrame into batches of tensors without collecting the frame onto
+/// a "master".
+///
+/// Stage 1, the DF Formatter, runs at construction: each partition maps
+/// its rows into a contiguous float array in parallel (one array per
+/// partition — no cross-partition materialization).
+/// Stage 2, the Row Transformer, is the batch iterator: NextBatch()
+/// walks the per-partition arrays, emits (B, num_features) inputs plus
+/// labels, and applies the user transform — the Petastorm role.
+class DfToTorch {
+ public:
+  struct Options {
+    /// Numeric (double or int64) columns that become the feature vector.
+    std::vector<std::string> feature_columns;
+    /// Optional numeric label column ("" = no labels; NextBatch's y is
+    /// then a (B) tensor of zeros).
+    std::string label_column;
+    int64_t batch_size = 32;
+    /// Optional per-batch transform applied to x before it is returned.
+    std::function<tensor::Tensor(const tensor::Tensor&)> transform;
+  };
+
+  DfToTorch(const df::DataFrame& frame, Options options);
+
+  /// Starts a new pass over the rows.
+  void Reset();
+
+  /// Emits the next batch: x is (B, num_features), y is (B). Returns
+  /// false at the end of the data.
+  bool NextBatch(tensor::Tensor* x, tensor::Tensor* y);
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_features() const {
+    return static_cast<int64_t>(options_.feature_columns.size());
+  }
+
+  /// Materializes everything into an in-memory Dataset (convenient for
+  /// the training loops in this repo's examples).
+  std::unique_ptr<data::Dataset> ToDataset() const;
+
+ private:
+  Options options_;
+  // Per-partition formatted arrays (row-major, num_features wide).
+  std::vector<std::vector<float>> features_;
+  std::vector<std::vector<float>> labels_;
+  int64_t num_rows_ = 0;
+  // Iterator state.
+  size_t part_ = 0;
+  int64_t row_in_part_ = 0;
+};
+
+}  // namespace geotorch::prep
+
+#endif  // GEOTORCH_PREP_DF_TO_TORCH_H_

@@ -1,0 +1,65 @@
+#include "prep/raster_processing.h"
+
+#include "core/thread_pool.h"
+#include "raster/io.h"
+#include "raster/ops.h"
+
+namespace geotorch::prep {
+
+Result<std::vector<raster::RasterImage>> RasterProcessing::LoadGeotiffImages(
+    const std::vector<std::string>& paths) {
+  std::vector<raster::RasterImage> images(paths.size());
+  std::vector<Status> statuses(paths.size());
+  ThreadPool::Global().ParallelFor(
+      static_cast<int64_t>(paths.size()), [&](int64_t i) {
+        auto r = raster::LoadGeotiffImage(paths[i]);
+        if (r.ok()) {
+          images[i] = std::move(r).ValueOrDie();
+        } else {
+          statuses[i] = r.status();
+        }
+      });
+  for (const auto& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return images;
+}
+
+Result<std::vector<std::string>> RasterProcessing::WriteGeotiffImages(
+    const std::vector<raster::RasterImage>& images, const std::string& dir,
+    const std::string& prefix) {
+  std::vector<std::string> paths(images.size());
+  std::vector<Status> statuses(images.size());
+  ThreadPool::Global().ParallelFor(
+      static_cast<int64_t>(images.size()), [&](int64_t i) {
+        paths[i] = dir + "/" + prefix + std::to_string(i) + ".gtif";
+        statuses[i] = raster::WriteGeotiffImage(images[i], paths[i]);
+      });
+  for (const auto& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return paths;
+}
+
+std::vector<raster::RasterImage> RasterProcessing::TransformParallel(
+    const std::vector<raster::RasterImage>& images,
+    const std::function<raster::RasterImage(const raster::RasterImage&)>&
+        fn) {
+  std::vector<raster::RasterImage> out(images.size());
+  ThreadPool::Global().ParallelFor(
+      static_cast<int64_t>(images.size()),
+      [&](int64_t i) { out[i] = fn(images[i]); });
+  return out;
+}
+
+std::vector<raster::RasterImage>
+RasterProcessing::AppendNormalizedDifferenceIndex(
+    const std::vector<raster::RasterImage>& images, int64_t band1,
+    int64_t band2) {
+  return TransformParallel(
+      images, [band1, band2](const raster::RasterImage& img) {
+        return raster::AppendNormalizedDifferenceIndex(img, band1, band2);
+      });
+}
+
+}  // namespace geotorch::prep

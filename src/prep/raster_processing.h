@@ -1,0 +1,45 @@
+#ifndef GEOTORCH_PREP_RASTER_PROCESSING_H_
+#define GEOTORCH_PREP_RASTER_PROCESSING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "raster/raster.h"
+
+namespace geotorch::prep {
+
+/// Mirrors geotorchai.preprocessing.raster.RasterProcessing: bulk
+/// raster transformation executed on the worker pool before model
+/// training, instead of on the fly during training (Limitation 4 /
+/// Table VIII). In the original system the collection of images lives
+/// in a Sedona DataFrame; here it is a vector processed by the same
+/// thread-pool "cluster" as the DataFrame engine.
+class RasterProcessing {
+ public:
+  /// Reads every GTIF1 file in `paths`.
+  static Result<std::vector<raster::RasterImage>> LoadGeotiffImages(
+      const std::vector<std::string>& paths);
+
+  /// Writes images[i] to `<dir>/<prefix><i>.gtif`; returns the paths.
+  static Result<std::vector<std::string>> WriteGeotiffImages(
+      const std::vector<raster::RasterImage>& images, const std::string& dir,
+      const std::string& prefix);
+
+  /// Applies `fn` to every image in parallel.
+  static std::vector<raster::RasterImage> TransformParallel(
+      const std::vector<raster::RasterImage>& images,
+      const std::function<raster::RasterImage(const raster::RasterImage&)>&
+          fn);
+
+  /// Convenience: appends the normalized difference index of two bands
+  /// to every image (the Listing 9 operation).
+  static std::vector<raster::RasterImage> AppendNormalizedDifferenceIndex(
+      const std::vector<raster::RasterImage>& images, int64_t band1,
+      int64_t band2);
+};
+
+}  // namespace geotorch::prep
+
+#endif  // GEOTORCH_PREP_RASTER_PROCESSING_H_

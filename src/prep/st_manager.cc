@@ -1,0 +1,184 @@
+#include "prep/st_manager.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/check.h"
+
+namespace geotorch::prep {
+
+spatial::Envelope SpacePartition::ComputeExtent(
+    const df::DataFrame& frame, const std::string& geometry_column) {
+  const int col = frame.schema().FieldIndex(geometry_column);
+  GEO_CHECK(frame.schema().type(col) == df::DataType::kGeometry);
+  std::mutex mu;
+  spatial::Envelope extent = spatial::Envelope::Empty();
+  frame.ForEachPartition([&](const df::Partition& part, int) {
+    spatial::Envelope local = spatial::Envelope::Empty();
+    for (const auto& p : part.column(col).points()) {
+      local.ExpandToInclude(p);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    extent.ExpandToInclude(local);
+  });
+  GEO_CHECK(!extent.IsEmpty()) << "no points in column " << geometry_column;
+  return extent;
+}
+
+spatial::GridPartitioner SpacePartition::BuildGrid(
+    const spatial::Envelope& extent, int partitions_x, int partitions_y) {
+  return spatial::GridPartitioner(extent, partitions_x, partitions_y);
+}
+
+df::DataFrame STManager::AddSpatialPoints(
+    const df::DataFrame& frame, const std::string& lat_column,
+    const std::string& lon_column, const std::string& new_column_alias) {
+  const int lat = frame.schema().FieldIndex(lat_column);
+  const int lon = frame.schema().FieldIndex(lon_column);
+  return frame.WithColumn(
+      new_column_alias, df::DataType::kGeometry,
+      [lat, lon](const df::RowView& row) -> df::Value {
+        return spatial::Point{row.GetDouble(lon), row.GetDouble(lat)};
+      });
+}
+
+StGridResult STManager::GetStGridDataFrame(const df::DataFrame& frame,
+                                           const StGridSpec& spec) {
+  GEO_CHECK(spec.partitions_x >= 1 && spec.partitions_y >= 1);
+  GEO_CHECK_GT(spec.step_duration_sec, 0);
+
+  const spatial::Envelope extent =
+      spec.extent.has_value()
+          ? *spec.extent
+          : SpacePartition::ComputeExtent(frame, spec.geometry_column);
+  const spatial::GridPartitioner grid =
+      SpacePartition::BuildGrid(extent, spec.partitions_x, spec.partitions_y);
+
+  const int geom_col = frame.schema().FieldIndex(spec.geometry_column);
+  const int time_col = frame.schema().FieldIndex(spec.time_column);
+  GEO_CHECK(frame.schema().type(time_col) == df::DataType::kInt64)
+      << "time column must be int64 seconds";
+
+  // Spatial join (grid-hash) + temporal slicing as computed columns.
+  df::DataFrame with_cell = frame.WithColumn(
+      "cell_id", df::DataType::kInt64,
+      [&grid, geom_col](const df::RowView& row) -> df::Value {
+        auto cell = grid.CellOf(row.GetPoint(geom_col));
+        return cell.has_value() ? *cell : int64_t{-1};
+      });
+  df::DataFrame with_time = with_cell.WithColumn(
+      "time_id", df::DataType::kInt64,
+      [time_col, &spec](const df::RowView& row) -> df::Value {
+        return row.GetInt64(time_col) / spec.step_duration_sec;
+      });
+  std::vector<df::AggSpec> aggs = spec.aggs;
+  if (aggs.empty()) {
+    aggs.push_back({df::AggKind::kCount, "", "count"});
+  }
+  // Project to the columns the aggregation needs before filtering, so
+  // the filter does not materialize the wide input again.
+  std::vector<std::string> needed = {"cell_id", "time_id"};
+  for (const auto& a : aggs) {
+    if (a.kind == df::AggKind::kCount) continue;
+    if (std::find(needed.begin(), needed.end(), a.column) == needed.end()) {
+      needed.push_back(a.column);
+    }
+  }
+  df::DataFrame narrow = with_time.Select(needed);
+  const int cell_idx = narrow.schema().FieldIndex("cell_id");
+  df::DataFrame inside = narrow.Filter(
+      [cell_idx](const df::RowView& row) {
+        return row.GetInt64(cell_idx) >= 0;
+      });
+  df::DataFrame aggregated = inside.GroupByAgg({"cell_id", "time_id"}, aggs);
+
+  // Number of timesteps: max time_id + 1 over the aggregated frame.
+  int64_t max_time = -1;
+  for (int64_t t : aggregated.CollectInt64("time_id")) {
+    max_time = std::max(max_time, t);
+  }
+
+  StGridResult result;
+  result.frame = std::move(aggregated);
+  result.extent = extent;
+  result.partitions_x = spec.partitions_x;
+  result.partitions_y = spec.partitions_y;
+  result.step_duration_sec = spec.step_duration_sec;
+  result.num_timesteps = max_time + 1;
+  return result;
+}
+
+tensor::Tensor STManager::GetStGridTensor(
+    const StGridResult& result,
+    const std::vector<std::string>& value_columns) {
+  GEO_CHECK(!value_columns.empty());
+  const int64_t t = result.num_timesteps;
+  const int64_t c = static_cast<int64_t>(value_columns.size());
+  const int64_t h = result.partitions_y;
+  const int64_t w = result.partitions_x;
+  GEO_CHECK_GT(t, 0) << "empty spatiotemporal frame";
+  tensor::Tensor out = tensor::Tensor::Zeros({t, c, h, w});
+  float* po = out.data();
+
+  const df::DataFrame& frame = result.frame;
+  const int cell_col = frame.schema().FieldIndex("cell_id");
+  const int time_col = frame.schema().FieldIndex("time_id");
+  std::vector<int> value_idx;
+  std::vector<bool> value_is_int;
+  for (const auto& name : value_columns) {
+    const int i = frame.schema().FieldIndex(name);
+    value_idx.push_back(i);
+    value_is_int.push_back(frame.schema().type(i) == df::DataType::kInt64);
+  }
+
+  // Post-group-by, every (cell, time) key lives in exactly one
+  // partition, so the parallel scatter below writes disjoint offsets.
+  frame.ForEachPartition([&](const df::Partition& part, int) {
+    const auto& cells = part.column(cell_col).int64s();
+    const auto& times = part.column(time_col).int64s();
+    for (int64_t r = 0; r < part.num_rows(); ++r) {
+      const int64_t cell = cells[r];
+      const int64_t time = times[r];
+      GEO_CHECK(cell >= 0 && cell < h * w && time >= 0 && time < t);
+      const int64_t iy = cell / w;
+      const int64_t ix = cell % w;
+      for (int64_t ci = 0; ci < c; ++ci) {
+        const df::Column& col = part.column(value_idx[ci]);
+        const double v = value_is_int[ci]
+                             ? static_cast<double>(col.int64s()[r])
+                             : col.doubles()[r];
+        po[((time * c + ci) * h + iy) * w + ix] = static_cast<float>(v);
+      }
+    }
+  });
+  return out;
+}
+
+tensor::Tensor STManager::CoarsenGrid(const tensor::Tensor& st_tensor,
+                                      int64_t factor) {
+  GEO_CHECK_EQ(st_tensor.ndim(), 4);
+  GEO_CHECK_GE(factor, 1);
+  const int64_t t = st_tensor.size(0);
+  const int64_t c = st_tensor.size(1);
+  const int64_t h = st_tensor.size(2);
+  const int64_t w = st_tensor.size(3);
+  GEO_CHECK(h % factor == 0 && w % factor == 0)
+      << "grid " << h << "x" << w << " not divisible by " << factor;
+  const int64_t oh = h / factor;
+  const int64_t ow = w / factor;
+  tensor::Tensor out = tensor::Tensor::Zeros({t, c, oh, ow});
+  const float* pi = st_tensor.data();
+  float* po = out.data();
+  for (int64_t tc = 0; tc < t * c; ++tc) {
+    const float* in_plane = pi + tc * h * w;
+    float* out_plane = po + tc * oh * ow;
+    for (int64_t i = 0; i < h; ++i) {
+      for (int64_t j = 0; j < w; ++j) {
+        out_plane[(i / factor) * ow + (j / factor)] += in_plane[i * w + j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace geotorch::prep

@@ -1,0 +1,111 @@
+#include "raster/glcm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace geotorch::raster {
+
+GlcmFeatures ComputeGlcmFeatures(const RasterImage& image, int64_t band,
+                                 int levels, int dx, int dy) {
+  GEO_CHECK_GE(levels, 2);
+  const int64_t h = image.height();
+  const int64_t w = image.width();
+  const float* d = image.band_data(band);
+  const int64_t n = image.PixelsPerBand();
+
+  // Quantize to [0, levels).
+  const auto [mn_it, mx_it] = std::minmax_element(d, d + n);
+  const float mn = *mn_it;
+  const float range = *mx_it - mn;
+  std::vector<int> q(n);
+  if (range == 0.0f) {
+    std::fill(q.begin(), q.end(), 0);
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      int level = static_cast<int>((d[i] - mn) / range * levels);
+      q[i] = std::min(level, levels - 1);
+    }
+  }
+
+  // Symmetric co-occurrence counts at displacement (dx, dy).
+  std::vector<double> glcm(static_cast<size_t>(levels) * levels, 0.0);
+  double total = 0.0;
+  for (int64_t i = 0; i < h; ++i) {
+    const int64_t i2 = i + dy;
+    if (i2 < 0 || i2 >= h) continue;
+    for (int64_t j = 0; j < w; ++j) {
+      const int64_t j2 = j + dx;
+      if (j2 < 0 || j2 >= w) continue;
+      const int a = q[i * w + j];
+      const int b = q[i2 * w + j2];
+      glcm[a * levels + b] += 1.0;
+      glcm[b * levels + a] += 1.0;
+      total += 2.0;
+    }
+  }
+
+  GlcmFeatures out;
+  if (total == 0.0) return out;
+
+  // Marginal stats for correlation.
+  double mean_i = 0.0;
+  for (int a = 0; a < levels; ++a) {
+    for (int b = 0; b < levels; ++b) {
+      const double p = glcm[a * levels + b] / total;
+      mean_i += a * p;
+    }
+  }
+  double var_i = 0.0;
+  for (int a = 0; a < levels; ++a) {
+    for (int b = 0; b < levels; ++b) {
+      const double p = glcm[a * levels + b] / total;
+      var_i += (a - mean_i) * (a - mean_i) * p;
+    }
+  }
+
+  double contrast = 0.0;
+  double dissimilarity = 0.0;
+  double homogeneity = 0.0;
+  double asm_value = 0.0;
+  double correlation = 0.0;
+  double entropy = 0.0;
+  for (int a = 0; a < levels; ++a) {
+    for (int b = 0; b < levels; ++b) {
+      const double p = glcm[a * levels + b] / total;
+      const double diff = a - b;
+      contrast += p * diff * diff;
+      dissimilarity += p * std::fabs(diff);
+      homogeneity += p / (1.0 + diff * diff);
+      asm_value += p * p;
+      if (p > 0.0) entropy -= p * std::log(p);
+      if (var_i > 0.0) {
+        correlation += (a - mean_i) * (b - mean_i) * p / var_i;
+      }
+    }
+  }
+  out.contrast = static_cast<float>(contrast);
+  out.dissimilarity = static_cast<float>(dissimilarity);
+  out.homogeneity = static_cast<float>(homogeneity);
+  out.asm_value = static_cast<float>(asm_value);
+  out.energy = static_cast<float>(std::sqrt(asm_value));
+  out.correlation = static_cast<float>(var_i > 0.0 ? correlation : 1.0);
+  out.entropy = static_cast<float>(entropy);
+  return out;
+}
+
+std::vector<float> GlcmFeatureVector(const RasterImage& image, int64_t band,
+                                     int levels) {
+  const GlcmFeatures f0 = ComputeGlcmFeatures(image, band, levels, 1, 0);
+  const GlcmFeatures f90 = ComputeGlcmFeatures(image, band, levels, 0, 1);
+  auto avg = [](float a, float b) { return (a + b) / 2.0f; };
+  return {avg(f0.contrast, f90.contrast),
+          avg(f0.dissimilarity, f90.dissimilarity),
+          avg(f0.correlation, f90.correlation),
+          avg(f0.homogeneity, f90.homogeneity),
+          avg(f0.asm_value, f90.asm_value),
+          avg(f0.energy, f90.energy)};
+}
+
+}  // namespace geotorch::raster

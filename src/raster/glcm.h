@@ -1,0 +1,37 @@
+#ifndef GEOTORCH_RASTER_GLCM_H_
+#define GEOTORCH_RASTER_GLCM_H_
+
+#include <vector>
+
+#include "raster/raster.h"
+
+namespace geotorch::raster {
+
+/// Texture statistics derived from the gray-level co-occurrence matrix
+/// (Section III-B2). These are the handcrafted features DeepSAT-V2
+/// fuses into its classifier.
+struct GlcmFeatures {
+  float contrast = 0.0f;       ///< sum p(i,j) * (i-j)^2
+  float dissimilarity = 0.0f;  ///< sum p(i,j) * |i-j|
+  float homogeneity = 0.0f;    ///< sum p(i,j) / (1 + (i-j)^2)
+  float asm_value = 0.0f;      ///< angular second moment: sum p^2
+  float energy = 0.0f;         ///< sqrt(ASM)
+  float correlation = 0.0f;    ///< normalized covariance of (i, j)
+  float entropy = 0.0f;        ///< -sum p * log(p)
+};
+
+/// Computes the symmetric, normalized GLCM of one band at displacement
+/// (dx, dy) after quantizing samples to `levels` gray levels
+/// (min-max over the band), then derives the features above.
+GlcmFeatures ComputeGlcmFeatures(const RasterImage& image, int64_t band,
+                                 int levels = 16, int dx = 1, int dy = 0);
+
+/// The six GLCM values used by the paper's DeepSAT-V2 evaluation
+/// (contrast, dissimilarity, correlation, homogeneity, ASM ["momentum"],
+/// energy), averaged over the 0-degree and 90-degree displacements.
+std::vector<float> GlcmFeatureVector(const RasterImage& image, int64_t band,
+                                     int levels = 16);
+
+}  // namespace geotorch::raster
+
+#endif  // GEOTORCH_RASTER_GLCM_H_

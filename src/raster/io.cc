@@ -1,0 +1,89 @@
+#include "raster/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace geotorch::raster {
+namespace {
+constexpr char kMagic[5] = {'G', 'T', 'I', 'F', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteOne(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadOne(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status WriteGeotiffImage(const RasterImage& image, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  if (std::fwrite(kMagic, 1, 5, f.get()) != 5) {
+    return Status::IoError("write failed: " + path);
+  }
+  const int64_t h = image.height();
+  const int64_t w = image.width();
+  const int64_t b = image.bands();
+  const int32_t epsg = image.crs_epsg();
+  if (!WriteOne(f.get(), h) || !WriteOne(f.get(), w) ||
+      !WriteOne(f.get(), b) || !WriteOne(f.get(), epsg)) {
+    return Status::IoError("write failed: " + path);
+  }
+  for (double g : image.geotransform()) {
+    if (!WriteOne(f.get(), g)) return Status::IoError("write failed: " + path);
+  }
+  const size_t n = image.data().size();
+  if (std::fwrite(image.data().data(), sizeof(float), n, f.get()) != n) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<RasterImage> LoadGeotiffImage(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  char magic[5];
+  if (std::fread(magic, 1, 5, f.get()) != 5 ||
+      std::memcmp(magic, kMagic, 5) != 0) {
+    return Status::IoError("not a GTIF1 file: " + path);
+  }
+  int64_t h = 0;
+  int64_t w = 0;
+  int64_t b = 0;
+  int32_t epsg = 0;
+  if (!ReadOne(f.get(), &h) || !ReadOne(f.get(), &w) ||
+      !ReadOne(f.get(), &b) || !ReadOne(f.get(), &epsg)) {
+    return Status::IoError("corrupt GTIF1 header: " + path);
+  }
+  if (h <= 0 || w <= 0 || b <= 0 || h * w * b > (int64_t{1} << 34)) {
+    return Status::IoError("implausible GTIF1 dims: " + path);
+  }
+  std::array<double, 6> gt;
+  for (double& g : gt) {
+    if (!ReadOne(f.get(), &g)) {
+      return Status::IoError("corrupt GTIF1 geotransform: " + path);
+    }
+  }
+  RasterImage img(h, w, b);
+  img.set_crs_epsg(epsg);
+  img.set_geotransform(gt);
+  const size_t n = img.data().size();
+  if (std::fread(img.data().data(), sizeof(float), n, f.get()) != n) {
+    return Status::IoError("truncated GTIF1 payload: " + path);
+  }
+  return img;
+}
+
+}  // namespace geotorch::raster

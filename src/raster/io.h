@@ -1,0 +1,21 @@
+#ifndef GEOTORCH_RASTER_IO_H_
+#define GEOTORCH_RASTER_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "raster/raster.h"
+
+namespace geotorch::raster {
+
+/// Writes a raster to the GTIF1 on-disk format — this repo's minimal
+/// GeoTIFF stand-in (DESIGN.md §1): magic "GTIF1", int64 H/W/bands,
+/// int32 EPSG, 6-double geotransform, float32 planes.
+Status WriteGeotiffImage(const RasterImage& image, const std::string& path);
+
+/// Reads a GTIF1 raster written by WriteGeotiffImage.
+Result<RasterImage> LoadGeotiffImage(const std::string& path);
+
+}  // namespace geotorch::raster
+
+#endif  // GEOTORCH_RASTER_IO_H_

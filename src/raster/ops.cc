@@ -1,0 +1,238 @@
+#include "raster/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace geotorch::raster {
+namespace {
+
+template <typename Fn>
+std::vector<float> BandBinaryOp(const RasterImage& image, int64_t band1,
+                                int64_t band2, Fn fn) {
+  const int64_t n = image.PixelsPerBand();
+  const float* a = image.band_data(band1);
+  const float* b = image.band_data(band2);
+  std::vector<float> out(n);
+  for (int64_t i = 0; i < n; ++i) out[i] = fn(a[i], b[i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> NormalizedDifferenceIndex(const RasterImage& image,
+                                             int64_t band1, int64_t band2) {
+  return BandBinaryOp(image, band1, band2, [](float a, float b) {
+    const float denom = a + b;
+    if (denom == 0.0f) return 0.0f;
+    return (a - b) / denom;
+  });
+}
+
+RasterImage AppendNormalizedDifferenceIndex(const RasterImage& image,
+                                            int64_t band1, int64_t band2) {
+  return AppendBand(image, NormalizedDifferenceIndex(image, band1, band2));
+}
+
+RasterImage AppendBand(const RasterImage& image,
+                       const std::vector<float>& plane) {
+  GEO_CHECK_EQ(static_cast<int64_t>(plane.size()), image.PixelsPerBand());
+  RasterImage out(image.height(), image.width(), image.bands() + 1);
+  out.set_crs_epsg(image.crs_epsg());
+  out.set_geotransform(image.geotransform());
+  std::memcpy(out.data().data(), image.data().data(),
+              image.data().size() * sizeof(float));
+  std::memcpy(out.band_data(image.bands()), plane.data(),
+              plane.size() * sizeof(float));
+  return out;
+}
+
+RasterImage DeleteBand(const RasterImage& image, int64_t band) {
+  GEO_CHECK(band >= 0 && band < image.bands());
+  GEO_CHECK_GT(image.bands(), 1) << "cannot delete the only band";
+  RasterImage out(image.height(), image.width(), image.bands() - 1);
+  out.set_crs_epsg(image.crs_epsg());
+  out.set_geotransform(image.geotransform());
+  int64_t dst = 0;
+  for (int64_t b = 0; b < image.bands(); ++b) {
+    if (b == band) continue;
+    std::memcpy(out.band_data(dst), image.band_data(b),
+                image.PixelsPerBand() * sizeof(float));
+    ++dst;
+  }
+  return out;
+}
+
+void NormalizeBandInPlace(RasterImage& image, int64_t band) {
+  float* d = image.band_data(band);
+  const int64_t n = image.PixelsPerBand();
+  const auto [mn_it, mx_it] = std::minmax_element(d, d + n);
+  const float mn = *mn_it;
+  const float mx = *mx_it;
+  const float range = mx - mn;
+  if (range == 0.0f) {
+    std::fill(d, d + n, 0.0f);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) d[i] = (d[i] - mn) / range;
+}
+
+void MaskBandInPlace(RasterImage& image, int64_t band, float threshold,
+                     bool mask_upper) {
+  float* d = image.band_data(band);
+  const int64_t n = image.PixelsPerBand();
+  for (int64_t i = 0; i < n; ++i) {
+    if (mask_upper ? d[i] > threshold : d[i] < threshold) d[i] = 0.0f;
+  }
+}
+
+std::vector<float> AddBands(const RasterImage& image, int64_t band1,
+                            int64_t band2) {
+  return BandBinaryOp(image, band1, band2,
+                      [](float a, float b) { return a + b; });
+}
+std::vector<float> SubtractBands(const RasterImage& image, int64_t band1,
+                                 int64_t band2) {
+  return BandBinaryOp(image, band1, band2,
+                      [](float a, float b) { return a - b; });
+}
+std::vector<float> MultiplyBands(const RasterImage& image, int64_t band1,
+                                 int64_t band2) {
+  return BandBinaryOp(image, band1, band2,
+                      [](float a, float b) { return a * b; });
+}
+std::vector<float> DivideBands(const RasterImage& image, int64_t band1,
+                               int64_t band2) {
+  return BandBinaryOp(image, band1, band2, [](float a, float b) {
+    return b == 0.0f ? 0.0f : a / b;
+  });
+}
+std::vector<float> BitwiseAndBands(const RasterImage& image, int64_t band1,
+                                   int64_t band2) {
+  return BandBinaryOp(image, band1, band2, [](float a, float b) {
+    return static_cast<float>(static_cast<int64_t>(a) &
+                              static_cast<int64_t>(b));
+  });
+}
+std::vector<float> BitwiseOrBands(const RasterImage& image, int64_t band1,
+                                  int64_t band2) {
+  return BandBinaryOp(image, band1, band2, [](float a, float b) {
+    return static_cast<float>(static_cast<int64_t>(a) |
+                              static_cast<int64_t>(b));
+  });
+}
+
+float BandMean(const RasterImage& image, int64_t band) {
+  const float* d = image.band_data(band);
+  const int64_t n = image.PixelsPerBand();
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) s += d[i];
+  return static_cast<float>(s / static_cast<double>(n));
+}
+
+float BandMode(const RasterImage& image, int64_t band) {
+  const float* d = image.band_data(band);
+  const int64_t n = image.PixelsPerBand();
+  std::unordered_map<int64_t, int64_t> counts;
+  for (int64_t i = 0; i < n; ++i) {
+    ++counts[static_cast<int64_t>(std::lround(d[i]))];
+  }
+  int64_t best_v = 0;
+  int64_t best_c = -1;
+  for (const auto& [v, c] : counts) {
+    if (c > best_c || (c == best_c && v < best_v)) {
+      best_c = c;
+      best_v = v;
+    }
+  }
+  return static_cast<float>(best_v);
+}
+
+std::vector<float> BandSquareRoot(const RasterImage& image, int64_t band) {
+  const float* d = image.band_data(band);
+  const int64_t n = image.PixelsPerBand();
+  std::vector<float> out(n);
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = d[i] >= 0.0f ? std::sqrt(d[i]) : 0.0f;
+  }
+  return out;
+}
+
+std::vector<float> BandModulo(const RasterImage& image, int64_t band,
+                              float divisor) {
+  GEO_CHECK_NE(divisor, 0.0f);
+  const float* d = image.band_data(band);
+  const int64_t n = image.PixelsPerBand();
+  std::vector<float> out(n);
+  for (int64_t i = 0; i < n; ++i) out[i] = std::fmod(d[i], divisor);
+  return out;
+}
+
+std::pair<double, double> PixelToWorld(const RasterImage& image, int64_t i,
+                                       int64_t j) {
+  const auto& gt = image.geotransform();
+  const double px = j + 0.5;
+  const double py = i + 0.5;
+  return {gt[0] + px * gt[1] + py * gt[2], gt[3] + px * gt[4] + py * gt[5]};
+}
+
+std::pair<int64_t, int64_t> WorldToPixel(const RasterImage& image, double x,
+                                         double y) {
+  const auto& gt = image.geotransform();
+  GEO_CHECK(gt[2] == 0.0 && gt[4] == 0.0)
+      << "WorldToPixel supports axis-aligned transforms only";
+  GEO_CHECK(gt[1] != 0.0 && gt[5] != 0.0);
+  const int64_t j = static_cast<int64_t>((x - gt[0]) / gt[1]);
+  const int64_t i = static_cast<int64_t>((y - gt[3]) / gt[5]);
+  if (i < 0 || i >= image.height() || j < 0 || j >= image.width()) {
+    return {-1, -1};
+  }
+  return {i, j};
+}
+
+RasterImage ClipRaster(const RasterImage& image, int64_t row0, int64_t col0,
+                       int64_t height, int64_t width) {
+  GEO_CHECK(row0 >= 0 && col0 >= 0 && height > 0 && width > 0 &&
+            row0 + height <= image.height() && col0 + width <= image.width())
+      << "clip window out of bounds";
+  RasterImage out(height, width, image.bands());
+  out.set_crs_epsg(image.crs_epsg());
+  auto gt = image.geotransform();
+  gt[0] += col0 * gt[1] + row0 * gt[2];
+  gt[3] += col0 * gt[4] + row0 * gt[5];
+  out.set_geotransform(gt);
+  for (int64_t b = 0; b < image.bands(); ++b) {
+    for (int64_t i = 0; i < height; ++i) {
+      std::memcpy(out.band_data(b) + i * width,
+                  image.band_data(b) + (row0 + i) * image.width() + col0,
+                  width * sizeof(float));
+    }
+  }
+  return out;
+}
+
+RasterImage ResampleNearest(const RasterImage& image, int64_t new_height,
+                            int64_t new_width) {
+  GEO_CHECK(new_height > 0 && new_width > 0);
+  RasterImage out(new_height, new_width, image.bands());
+  out.set_crs_epsg(image.crs_epsg());
+  auto gt = image.geotransform();
+  gt[1] *= static_cast<double>(image.width()) / new_width;
+  gt[5] *= static_cast<double>(image.height()) / new_height;
+  out.set_geotransform(gt);
+  for (int64_t b = 0; b < image.bands(); ++b) {
+    for (int64_t i = 0; i < new_height; ++i) {
+      const int64_t si = i * image.height() / new_height;
+      for (int64_t j = 0; j < new_width; ++j) {
+        const int64_t sj = j * image.width() / new_width;
+        out.at(b, i, j) = image.at(b, si, sj);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace geotorch::raster

@@ -1,0 +1,89 @@
+#ifndef GEOTORCH_RASTER_OPS_H_
+#define GEOTORCH_RASTER_OPS_H_
+
+#include <utility>
+#include <vector>
+
+#include "raster/raster.h"
+
+namespace geotorch::raster {
+
+// Transformation operations (Section III-B2): modify the spectral
+// bands of a raster image.
+
+/// (b1 - b2) / (b1 + b2), the normalized difference index — NDVI when
+/// b1=NIR, b2=red; NDWI when b1=green, b2=NIR. Zero where the
+/// denominator vanishes. Returns an H*W plane.
+std::vector<float> NormalizedDifferenceIndex(const RasterImage& image,
+                                             int64_t band1, int64_t band2);
+
+/// Appends the normalized difference of two bands as a new band — the
+/// transform exercised by Table VIII and Listing 7/9.
+RasterImage AppendNormalizedDifferenceIndex(const RasterImage& image,
+                                            int64_t band1, int64_t band2);
+
+/// Appends an arbitrary plane (size H*W) as a new band.
+RasterImage AppendBand(const RasterImage& image,
+                       const std::vector<float>& plane);
+
+/// Removes one band.
+RasterImage DeleteBand(const RasterImage& image, int64_t band);
+
+/// Min-max normalizes one band in place to [0, 1] (constant bands
+/// become 0).
+void NormalizeBandInPlace(RasterImage& image, int64_t band);
+
+/// Zeroes samples above `upper` (when mask_upper) or below `lower`.
+void MaskBandInPlace(RasterImage& image, int64_t band, float threshold,
+                     bool mask_upper);
+
+// Map-algebra operations: extract values/planes from raster images.
+
+std::vector<float> AddBands(const RasterImage& image, int64_t band1,
+                            int64_t band2);
+std::vector<float> SubtractBands(const RasterImage& image, int64_t band1,
+                                 int64_t band2);
+std::vector<float> MultiplyBands(const RasterImage& image, int64_t band1,
+                                 int64_t band2);
+/// Elementwise division; 0 where the divisor vanishes.
+std::vector<float> DivideBands(const RasterImage& image, int64_t band1,
+                               int64_t band2);
+/// Bitwise AND/OR of the integer-cast samples.
+std::vector<float> BitwiseAndBands(const RasterImage& image, int64_t band1,
+                                   int64_t band2);
+std::vector<float> BitwiseOrBands(const RasterImage& image, int64_t band1,
+                                  int64_t band2);
+
+float BandMean(const RasterImage& image, int64_t band);
+/// Most frequent value after rounding to the nearest integer.
+float BandMode(const RasterImage& image, int64_t band);
+std::vector<float> BandSquareRoot(const RasterImage& image, int64_t band);
+/// Elementwise floating-point modulus of a band by `divisor`.
+std::vector<float> BandModulo(const RasterImage& image, int64_t band,
+                              float divisor);
+
+// Georeferencing and geometric operations.
+
+/// World coordinates of a pixel center, via the image's affine
+/// geotransform: x = gt[0] + (j+0.5)*gt[1] + (i+0.5)*gt[2], etc.
+std::pair<double, double> PixelToWorld(const RasterImage& image, int64_t i,
+                                       int64_t j);
+
+/// Pixel (row, col) containing a world coordinate; {-1, -1} when the
+/// point falls outside the raster (assumes an axis-aligned transform).
+std::pair<int64_t, int64_t> WorldToPixel(const RasterImage& image, double x,
+                                         double y);
+
+/// Crops a window [row0, row0+height) x [col0, col0+width) across all
+/// bands, updating the geotransform origin accordingly.
+RasterImage ClipRaster(const RasterImage& image, int64_t row0, int64_t col0,
+                       int64_t height, int64_t width);
+
+/// Nearest-neighbour resample to a new size, scaling the geotransform's
+/// pixel dimensions.
+RasterImage ResampleNearest(const RasterImage& image, int64_t new_height,
+                            int64_t new_width);
+
+}  // namespace geotorch::raster
+
+#endif  // GEOTORCH_RASTER_OPS_H_

@@ -1,0 +1,46 @@
+#include "raster/raster.h"
+
+#include "core/check.h"
+
+namespace geotorch::raster {
+
+RasterImage::RasterImage(int64_t height, int64_t width, int64_t bands)
+    : height_(height), width_(width), bands_(bands) {
+  GEO_CHECK(height > 0 && width > 0 && bands > 0);
+  data_.assign(height * width * bands, 0.0f);
+}
+
+float RasterImage::at(int64_t band, int64_t i, int64_t j) const {
+  return const_cast<RasterImage*>(this)->at(band, i, j);
+}
+
+float& RasterImage::at(int64_t band, int64_t i, int64_t j) {
+  GEO_CHECK(band >= 0 && band < bands_ && i >= 0 && i < height_ && j >= 0 &&
+            j < width_)
+      << "raster index (" << band << "," << i << "," << j << ") out of "
+      << bands_ << "x" << height_ << "x" << width_;
+  return data_[(band * height_ + i) * width_ + j];
+}
+
+const float* RasterImage::band_data(int64_t band) const {
+  GEO_CHECK(band >= 0 && band < bands_);
+  return data_.data() + band * PixelsPerBand();
+}
+
+float* RasterImage::band_data(int64_t band) {
+  GEO_CHECK(band >= 0 && band < bands_);
+  return data_.data() + band * PixelsPerBand();
+}
+
+tensor::Tensor RasterImage::ToTensor() const {
+  return tensor::Tensor::FromVector({bands_, height_, width_}, data_);
+}
+
+RasterImage RasterImage::FromTensor(const tensor::Tensor& t) {
+  GEO_CHECK_EQ(t.ndim(), 3);
+  RasterImage img(t.size(1), t.size(2), t.size(0));
+  img.data_ = t.ToVector();
+  return img;
+}
+
+}  // namespace geotorch::raster

@@ -1,0 +1,60 @@
+#ifndef GEOTORCH_RASTER_RASTER_H_
+#define GEOTORCH_RASTER_RASTER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace geotorch::raster {
+
+/// A multispectral raster image: `bands` planes of height x width
+/// float32 samples plus georeferencing metadata (CRS EPSG code and an
+/// affine geotransform, as in GeoTIFF). Plane-major layout:
+/// data[(b*H + i)*W + j].
+class RasterImage {
+ public:
+  RasterImage() = default;
+  RasterImage(int64_t height, int64_t width, int64_t bands);
+
+  int64_t height() const { return height_; }
+  int64_t width() const { return width_; }
+  int64_t bands() const { return bands_; }
+  int64_t PixelsPerBand() const { return height_ * width_; }
+
+  float at(int64_t band, int64_t i, int64_t j) const;
+  float& at(int64_t band, int64_t i, int64_t j);
+  const float* band_data(int64_t band) const;
+  float* band_data(int64_t band);
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// EPSG code of the coordinate reference system (default 4326).
+  int32_t crs_epsg() const { return crs_epsg_; }
+  void set_crs_epsg(int32_t epsg) { crs_epsg_ = epsg; }
+
+  /// GDAL-style affine transform: {origin_x, pixel_w, rot_x, origin_y,
+  /// rot_y, -pixel_h}.
+  const std::array<double, 6>& geotransform() const { return geotransform_; }
+  void set_geotransform(const std::array<double, 6>& gt) {
+    geotransform_ = gt;
+  }
+
+  /// (C, H, W) tensor view of the samples (copies).
+  tensor::Tensor ToTensor() const;
+  /// Builds an image from a (C, H, W) tensor.
+  static RasterImage FromTensor(const tensor::Tensor& t);
+
+ private:
+  int64_t height_ = 0;
+  int64_t width_ = 0;
+  int64_t bands_ = 0;
+  std::vector<float> data_;
+  int32_t crs_epsg_ = 4326;
+  std::array<double, 6> geotransform_ = {0.0, 1.0, 0.0, 0.0, 0.0, -1.0};
+};
+
+}  // namespace geotorch::raster
+
+#endif  // GEOTORCH_RASTER_RASTER_H_

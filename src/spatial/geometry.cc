@@ -1,0 +1,82 @@
+#include "spatial/geometry.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace geotorch::spatial {
+
+Envelope Envelope::Empty() { return Envelope(); }
+
+void Envelope::ExpandToInclude(const Point& p) {
+  if (IsEmpty()) {
+    min_x_ = max_x_ = p.x;
+    min_y_ = max_y_ = p.y;
+    return;
+  }
+  min_x_ = std::min(min_x_, p.x);
+  max_x_ = std::max(max_x_, p.x);
+  min_y_ = std::min(min_y_, p.y);
+  max_y_ = std::max(max_y_, p.y);
+}
+
+void Envelope::ExpandToInclude(const Envelope& other) {
+  if (other.IsEmpty()) return;
+  ExpandToInclude(Point{other.min_x_, other.min_y_});
+  ExpandToInclude(Point{other.max_x_, other.max_y_});
+}
+
+Polygon::Polygon(std::vector<Point> ring) : ring_(std::move(ring)) {
+  GEO_CHECK_GE(ring_.size(), 3u) << "polygon needs at least 3 vertices";
+  for (const Point& p : ring_) bounds_.ExpandToInclude(p);
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (!bounds_.Contains(p)) return false;
+  bool inside = false;
+  const size_t n = ring_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_cross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::Area() const {
+  double twice = 0.0;
+  const size_t n = ring_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    twice += (ring_[j].x + ring_[i].x) * (ring_[j].y - ring_[i].y);
+  }
+  return std::fabs(twice) / 2.0;
+}
+
+Polygon Polygon::FromEnvelope(const Envelope& env) {
+  return Polygon({{env.min_x(), env.min_y()},
+                  {env.max_x(), env.min_y()},
+                  {env.max_x(), env.max_y()},
+                  {env.min_x(), env.max_y()}});
+}
+
+double EuclideanDistance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double HaversineMeters(const Point& a, const Point& b) {
+  constexpr double kEarthRadiusM = 6371000.0;
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double lat1 = a.y * kDegToRad;
+  const double lat2 = b.y * kDegToRad;
+  const double dlat = (b.y - a.y) * kDegToRad;
+  const double dlon = (b.x - a.x) * kDegToRad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusM * std::asin(std::sqrt(h));
+}
+
+}  // namespace geotorch::spatial

@@ -1,0 +1,94 @@
+#ifndef GEOTORCH_SPATIAL_GEOMETRY_H_
+#define GEOTORCH_SPATIAL_GEOMETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace geotorch::spatial {
+
+/// A 2-D point. For geographic data x is longitude, y is latitude.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Axis-aligned bounding box.
+class Envelope {
+ public:
+  Envelope() = default;
+  Envelope(double min_x, double min_y, double max_x, double max_y)
+      : min_x_(min_x), min_y_(min_y), max_x_(max_x), max_y_(max_y) {}
+
+  static Envelope Empty();
+  bool IsEmpty() const { return min_x_ > max_x_ || min_y_ > max_y_; }
+
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+  double width() const { return max_x_ - min_x_; }
+  double height() const { return max_y_ - min_y_; }
+  Point center() const {
+    return Point{(min_x_ + max_x_) / 2.0, (min_y_ + max_y_) / 2.0};
+  }
+
+  /// Closed containment (boundary points are inside).
+  bool Contains(const Point& p) const {
+    return p.x >= min_x_ && p.x <= max_x_ && p.y >= min_y_ && p.y <= max_y_;
+  }
+  bool Contains(const Envelope& other) const {
+    return other.min_x_ >= min_x_ && other.max_x_ <= max_x_ &&
+           other.min_y_ >= min_y_ && other.max_y_ <= max_y_;
+  }
+  bool Intersects(const Envelope& other) const {
+    return !(other.min_x_ > max_x_ || other.max_x_ < min_x_ ||
+             other.min_y_ > max_y_ || other.max_y_ < min_y_);
+  }
+
+  /// Grows to include `p` / `other`.
+  void ExpandToInclude(const Point& p);
+  void ExpandToInclude(const Envelope& other);
+
+ private:
+  double min_x_ = 1.0;
+  double min_y_ = 1.0;
+  double max_x_ = -1.0;  // empty by default
+  double max_y_ = -1.0;
+};
+
+/// A simple polygon (single outer ring, implicitly closed).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> ring);
+
+  const std::vector<Point>& ring() const { return ring_; }
+  const Envelope& bounds() const { return bounds_; }
+
+  /// Even-odd (ray casting) point-in-polygon test, with an envelope
+  /// pre-check.
+  bool Contains(const Point& p) const;
+
+  /// Area by the shoelace formula (absolute value).
+  double Area() const;
+
+  /// Axis-aligned rectangle as a polygon.
+  static Polygon FromEnvelope(const Envelope& env);
+
+ private:
+  std::vector<Point> ring_;
+  Envelope bounds_;
+};
+
+/// Planar Euclidean distance.
+double EuclideanDistance(const Point& a, const Point& b);
+
+/// Great-circle distance in meters between two lon/lat points
+/// (haversine, spherical Earth R=6371km). Used to size NYC-scale grid
+/// cells realistically in the trip generator.
+double HaversineMeters(const Point& a, const Point& b);
+
+}  // namespace geotorch::spatial
+
+#endif  // GEOTORCH_SPATIAL_GEOMETRY_H_

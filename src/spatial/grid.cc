@@ -1,0 +1,63 @@
+#include "spatial/grid.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace geotorch::spatial {
+
+GridPartitioner::GridPartitioner(const Envelope& extent, int nx, int ny)
+    : extent_(extent), nx_(nx), ny_(ny) {
+  GEO_CHECK(!extent.IsEmpty());
+  GEO_CHECK(nx >= 1 && ny >= 1);
+  GEO_CHECK(extent.width() > 0 && extent.height() > 0);
+  cell_w_ = extent.width() / nx;
+  cell_h_ = extent.height() / ny;
+}
+
+std::optional<int64_t> GridPartitioner::CellOf(const Point& p) const {
+  if (!extent_.Contains(p)) return std::nullopt;
+  int ix = static_cast<int>((p.x - extent_.min_x()) / cell_w_);
+  int iy = static_cast<int>((p.y - extent_.min_y()) / cell_h_);
+  // Points exactly on the max edge belong to the last cell.
+  if (ix == nx_) ix = nx_ - 1;
+  if (iy == ny_) iy = ny_ - 1;
+  return static_cast<int64_t>(iy) * nx_ + ix;
+}
+
+Envelope GridPartitioner::CellEnvelope(int64_t cell) const {
+  GEO_CHECK(cell >= 0 && cell < NumCells());
+  const int ix = CellX(cell);
+  const int iy = CellY(cell);
+  const double x0 = extent_.min_x() + ix * cell_w_;
+  const double y0 = extent_.min_y() + iy * cell_h_;
+  return Envelope(x0, y0, x0 + cell_w_, y0 + cell_h_);
+}
+
+std::vector<Polygon> GridPartitioner::CellPolygons() const {
+  std::vector<Polygon> polys;
+  polys.reserve(NumCells());
+  for (int64_t c = 0; c < NumCells(); ++c) {
+    polys.push_back(Polygon::FromEnvelope(CellEnvelope(c)));
+  }
+  return polys;
+}
+
+std::vector<int64_t> GridPartitioner::NeighborCells(int64_t cell) const {
+  GEO_CHECK(cell >= 0 && cell < NumCells());
+  const int ix = CellX(cell);
+  const int iy = CellY(cell);
+  std::vector<int64_t> out;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const int jx = ix + dx;
+      const int jy = iy + dy;
+      if (jx < 0 || jx >= nx_ || jy < 0 || jy >= ny_) continue;
+      out.push_back(static_cast<int64_t>(jy) * nx_ + jx);
+    }
+  }
+  return out;
+}
+
+}  // namespace geotorch::spatial

@@ -1,0 +1,54 @@
+#ifndef GEOTORCH_SPATIAL_GRID_H_
+#define GEOTORCH_SPATIAL_GRID_H_
+
+#include <optional>
+#include <vector>
+
+#include "spatial/geometry.h"
+
+namespace geotorch::spatial {
+
+/// Partitions a rectangular extent into an nx x ny grid of equal cells —
+/// the paper's SpacePartition: "the full spatial unit is converted into
+/// a grid-like structure by partitioning both the x-axis and y-axis
+/// into equal-sized slots" (Section II-A2). Cell (0,0) is the
+/// bottom-left (min_x, min_y) corner; cell id = iy * nx + ix.
+class GridPartitioner {
+ public:
+  GridPartitioner(const Envelope& extent, int nx, int ny);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int64_t NumCells() const { return static_cast<int64_t>(nx_) * ny_; }
+  const Envelope& extent() const { return extent_; }
+
+  /// Cell id of `p`, or nullopt when the point lies outside the extent.
+  /// Points on the max edge clamp into the last cell.
+  std::optional<int64_t> CellOf(const Point& p) const;
+
+  /// Column/row of a cell id.
+  int CellX(int64_t cell) const { return static_cast<int>(cell % nx_); }
+  int CellY(int64_t cell) const { return static_cast<int>(cell / nx_); }
+
+  /// Geometry of one cell.
+  Envelope CellEnvelope(int64_t cell) const;
+
+  /// All cells as polygons, ordered by cell id. (The polygon side of a
+  /// point-in-polygon spatial join over the grid.)
+  std::vector<Polygon> CellPolygons() const;
+
+  /// Ids of the (up to 8) cells adjacent to `cell` — grid adjacency,
+  /// which the paper notes grid partitioning preserves.
+  std::vector<int64_t> NeighborCells(int64_t cell) const;
+
+ private:
+  Envelope extent_;
+  int nx_;
+  int ny_;
+  double cell_w_;
+  double cell_h_;
+};
+
+}  // namespace geotorch::spatial
+
+#endif  // GEOTORCH_SPATIAL_GRID_H_

@@ -1,0 +1,89 @@
+#include "spatial/join.h"
+
+#include "core/check.h"
+
+namespace geotorch::spatial {
+
+std::vector<JoinPair> PointInPolygonJoin(const std::vector<Point>& points,
+                                         const std::vector<Polygon>& polygons,
+                                         JoinStrategy strategy,
+                                         const GridPartitioner* grid) {
+  std::vector<JoinPair> out;
+  switch (strategy) {
+    case JoinStrategy::kNestedLoop: {
+      for (int64_t pi = 0; pi < static_cast<int64_t>(points.size()); ++pi) {
+        for (int64_t gi = 0; gi < static_cast<int64_t>(polygons.size());
+             ++gi) {
+          if (polygons[gi].Contains(points[pi])) {
+            out.push_back({pi, gi});
+          }
+        }
+      }
+      break;
+    }
+    case JoinStrategy::kStrTree: {
+      std::vector<StrTree::Entry> entries;
+      entries.reserve(polygons.size());
+      for (int64_t gi = 0; gi < static_cast<int64_t>(polygons.size()); ++gi) {
+        entries.push_back({polygons[gi].bounds(), gi});
+      }
+      StrTree tree(std::move(entries));
+      for (int64_t pi = 0; pi < static_cast<int64_t>(points.size()); ++pi) {
+        const Point& p = points[pi];
+        Envelope probe(p.x, p.y, p.x, p.y);
+        tree.Visit(probe, [&](int64_t gi) {
+          if (polygons[gi].Contains(p)) out.push_back({pi, gi});
+        });
+      }
+      break;
+    }
+    case JoinStrategy::kGridHash: {
+      GEO_CHECK(grid != nullptr)
+          << "kGridHash requires the grid partitioner";
+      GEO_CHECK_EQ(static_cast<int64_t>(polygons.size()), grid->NumCells());
+      for (int64_t pi = 0; pi < static_cast<int64_t>(points.size()); ++pi) {
+        auto cell = grid->CellOf(points[pi]);
+        if (cell.has_value()) out.push_back({pi, *cell});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> AssignPointsToCells(const std::vector<Point>& points,
+                                         const GridPartitioner& grid) {
+  std::vector<int64_t> cells(points.size(), -1);
+  for (size_t i = 0; i < points.size(); ++i) {
+    auto cell = grid.CellOf(points[i]);
+    if (cell.has_value()) cells[i] = *cell;
+  }
+  return cells;
+}
+
+std::vector<DistancePair> DistanceJoin(const std::vector<Point>& left,
+                                       const std::vector<Point>& right,
+                                       double radius) {
+  GEO_CHECK_GE(radius, 0.0);
+  std::vector<StrTree::Entry> entries;
+  entries.reserve(right.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(right.size()); ++i) {
+    entries.push_back(
+        {Envelope(right[i].x, right[i].y, right[i].x, right[i].y), i});
+  }
+  StrTree tree(std::move(entries));
+  std::vector<DistancePair> out;
+  const double r2 = radius * radius;
+  for (int64_t li = 0; li < static_cast<int64_t>(left.size()); ++li) {
+    const Point& p = left[li];
+    Envelope probe(p.x - radius, p.y - radius, p.x + radius, p.y + radius);
+    tree.Visit(probe, [&](int64_t ri) {
+      const double dx = p.x - right[ri].x;
+      const double dy = p.y - right[ri].y;
+      if (dx * dx + dy * dy <= r2) out.push_back({li, ri});
+    });
+  }
+  return out;
+}
+
+}  // namespace geotorch::spatial

@@ -1,0 +1,57 @@
+#ifndef GEOTORCH_SPATIAL_JOIN_H_
+#define GEOTORCH_SPATIAL_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/geometry.h"
+#include "spatial/grid.h"
+#include "spatial/strtree.h"
+
+namespace geotorch::spatial {
+
+/// A (point index, polygon index) match from a spatial join.
+struct JoinPair {
+  int64_t point_idx;
+  int64_t polygon_idx;
+};
+
+/// Point-in-polygon join strategies. The paper's preprocessing module
+/// aggregates trip points into grid cells via "efficient spatial joins
+/// on Apache Sedona"; these are the equivalents, compared by the
+/// ablation bench `ablation_spatial_join`.
+enum class JoinStrategy {
+  kNestedLoop,  ///< O(P * G) baseline
+  kStrTree,     ///< index the polygons, probe with each point
+  kGridHash,    ///< O(1) cell lookup, valid when polygons form a grid
+};
+
+/// Joins each point to the polygons containing it, with the given
+/// strategy. For kGridHash, `grid` must describe the same cells as
+/// `polygons` (polygon i == grid cell i); pass nullptr otherwise.
+std::vector<JoinPair> PointInPolygonJoin(const std::vector<Point>& points,
+                                         const std::vector<Polygon>& polygons,
+                                         JoinStrategy strategy,
+                                         const GridPartitioner* grid = nullptr);
+
+/// Fast path used by the preprocessing module: assigns each point its
+/// grid cell id (-1 when outside the extent).
+std::vector<int64_t> AssignPointsToCells(const std::vector<Point>& points,
+                                         const GridPartitioner& grid);
+
+/// A (left index, right index) match from a distance join.
+struct DistancePair {
+  int64_t left_idx;
+  int64_t right_idx;
+};
+
+/// All (a, b) pairs with Euclidean distance <= radius, found by
+/// indexing `right` in an STR-tree and probing with a radius box per
+/// left point (Sedona's DistanceJoin).
+std::vector<DistancePair> DistanceJoin(const std::vector<Point>& left,
+                                       const std::vector<Point>& right,
+                                       double radius);
+
+}  // namespace geotorch::spatial
+
+#endif  // GEOTORCH_SPATIAL_JOIN_H_

@@ -1,0 +1,146 @@
+#include "spatial/strtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/check.h"
+
+namespace geotorch::spatial {
+
+StrTree::StrTree(std::vector<Entry> entries, int node_capacity)
+    : entries_(std::move(entries)), node_capacity_(node_capacity) {
+  GEO_CHECK_GE(node_capacity_, 2);
+  num_entries_ = static_cast<int64_t>(entries_.size());
+  if (entries_.empty()) return;
+  std::vector<int32_t> ids(entries_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
+  root_ = Build(ids, 0);
+}
+
+int32_t StrTree::Build(std::vector<int32_t>& entry_ids, int level) {
+  height_ = std::max(height_, level + 1);
+  const int64_t n = static_cast<int64_t>(entry_ids.size());
+  if (n <= node_capacity_) {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.children = entry_ids;
+    for (int32_t e : entry_ids) {
+      leaf.envelope.ExpandToInclude(entries_[e].envelope);
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  // STR: S = ceil(sqrt(#slices)), sort by center x, slice, sort each
+  // slice by center y, pack runs of node_capacity.
+  const int64_t num_leaves = (n + node_capacity_ - 1) / node_capacity_;
+  const int64_t num_slices =
+      static_cast<int64_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const int64_t slice_size =
+      (n + num_slices - 1) / num_slices;
+
+  std::sort(entry_ids.begin(), entry_ids.end(),
+            [this](int32_t a, int32_t b) {
+              return entries_[a].envelope.center().x <
+                     entries_[b].envelope.center().x;
+            });
+
+  std::vector<int32_t> child_nodes;
+  for (int64_t s = 0; s < num_slices; ++s) {
+    const int64_t begin = s * slice_size;
+    const int64_t end = std::min<int64_t>(n, begin + slice_size);
+    if (begin >= end) break;
+    std::sort(entry_ids.begin() + begin, entry_ids.begin() + end,
+              [this](int32_t a, int32_t b) {
+                return entries_[a].envelope.center().y <
+                       entries_[b].envelope.center().y;
+              });
+    for (int64_t b = begin; b < end; b += node_capacity_) {
+      const int64_t leaf_end = std::min<int64_t>(end, b + node_capacity_);
+      Node leaf;
+      leaf.is_leaf = true;
+      for (int64_t i = b; i < leaf_end; ++i) {
+        leaf.children.push_back(entry_ids[i]);
+        leaf.envelope.ExpandToInclude(entries_[entry_ids[i]].envelope);
+      }
+      nodes_.push_back(std::move(leaf));
+      child_nodes.push_back(static_cast<int32_t>(nodes_.size() - 1));
+    }
+  }
+
+  // Pack child nodes upward until a single root remains.
+  int levels = level + 2;
+  while (static_cast<int>(child_nodes.size()) > 1) {
+    std::vector<int32_t> parents;
+    for (size_t b = 0; b < child_nodes.size();
+         b += static_cast<size_t>(node_capacity_)) {
+      const size_t end =
+          std::min(child_nodes.size(), b + static_cast<size_t>(node_capacity_));
+      Node parent;
+      parent.is_leaf = false;
+      for (size_t i = b; i < end; ++i) {
+        parent.children.push_back(child_nodes[i]);
+        parent.envelope.ExpandToInclude(nodes_[child_nodes[i]].envelope);
+      }
+      nodes_.push_back(std::move(parent));
+      parents.push_back(static_cast<int32_t>(nodes_.size() - 1));
+    }
+    child_nodes = std::move(parents);
+    ++levels;
+  }
+  height_ = std::max(height_, levels);
+  return child_nodes[0];
+}
+
+namespace {
+
+// Squared distance from a point to an envelope (0 when inside).
+double EnvelopeDist2(const Envelope& e, const Point& p) {
+  const double dx = std::max({e.min_x() - p.x, 0.0, p.x - e.max_x()});
+  const double dy = std::max({e.min_y() - p.y, 0.0, p.y - e.max_y()});
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+std::vector<int64_t> StrTree::Nearest(const Point& p, int k) const {
+  std::vector<int64_t> out;
+  if (nodes_.empty() || k <= 0) return out;
+  // Best-first search: frontier of (dist2, is_entry, index).
+  struct Item {
+    double dist2;
+    bool is_entry;
+    int32_t index;
+    bool operator>(const Item& other) const { return dist2 > other.dist2; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  frontier.push({EnvelopeDist2(nodes_[root_].envelope, p), false, root_});
+  while (!frontier.empty() && static_cast<int>(out.size()) < k) {
+    Item item = frontier.top();
+    frontier.pop();
+    if (item.is_entry) {
+      out.push_back(entries_[item.index].id);
+      continue;
+    }
+    const Node& node = nodes_[item.index];
+    if (node.is_leaf) {
+      for (int32_t e : node.children) {
+        frontier.push({EnvelopeDist2(entries_[e].envelope, p), true, e});
+      }
+    } else {
+      for (int32_t c : node.children) {
+        frontier.push({EnvelopeDist2(nodes_[c].envelope, p), false, c});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> StrTree::Query(const Envelope& query) const {
+  std::vector<int64_t> out;
+  Visit(query, [&out](int64_t id) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace geotorch::spatial

@@ -1,0 +1,57 @@
+#include "synth/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace geotorch::synth {
+
+std::vector<float> SmoothNoise(int64_t h, int64_t w, int64_t scale,
+                               Rng& rng) {
+  GEO_CHECK(h > 0 && w > 0 && scale > 0);
+  const int64_t gh = h / scale + 2;
+  const int64_t gw = w / scale + 2;
+  std::vector<float> lattice(gh * gw);
+  for (auto& v : lattice) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  std::vector<float> out(h * w);
+  for (int64_t i = 0; i < h; ++i) {
+    const double gy = static_cast<double>(i) / scale;
+    const int64_t y0 = static_cast<int64_t>(gy);
+    const float fy = static_cast<float>(gy - y0);
+    for (int64_t j = 0; j < w; ++j) {
+      const double gx = static_cast<double>(j) / scale;
+      const int64_t x0 = static_cast<int64_t>(gx);
+      const float fx = static_cast<float>(gx - x0);
+      const float v00 = lattice[y0 * gw + x0];
+      const float v01 = lattice[y0 * gw + x0 + 1];
+      const float v10 = lattice[(y0 + 1) * gw + x0];
+      const float v11 = lattice[(y0 + 1) * gw + x0 + 1];
+      const float top = v00 * (1 - fx) + v01 * fx;
+      const float bot = v10 * (1 - fx) + v11 * fx;
+      out[i * w + j] = top * (1 - fy) + bot * fy;
+    }
+  }
+  return out;
+}
+
+std::vector<float> FractalNoise(int64_t h, int64_t w, int64_t base_scale,
+                                int octaves, Rng& rng) {
+  GEO_CHECK_GE(octaves, 1);
+  std::vector<float> out(h * w, 0.0f);
+  float amplitude = 1.0f;
+  float total_amp = 0.0f;
+  int64_t scale = base_scale;
+  for (int o = 0; o < octaves && scale >= 1; ++o) {
+    std::vector<float> layer = SmoothNoise(h, w, scale, rng);
+    for (int64_t i = 0; i < h * w; ++i) out[i] += amplitude * layer[i];
+    total_amp += amplitude;
+    amplitude *= 0.5f;
+    scale = std::max<int64_t>(1, scale / 2);
+  }
+  for (auto& v : out) v /= total_amp;
+  return out;
+}
+
+}  // namespace geotorch::synth

@@ -1,0 +1,23 @@
+#ifndef GEOTORCH_SYNTH_NOISE_H_
+#define GEOTORCH_SYNTH_NOISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace geotorch::synth {
+
+/// Smooth value noise: a coarse random lattice bilinearly interpolated
+/// to h x w. `scale` is the lattice spacing in output pixels — larger
+/// scale, smoother field. Values are roughly in [-1, 1].
+std::vector<float> SmoothNoise(int64_t h, int64_t w, int64_t scale, Rng& rng);
+
+/// Fractal (multi-octave) value noise: sum of SmoothNoise octaves with
+/// halving scale and amplitude. Used for cloud shapes and land texture.
+std::vector<float> FractalNoise(int64_t h, int64_t w, int64_t base_scale,
+                                int octaves, Rng& rng);
+
+}  // namespace geotorch::synth
+
+#endif  // GEOTORCH_SYNTH_NOISE_H_

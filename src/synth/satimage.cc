@@ -1,0 +1,119 @@
+#include "synth/satimage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "synth/noise.h"
+#include "tensor/ops.h"
+
+namespace geotorch::synth {
+namespace {
+
+// Deterministic per-class spectral signature in [0.1, 0.9]: each class
+// gets a distinct reflectance curve over the bands, so band ratios
+// (normalized difference indices) carry class information.
+float ClassSignature(int cls, int64_t band, int64_t bands) {
+  const double phase = 0.9 * cls + 0.4;
+  const double freq = 1.0 + 0.15 * (cls % 5);
+  const double x = static_cast<double>(band) / static_cast<double>(bands);
+  return static_cast<float>(0.5 + 0.35 * std::sin(2.0 * M_PI * freq * x +
+                                                  phase));
+}
+
+// Per-class texture scale (lattice spacing of the noise): classes
+// differ in GLCM statistics.
+int64_t ClassTextureScale(int cls, int64_t size) {
+  const int64_t scales[] = {2, 3, 4, 6, 8, 12};
+  return std::min<int64_t>(size / 2,
+                           scales[cls % (sizeof(scales) / sizeof(int64_t))]);
+}
+
+}  // namespace
+
+raster::RasterImage GenerateScene(const SceneConfig& config, int cls,
+                                  uint64_t image_seed) {
+  GEO_CHECK(cls >= 0 && cls < config.num_classes);
+  Rng rng(image_seed);
+  const int64_t s = config.size;
+  raster::RasterImage img(s, s, config.bands);
+
+  // Shared texture field: the same spatial pattern modulates every
+  // band (real scenes are spatially coherent across bands).
+  const int64_t scale = ClassTextureScale(cls, s);
+  std::vector<float> texture = FractalNoise(s, s, scale, 3, rng);
+  // Illumination jitter per image.
+  const float illum = static_cast<float>(rng.Uniform(0.85, 1.15));
+
+  for (int64_t b = 0; b < config.bands; ++b) {
+    const float sig = ClassSignature(cls, b, config.bands);
+    // Texture modulation strength also varies per band.
+    const float tex_amp = 0.12f + 0.08f * static_cast<float>(b % 3);
+    float* plane = img.band_data(b);
+    for (int64_t i = 0; i < s * s; ++i) {
+      float v = illum * (sig + tex_amp * texture[i]) +
+                static_cast<float>(rng.Normal(0.0, config.noise));
+      plane[i] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+  return img;
+}
+
+std::pair<tensor::Tensor, tensor::Tensor> GenerateClassificationSet(
+    int64_t n, const SceneConfig& config) {
+  GEO_CHECK_GT(n, 0);
+  tensor::Tensor images({n, config.bands, config.size, config.size});
+  tensor::Tensor labels({n});
+  const int64_t per_image = config.bands * config.size * config.size;
+  Rng seeder(config.seed);
+  for (int64_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % config.num_classes);
+    const uint64_t image_seed =
+        static_cast<uint64_t>(seeder.UniformInt(0, (1LL << 62)));
+    raster::RasterImage img = GenerateScene(config, cls, image_seed);
+    std::copy(img.data().begin(), img.data().end(),
+              images.data() + i * per_image);
+    labels.flat(i) = static_cast<float>(cls);
+  }
+  return {images, labels};
+}
+
+std::pair<tensor::Tensor, tensor::Tensor> GenerateCloudSegmentationSet(
+    int64_t n, int64_t size, int64_t bands, uint64_t seed) {
+  GEO_CHECK(n > 0 && size > 0 && bands > 0);
+  tensor::Tensor images({n, bands, size, size});
+  tensor::Tensor masks({n, size, size});
+  Rng rng(seed);
+  const int64_t per_image = bands * size * size;
+  for (int64_t i = 0; i < n; ++i) {
+    // Land background: textured reflectance per band.
+    std::vector<float> land = FractalNoise(size, size, size / 4, 3, rng);
+    // Cloud field: smooth blobs; threshold controls coverage (~20-60%).
+    std::vector<float> cloud = FractalNoise(size, size, size / 3, 2, rng);
+    const float threshold = static_cast<float>(rng.Uniform(0.05, 0.35));
+    float* mask = masks.data() + i * size * size;
+    for (int64_t p = 0; p < size * size; ++p) {
+      mask[p] = cloud[p] > threshold ? 1.0f : 0.0f;
+    }
+    for (int64_t b = 0; b < bands; ++b) {
+      const float land_base = 0.25f + 0.05f * b;
+      float* plane = images.data() + i * per_image + b * size * size;
+      for (int64_t p = 0; p < size * size; ++p) {
+        float v = land_base + 0.15f * land[p];
+        if (mask[p] > 0.5f) {
+          // Clouds are bright in every band, with soft edges.
+          const float density =
+              std::min(1.0f, (cloud[p] - threshold) * 4.0f);
+          v = v * (1.0f - density) + density * 0.9f;
+        }
+        v += static_cast<float>(rng.Normal(0.0, 0.03));
+        plane[p] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  return {images, masks};
+}
+
+}  // namespace geotorch::synth

@@ -1,0 +1,44 @@
+#ifndef GEOTORCH_SYNTH_SATIMAGE_H_
+#define GEOTORCH_SYNTH_SATIMAGE_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "raster/raster.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::synth {
+
+/// Configuration of the multispectral scene generator — the stand-in
+/// for EuroSAT (64x64, 13 bands, 10 classes), SAT-6 (28x28, 4 bands,
+/// 6 classes), and SlumDetection (32x32, 4 bands, 2 classes).
+struct SceneConfig {
+  int64_t size = 64;
+  int64_t bands = 13;
+  int num_classes = 10;
+  uint64_t seed = 0;
+  /// Additive sensor noise stddev (relative to the 0..1 reflectances).
+  float noise = 0.2f;
+};
+
+/// Generates one labeled scene. Each class has a distinct spectral
+/// signature (so spectral indices separate classes) and a distinct
+/// texture scale (so GLCM features separate classes), plus per-image
+/// illumination jitter and sensor noise.
+raster::RasterImage GenerateScene(const SceneConfig& config, int cls,
+                                  uint64_t image_seed);
+
+/// Generates a classification set: images (N, bands, size, size) and
+/// labels (N) with a balanced class distribution.
+std::pair<tensor::Tensor, tensor::Tensor> GenerateClassificationSet(
+    int64_t n, const SceneConfig& config);
+
+/// Generates a cloud-segmentation set — the 38-Cloud stand-in:
+/// images (N, bands, size, size) and binary masks (N, size, size)
+/// where cloudy pixels brighten every band.
+std::pair<tensor::Tensor, tensor::Tensor> GenerateCloudSegmentationSet(
+    int64_t n, int64_t size, int64_t bands, uint64_t seed);
+
+}  // namespace geotorch::synth
+
+#endif  // GEOTORCH_SYNTH_SATIMAGE_H_

@@ -1,0 +1,134 @@
+#include "synth/taxi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace geotorch::synth {
+namespace {
+
+// Hour-of-day intensity: low at night, peaks at the 8am and 6pm rush.
+double DiurnalFactor(double hour) {
+  const double morning = std::exp(-(hour - 8.0) * (hour - 8.0) / 8.0);
+  const double evening = std::exp(-(hour - 18.0) * (hour - 18.0) / 10.0);
+  return 0.25 + morning + 1.2 * evening;
+}
+
+// Weekday factor: weekends carry less commuter traffic.
+double WeeklyFactor(int day_of_week) {
+  return (day_of_week >= 5) ? 0.6 : 1.0;
+}
+
+}  // namespace
+
+double TripIntensity(int64_t time_sec) {
+  const double hour =
+      static_cast<double>(time_sec % 86400) / 3600.0;
+  const int dow = static_cast<int>((time_sec / 86400) % 7);
+  return DiurnalFactor(hour) * WeeklyFactor(dow);
+}
+
+std::vector<TripRecord> GenerateTaxiTrips(const TaxiTripConfig& config) {
+  GEO_CHECK_GT(config.num_records, 0);
+  Rng rng(config.seed);
+
+  // Hot spots: fixed activity centers inside the extent with
+  // per-spot spread and weight.
+  struct HotSpot {
+    double lon;
+    double lat;
+    double sigma;
+    double weight;
+  };
+  std::vector<HotSpot> spots;
+  std::vector<double> weights;
+  for (int s = 0; s < config.num_hotspots; ++s) {
+    HotSpot h;
+    h.lon = rng.Uniform(config.extent.min_x() + 0.1 * config.extent.width(),
+                        config.extent.max_x() - 0.1 * config.extent.width());
+    h.lat =
+        rng.Uniform(config.extent.min_y() + 0.1 * config.extent.height(),
+                    config.extent.max_y() - 0.1 * config.extent.height());
+    h.sigma = rng.Uniform(0.003, 0.02);
+    h.weight = rng.Uniform(0.5, 2.0);
+    spots.push_back(h);
+    weights.push_back(h.weight);
+  }
+
+  // Rejection-free time sampling: draw a uniform time, accept with
+  // probability proportional to intensity (thinning); loop until
+  // enough records.
+  const double max_intensity = 2.8;  // upper bound of the profile
+  std::vector<TripRecord> records;
+  records.reserve(config.num_records);
+  while (static_cast<int64_t>(records.size()) < config.num_records) {
+    const int64_t t =
+        rng.UniformInt(0, config.duration_sec - 1);
+    if (rng.Uniform(0.0, max_intensity) > TripIntensity(t)) continue;
+    TripRecord rec;
+    rec.time_sec = t;
+    rec.is_pickup = rng.Bernoulli(0.5) ? 1 : 0;
+    if (rng.Bernoulli(0.85)) {
+      // Hot-spot draw.
+      const auto& h = spots[rng.Categorical(weights)];
+      rec.lon = rng.Normal(h.lon, h.sigma);
+      rec.lat = rng.Normal(h.lat, h.sigma);
+      // Clamp stragglers into the extent.
+      rec.lon = std::clamp(rec.lon, config.extent.min_x(),
+                           config.extent.max_x());
+      rec.lat = std::clamp(rec.lat, config.extent.min_y(),
+                           config.extent.max_y());
+    } else {
+      // Background uniform traffic.
+      rec.lon = rng.Uniform(config.extent.min_x(), config.extent.max_x());
+      rec.lat = rng.Uniform(config.extent.min_y(), config.extent.max_y());
+    }
+    records.push_back(rec);
+  }
+  return records;
+}
+
+df::DataFrame TripsToDataFrame(const std::vector<TripRecord>& trips,
+                               int num_partitions) {
+  GEO_CHECK_GE(num_partitions, 1);
+  // Build the partitions directly from contiguous record chunks (a
+  // "parallel read" of the raw files) rather than loading into one
+  // partition and shuffling.
+  auto schema = std::make_shared<df::Schema>(
+      std::vector<std::pair<std::string, df::DataType>>{
+          {"lon", df::DataType::kDouble},
+          {"lat", df::DataType::kDouble},
+          {"time", df::DataType::kInt64},
+          {"is_pickup", df::DataType::kInt64}});
+  const int64_t n = static_cast<int64_t>(trips.size());
+  const int64_t per = (n + num_partitions - 1) / num_partitions;
+  std::vector<std::shared_ptr<const df::Partition>> parts;
+  for (int64_t begin = 0; begin < n || parts.empty(); begin += per) {
+    const int64_t end = std::min(n, begin + per);
+    std::vector<double> lon;
+    std::vector<double> lat;
+    std::vector<int64_t> time;
+    std::vector<int64_t> is_pickup;
+    lon.reserve(end - begin);
+    lat.reserve(end - begin);
+    time.reserve(end - begin);
+    is_pickup.reserve(end - begin);
+    for (int64_t i = begin; i < end; ++i) {
+      lon.push_back(trips[i].lon);
+      lat.push_back(trips[i].lat);
+      time.push_back(trips[i].time_sec);
+      is_pickup.push_back(trips[i].is_pickup);
+    }
+    std::vector<df::Column> cols;
+    cols.push_back(df::Column::FromDoubles(std::move(lon)));
+    cols.push_back(df::Column::FromDoubles(std::move(lat)));
+    cols.push_back(df::Column::FromInt64s(std::move(time)));
+    cols.push_back(df::Column::FromInt64s(std::move(is_pickup)));
+    parts.push_back(std::make_shared<df::Partition>(std::move(cols)));
+    if (n == 0) break;
+  }
+  return df::DataFrame::FromPartitions(std::move(schema), std::move(parts));
+}
+
+}  // namespace geotorch::synth

@@ -1,0 +1,54 @@
+#ifndef GEOTORCH_SYNTH_TAXI_H_
+#define GEOTORCH_SYNTH_TAXI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "df/dataframe.h"
+#include "spatial/geometry.h"
+
+namespace geotorch::synth {
+
+/// One synthetic taxi trip event — the stand-in for a row of the NYC
+/// TLC yellow-trip record files (DESIGN.md §1).
+struct TripRecord {
+  double lon;
+  double lat;
+  int64_t time_sec;  ///< seconds since the dataset epoch
+  int64_t is_pickup; ///< 1 = pickup, 0 = dropoff
+};
+
+struct TaxiTripConfig {
+  int64_t num_records = 100000;
+  /// Temporal span of the dataset; the paper's YellowTrip-NYC covers
+  /// three months (Oct-Dec 2010) at 30-minute intervals.
+  int64_t duration_sec = 92LL * 24 * 3600;
+  /// Spatial extent; default approximates the NYC bounding box.
+  spatial::Envelope extent =
+      spatial::Envelope(-74.05, 40.60, -73.75, 40.90);
+  /// Number of pickup/dropoff activity hot spots (midtown, airports...).
+  int num_hotspots = 8;
+  uint64_t seed = 0;
+};
+
+/// Generates trip events with the spatiotemporal structure the paper's
+/// experiments rely on: hot-spot spatial mixture, rush-hour diurnal
+/// profile, and a weekday/weekend cycle — so that the aggregated grid
+/// tensor carries closeness, period, and trend signal.
+std::vector<TripRecord> GenerateTaxiTrips(const TaxiTripConfig& config);
+
+/// Loads trips into a DataFrame with columns lon (double), lat
+/// (double), time (int64), is_pickup (int64) split into
+/// `num_partitions` partitions — the shape of the raw data the
+/// preprocessing module ingests.
+df::DataFrame TripsToDataFrame(const std::vector<TripRecord>& trips,
+                               int num_partitions);
+
+/// The relative trip intensity at a given second (diurnal x weekly),
+/// exposed for tests.
+double TripIntensity(int64_t time_sec);
+
+}  // namespace geotorch::synth
+
+#endif  // GEOTORCH_SYNTH_TAXI_H_

@@ -1,0 +1,146 @@
+#include "synth/weather.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "synth/noise.h"
+
+namespace geotorch::synth {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+}  // namespace
+
+tensor::Tensor GenerateWeatherField(WeatherKind kind, int64_t t, int64_t h,
+                                    int64_t w, uint64_t seed) {
+  GEO_CHECK(t > 0 && h > 0 && w > 0);
+  Rng rng(seed);
+  tensor::Tensor out({t, 1, h, w});
+  float* po = out.data();
+
+  // AR(1) evolution of a smooth spatial field: state = rho*state + eps.
+  const float rho = 0.95f;
+  std::vector<float> state = SmoothNoise(h, w, std::max<int64_t>(4, h / 4),
+                                         rng);
+  // Static latitude profile (row-dependent).
+  std::vector<float> lat_profile(h);
+  for (int64_t i = 0; i < h; ++i) {
+    // Warmest near the "equator" row at h/2.
+    const double x = (static_cast<double>(i) - h / 2.0) / (h / 2.0);
+    lat_profile[i] = static_cast<float>(1.0 - x * x);
+  }
+
+  for (int64_t step = 0; step < t; ++step) {
+    std::vector<float> eps =
+        SmoothNoise(h, w, std::max<int64_t>(4, h / 4), rng);
+    for (int64_t i = 0; i < h * w; ++i) {
+      state[i] = rho * state[i] + std::sqrt(1 - rho * rho) * eps[i];
+    }
+    const double hour = static_cast<double>(step % 24);
+    const double day = static_cast<double>(step) / 24.0;
+    const double diurnal = std::sin(kTwoPi * (hour - 14.0) / 24.0);
+    const double annual = std::sin(kTwoPi * day / 365.0);
+    float* frame = po + step * h * w;
+    for (int64_t i = 0; i < h; ++i) {
+      for (int64_t j = 0; j < w; ++j) {
+        const float s = state[i * w + j];
+        float v = 0.0f;
+        switch (kind) {
+          case WeatherKind::kTemperature:
+            // Mean ~ -10..25C depending on latitude, +-4C diurnal,
+            // +-6C seasonal, +-3C weather noise.
+            v = static_cast<float>(-10.0 + 35.0 * lat_profile[i] +
+                                   4.0 * diurnal + 6.0 * annual + 3.0 * s);
+            break;
+          case WeatherKind::kPrecipitation:
+            // Rain only where the field exceeds a threshold; tiny
+            // magnitudes (meters), matching the paper's ~1e-4 MAEs.
+            v = s > 0.8f ? 2e-3f * (s - 0.8f) : 0.0f;
+            break;
+          case WeatherKind::kCloudCover:
+            // Logistic squashing of the field into [0, 1].
+            v = 1.0f / (1.0f + std::exp(-4.0f * s));
+            break;
+          case WeatherKind::kGeopotential:
+            // 500 hPa height field: ~5.5e4 m^2/s^2 base, latitude
+            // gradient, large smooth synoptic waves.
+            v = static_cast<float>(5.5e4 + 2.5e3 * lat_profile[i] +
+                                   8e2 * s + 1e2 * annual);
+            break;
+          case WeatherKind::kSolarRadiation:
+            // Incident shortwave: zero at night, clear-sky diurnal arc
+            // scaled by latitude and damped by the cloud field.
+            {
+              const double arc =
+                  std::max(0.0, std::sin(kTwoPi * (hour - 6.0) / 24.0));
+              const double clouds = 1.0 / (1.0 + std::exp(-4.0 * s));
+              v = static_cast<float>(1000.0 * arc * lat_profile[i] *
+                                     (1.0 - 0.7 * clouds));
+            }
+            break;
+        }
+        frame[i * w + j] = v;
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor GenerateGridFlow(int64_t t, int64_t c, int64_t h, int64_t w,
+                                int64_t steps_per_day, uint64_t seed) {
+  GEO_CHECK(t > 0 && c > 0 && h > 0 && w > 0 && steps_per_day > 0);
+  Rng rng(seed);
+  tensor::Tensor out({t, c, h, w});
+  float* po = out.data();
+
+  // Per-cell, per-channel base demand: hot spots over a low floor.
+  std::vector<float> base(c * h * w);
+  for (int64_t ci = 0; ci < c; ++ci) {
+    std::vector<float> field =
+        FractalNoise(h, w, std::max<int64_t>(2, h / 3), 2, rng);
+    for (int64_t i = 0; i < h * w; ++i) {
+      // Skewed positive demand.
+      base[ci * h * w + i] =
+          2.0f + 30.0f * std::max(0.0f, field[i]) * std::max(0.0f, field[i]);
+    }
+  }
+
+  // Disturbances: a weak AR(1) component (predictable from recent
+  // frames) plus i.i.d. observation noise (the count noise of real
+  // trip data, unpredictable from any history). The deterministic
+  // diurnal/weekly structure carries most of the signal, which is what
+  // makes the closeness/period/trend features valuable (Section II-B).
+  std::vector<float> ar(c * h * w, 0.0f);
+  const float rho = 0.7f;
+
+  for (int64_t step = 0; step < t; ++step) {
+    const double day_frac =
+        static_cast<double>(step % steps_per_day) / steps_per_day;
+    const double hour = day_frac * 24.0;
+    const int dow = static_cast<int>((step / steps_per_day) % 7);
+    // Sharp rush-hour peaks: high curvature punishes pure short-range
+    // extrapolation.
+    const double morning = std::exp(-(hour - 8.0) * (hour - 8.0) / 3.0);
+    const double evening = std::exp(-(hour - 18.0) * (hour - 18.0) / 4.0);
+    const double weekly = (dow >= 5) ? 0.55 : 1.0;
+    float* frame = po + step * c * h * w;
+    for (int64_t k = 0; k < c * h * w; ++k) {
+      ar[k] = rho * ar[k] + static_cast<float>(rng.Normal(0.0, 0.04));
+      // Channels alternate morning-heavy / evening-heavy (in vs out
+      // flow), like pickup vs dropoff asymmetry.
+      const int64_t ci = k / (h * w);
+      const double diurnal = (ci % 2 == 0)
+                                 ? 0.2 + morning + 0.7 * evening
+                                 : 0.2 + 0.7 * morning + evening;
+      const double mean_v = base[k] * diurnal * weekly * (1.0 + ar[k]);
+      const double v = mean_v * (1.0 + 0.1 * rng.Normal(0.0, 1.0));
+      frame[k] = static_cast<float>(std::max(0.0, v));
+    }
+  }
+  return out;
+}
+
+}  // namespace geotorch::synth

@@ -1,0 +1,39 @@
+#ifndef GEOTORCH_SYNTH_WEATHER_H_
+#define GEOTORCH_SYNTH_WEATHER_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace geotorch::synth {
+
+/// Weather variables mirroring the WeatherBench-derived datasets the
+/// paper evaluates (temperature, total precipitation, total cloud
+/// cover).
+enum class WeatherKind {
+  kTemperature,     ///< degrees C; lat gradient + diurnal/annual cycles
+  kPrecipitation,   ///< meters/hour; sparse, heavy-tailed, tiny values
+  kCloudCover,      ///< fraction in [0, 1]
+  kGeopotential,    ///< m^2/s^2 at 500 hPa; large values, smooth waves
+  kSolarRadiation,  ///< W/m^2 incident shortwave; zero at night
+};
+
+/// Generates a (T, C=1, H, W) field with one-hour timesteps on an
+/// H x W lat/lon grid (the paper's grids are 32 x 64). The field has
+/// strong hour-to-hour autocorrelation (advected smooth noise) plus a
+/// deterministic diurnal component, giving the sequential models real
+/// short-range predictability.
+tensor::Tensor GenerateWeatherField(WeatherKind kind, int64_t t, int64_t h,
+                                    int64_t w, uint64_t seed);
+
+/// Generates a grid traffic-flow dataset: a (T, C, H, W) tensor of
+/// per-cell in/out flow counts driven by per-cell base demand times
+/// diurnal and weekly profiles plus autocorrelated noise — the
+/// statistical shape of BikeNYC / TaxiBJ (Table II). `steps_per_day`
+/// controls the time interval (24 = hourly, 48 = 30 minutes).
+tensor::Tensor GenerateGridFlow(int64_t t, int64_t c, int64_t h, int64_t w,
+                                int64_t steps_per_day, uint64_t seed);
+
+}  // namespace geotorch::synth
+
+#endif  // GEOTORCH_SYNTH_WEATHER_H_

@@ -1,0 +1,506 @@
+#include "tensor/conv.h"
+
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/check.h"
+#include "core/thread_pool.h"
+#include "tensor/device.h"
+
+namespace geotorch::tensor {
+namespace {
+
+// Serial (m,k)x(k,n) accumulate into pre-zeroed `out`. Kernels call this
+// from per-sample parallel loops, so it must not re-dispatch.
+void RawMatMul(const float* a, const float* b, float* out, int64_t m,
+               int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* out_row = out + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* b_row = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void ForEachSample(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (GetDefaultDevice() == Device::kParallel && n > 1) {
+    ThreadPool::Global().ParallelFor(n, fn);
+  } else {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+int64_t ConvOutSize(int64_t in, int64_t kernel, int64_t stride,
+                    int64_t padding) {
+  const int64_t out = (in + 2 * padding - kernel) / stride + 1;
+  GEO_CHECK_GT(out, 0) << "convolution output collapsed: in=" << in
+                       << " kernel=" << kernel << " stride=" << stride
+                       << " padding=" << padding;
+  return out;
+}
+
+Tensor Im2Col(const Tensor& x, int64_t n, int64_t kh, int64_t kw,
+              const ConvSpec& spec) {
+  GEO_CHECK_EQ(x.ndim(), 4);
+  const int64_t c = x.size(1);
+  const int64_t h = x.size(2);
+  const int64_t w = x.size(3);
+  const int64_t oh = ConvOutSize(h, kh, spec.stride, spec.padding);
+  const int64_t ow = ConvOutSize(w, kw, spec.stride, spec.padding);
+  Tensor cols = Tensor::Zeros({c * kh * kw, oh * ow});
+  const float* px = x.data() + n * c * h * w;
+  float* pc = cols.data();
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        float* dst = pc + ((ci * kh + ki) * kw + kj) * oh * ow;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * spec.stride + ki - spec.padding;
+          if (ii < 0 || ii >= h) continue;
+          const float* src_row = px + (ci * h + ii) * w;
+          float* dst_row = dst + oi * ow;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * spec.stride + kj - spec.padding;
+            if (jj < 0 || jj >= w) continue;
+            dst_row[oj] = src_row[jj];
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+void Col2ImAdd(const Tensor& cols, Tensor& out, int64_t n, int64_t kh,
+               int64_t kw, const ConvSpec& spec) {
+  GEO_CHECK_EQ(out.ndim(), 4);
+  const int64_t c = out.size(1);
+  const int64_t h = out.size(2);
+  const int64_t w = out.size(3);
+  const int64_t oh = ConvOutSize(h, kh, spec.stride, spec.padding);
+  const int64_t ow = ConvOutSize(w, kw, spec.stride, spec.padding);
+  GEO_CHECK_EQ(cols.size(0), c * kh * kw);
+  GEO_CHECK_EQ(cols.size(1), oh * ow);
+  const float* pc = cols.data();
+  float* po = out.data() + n * c * h * w;
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        const float* src = pc + ((ci * kh + ki) * kw + kj) * oh * ow;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * spec.stride + ki - spec.padding;
+          if (ii < 0 || ii >= h) continue;
+          float* dst_row = po + (ci * h + ii) * w;
+          const float* src_row = src + oi * ow;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * spec.stride + kj - spec.padding;
+            if (jj < 0 || jj >= w) continue;
+            dst_row[jj] += src_row[oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     const ConvSpec& spec) {
+  GEO_CHECK_EQ(x.ndim(), 4);
+  GEO_CHECK_EQ(w.ndim(), 4);
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  const int64_t f = w.size(0);
+  GEO_CHECK_EQ(w.size(1), c) << "Conv2d channel mismatch";
+  const int64_t kh = w.size(2);
+  const int64_t kw = w.size(3);
+  const int64_t oh = ConvOutSize(x.size(2), kh, spec.stride, spec.padding);
+  const int64_t ow = ConvOutSize(x.size(3), kw, spec.stride, spec.padding);
+  const bool has_bias = bias.numel() > 0;
+  if (has_bias) GEO_CHECK_EQ(bias.numel(), f);
+
+  Tensor out = Tensor::Zeros({n, f, oh, ow});
+  const float* pw = w.data();
+  const float* pb = has_bias ? bias.data() : nullptr;
+  float* po = out.data();
+  const int64_t ck = c * kh * kw;
+  const int64_t l = oh * ow;
+
+  ForEachSample(n, [&](int64_t i) {
+    Tensor cols = Im2Col(x, i, kh, kw, spec);
+    float* out_i = po + i * f * l;
+    RawMatMul(pw, cols.data(), out_i, f, ck, l);
+    if (has_bias) {
+      for (int64_t fi = 0; fi < f; ++fi) {
+        float* row = out_i + fi * l;
+        const float b = pb[fi];
+        for (int64_t j = 0; j < l; ++j) row[j] += b;
+      }
+    }
+  });
+  return out;
+}
+
+Conv2dGrads Conv2dBackward(const Tensor& grad_out, const Tensor& x,
+                           const Tensor& w, bool has_bias,
+                           const ConvSpec& spec) {
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  const int64_t f = w.size(0);
+  const int64_t kh = w.size(2);
+  const int64_t kw = w.size(3);
+  const int64_t oh = grad_out.size(2);
+  const int64_t ow = grad_out.size(3);
+  const int64_t ck = c * kh * kw;
+  const int64_t l = oh * ow;
+
+  Conv2dGrads grads;
+  grads.grad_x = Tensor::Zeros(x.shape());
+  grads.grad_w = Tensor::Zeros(w.shape());
+  grads.grad_bias = has_bias ? Tensor::Zeros({f}) : Tensor();
+
+  const float* pg = grad_out.data();
+  const float* pw = w.data();
+  // Transposed weight matrix (ck, f) for the grad_x pass.
+  Tensor wt = Tensor::Zeros({ck, f});
+  {
+    float* pwt = wt.data();
+    for (int64_t fi = 0; fi < f; ++fi) {
+      for (int64_t q = 0; q < ck; ++q) pwt[q * f + fi] = pw[fi * ck + q];
+    }
+  }
+
+  // Per-sample partial weight/bias grads accumulate under a lock-free
+  // scheme: each worker writes into its own accumulator, merged after.
+  const int workers =
+      GetDefaultDevice() == Device::kParallel
+          ? std::max(1, ThreadPool::Global().num_threads())
+          : 1;
+  std::vector<Tensor> gw_parts;
+  std::vector<Tensor> gb_parts;
+  for (int t = 0; t < workers; ++t) {
+    gw_parts.push_back(Tensor::Zeros({f, ck}));
+    if (has_bias) gb_parts.push_back(Tensor::Zeros({f}));
+  }
+
+  auto body = [&](int64_t begin, int64_t end, int worker) {
+    float* gw = gw_parts[worker].data();
+    float* gb = has_bias ? gb_parts[worker].data() : nullptr;
+    for (int64_t i = begin; i < end; ++i) {
+      const float* g_i = pg + i * f * l;
+      // grad wrt weights: g_i (f, l) x cols^T (l, ck).
+      Tensor cols = Im2Col(x, i, kh, kw, spec);
+      Tensor colst = Transpose2d(cols);
+      RawMatMul(g_i, colst.data(), gw, f, l, ck);
+      // grad wrt input: wt (ck, f) x g_i (f, l) -> (ck, l), col2im.
+      Tensor gcols = Tensor::Zeros({ck, l});
+      RawMatMul(wt.data(), g_i, gcols.data(), ck, f, l);
+      Col2ImAdd(gcols, grads.grad_x, i, kh, kw, spec);
+      if (has_bias) {
+        for (int64_t fi = 0; fi < f; ++fi) {
+          const float* row = g_i + fi * l;
+          double s = 0.0;
+          for (int64_t j = 0; j < l; ++j) s += row[j];
+          gb[fi] += static_cast<float>(s);
+        }
+      }
+    }
+  };
+
+  if (workers > 1 && n > 1) {
+    const int64_t per = (n + workers - 1) / workers;
+    std::vector<std::future<void>> futs;
+    for (int t = 0; t < workers; ++t) {
+      const int64_t begin = t * per;
+      const int64_t end = std::min<int64_t>(n, begin + per);
+      if (begin >= end) break;
+      futs.push_back(ThreadPool::Global().Submit(
+          [&body, begin, end, t] { body(begin, end, t); }));
+    }
+    for (auto& fu : futs) fu.get();
+  } else {
+    body(0, n, 0);
+  }
+
+  for (int t = 0; t < workers; ++t) {
+    grads.grad_w.Reshape({f, ck}).AddInPlace(gw_parts[t]);
+    if (has_bias) grads.grad_bias.AddInPlace(gb_parts[t]);
+  }
+  return grads;
+}
+
+Tensor ConvTranspose2dForward(const Tensor& x, const Tensor& w,
+                              const Tensor& bias, const ConvSpec& spec) {
+  GEO_CHECK_EQ(x.ndim(), 4);
+  GEO_CHECK_EQ(w.ndim(), 4);
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  GEO_CHECK_EQ(w.size(0), c) << "ConvTranspose2d channel mismatch";
+  const int64_t f = w.size(1);
+  const int64_t kh = w.size(2);
+  const int64_t kw = w.size(3);
+  const int64_t h = x.size(2);
+  const int64_t wd = x.size(3);
+  const int64_t oh = (h - 1) * spec.stride - 2 * spec.padding + kh;
+  const int64_t ow = (wd - 1) * spec.stride - 2 * spec.padding + kw;
+  GEO_CHECK(oh > 0 && ow > 0);
+  const bool has_bias = bias.numel() > 0;
+
+  // W reshaped (c, f*kh*kw) then transposed -> (f*kh*kw, c).
+  const int64_t fk = f * kh * kw;
+  Tensor wt = Tensor::Zeros({fk, c});
+  {
+    const float* pw = w.data();
+    float* pwt = wt.data();
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t q = 0; q < fk; ++q) pwt[q * c + ci] = pw[ci * fk + q];
+    }
+  }
+
+  Tensor out = Tensor::Zeros({n, f, oh, ow});
+  const int64_t l = h * wd;
+  const float* px = x.data();
+  ForEachSample(n, [&](int64_t i) {
+    Tensor cols = Tensor::Zeros({fk, l});
+    RawMatMul(wt.data(), px + i * c * l, cols.data(), fk, c, l);
+    Col2ImAdd(cols, out, i, kh, kw, spec);
+  });
+  if (has_bias) {
+    GEO_CHECK_EQ(bias.numel(), f);
+    float* po = out.data();
+    const float* pb = bias.data();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t fi = 0; fi < f; ++fi) {
+        float* plane = po + (i * f + fi) * oh * ow;
+        for (int64_t j = 0; j < oh * ow; ++j) plane[j] += pb[fi];
+      }
+    }
+  }
+  return out;
+}
+
+ConvTranspose2dGrads ConvTranspose2dBackward(const Tensor& grad_out,
+                                             const Tensor& x, const Tensor& w,
+                                             bool has_bias,
+                                             const ConvSpec& spec) {
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  const int64_t f = w.size(1);
+  const int64_t kh = w.size(2);
+  const int64_t kw = w.size(3);
+  const int64_t h = x.size(2);
+  const int64_t wd = x.size(3);
+  const int64_t l = h * wd;
+  const int64_t fk = f * kh * kw;
+
+  ConvTranspose2dGrads grads;
+  grads.grad_x = Tensor::Zeros(x.shape());
+  grads.grad_w = Tensor::Zeros(w.shape());
+  grads.grad_bias = has_bias ? Tensor::Zeros({f}) : Tensor();
+
+  const float* px = x.data();
+  const float* pw = w.data();
+  float* pgx = grads.grad_x.data();
+  float* pgw = grads.grad_w.data();
+  float* pgb = has_bias ? grads.grad_bias.data() : nullptr;
+  const int64_t gl = grad_out.size(2) * grad_out.size(3);
+
+  for (int64_t i = 0; i < n; ++i) {
+    // dcols = im2col(grad_out[i]) with the same spec: (fk, l).
+    Tensor dcols = Im2Col(grad_out, i, kh, kw, spec);
+    GEO_CHECK_EQ(dcols.size(1), l);
+    // grad_x[i] = W (c, fk) x dcols (fk, l).
+    RawMatMul(pw, dcols.data(), pgx + i * c * l, c, fk, l);
+    // grad_w += x[i] (c, l) x dcols^T (l, fk).
+    Tensor dcolst = Transpose2d(dcols);
+    RawMatMul(px + i * c * l, dcolst.data(), pgw, c, l, fk);
+    if (has_bias) {
+      const float* pg = grad_out.data() + i * f * gl;
+      for (int64_t fi = 0; fi < f; ++fi) {
+        double s = 0.0;
+        const float* plane = pg + fi * gl;
+        for (int64_t j = 0; j < gl; ++j) s += plane[j];
+        pgb[fi] += static_cast<float>(s);
+      }
+    }
+  }
+  return grads;
+}
+
+std::pair<Tensor, std::vector<int64_t>> MaxPool2dForward(const Tensor& x,
+                                                         int64_t kernel) {
+  GEO_CHECK_EQ(x.ndim(), 4);
+  GEO_CHECK_GE(kernel, 1);
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  const int64_t h = x.size(2);
+  const int64_t w = x.size(3);
+  GEO_CHECK(h % kernel == 0 && w % kernel == 0)
+      << "MaxPool2d expects dims divisible by kernel; got " << h << "x" << w
+      << " kernel " << kernel;
+  const int64_t oh = h / kernel;
+  const int64_t ow = w / kernel;
+  Tensor out({n, c, oh, ow});
+  std::vector<int64_t> argmax(out.numel());
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t oidx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* plane = px + (i * c + ci) * h * w;
+      const int64_t plane_off = (i * c + ci) * h * w;
+      for (int64_t oi = 0; oi < oh; ++oi) {
+        for (int64_t oj = 0; oj < ow; ++oj) {
+          float best = plane[(oi * kernel) * w + oj * kernel];
+          int64_t best_off = (oi * kernel) * w + oj * kernel;
+          for (int64_t ki = 0; ki < kernel; ++ki) {
+            for (int64_t kj = 0; kj < kernel; ++kj) {
+              const int64_t off = (oi * kernel + ki) * w + oj * kernel + kj;
+              if (plane[off] > best) {
+                best = plane[off];
+                best_off = off;
+              }
+            }
+          }
+          po[oidx] = best;
+          argmax[oidx] = plane_off + best_off;
+          ++oidx;
+        }
+      }
+    }
+  }
+  return {out, std::move(argmax)};
+}
+
+Tensor MaxPool2dBackward(const Tensor& grad_out, const Shape& input_shape,
+                         const std::vector<int64_t>& argmax) {
+  Tensor grad_x = Tensor::Zeros(input_shape);
+  GEO_CHECK_EQ(static_cast<int64_t>(argmax.size()), grad_out.numel());
+  const float* pg = grad_out.data();
+  float* px = grad_x.data();
+  for (int64_t i = 0; i < grad_out.numel(); ++i) px[argmax[i]] += pg[i];
+  return grad_x;
+}
+
+Tensor AvgPool2dForward(const Tensor& x, int64_t kernel) {
+  GEO_CHECK_EQ(x.ndim(), 4);
+  GEO_CHECK_GE(kernel, 1);
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  const int64_t h = x.size(2);
+  const int64_t w = x.size(3);
+  GEO_CHECK(h % kernel == 0 && w % kernel == 0)
+      << "AvgPool2d expects dims divisible by kernel";
+  const int64_t oh = h / kernel;
+  const int64_t ow = w / kernel;
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t nc = 0; nc < n * c; ++nc) {
+    const float* plane = px + nc * h * w;
+    float* out_plane = po + nc * oh * ow;
+    for (int64_t oi = 0; oi < oh; ++oi) {
+      for (int64_t oj = 0; oj < ow; ++oj) {
+        float acc = 0.0f;
+        for (int64_t ki = 0; ki < kernel; ++ki) {
+          for (int64_t kj = 0; kj < kernel; ++kj) {
+            acc += plane[(oi * kernel + ki) * w + oj * kernel + kj];
+          }
+        }
+        out_plane[oi * ow + oj] = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2dBackward(const Tensor& grad_out, const Shape& input_shape,
+                         int64_t kernel) {
+  Tensor grad_x = Tensor::Zeros(input_shape);
+  const int64_t n = input_shape[0];
+  const int64_t c = input_shape[1];
+  const int64_t h = input_shape[2];
+  const int64_t w = input_shape[3];
+  const int64_t oh = h / kernel;
+  const int64_t ow = w / kernel;
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  const float* pg = grad_out.data();
+  float* px = grad_x.data();
+  for (int64_t nc = 0; nc < n * c; ++nc) {
+    const float* g_plane = pg + nc * oh * ow;
+    float* x_plane = px + nc * h * w;
+    for (int64_t oi = 0; oi < oh; ++oi) {
+      for (int64_t oj = 0; oj < ow; ++oj) {
+        const float g = g_plane[oi * ow + oj] * inv;
+        for (int64_t ki = 0; ki < kernel; ++ki) {
+          for (int64_t kj = 0; kj < kernel; ++kj) {
+            x_plane[(oi * kernel + ki) * w + oj * kernel + kj] += g;
+          }
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+Tensor UpsampleNearest2x(const Tensor& x) {
+  GEO_CHECK_EQ(x.ndim(), 4);
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  const int64_t h = x.size(2);
+  const int64_t w = x.size(3);
+  Tensor out({n, c, h * 2, w * 2});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t nc = 0; nc < n * c; ++nc) {
+    const float* in_plane = px + nc * h * w;
+    float* out_plane = po + nc * h * w * 4;
+    for (int64_t i = 0; i < h; ++i) {
+      for (int64_t j = 0; j < w; ++j) {
+        const float v = in_plane[i * w + j];
+        float* base = out_plane + (2 * i) * (2 * w) + 2 * j;
+        base[0] = v;
+        base[1] = v;
+        base[2 * w] = v;
+        base[2 * w + 1] = v;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor UpsampleNearest2xBackward(const Tensor& grad_out) {
+  GEO_CHECK_EQ(grad_out.ndim(), 4);
+  const int64_t n = grad_out.size(0);
+  const int64_t c = grad_out.size(1);
+  const int64_t oh = grad_out.size(2);
+  const int64_t ow = grad_out.size(3);
+  GEO_CHECK(oh % 2 == 0 && ow % 2 == 0);
+  const int64_t h = oh / 2;
+  const int64_t w = ow / 2;
+  Tensor grad_x = Tensor::Zeros({n, c, h, w});
+  const float* pg = grad_out.data();
+  float* px = grad_x.data();
+  for (int64_t nc = 0; nc < n * c; ++nc) {
+    const float* g_plane = pg + nc * oh * ow;
+    float* x_plane = px + nc * h * w;
+    for (int64_t i = 0; i < h; ++i) {
+      for (int64_t j = 0; j < w; ++j) {
+        const float* base = g_plane + (2 * i) * ow + 2 * j;
+        x_plane[i * w + j] = base[0] + base[1] + base[ow] + base[ow + 1];
+      }
+    }
+  }
+  return grad_x;
+}
+
+}  // namespace geotorch::tensor

@@ -1,0 +1,88 @@
+#ifndef GEOTORCH_TENSOR_CONV_H_
+#define GEOTORCH_TENSOR_CONV_H_
+
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace geotorch::tensor {
+
+/// Spatial convolution parameters (square stride/padding kept separate
+/// per axis is not needed by any model in the paper).
+struct ConvSpec {
+  int64_t stride = 1;
+  int64_t padding = 0;
+};
+
+/// Output spatial size of a convolution: (in + 2p - k) / s + 1.
+int64_t ConvOutSize(int64_t in, int64_t kernel, int64_t stride,
+                    int64_t padding);
+
+/// im2col: unfolds (C, H, W) patches of `x[n]` into a (C*KH*KW, OH*OW)
+/// matrix, zero-padding out-of-range taps. `x` is (N, C, H, W); the
+/// returned tensor covers sample `n` only.
+Tensor Im2Col(const Tensor& x, int64_t n, int64_t kh, int64_t kw,
+              const ConvSpec& spec);
+
+/// col2im: scatter-adds a (C*KH*KW, OH*OW) matrix back into an
+/// (C, H, W) image (the adjoint of Im2Col). Accumulates into `out[n]`.
+void Col2ImAdd(const Tensor& cols, Tensor& out, int64_t n, int64_t kh,
+               int64_t kw, const ConvSpec& spec);
+
+/// 2-D convolution. x: (N, C, H, W), w: (F, C, KH, KW), bias: (F) or
+/// empty. Returns (N, F, OH, OW). Dispatches per-sample work to the
+/// current Device backend.
+Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     const ConvSpec& spec);
+
+struct Conv2dGrads {
+  Tensor grad_x;
+  Tensor grad_w;
+  Tensor grad_bias;  // empty if the forward had no bias
+};
+
+/// Gradients of Conv2dForward wrt input, weights, and bias.
+Conv2dGrads Conv2dBackward(const Tensor& grad_out, const Tensor& x,
+                           const Tensor& w, bool has_bias,
+                           const ConvSpec& spec);
+
+/// Transposed convolution ("deconvolution"). x: (N, C, H, W),
+/// w: (C, F, KH, KW), bias: (F) or empty.
+/// Output: (N, F, (H-1)*s - 2p + KH, (W-1)*s - 2p + KW).
+Tensor ConvTranspose2dForward(const Tensor& x, const Tensor& w,
+                              const Tensor& bias, const ConvSpec& spec);
+
+struct ConvTranspose2dGrads {
+  Tensor grad_x;
+  Tensor grad_w;
+  Tensor grad_bias;
+};
+
+ConvTranspose2dGrads ConvTranspose2dBackward(const Tensor& grad_out,
+                                             const Tensor& x, const Tensor& w,
+                                             bool has_bias,
+                                             const ConvSpec& spec);
+
+/// Max pooling with stride == kernel. Returns the pooled tensor and the
+/// flat input offset of each winner (needed by the backward pass).
+std::pair<Tensor, std::vector<int64_t>> MaxPool2dForward(const Tensor& x,
+                                                         int64_t kernel);
+
+/// Scatter of grad_out back through the argmax indices.
+Tensor MaxPool2dBackward(const Tensor& grad_out, const Shape& input_shape,
+                         const std::vector<int64_t>& argmax);
+
+/// Average pooling with stride == kernel over (N, C, H, W).
+Tensor AvgPool2dForward(const Tensor& x, int64_t kernel);
+/// Adjoint: spreads each output gradient uniformly over its window.
+Tensor AvgPool2dBackward(const Tensor& grad_out, const Shape& input_shape,
+                         int64_t kernel);
+
+/// Nearest-neighbour 2x upsampling of (N, C, H, W).
+Tensor UpsampleNearest2x(const Tensor& x);
+/// Adjoint of UpsampleNearest2x (sums each 2x2 block).
+Tensor UpsampleNearest2xBackward(const Tensor& grad_out);
+
+}  // namespace geotorch::tensor
+
+#endif  // GEOTORCH_TENSOR_CONV_H_

@@ -1,0 +1,28 @@
+#include "tensor/device.h"
+
+#include <atomic>
+
+namespace geotorch::tensor {
+namespace {
+std::atomic<Device> g_default_device{Device::kParallel};
+}  // namespace
+
+Device GetDefaultDevice() {
+  return g_default_device.load(std::memory_order_relaxed);
+}
+
+void SetDefaultDevice(Device device) {
+  g_default_device.store(device, std::memory_order_relaxed);
+}
+
+const char* DeviceToString(Device device) {
+  switch (device) {
+    case Device::kSerial:
+      return "serial-cpu";
+    case Device::kParallel:
+      return "parallel-accel";
+  }
+  return "unknown";
+}
+
+}  // namespace geotorch::tensor

@@ -1,0 +1,43 @@
+#ifndef GEOTORCH_TENSOR_DEVICE_H_
+#define GEOTORCH_TENSOR_DEVICE_H_
+
+namespace geotorch::tensor {
+
+/// Execution backend for heavy kernels (matmul, im2col convolution,
+/// large elementwise loops).
+///
+/// The original GeoTorchAI runs its deep-learning module on either CPU
+/// or GPU; this environment has no GPU, so the accelerated device is
+/// simulated by a multi-threaded backend that exercises the same
+/// device-dispatch code path (see DESIGN.md §1).
+enum class Device {
+  kSerial,    ///< single-threaded execution ("CPU" in the paper's Fig. 9)
+  kParallel,  ///< thread-pool execution ("GPU" stand-in)
+};
+
+/// Returns the backend heavy kernels currently dispatch to.
+Device GetDefaultDevice();
+
+/// Sets the process-wide default backend.
+void SetDefaultDevice(Device device);
+
+/// RAII device override, used by benchmarks to time both backends.
+class DeviceGuard {
+ public:
+  explicit DeviceGuard(Device device) : saved_(GetDefaultDevice()) {
+    SetDefaultDevice(device);
+  }
+  ~DeviceGuard() { SetDefaultDevice(saved_); }
+  DeviceGuard(const DeviceGuard&) = delete;
+  DeviceGuard& operator=(const DeviceGuard&) = delete;
+
+ private:
+  Device saved_;
+};
+
+/// Human-readable backend name ("serial-cpu" / "parallel-accel").
+const char* DeviceToString(Device device);
+
+}  // namespace geotorch::tensor
+
+#endif  // GEOTORCH_TENSOR_DEVICE_H_

@@ -1,0 +1,64 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace geotorch::tensor {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    GEO_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> ContiguousStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::string out = "(";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  out += ")";
+  return out;
+}
+
+bool SameShape(const Shape& a, const Shape& b) { return a == b; }
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (size_t i = 0; i < rank; ++i) {
+    const int64_t da =
+        i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    const int64_t db =
+        i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    GEO_CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast " << ShapeToString(a) << " with "
+        << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+bool BroadcastableTo(const Shape& from, const Shape& to) {
+  if (from.size() > to.size()) return false;
+  for (size_t i = 0; i < from.size(); ++i) {
+    const int64_t df = from[from.size() - 1 - i];
+    const int64_t dt = to[to.size() - 1 - i];
+    if (df != dt && df != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace geotorch::tensor

@@ -1,0 +1,35 @@
+#ifndef GEOTORCH_TENSOR_SHAPE_H_
+#define GEOTORCH_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geotorch::tensor {
+
+/// Dimension sizes of a tensor, outermost first (e.g. {N, C, H, W}).
+using Shape = std::vector<int64_t>;
+
+/// Product of all dimensions; 1 for a rank-0 (scalar) shape.
+int64_t NumElements(const Shape& shape);
+
+/// Row-major strides for a contiguous layout of `shape`.
+std::vector<int64_t> ContiguousStrides(const Shape& shape);
+
+/// "(2, 3, 4)" — for error messages.
+std::string ShapeToString(const Shape& shape);
+
+/// True if both shapes are identical.
+bool SameShape(const Shape& a, const Shape& b);
+
+/// NumPy broadcasting: aligns trailing dimensions; a dimension of 1
+/// stretches to match. Aborts (GEO_CHECK) when the shapes are
+/// incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+/// True if `from` broadcasts to `to` without error.
+bool BroadcastableTo(const Shape& from, const Shape& to);
+
+}  // namespace geotorch::tensor
+
+#endif  // GEOTORCH_TENSOR_SHAPE_H_

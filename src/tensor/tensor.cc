@@ -1,0 +1,173 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace geotorch::tensor {
+
+Tensor::Tensor() : Tensor(Shape{0}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), numel_(NumElements(shape_)) {
+  storage_ = std::make_shared<std::vector<float>>(numel_);
+}
+
+Tensor Tensor::Zeros(Shape shape) {
+  return Tensor(std::move(shape));  // vector zero-initializes
+}
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  GEO_CHECK_EQ(NumElements(shape), static_cast<int64_t>(values.size()))
+      << "FromVector: shape " << ShapeToString(shape) << " vs "
+      << values.size() << " values";
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = static_cast<int64_t>(values.size());
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  t.offset_ = 0;
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full({1}, value); }
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t({n});
+  float* d = t.data();
+  for (int64_t i = 0; i < n; ++i) d[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* d = t.data();
+  for (int64_t i = 0; i < t.numel_; ++i) {
+    d[i] = static_cast<float>(rng.Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* d = t.data();
+  for (int64_t i = 0; i < t.numel_; ++i) {
+    d[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::size(int dim) const {
+  if (dim < 0) dim += ndim();
+  GEO_CHECK(dim >= 0 && dim < ndim())
+      << "size(" << dim << ") on rank-" << ndim() << " tensor";
+  return shape_[dim];
+}
+
+float& Tensor::at(std::initializer_list<int64_t> index) {
+  GEO_CHECK_EQ(static_cast<int>(index.size()), ndim());
+  int64_t flat = 0;
+  int64_t stride = 1;
+  auto it = index.end();
+  for (int d = ndim() - 1; d >= 0; --d) {
+    --it;
+    GEO_CHECK(*it >= 0 && *it < shape_[d])
+        << "index " << *it << " out of range for dim " << d << " of "
+        << ShapeToString(shape_);
+    flat += *it * stride;
+    stride *= shape_[d];
+  }
+  return data()[flat];
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  return const_cast<Tensor*>(this)->at(index);
+}
+
+float& Tensor::flat(int64_t i) {
+  GEO_CHECK(i >= 0 && i < numel_) << "flat index " << i << " out of range";
+  return data()[i];
+}
+
+float Tensor::flat(int64_t i) const {
+  return const_cast<Tensor*>(this)->flat(i);
+}
+
+Tensor Tensor::Reshape(Shape shape) const {
+  int64_t known = 1;
+  int infer = -1;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      GEO_CHECK_EQ(infer, -1) << "at most one -1 dimension";
+      infer = static_cast<int>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (infer >= 0) {
+    GEO_CHECK(known > 0 && numel_ % known == 0)
+        << "cannot infer dimension for reshape of " << ShapeToString(shape_)
+        << " to " << ShapeToString(shape);
+    shape[infer] = numel_ / known;
+  }
+  GEO_CHECK_EQ(NumElements(shape), numel_)
+      << "reshape " << ShapeToString(shape_) << " -> " << ShapeToString(shape);
+  Tensor t = *this;
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.storage_ = std::make_shared<std::vector<float>>(
+      storage_->begin() + offset_, storage_->begin() + offset_ + numel_);
+  t.offset_ = 0;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data(), data() + numel_, value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  GEO_CHECK(SameShape(shape_, other.shape_))
+      << "AddInPlace " << ShapeToString(shape_) << " vs "
+      << ShapeToString(other.shape_);
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] += src[i];
+}
+
+void Tensor::ScaleInPlace(float s) {
+  float* dst = data();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] *= s;
+}
+
+std::vector<float> Tensor::ToVector() const {
+  return std::vector<float>(data(), data() + numel_);
+}
+
+std::string Tensor::ToString(int64_t max_values) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " [";
+  const int64_t n = std::min(numel_, max_values);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << data()[i];
+  }
+  if (numel_ > n) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+}  // namespace geotorch::tensor

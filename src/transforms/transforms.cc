@@ -1,0 +1,154 @@
+#include "transforms/transforms.h"
+
+#include <memory>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "raster/glcm.h"
+#include "raster/raster.h"
+#include "tensor/ops.h"
+
+namespace geotorch::transforms {
+
+namespace ts = ::geotorch::tensor;
+
+Transform Compose(std::vector<Transform> transforms) {
+  return [transforms = std::move(transforms)](const ts::Tensor& x) {
+    ts::Tensor cur = x;
+    for (const auto& t : transforms) cur = t(cur);
+    return cur;
+  };
+}
+
+Transform AppendNormalizedDifferenceIndex(int64_t band1, int64_t band2) {
+  return [band1, band2](const ts::Tensor& x) {
+    GEO_CHECK_EQ(x.ndim(), 3);
+    GEO_CHECK(band1 >= 0 && band1 < x.size(0) && band2 >= 0 &&
+              band2 < x.size(0))
+        << "NDI bands out of range";
+    const int64_t h = x.size(1);
+    const int64_t w = x.size(2);
+    ts::Tensor ndi({1, h, w});
+    const float* a = x.data() + band1 * h * w;
+    const float* b = x.data() + band2 * h * w;
+    float* o = ndi.data();
+    for (int64_t i = 0; i < h * w; ++i) {
+      const float denom = a[i] + b[i];
+      o[i] = denom == 0.0f ? 0.0f : (a[i] - b[i]) / denom;
+    }
+    return ts::Concat({x, ndi}, 0);
+  };
+}
+
+Transform Normalize(std::vector<float> mean, std::vector<float> stddev) {
+  GEO_CHECK_EQ(mean.size(), stddev.size());
+  return [mean = std::move(mean),
+          stddev = std::move(stddev)](const ts::Tensor& x) {
+    GEO_CHECK_EQ(x.ndim(), 3);
+    GEO_CHECK_EQ(x.size(0), static_cast<int64_t>(mean.size()));
+    ts::Tensor out = x.Clone();
+    const int64_t plane = x.size(1) * x.size(2);
+    float* d = out.data();
+    for (int64_t c = 0; c < x.size(0); ++c) {
+      GEO_CHECK_GT(stddev[c], 0.0f);
+      for (int64_t i = 0; i < plane; ++i) {
+        d[c * plane + i] = (d[c * plane + i] - mean[c]) / stddev[c];
+      }
+    }
+    return out;
+  };
+}
+
+Transform MinMaxScale(float lo, float hi) {
+  GEO_CHECK_LT(lo, hi);
+  return [lo, hi](const ts::Tensor& x) {
+    const float mn = ts::MinAll(x);
+    const float mx = ts::MaxAll(x);
+    const float range = mx - mn;
+    if (range == 0.0f) return ts::Tensor::Full(x.shape(), lo);
+    ts::Tensor out = x.Clone();
+    float* d = out.data();
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      d[i] = lo + (d[i] - mn) / range * (hi - lo);
+    }
+    return out;
+  };
+}
+
+Transform SelectBands(std::vector<int64_t> bands) {
+  GEO_CHECK(!bands.empty());
+  return [bands = std::move(bands)](const ts::Tensor& x) {
+    GEO_CHECK_EQ(x.ndim(), 3);
+    std::vector<ts::Tensor> parts;
+    parts.reserve(bands.size());
+    for (int64_t b : bands) {
+      GEO_CHECK(b >= 0 && b < x.size(0));
+      parts.push_back(ts::Slice(x, 0, b, b + 1));
+    }
+    return ts::Concat(parts, 0);
+  };
+}
+
+Transform RandomHorizontalFlip(float p, uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [p, rng](const ts::Tensor& x) {
+    GEO_CHECK_EQ(x.ndim(), 3);
+    if (!rng->Bernoulli(p)) return x;
+    ts::Tensor out(x.shape());
+    const int64_t c = x.size(0);
+    const int64_t h = x.size(1);
+    const int64_t w = x.size(2);
+    const float* src = x.data();
+    float* dst = out.data();
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t i = 0; i < h; ++i) {
+        const float* s = src + (ci * h + i) * w;
+        float* d = dst + (ci * h + i) * w;
+        for (int64_t j = 0; j < w; ++j) d[j] = s[w - 1 - j];
+      }
+    }
+    return out;
+  };
+}
+
+Transform GaussianNoise(float stddev, uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [stddev, rng](const ts::Tensor& x) {
+    ts::Tensor out = x.Clone();
+    float* d = out.data();
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      d[i] += static_cast<float>(rng->Normal(0.0, stddev));
+    }
+    return out;
+  };
+}
+
+Transform AppendGlcmContrastChannel(int64_t band, int levels) {
+  return [band, levels](const ts::Tensor& x) {
+    GEO_CHECK_EQ(x.ndim(), 3);
+    GEO_CHECK(band >= 0 && band < x.size(0));
+    raster::RasterImage img = raster::RasterImage::FromTensor(x);
+    const raster::GlcmFeatures f =
+        raster::ComputeGlcmFeatures(img, band, levels);
+    ts::Tensor channel =
+        ts::Tensor::Full({1, x.size(1), x.size(2)}, f.contrast);
+    return ts::Concat({x, channel}, 0);
+  };
+}
+
+Transform AppendGlcmFeatureChannels(int64_t band, int levels) {
+  return [band, levels](const ts::Tensor& x) {
+    GEO_CHECK_EQ(x.ndim(), 3);
+    GEO_CHECK(band >= 0 && band < x.size(0));
+    raster::RasterImage img = raster::RasterImage::FromTensor(x);
+    const std::vector<float> features =
+        raster::GlcmFeatureVector(img, band, levels);
+    std::vector<ts::Tensor> parts = {x};
+    for (float f : features) {
+      parts.push_back(ts::Tensor::Full({1, x.size(1), x.size(2)}, f));
+    }
+    return ts::Concat(parts, 0);
+  };
+}
+
+}  // namespace geotorch::transforms

@@ -1,0 +1,55 @@
+#ifndef GEOTORCH_TRANSFORMS_TRANSFORMS_H_
+#define GEOTORCH_TRANSFORMS_TRANSFORMS_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace geotorch::transforms {
+
+/// A per-sample transformation over a (C, H, W) tensor, applied on the
+/// fly during iteration — the geotorchai.transforms equivalent
+/// (Listing 7). Chain with Compose.
+using Transform = std::function<tensor::Tensor(const tensor::Tensor&)>;
+
+/// Applies `transforms` left to right (torchvision.transforms.Compose).
+Transform Compose(std::vector<Transform> transforms);
+
+/// Appends (band1 - band2) / (band1 + band2) as a new channel — the
+/// transform used throughout Table VIII.
+Transform AppendNormalizedDifferenceIndex(int64_t band1, int64_t band2);
+
+/// Per-channel standardization: (x - mean[c]) / std[c].
+Transform Normalize(std::vector<float> mean, std::vector<float> stddev);
+
+/// Min-max scales the whole tensor to [lo, hi].
+Transform MinMaxScale(float lo = 0.0f, float hi = 1.0f);
+
+/// Keeps the listed channels, in order.
+Transform SelectBands(std::vector<int64_t> bands);
+
+/// Horizontally flips the image with probability p (deterministic
+/// given the seed; stateful across calls).
+Transform RandomHorizontalFlip(float p = 0.5f, uint64_t seed = 0);
+
+/// Adds i.i.d. Gaussian noise (augmentation / robustness testing).
+Transform GaussianNoise(float stddev, uint64_t seed = 0);
+
+/// Appends a constant channel holding the GLCM contrast of `band` —
+/// texture-feature fusion as an on-the-fly transform. Feature
+/// extraction during training is exactly the cost the paper's
+/// Limitation 4 warns about; the Table VIII harness uses this to
+/// compare on-the-fly vs offline extraction.
+Transform AppendGlcmContrastChannel(int64_t band, int levels = 16);
+
+/// Appends the six GLCM texture features of `band` (contrast,
+/// dissimilarity, correlation, homogeneity, ASM, energy) as six
+/// constant channels, computed at full 8-bit resolution (256 gray
+/// levels, two displacements) — the DeepSAT-V2 feature set as an
+/// on-the-fly transform.
+Transform AppendGlcmFeatureChannels(int64_t band, int levels = 256);
+
+}  // namespace geotorch::transforms
+
+#endif  // GEOTORCH_TRANSFORMS_TRANSFORMS_H_

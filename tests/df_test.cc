@@ -1,0 +1,226 @@
+#include "df/dataframe.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/rng.h"
+#include "df/csv.h"
+
+namespace geotorch::df {
+namespace {
+
+DataFrame SampleFrame() {
+  return DataFrame::FromColumns(
+      {{"id", Column::FromInt64s({1, 2, 3, 4, 5, 6})},
+       {"group", Column::FromInt64s({0, 1, 0, 1, 0, 1})},
+       {"value", Column::FromDoubles({1.0, 2.0, 3.0, 4.0, 5.0, 6.0})}});
+}
+
+TEST(ColumnTest, TypedAccess) {
+  Column c = Column::FromDoubles({1.5, 2.5});
+  EXPECT_EQ(c.type(), DataType::kDouble);
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(std::get<double>(c.Get(1)), 2.5);
+  c.Append(3.5);
+  EXPECT_EQ(c.size(), 3);
+}
+
+TEST(ColumnTest, GeometryColumn) {
+  Column c = Column::FromPoints({{1, 2}, {3, 4}});
+  EXPECT_EQ(c.type(), DataType::kGeometry);
+  EXPECT_EQ(c.points()[1].x, 3);
+  EXPECT_GT(c.ByteSize(), 0);
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(s.FieldIndex("b"), 1);
+  EXPECT_TRUE(s.HasField("a"));
+  EXPECT_FALSE(s.HasField("c"));
+}
+
+TEST(DataFrameTest, FromColumnsBasics) {
+  DataFrame frame = SampleFrame();
+  EXPECT_EQ(frame.NumRows(), 6);
+  EXPECT_EQ(frame.num_partitions(), 1);
+  EXPECT_EQ(frame.schema().num_fields(), 3);
+}
+
+TEST(DataFrameTest, RepartitionPreservesRows) {
+  DataFrame frame = SampleFrame().Repartition(4);
+  EXPECT_EQ(frame.num_partitions(), 4);
+  EXPECT_EQ(frame.NumRows(), 6);
+  std::vector<int64_t> ids = frame.CollectInt64("id");
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(DataFrameTest, SelectReordersColumns) {
+  DataFrame out = SampleFrame().Select({"value", "id"});
+  EXPECT_EQ(out.schema().num_fields(), 2);
+  EXPECT_EQ(out.schema().name(0), "value");
+  EXPECT_EQ(out.CollectInt64("id").size(), 6u);
+}
+
+TEST(DataFrameTest, Filter) {
+  DataFrame frame = SampleFrame().Repartition(3);
+  const int value_idx = frame.schema().FieldIndex("value");
+  DataFrame out = frame.Filter(
+      [value_idx](const RowView& row) { return row.GetDouble(value_idx) > 3.0; });
+  EXPECT_EQ(out.NumRows(), 3);
+}
+
+TEST(DataFrameTest, WithColumnComputes) {
+  DataFrame frame = SampleFrame();
+  const int value_idx = frame.schema().FieldIndex("value");
+  DataFrame out = frame.WithColumn(
+      "doubled", DataType::kDouble,
+      [value_idx](const RowView& row) -> Value {
+        return row.GetDouble(value_idx) * 2.0;
+      });
+  std::vector<double> doubled = out.CollectDouble("doubled");
+  EXPECT_EQ(doubled[0], 2.0);
+  EXPECT_EQ(doubled[5], 12.0);
+}
+
+TEST(DataFrameTest, Drop) {
+  DataFrame out = SampleFrame().Drop("group");
+  EXPECT_EQ(out.schema().num_fields(), 2);
+  EXPECT_FALSE(out.schema().HasField("group"));
+}
+
+TEST(DataFrameTest, GroupByAggMatchesManual) {
+  Rng rng(5);
+  std::vector<int64_t> keys;
+  std::vector<double> values;
+  std::map<int64_t, std::pair<int64_t, double>> manual;  // count, sum
+  std::map<int64_t, double> manual_min;
+  std::map<int64_t, double> manual_max;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t k = rng.UniformInt(0, 20);
+    const double v = rng.Uniform(-10, 10);
+    keys.push_back(k);
+    values.push_back(v);
+    manual[k].first += 1;
+    manual[k].second += v;
+    auto [min_it, inserted] = manual_min.try_emplace(k, v);
+    if (!inserted) min_it->second = std::min(min_it->second, v);
+    auto [max_it, inserted2] = manual_max.try_emplace(k, v);
+    if (!inserted2) max_it->second = std::max(max_it->second, v);
+  }
+  DataFrame frame =
+      DataFrame::FromColumns({{"k", Column::FromInt64s(keys)},
+                              {"v", Column::FromDoubles(values)}})
+          .Repartition(4);
+  DataFrame agg = frame.GroupByAgg(
+      {"k"}, {{AggKind::kCount, "", "n"},
+              {AggKind::kSum, "v", "sum_v"},
+              {AggKind::kMin, "v", "min_v"},
+              {AggKind::kMax, "v", "max_v"},
+              {AggKind::kMean, "v", "mean_v"}});
+  EXPECT_EQ(agg.NumRows(), static_cast<int64_t>(manual.size()));
+
+  DataFrame sorted = agg.SortByInt64("k");
+  std::vector<int64_t> out_k = sorted.CollectInt64("k");
+  std::vector<int64_t> out_n = sorted.CollectInt64("n");
+  std::vector<double> out_sum = sorted.CollectDouble("sum_v");
+  std::vector<double> out_min = sorted.CollectDouble("min_v");
+  std::vector<double> out_max = sorted.CollectDouble("max_v");
+  std::vector<double> out_mean = sorted.CollectDouble("mean_v");
+  for (size_t i = 0; i < out_k.size(); ++i) {
+    const int64_t k = out_k[i];
+    EXPECT_EQ(out_n[i], manual[k].first);
+    EXPECT_NEAR(out_sum[i], manual[k].second, 1e-9);
+    EXPECT_NEAR(out_min[i], manual_min[k], 1e-12);
+    EXPECT_NEAR(out_max[i], manual_max[k], 1e-12);
+    EXPECT_NEAR(out_mean[i], manual[k].second / manual[k].first, 1e-9);
+  }
+}
+
+TEST(DataFrameTest, GroupByMultipleKeys) {
+  DataFrame frame = SampleFrame();
+  DataFrame agg = frame.GroupByAgg({"group", "id"},
+                                   {{AggKind::kCount, "", "n"}});
+  EXPECT_EQ(agg.NumRows(), 6);  // all (group, id) pairs unique
+}
+
+TEST(DataFrameTest, JoinInner) {
+  DataFrame left = SampleFrame();
+  DataFrame right = DataFrame::FromColumns(
+      {{"group", Column::FromInt64s({0, 1})},
+       {"label", Column::FromStrings({"even", "odd"})}});
+  DataFrame joined = left.JoinInner(right, "group", "group");
+  EXPECT_EQ(joined.NumRows(), 6);
+  EXPECT_TRUE(joined.schema().HasField("label"));
+  // Row with id=2 (group 1) gets "odd".
+  const int id_idx = joined.schema().FieldIndex("id");
+  const int label_idx = joined.schema().FieldIndex("label");
+  bool found = false;
+  for (int pi = 0; pi < joined.num_partitions(); ++pi) {
+    const Partition& part = joined.partition(pi);
+    for (int64_t r = 0; r < part.num_rows(); ++r) {
+      if (part.column(id_idx).int64s()[r] == 2) {
+        EXPECT_EQ(part.column(label_idx).strings()[r], "odd");
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DataFrameTest, JoinDropsUnmatched) {
+  DataFrame left = SampleFrame();
+  DataFrame right = DataFrame::FromColumns(
+      {{"g", Column::FromInt64s({0})},
+       {"tag", Column::FromInt64s({42})}});
+  DataFrame joined = left.JoinInner(right, "group", "g");
+  EXPECT_EQ(joined.NumRows(), 3);  // only group==0 rows
+}
+
+TEST(DataFrameTest, SortByInt64) {
+  DataFrame frame = DataFrame::FromColumns(
+      {{"k", Column::FromInt64s({3, 1, 2})},
+       {"v", Column::FromDoubles({30, 10, 20})}});
+  DataFrame sorted = frame.SortByInt64("k");
+  EXPECT_EQ(sorted.CollectInt64("k"), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(sorted.CollectDouble("v"), (std::vector<double>{10, 20, 30}));
+}
+
+TEST(DataFrameTest, MemoryAccountingReleasesOnDrop) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  const int64_t before = tracker.current_bytes();
+  {
+    std::vector<int64_t> big(100000, 7);
+    DataFrame frame =
+        DataFrame::FromColumns({{"x", Column::FromInt64s(std::move(big))}});
+    EXPECT_GE(tracker.current_bytes(), before + 800000);
+  }
+  EXPECT_LE(tracker.current_bytes(), before + 1024);
+}
+
+TEST(CsvTest, RoundTrip) {
+  DataFrame frame = DataFrame::FromColumns(
+      {{"id", Column::FromInt64s({1, 2})},
+       {"v", Column::FromDoubles({1.5, -2.25})},
+       {"name", Column::FromStrings({"a", "b"})},
+       {"pt", Column::FromPoints({{-74.0, 40.7}, {-73.9, 40.8}})}});
+  const std::string path = testing::TempDir() + "/frame.csv";
+  ASSERT_TRUE(WriteCsv(frame, path).ok());
+  auto loaded = ReadCsv(path, frame.schema());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumRows(), 2);
+  EXPECT_EQ(loaded->CollectInt64("id"), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(loaded->CollectDouble("v"), (std::vector<double>{1.5, -2.25}));
+  const Partition& part = loaded->partition(0);
+  EXPECT_EQ(part.column(3).points()[1].y, 40.8);
+}
+
+TEST(CsvTest, MissingFile) {
+  Schema schema({{"a", DataType::kInt64}});
+  EXPECT_FALSE(ReadCsv("/no/such/file.csv", schema).ok());
+}
+
+}  // namespace
+}  // namespace geotorch::df

@@ -1,0 +1,176 @@
+// Tests for the second extension batch: LstmCell, the CNN+LSTM hybrid
+// model, raster georeferencing/clip/resample, and DataLoader
+// prefetching.
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.h"
+#include "datasets/grid_dataset.h"
+#include "models/grid_models.h"
+#include "optim/optimizer.h"
+#include "models/trainer.h"
+#include "nn/layers.h"
+#include "raster/ops.h"
+#include "synth/weather.h"
+#include "tensor/ops.h"
+
+namespace geotorch {
+namespace {
+
+namespace ts = ::geotorch::tensor;
+namespace ag = ::geotorch::autograd;
+
+TEST(LstmCellTest, StateEvolvesAndIsBounded) {
+  Rng rng(1);
+  nn::LstmCell cell(6, 4, rng);
+  auto state = cell.InitialState(3);
+  EXPECT_EQ(state.h.shape(), (ts::Shape{3, 4}));
+  EXPECT_EQ(ts::SumAll(state.h.value()), 0.0f);
+  ag::Variable x(ts::Tensor::Randn({3, 6}, rng));
+  auto next = cell.Step(x, state);
+  EXPECT_NE(ts::SumAll(next.h.value()), 0.0f);
+  EXPECT_LE(ts::MaxAll(next.h.value()), 1.0f);
+  EXPECT_GE(ts::MinAll(next.h.value()), -1.0f);
+}
+
+TEST(LstmCellTest, BackpropThroughTime) {
+  Rng rng(2);
+  nn::LstmCell cell(3, 2, rng);
+  ag::Variable x(ts::Tensor::Randn({2, 3}, rng), true);
+  auto state = cell.InitialState(2);
+  for (int t = 0; t < 4; ++t) state = cell.Step(x, state);
+  ag::Variable loss = ag::MeanAll(ag::Mul(state.h, state.h));
+  loss.Backward();
+  EXPECT_TRUE(x.has_grad());
+  for (auto& p : cell.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(CnnLstmTest, ForwardShapeAndLearning) {
+  datasets::GridDataset dataset(
+      synth::GenerateGridFlow(260, 2, 9, 11, 24, 8), 24);
+  dataset.MinMaxNormalize();
+  dataset.SetSequentialRepresentation(4, 1);
+  data::DataLoader loader(&dataset, 6, false);
+  data::Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));
+
+  models::GridModelConfig mc;
+  mc.channels = 2;
+  mc.height = 9;   // odd dims exercise the stride-2 shape math
+  mc.width = 11;
+  mc.hidden = 8;
+  models::CnnLstm model(mc);
+  ag::Variable out = model.Forward(batch);
+  EXPECT_EQ(out.shape(), batch.y.shape());
+
+  // A few steps reduce the loss.
+  optim::Adam opt(model.Parameters(), 5e-3f);
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int step = 0; step < 15; ++step) {
+    opt.ZeroGrad();
+    ag::Variable loss = ag::MseLoss(model.Forward(batch), batch.y);
+    loss.Backward();
+    opt.Step();
+    if (step == 0) first = loss.value().flat(0);
+    last = loss.value().flat(0);
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(GeoreferenceTest, PixelWorldRoundTrip) {
+  raster::RasterImage img(10, 20, 1);
+  img.set_geotransform({-74.0, 0.01, 0.0, 40.9, 0.0, -0.02});
+  auto [x, y] = raster::PixelToWorld(img, 0, 0);
+  EXPECT_NEAR(x, -74.0 + 0.005, 1e-9);
+  EXPECT_NEAR(y, 40.9 - 0.01, 1e-9);
+  auto [i, j] = raster::WorldToPixel(img, x, y);
+  EXPECT_EQ(i, 0);
+  EXPECT_EQ(j, 0);
+  // Far corner.
+  auto [x2, y2] = raster::PixelToWorld(img, 9, 19);
+  auto [i2, j2] = raster::WorldToPixel(img, x2, y2);
+  EXPECT_EQ(i2, 9);
+  EXPECT_EQ(j2, 19);
+  // Outside.
+  auto [i3, j3] = raster::WorldToPixel(img, -80.0, 40.9);
+  EXPECT_EQ(i3, -1);
+  EXPECT_EQ(j3, -1);
+}
+
+TEST(ClipTest, WindowAndGeotransform) {
+  raster::RasterImage img(8, 8, 2);
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      img.at(0, i, j) = static_cast<float>(i * 8 + j);
+    }
+  }
+  img.set_geotransform({100.0, 1.0, 0.0, 50.0, 0.0, -1.0});
+  raster::RasterImage clipped = raster::ClipRaster(img, 2, 3, 4, 5);
+  EXPECT_EQ(clipped.height(), 4);
+  EXPECT_EQ(clipped.width(), 5);
+  EXPECT_EQ(clipped.at(0, 0, 0), img.at(0, 2, 3));
+  EXPECT_EQ(clipped.at(0, 3, 4), img.at(0, 5, 7));
+  // The clipped origin is the same world point as pixel (2,3).
+  auto [wx, wy] = raster::PixelToWorld(clipped, 0, 0);
+  auto [ox, oy] = raster::PixelToWorld(img, 2, 3);
+  EXPECT_NEAR(wx, ox, 1e-9);
+  EXPECT_NEAR(wy, oy, 1e-9);
+}
+
+TEST(ResampleTest, NearestPreservesValuesAndExtent) {
+  raster::RasterImage img(4, 4, 1);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      img.at(0, i, j) = static_cast<float>(i * 4 + j);
+    }
+  }
+  raster::RasterImage up = raster::ResampleNearest(img, 8, 8);
+  EXPECT_EQ(up.at(0, 0, 0), img.at(0, 0, 0));
+  EXPECT_EQ(up.at(0, 7, 7), img.at(0, 3, 3));
+  EXPECT_EQ(up.at(0, 2, 2), img.at(0, 1, 1));
+  // Pixel size halves; total extent unchanged.
+  EXPECT_NEAR(up.geotransform()[1], img.geotransform()[1] / 2.0, 1e-12);
+
+  raster::RasterImage down = raster::ResampleNearest(img, 2, 2);
+  EXPECT_EQ(down.at(0, 0, 0), img.at(0, 0, 0));
+  EXPECT_EQ(down.at(0, 1, 1), img.at(0, 2, 2));
+}
+
+TEST(PrefetchTest, PrefetchingLoaderMatchesPlainLoader) {
+  ts::Tensor xs = ts::Tensor::Arange(60).Reshape({20, 3});
+  data::TensorDataset dataset(xs, ts::Tensor::Arange(20));
+  data::DataLoader plain(&dataset, 7, /*shuffle=*/true, /*seed=*/5);
+  data::DataLoader pre(&dataset, 7, /*shuffle=*/true, /*seed=*/5,
+                       /*drop_last=*/false, /*prefetch=*/true);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    plain.Reset();
+    pre.Reset();
+    data::Batch a;
+    data::Batch b;
+    while (true) {
+      const bool has_a = plain.Next(&a);
+      const bool has_b = pre.Next(&b);
+      ASSERT_EQ(has_a, has_b);
+      if (!has_a) break;
+      EXPECT_EQ(a.size, b.size);
+      EXPECT_TRUE(ts::AllClose(a.x, b.x));
+      EXPECT_TRUE(ts::AllClose(a.y, b.y));
+    }
+  }
+}
+
+TEST(PrefetchTest, ResetMidEpochIsSafe) {
+  ts::Tensor xs = ts::Tensor::Ones({10, 2});
+  data::TensorDataset dataset(xs, ts::Tensor::Arange(10));
+  data::DataLoader loader(&dataset, 3, false, 0, false, /*prefetch=*/true);
+  data::Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));  // leaves a batch in flight
+  loader.Reset();
+  int64_t rows = 0;
+  while (loader.Next(&batch)) rows += batch.size;
+  EXPECT_EQ(rows, 10);
+}
+
+}  // namespace
+}  // namespace geotorch

@@ -1,0 +1,263 @@
+// Tests for the extended API surface: LeakyReLU / AvgPool2d ops,
+// RMSprop and cosine scheduling, DataFrame Union/Distinct and
+// variance aggregations, STR-tree kNN, distance joins, the extra
+// benchmark datasets, DeepSAT v1, and the GLCM transforms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/dataloader.h"
+#include "datasets/benchmarks.h"
+#include "df/dataframe.h"
+#include "models/raster_models.h"
+#include "optim/optimizer.h"
+#include "spatial/join.h"
+#include "spatial/strtree.h"
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+#include "tests/gradcheck.h"
+#include "transforms/transforms.h"
+
+namespace geotorch {
+namespace {
+
+namespace ts = ::geotorch::tensor;
+namespace ag = ::geotorch::autograd;
+using ::geotorch::testing::GradCheck;
+
+TEST(LeakyReluTest, ValuesAndGradient) {
+  ts::Tensor a = ts::Tensor::FromVector({4}, {-2, -1, 0, 3});
+  ts::Tensor out = ts::LeakyRelu(a, 0.1f);
+  EXPECT_FLOAT_EQ(out.flat(0), -0.2f);
+  EXPECT_FLOAT_EQ(out.flat(3), 3.0f);
+
+  Rng rng(1);
+  ts::Tensor x = ts::Tensor::Randn({3, 4}, rng);
+  EXPECT_LT(GradCheck(
+                [](const auto& v) {
+                  return ag::SumAll(ag::Mul(ag::LeakyRelu(v[0], 0.2f),
+                                            ag::LeakyRelu(v[0], 0.2f)));
+                },
+                {x}),
+            2e-2);
+}
+
+TEST(AvgPoolTest, ValuesAndAdjoint) {
+  ts::Tensor x = ts::Tensor::FromVector(
+      {1, 1, 2, 2}, {1, 2, 3, 4});
+  ts::Tensor out = ts::AvgPool2dForward(x, 2);
+  EXPECT_FLOAT_EQ(out.flat(0), 2.5f);
+
+  Rng rng(2);
+  ts::Tensor a = ts::Tensor::Randn({2, 3, 4, 4}, rng);
+  ts::Tensor b = ts::Tensor::Randn({2, 3, 2, 2}, rng);
+  const float lhs = ts::SumAll(ts::Mul(ts::AvgPool2dForward(a, 2), b));
+  const float rhs =
+      ts::SumAll(ts::Mul(a, ts::AvgPool2dBackward(b, a.shape(), 2)));
+  EXPECT_NEAR(lhs, rhs, 1e-4f);
+
+  EXPECT_LT(GradCheck(
+                [](const auto& v) {
+                  ag::Variable y = ag::AvgPool2d(v[0], 2);
+                  return ag::SumAll(ag::Mul(y, y));
+                },
+                {a}),
+            2e-2);
+}
+
+TEST(RmsPropTest, ConvergesOnQuadratic) {
+  ag::Variable w(ts::Tensor::Zeros({3}), true);
+  ts::Tensor target = ts::Tensor::FromVector({3}, {1, -2, 0.5f});
+  optim::RmsProp opt({w}, 0.05f);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    ag::Variable loss = ag::MseLoss(w, target);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_TRUE(ts::AllClose(w.value(), target, 1e-2f, 1e-2f));
+}
+
+TEST(CosineSchedulerTest, AnnealsToMinLr) {
+  ag::Variable w(ts::Tensor::Zeros({1}), true);
+  optim::Sgd opt({w}, 1.0f);
+  optim::CosineLrScheduler sched(&opt, /*total_epochs=*/10, /*min_lr=*/0.1f);
+  float prev = opt.lr();
+  for (int e = 0; e < 10; ++e) {
+    sched.Step();
+    EXPECT_LE(opt.lr(), prev + 1e-6f);  // monotone decay
+    prev = opt.lr();
+  }
+  EXPECT_NEAR(opt.lr(), 0.1f, 1e-5f);
+  sched.Step();  // past the horizon: stays at min
+  EXPECT_NEAR(opt.lr(), 0.1f, 1e-5f);
+}
+
+TEST(DataFrameExtTest, UnionConcatenatesRows) {
+  df::DataFrame a = df::DataFrame::FromColumns(
+      {{"k", df::Column::FromInt64s({1, 2})}});
+  df::DataFrame b = df::DataFrame::FromColumns(
+      {{"k", df::Column::FromInt64s({3})}});
+  df::DataFrame u = a.Union(b);
+  EXPECT_EQ(u.NumRows(), 3);
+  auto keys = u.CollectInt64("k");
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(DataFrameExtTest, DistinctDropsDuplicates) {
+  df::DataFrame frame = df::DataFrame::FromColumns(
+      {{"a", df::Column::FromInt64s({1, 1, 2, 2, 2, 3})},
+       {"b", df::Column::FromInt64s({0, 0, 0, 1, 1, 0})}});
+  df::DataFrame d = frame.Distinct({"a", "b"});
+  EXPECT_EQ(d.NumRows(), 4);  // (1,0), (2,0), (2,1), (3,0)
+  EXPECT_EQ(d.schema().num_fields(), 2);
+}
+
+TEST(DataFrameExtTest, VarianceAndStdDev) {
+  df::DataFrame frame = df::DataFrame::FromColumns(
+      {{"k", df::Column::FromInt64s({0, 0, 0, 0})},
+       {"v", df::Column::FromDoubles({2, 4, 4, 6})}});
+  df::DataFrame agg = frame.GroupByAgg(
+      {"k"}, {{df::AggKind::kVariance, "v", "var"},
+              {df::AggKind::kStdDev, "v", "sd"}});
+  // mean 4, population variance 2.
+  EXPECT_NEAR(agg.CollectDouble("var")[0], 2.0, 1e-9);
+  EXPECT_NEAR(agg.CollectDouble("sd")[0], std::sqrt(2.0), 1e-9);
+}
+
+TEST(StrTreeKnnTest, NearestMatchesBruteForce) {
+  Rng rng(5);
+  std::vector<spatial::Point> points;
+  std::vector<spatial::StrTree::Entry> entries;
+  for (int64_t i = 0; i < 200; ++i) {
+    spatial::Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    points.push_back(p);
+    entries.push_back({spatial::Envelope(p.x, p.y, p.x, p.y), i});
+  }
+  spatial::StrTree tree(entries);
+  for (int q = 0; q < 10; ++q) {
+    spatial::Point probe{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    auto got = tree.Nearest(probe, 5);
+    ASSERT_EQ(got.size(), 5u);
+    // Brute-force nearest.
+    std::vector<int64_t> ids(points.size());
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int64_t>(i);
+    std::sort(ids.begin(), ids.end(), [&](int64_t a, int64_t b) {
+      return spatial::EuclideanDistance(points[a], probe) <
+             spatial::EuclideanDistance(points[b], probe);
+    });
+    for (int k = 0; k < 5; ++k) EXPECT_EQ(got[k], ids[k]);
+  }
+}
+
+TEST(StrTreeKnnTest, SmallTreeReturnsAll) {
+  spatial::StrTree tree({{spatial::Envelope(0, 0, 1, 1), 42}});
+  auto got = tree.Nearest({5, 5}, 3);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 42);
+}
+
+TEST(DistanceJoinTest, MatchesBruteForce) {
+  Rng rng(6);
+  std::vector<spatial::Point> left;
+  std::vector<spatial::Point> right;
+  for (int i = 0; i < 80; ++i) {
+    left.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+    right.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const double radius = 1.5;
+  auto pairs = spatial::DistanceJoin(left, right, radius);
+  int64_t brute = 0;
+  for (const auto& a : left) {
+    for (const auto& b : right) {
+      if (spatial::EuclideanDistance(a, b) <= radius) ++brute;
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(pairs.size()), brute);
+  for (const auto& p : pairs) {
+    EXPECT_LE(spatial::EuclideanDistance(left[p.left_idx],
+                                         right[p.right_idx]),
+              radius + 1e-12);
+  }
+}
+
+TEST(NewDatasetsTest, ShapesMatchTableII) {
+  datasets::GridDataset taxi = datasets::MakeTaxiNycStdn(60);
+  EXPECT_EQ(taxi.height(), 10);
+  EXPECT_EQ(taxi.width(), 20);
+  EXPECT_EQ(taxi.channels(), 4);
+  EXPECT_EQ(taxi.steps_per_day(), 48);
+
+  datasets::GridDataset bike = datasets::MakeBikeNycStdn(60);
+  EXPECT_EQ(bike.height(), 10);
+  EXPECT_EQ(bike.channels(), 4);
+
+  datasets::RasterClassificationDataset sat4 = datasets::MakeSat4(8);
+  EXPECT_EQ(sat4.Get(0).x.shape(), (ts::Shape{4, 28, 28}));
+  float max_label = 0;
+  for (int64_t i = 0; i < sat4.Size(); ++i) {
+    max_label = std::max(max_label, sat4.Get(i).y.flat(0));
+  }
+  EXPECT_EQ(max_label, 3.0f);  // 4 classes
+}
+
+TEST(NewDatasetsTest, ExtraWeatherKinds) {
+  datasets::GridDataset geo = datasets::MakeGeopotential(48, 8, 16);
+  // Geopotential heights sit in the tens of thousands.
+  EXPECT_GT(ts::MeanAll(geo.st_data()), 5e4);
+
+  datasets::GridDataset solar = datasets::MakeSolarRadiation(48, 8, 16);
+  EXPECT_GE(ts::MinAll(solar.st_data()), 0.0f);  // no negative radiation
+  // Night frames are zero: hour 0 is night.
+  ts::Tensor midnight = ts::Slice(solar.st_data(), 0, 0, 1);
+  EXPECT_EQ(ts::MaxAll(midnight), 0.0f);
+  // Some daytime frame has sun.
+  EXPECT_GT(ts::MaxAll(solar.st_data()), 100.0f);
+}
+
+TEST(DeepSatV1Test, TrainsOnFeatures) {
+  datasets::RasterDatasetOptions options;
+  options.include_additional_features = true;
+  datasets::RasterClassificationDataset dataset =
+      datasets::MakeSat6(24, options);
+  models::RasterModelConfig mc;
+  mc.in_channels = 4;
+  mc.in_height = 28;
+  mc.in_width = 28;
+  mc.num_classes = 6;
+  mc.num_filtered_features = dataset.num_additional_features();
+  mc.base_filters = 8;
+  models::DeepSat model(mc);
+  data::DataLoader loader(&dataset, 8, false);
+  data::Batch batch;
+  ASSERT_TRUE(loader.Next(&batch));
+  ag::Variable logits = model.Forward(ag::Variable(batch.x),
+                                      ag::Variable(batch.extras[0]));
+  EXPECT_EQ(logits.shape(), (ts::Shape{8, 6}));
+  // One gradient step works.
+  ag::Variable loss = ag::CrossEntropyLoss(
+      logits, batch.y.Reshape({batch.y.numel()}));
+  loss.Backward();
+  for (auto& p : model.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(GlcmTransformTest, AppendsChannels) {
+  Rng rng(7);
+  ts::Tensor img = ts::Tensor::Rand({3, 16, 16}, rng);
+  ts::Tensor with_contrast =
+      transforms::AppendGlcmContrastChannel(0)(img);
+  EXPECT_EQ(with_contrast.size(0), 4);
+  // Constant channel.
+  ts::Tensor chan = ts::Slice(with_contrast, 0, 3, 4);
+  EXPECT_EQ(ts::MinAll(chan), ts::MaxAll(chan));
+
+  ts::Tensor with_features =
+      transforms::AppendGlcmFeatureChannels(1, 32)(img);
+  EXPECT_EQ(with_features.size(0), 9);  // 3 + 6 features
+}
+
+}  // namespace
+}  // namespace geotorch

@@ -1,0 +1,56 @@
+#include "tests/gradcheck.h"
+
+#include <cmath>
+
+namespace geotorch::testing {
+
+double GradCheck(
+    const std::function<autograd::Variable(
+        const std::vector<autograd::Variable>&)>& fn,
+    std::vector<tensor::Tensor> inputs, double eps,
+    double* out_max_analytic) {
+  // Analytic gradients.
+  std::vector<autograd::Variable> vars;
+  vars.reserve(inputs.size());
+  for (auto& t : inputs) {
+    vars.emplace_back(t.Clone(), /*requires_grad=*/true);
+  }
+  autograd::Variable loss = fn(vars);
+  loss.Backward();
+
+  double max_err = 0.0;
+  double max_analytic = 0.0;
+
+  auto eval = [&](const std::vector<tensor::Tensor>& ts) -> double {
+    autograd::NoGradGuard guard;
+    std::vector<autograd::Variable> vs;
+    vs.reserve(ts.size());
+    for (const auto& t : ts) vs.emplace_back(t.Clone(), false);
+    return fn(vs).value().flat(0);
+  };
+
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    const tensor::Tensor& analytic = vars[vi].has_grad()
+                                         ? vars[vi].grad()
+                                         : tensor::Tensor::Zeros(
+                                               inputs[vi].shape());
+    for (int64_t j = 0; j < inputs[vi].numel(); ++j) {
+      std::vector<tensor::Tensor> plus;
+      std::vector<tensor::Tensor> minus;
+      for (size_t k = 0; k < inputs.size(); ++k) {
+        plus.push_back(inputs[k].Clone());
+        minus.push_back(inputs[k].Clone());
+      }
+      plus[vi].flat(j) += static_cast<float>(eps);
+      minus[vi].flat(j) -= static_cast<float>(eps);
+      const double numeric = (eval(plus) - eval(minus)) / (2.0 * eps);
+      const double a = analytic.flat(j);
+      max_err = std::max(max_err, std::fabs(numeric - a));
+      max_analytic = std::max(max_analytic, std::fabs(a));
+    }
+  }
+  if (out_max_analytic != nullptr) *out_max_analytic = max_analytic;
+  return max_err;
+}
+
+}  // namespace geotorch::testing

@@ -1,0 +1,26 @@
+#ifndef GEOTORCH_TESTS_GRADCHECK_H_
+#define GEOTORCH_TESTS_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::testing {
+
+/// Finite-difference gradient check: builds fresh leaf variables from
+/// `inputs`, evaluates `fn` (which must return a scalar Variable), runs
+/// Backward, and compares each analytic gradient against central
+/// differences. Returns the maximum absolute mismatch.
+///
+/// fn is re-invoked for every perturbed input, so it must be pure.
+double GradCheck(
+    const std::function<autograd::Variable(
+        const std::vector<autograd::Variable>&)>& fn,
+    std::vector<tensor::Tensor> inputs, double eps = 1e-3,
+    double* out_max_analytic = nullptr);
+
+}  // namespace geotorch::testing
+
+#endif  // GEOTORCH_TESTS_GRADCHECK_H_

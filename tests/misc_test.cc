@@ -1,0 +1,184 @@
+// Coverage of smaller API surfaces: Status macros, RowView access,
+// scoped allocations, ConvTranspose shape math, DfToTorch without
+// labels, and assorted edge cases.
+
+#include <gtest/gtest.h>
+
+#include "core/memory.h"
+#include "core/status.h"
+#include "core/thread_pool.h"
+#include "df/dataframe.h"
+#include "nn/layers.h"
+#include "prep/df_to_torch.h"
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+
+namespace geotorch {
+namespace {
+
+namespace ts = ::geotorch::tensor;
+namespace ag = ::geotorch::autograd;
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  GEO_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_FALSE(Chain(-1).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScopedAllocationTest, ReleasesOnScopeExit) {
+  MemoryTracker tracker;
+  {
+    ScopedAllocation a(&tracker, 1000);
+    EXPECT_EQ(tracker.current_bytes(), 1000);
+    {
+      ScopedAllocation b(&tracker, 500);
+      EXPECT_EQ(tracker.current_bytes(), 1500);
+    }
+    EXPECT_EQ(tracker.current_bytes(), 1000);
+  }
+  EXPECT_EQ(tracker.current_bytes(), 0);
+  EXPECT_EQ(tracker.peak_bytes(), 1500);
+}
+
+TEST(ThreadPoolTest, ParallelForRangeCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelForRange(64, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i] += 1;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RowViewTest, TypedAccessors) {
+  df::DataFrame frame = df::DataFrame::FromColumns(
+      {{"d", df::Column::FromDoubles({1.5})},
+       {"i", df::Column::FromInt64s({7})},
+       {"s", df::Column::FromStrings({"hi"})},
+       {"p", df::Column::FromPoints({{2.0, 3.0}})}});
+  df::RowView row(&frame.partition(0), &frame.schema(), 0);
+  EXPECT_EQ(row.GetDouble(0), 1.5);
+  EXPECT_EQ(row.GetInt64(1), 7);
+  EXPECT_EQ(row.GetString(2), "hi");
+  EXPECT_EQ(row.GetPoint(3).y, 3.0);
+  EXPECT_EQ(row.ColumnIndex("s"), 2);
+  EXPECT_EQ(std::get<int64_t>(row.Get(1)), 7);
+}
+
+TEST(DataFrameTest, ByteSizeTracksColumns) {
+  df::DataFrame frame = df::DataFrame::FromColumns(
+      {{"x", df::Column::FromInt64s(std::vector<int64_t>(1000, 1))}});
+  EXPECT_GE(frame.ByteSize(), 8000);
+  // Select shares the column: same bytes, no growth in the tracker.
+  const int64_t before = MemoryTracker::Global().current_bytes();
+  df::DataFrame view = frame.Select({"x"});
+  EXPECT_EQ(MemoryTracker::Global().current_bytes(), before);
+  EXPECT_EQ(view.ByteSize(), frame.ByteSize());
+}
+
+TEST(ConvShapeTest, ConvOutSizeFormula) {
+  EXPECT_EQ(ts::ConvOutSize(32, 3, 1, 1), 32);
+  EXPECT_EQ(ts::ConvOutSize(32, 3, 2, 1), 16);
+  EXPECT_EQ(ts::ConvOutSize(28, 5, 1, 0), 24);
+  EXPECT_EQ(ts::ConvOutSize(7, 7, 1, 0), 1);
+}
+
+TEST(ConvTransposeShapeTest, InvertsStridedConv) {
+  // convT output dims: (in-1)*s - 2p + k.
+  Rng rng(1);
+  ts::Tensor x = ts::Tensor::Randn({1, 2, 5, 5}, rng);
+  ts::Tensor w = ts::Tensor::Randn({2, 3, 4, 4}, rng);
+  ts::ConvSpec spec{.stride = 2, .padding = 1};
+  ts::Tensor y = ts::ConvTranspose2dForward(x, w, ts::Tensor(), spec);
+  EXPECT_EQ(y.shape(), (ts::Shape{1, 3, 10, 10}));
+}
+
+TEST(NnModulesTest, FlattenAndUpsample) {
+  nn::Flatten flatten;
+  ag::Variable x(ts::Tensor::Ones({3, 2, 4, 4}));
+  EXPECT_EQ(flatten.Forward(x).shape(), (ts::Shape{3, 32}));
+
+  nn::Upsample2x up;
+  EXPECT_EQ(up.Forward(x).shape(), (ts::Shape{3, 2, 8, 8}));
+}
+
+TEST(TensorEdgeTest, ScalarAndEmpty) {
+  ts::Tensor s = ts::Tensor::Scalar(3.0f);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.flat(0), 3.0f);
+
+  ts::Tensor empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.numel(), 0);
+}
+
+TEST(TensorEdgeTest, ToStringTruncates) {
+  ts::Tensor t = ts::Tensor::Arange(100);
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("(100)"), std::string::npos);
+}
+
+TEST(OpsEdgeTest, MapAppliesFunction) {
+  ts::Tensor t = ts::Tensor::Arange(4);
+  ts::Tensor doubled = ts::Map(t, [](float v) { return v * 2; });
+  EXPECT_EQ(doubled.flat(3), 6.0f);
+}
+
+TEST(OpsEdgeTest, ConcatSingleTensor) {
+  ts::Tensor t = ts::Tensor::Arange(4).Reshape({2, 2});
+  EXPECT_TRUE(ts::AllClose(ts::Concat({t}, 0), t));
+}
+
+TEST(OpsEdgeTest, SliceFullRangeIsIdentity) {
+  ts::Tensor t = ts::Tensor::Arange(6).Reshape({2, 3});
+  EXPECT_TRUE(ts::AllClose(ts::Slice(t, 1, 0, 3), t));
+  ts::Tensor empty_slice = ts::Slice(t, 0, 1, 1);
+  EXPECT_EQ(empty_slice.numel(), 0);
+}
+
+TEST(DfToTorchTest, NoLabelColumnYieldsZeros) {
+  df::DataFrame frame = df::DataFrame::FromColumns(
+      {{"a", df::Column::FromDoubles({1, 2, 3})}});
+  prep::DfToTorch::Options options;
+  options.feature_columns = {"a"};
+  prep::DfToTorch converter(frame, options);
+  ts::Tensor x;
+  ts::Tensor y;
+  ASSERT_TRUE(converter.NextBatch(&x, &y));
+  EXPECT_EQ(ts::SumAll(y), 0.0f);
+  EXPECT_EQ(y.numel(), 3);
+}
+
+TEST(AutogradEdgeTest, BackwardTwiceAccumulates) {
+  ag::Variable a(ts::Tensor::Ones({2}), true);
+  ag::Variable loss = ag::SumAll(ag::MulScalar(a, 2.0f));
+  loss.Backward();
+  EXPECT_TRUE(ts::AllClose(a.grad(), ts::Tensor::Full({2}, 2.0f)));
+  // ZeroGrad then reuse the leaf in a fresh graph.
+  a.ZeroGrad();
+  ag::Variable loss2 = ag::SumAll(ag::MulScalar(a, 3.0f));
+  loss2.Backward();
+  EXPECT_TRUE(ts::AllClose(a.grad(), ts::Tensor::Full({2}, 3.0f)));
+}
+
+TEST(AutogradEdgeTest, DetachedBranchGetsNoGrad) {
+  ag::Variable a(ts::Tensor::Ones({2}), true);
+  ag::Variable b(ts::Tensor::Ones({2}), false);  // no grad wanted
+  ag::Variable loss = ag::SumAll(ag::Mul(a, b));
+  loss.Backward();
+  EXPECT_TRUE(a.has_grad());
+  EXPECT_FALSE(b.has_grad());
+}
+
+}  // namespace
+}  // namespace geotorch

@@ -1,0 +1,185 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "tests/gradcheck.h"
+
+namespace geotorch::nn {
+namespace {
+
+namespace ag = ::geotorch::autograd;
+namespace ts = ::geotorch::tensor;
+
+TEST(ModuleTest, ParameterRegistration) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  EXPECT_EQ(layer.Parameters().size(), 2u);  // weight + bias
+  EXPECT_EQ(layer.NumParameters(), 4 * 3 + 3);
+  auto named = layer.NamedParameters();
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+}
+
+TEST(ModuleTest, ChildModulesAggregate) {
+  Rng rng(2);
+  Sequential seq;
+  seq.Emplace<Linear>(4, 8, rng).Emplace<ReluLayer>().Emplace<Linear>(8, 2,
+                                                                      rng);
+  EXPECT_EQ(seq.Parameters().size(), 4u);
+  auto named = seq.NamedParameters();
+  EXPECT_EQ(named[0].first, "layer0.weight");
+  EXPECT_EQ(named[2].first, "layer2.weight");
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  Rng rng(3);
+  Sequential seq;
+  seq.Emplace<Linear>(2, 2, rng).Emplace<Dropout>(0.5f);
+  seq.SetTraining(false);
+  EXPECT_FALSE(seq.training());
+  // Dropout in eval mode is identity.
+  ag::Variable x(ts::Tensor::Ones({4, 2}));
+  ag::Variable y1 = seq.Forward(x);
+  ag::Variable y2 = seq.Forward(x);
+  EXPECT_TRUE(ts::AllClose(y1.value(), y2.value()));
+}
+
+TEST(InitTest, KaimingBounds) {
+  Rng rng(4);
+  ts::Tensor w = KaimingUniform({100, 100}, 100, rng);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  EXPECT_LE(ts::MaxAll(w), bound);
+  EXPECT_GE(ts::MinAll(w), -bound);
+  EXPECT_NEAR(ts::MeanAll(w), 0.0f, 0.02f);
+}
+
+TEST(InitTest, ConvFanIn) {
+  EXPECT_EQ(ConvFanIn({16, 3, 5, 5}), 75);
+  EXPECT_EQ(ConvFanIn({10, 20}), 20);
+}
+
+TEST(LinearTest, ForwardShapeAndValue) {
+  Rng rng(5);
+  Linear layer(3, 2, rng);
+  ag::Variable x(ts::Tensor::Ones({4, 3}));
+  ag::Variable y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (ts::Shape{4, 2}));
+  // All rows identical for identical inputs.
+  EXPECT_EQ(y.value().at({0, 0}), y.value().at({3, 0}));
+}
+
+TEST(Conv2dTest, ShapesWithStridePadding) {
+  Rng rng(6);
+  Conv2d same(3, 8, 3, rng, 1, 1);
+  ag::Variable x(ts::Tensor::Ones({2, 3, 10, 10}));
+  EXPECT_EQ(same.Forward(x).shape(), (ts::Shape{2, 8, 10, 10}));
+
+  Conv2d down(3, 8, 3, rng, 2, 1);
+  EXPECT_EQ(down.Forward(x).shape(), (ts::Shape{2, 8, 5, 5}));
+}
+
+TEST(ConvTranspose2dTest, UpsamplesByStride) {
+  Rng rng(7);
+  ConvTranspose2d up(4, 2, 2, rng, 2, 0);
+  ag::Variable x(ts::Tensor::Ones({1, 4, 5, 5}));
+  EXPECT_EQ(up.Forward(x).shape(), (ts::Shape{1, 2, 10, 10}));
+}
+
+TEST(BatchNormTest, NormalizesTrainingBatch) {
+  BatchNorm2d bn(3);
+  Rng rng(8);
+  ag::Variable x(ts::Tensor::Randn({8, 3, 4, 4}, rng, 5.0f, 2.0f));
+  bn.SetTraining(true);
+  ag::Variable y = bn.Forward(x);
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  ts::Tensor m =
+      ts::Mean(ts::Mean(ts::Mean(y.value(), 0, true), 2, true), 3, true);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(m.flat(c), 0.0f, 1e-4);
+  }
+  ts::Tensor sq = ts::Mul(y.value(), y.value());
+  ts::Tensor v =
+      ts::Mean(ts::Mean(ts::Mean(sq, 0, true), 2, true), 3, true);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(v.flat(c), 1.0f, 0.05f);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsConvergeAndEvalUsesThem) {
+  BatchNorm2d bn(1);
+  Rng rng(9);
+  bn.SetTraining(true);
+  for (int i = 0; i < 60; ++i) {
+    ag::Variable x(ts::Tensor::Randn({16, 1, 2, 2}, rng, 3.0f, 1.0f));
+    bn.Forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean().flat(0), 3.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var().flat(0), 1.0f, 0.3f);
+
+  bn.SetTraining(false);
+  // A constant eval input normalizes against the running stats.
+  ag::Variable x(ts::Tensor::Full({2, 1, 2, 2}, 3.0f));
+  ag::Variable y = bn.Forward(x);
+  EXPECT_NEAR(y.value().flat(0), 0.0f, 0.3f);
+}
+
+TEST(BatchNormTest, GradientFlowsThroughTraining) {
+  using ::geotorch::testing::GradCheck;
+  Rng rng(10);
+  ts::Tensor x = ts::Tensor::Randn({4, 2, 3, 3}, rng);
+  BatchNorm2d bn(2);
+  bn.SetTraining(true);
+  const double err = GradCheck(
+      [&bn](const std::vector<ag::Variable>& v) {
+        return ag::MeanAll(ag::Mul(bn.Forward(v[0]), bn.Forward(v[0])));
+      },
+      {x}, 1e-3);
+  EXPECT_LT(err, 5e-2);
+}
+
+TEST(ConvLstmCellTest, StateShapesAndEvolution) {
+  Rng rng(11);
+  ConvLstmCell cell(2, 4, 3, rng);
+  auto state = cell.InitialState(3, 8, 8);
+  EXPECT_EQ(state.h.shape(), (ts::Shape{3, 4, 8, 8}));
+  EXPECT_EQ(ts::SumAll(state.h.value()), 0.0f);
+
+  ag::Variable x(ts::Tensor::Randn({3, 2, 8, 8}, rng));
+  auto next = cell.Step(x, state);
+  EXPECT_EQ(next.h.shape(), (ts::Shape{3, 4, 8, 8}));
+  EXPECT_NE(ts::SumAll(next.h.value()), 0.0f);
+  // Hidden state is bounded by tanh.
+  EXPECT_LE(ts::MaxAll(next.h.value()), 1.0f);
+  EXPECT_GE(ts::MinAll(next.h.value()), -1.0f);
+}
+
+TEST(ConvLstmCellTest, BackpropThroughTime) {
+  Rng rng(12);
+  ConvLstmCell cell(1, 2, 3, rng);
+  ag::Variable x(ts::Tensor::Randn({1, 1, 4, 4}, rng), true);
+  auto state = cell.InitialState(1, 4, 4);
+  for (int t = 0; t < 3; ++t) state = cell.Step(x, state);
+  ag::Variable loss = ag::MeanAll(ag::Mul(state.h, state.h));
+  loss.Backward();
+  EXPECT_TRUE(x.has_grad());
+  // Every cell parameter received a gradient.
+  for (auto& p : cell.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(SequentialTest, RunsLayersInOrder) {
+  Rng rng(13);
+  Sequential seq;
+  seq.Emplace<Conv2d>(1, 2, 3, rng, 1, 1)
+      .Emplace<ReluLayer>()
+      .Emplace<MaxPool2d>(2)
+      .Emplace<Flatten>();
+  ag::Variable x(ts::Tensor::Ones({2, 1, 8, 8}));
+  ag::Variable y = seq.Forward(x);
+  EXPECT_EQ(y.shape(), (ts::Shape{2, 2 * 4 * 4}));
+  EXPECT_GE(ts::MinAll(y.value()), 0.0f);  // post-ReLU
+}
+
+}  // namespace
+}  // namespace geotorch::nn

@@ -1,0 +1,329 @@
+#include "prep/st_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/geopandas_like.h"
+#include "prep/df_to_torch.h"
+#include "prep/raster_processing.h"
+#include "raster/ops.h"
+#include "synth/taxi.h"
+#include "tensor/ops.h"
+
+namespace geotorch::prep {
+namespace {
+
+namespace ts = ::geotorch::tensor;
+
+df::DataFrame SmallTripFrame(int partitions = 3) {
+  synth::TaxiTripConfig config;
+  config.num_records = 4000;
+  config.duration_sec = 2 * 86400;
+  config.seed = 21;
+  return synth::TripsToDataFrame(synth::GenerateTaxiTrips(config),
+                                 partitions);
+}
+
+TEST(SpacePartitionTest, ComputeExtentCoversAllPoints) {
+  df::DataFrame frame =
+      STManager::AddSpatialPoints(SmallTripFrame(), "lat", "lon", "point");
+  spatial::Envelope extent =
+      SpacePartition::ComputeExtent(frame, "point");
+  const int col = frame.schema().FieldIndex("point");
+  for (int pi = 0; pi < frame.num_partitions(); ++pi) {
+    for (const auto& p : frame.partition(pi).column(col).points()) {
+      EXPECT_TRUE(extent.Contains(p));
+    }
+  }
+}
+
+TEST(STManagerTest, AddSpatialPointsBuildsGeometry) {
+  df::DataFrame frame = SmallTripFrame();
+  df::DataFrame with_points =
+      STManager::AddSpatialPoints(frame, "lat", "lon", "point");
+  const int pt = with_points.schema().FieldIndex("point");
+  const int lon = with_points.schema().FieldIndex("lon");
+  const int lat = with_points.schema().FieldIndex("lat");
+  const df::Partition& part = with_points.partition(0);
+  for (int64_t r = 0; r < std::min<int64_t>(part.num_rows(), 50); ++r) {
+    EXPECT_EQ(part.column(pt).points()[r].x, part.column(lon).doubles()[r]);
+    EXPECT_EQ(part.column(pt).points()[r].y, part.column(lat).doubles()[r]);
+  }
+}
+
+TEST(STManagerTest, GridAggregationMatchesManualCount) {
+  synth::TaxiTripConfig config;
+  config.num_records = 3000;
+  config.duration_sec = 86400;
+  config.seed = 9;
+  auto trips = synth::GenerateTaxiTrips(config);
+  df::DataFrame frame = synth::TripsToDataFrame(trips, 4);
+  df::DataFrame with_points =
+      STManager::AddSpatialPoints(frame, "lat", "lon", "point");
+
+  StGridSpec spec;
+  spec.partitions_x = 6;
+  spec.partitions_y = 8;
+  spec.step_duration_sec = 3600;
+  spec.extent = config.extent;
+  StGridResult result = STManager::GetStGridDataFrame(with_points, spec);
+
+  // Manual aggregation with the same grid.
+  spatial::GridPartitioner grid(config.extent, 6, 8);
+  std::map<std::pair<int64_t, int64_t>, int64_t> manual;
+  for (const auto& t : trips) {
+    auto cell = grid.CellOf({t.lon, t.lat});
+    ASSERT_TRUE(cell.has_value());
+    ++manual[{*cell, t.time_sec / 3600}];
+  }
+  EXPECT_EQ(result.frame.NumRows(),
+            static_cast<int64_t>(manual.size()));
+
+  df::DataFrame sorted = result.frame.SortByInt64("cell_id");
+  const int cell_idx = sorted.schema().FieldIndex("cell_id");
+  const int time_idx = sorted.schema().FieldIndex("time_id");
+  const int count_idx = sorted.schema().FieldIndex("count");
+  const df::Partition& part = sorted.partition(0);
+  for (int64_t r = 0; r < part.num_rows(); ++r) {
+    const auto key = std::make_pair(part.column(cell_idx).int64s()[r],
+                                    part.column(time_idx).int64s()[r]);
+    EXPECT_EQ(part.column(count_idx).int64s()[r], manual[key]);
+  }
+}
+
+TEST(STManagerTest, TensorScatterMatchesFrame) {
+  df::DataFrame with_points =
+      STManager::AddSpatialPoints(SmallTripFrame(), "lat", "lon", "point");
+  StGridSpec spec;
+  spec.partitions_x = 4;
+  spec.partitions_y = 5;
+  spec.step_duration_sec = 7200;
+  StGridResult result = STManager::GetStGridDataFrame(with_points, spec);
+  ts::Tensor tensor = STManager::GetStGridTensor(result, {"count"});
+  EXPECT_EQ(tensor.shape(),
+            (ts::Shape{result.num_timesteps, 1, 5, 4}));
+  // Total mass equals the number of in-extent records.
+  EXPECT_EQ(static_cast<int64_t>(ts::SumAll(tensor)),
+            with_points.NumRows());
+  // Spot-check one frame cell against the frame rows.
+  const int cell_idx = result.frame.schema().FieldIndex("cell_id");
+  const int time_idx = result.frame.schema().FieldIndex("time_id");
+  const int count_idx = result.frame.schema().FieldIndex("count");
+  const df::Partition& part = result.frame.partition(0);
+  for (int64_t r = 0; r < std::min<int64_t>(20, part.num_rows()); ++r) {
+    const int64_t cell = part.column(cell_idx).int64s()[r];
+    const int64_t time = part.column(time_idx).int64s()[r];
+    EXPECT_EQ(tensor.at({time, 0, cell / 4, cell % 4}),
+              static_cast<float>(part.column(count_idx).int64s()[r]));
+  }
+}
+
+TEST(STManagerTest, MultiChannelAggregation) {
+  df::DataFrame frame = SmallTripFrame();
+  df::DataFrame with_points =
+      STManager::AddSpatialPoints(frame, "lat", "lon", "point");
+  const int pickup_idx = with_points.schema().FieldIndex("is_pickup");
+  df::DataFrame channels =
+      with_points
+          .WithColumn("pu", df::DataType::kDouble,
+                      [pickup_idx](const df::RowView& row) -> df::Value {
+                        return static_cast<double>(row.GetInt64(pickup_idx));
+                      })
+          .WithColumn("do", df::DataType::kDouble,
+                      [pickup_idx](const df::RowView& row) -> df::Value {
+                        return 1.0 -
+                               static_cast<double>(row.GetInt64(pickup_idx));
+                      });
+  StGridSpec spec;
+  spec.partitions_x = 3;
+  spec.partitions_y = 3;
+  spec.step_duration_sec = 86400;
+  spec.aggs = {{df::AggKind::kSum, "pu", "pickups"},
+               {df::AggKind::kSum, "do", "dropoffs"},
+               {df::AggKind::kCount, "", "total"}};
+  StGridResult result = STManager::GetStGridDataFrame(channels, spec);
+  ts::Tensor t =
+      STManager::GetStGridTensor(result, {"pickups", "dropoffs"});
+  EXPECT_EQ(t.size(1), 2);
+  // pickups + dropoffs == total count.
+  ts::Tensor both = ts::Add(ts::Slice(t, 1, 0, 1), ts::Slice(t, 1, 1, 2));
+  EXPECT_EQ(static_cast<int64_t>(ts::SumAll(both)), frame.NumRows());
+}
+
+TEST(STManagerTest, CoarsenGridSumsBlocks) {
+  ts::Tensor fine = ts::Tensor::Ones({2, 1, 4, 4});
+  ts::Tensor coarse = STManager::CoarsenGrid(fine, 2);
+  EXPECT_EQ(coarse.shape(), (ts::Shape{2, 1, 2, 2}));
+  EXPECT_EQ(coarse.flat(0), 4.0f);
+  EXPECT_EQ(ts::SumAll(coarse), ts::SumAll(fine));
+}
+
+TEST(BaselineCrossCheck, BaselineMatchesPrepModuleTensor) {
+  // The GeoPandas-like baseline and the distributed module must produce
+  // the identical spatiotemporal tensor from the same trips.
+  synth::TaxiTripConfig config;
+  config.num_records = 3000;
+  config.duration_sec = 86400;
+  config.seed = 33;
+  auto trips = synth::GenerateTaxiTrips(config);
+
+  baseline::BaselineOptions options;
+  options.partitions_x = 4;
+  options.partitions_y = 4;
+  options.step_duration_sec = 3600;
+  baseline::BaselineOutcome outcome =
+      baseline::GeoPandasLikePrepare(trips, options);
+  ASSERT_FALSE(outcome.out_of_memory);
+
+  df::DataFrame frame = synth::TripsToDataFrame(trips, 3);
+  df::DataFrame with_points =
+      STManager::AddSpatialPoints(frame, "lat", "lon", "point");
+  const int pickup_idx = with_points.schema().FieldIndex("is_pickup");
+  df::DataFrame channels =
+      with_points
+          .WithColumn("pu", df::DataType::kDouble,
+                      [pickup_idx](const df::RowView& row) -> df::Value {
+                        return static_cast<double>(row.GetInt64(pickup_idx));
+                      })
+          .WithColumn("do", df::DataType::kDouble,
+                      [pickup_idx](const df::RowView& row) -> df::Value {
+                        return 1.0 -
+                               static_cast<double>(row.GetInt64(pickup_idx));
+                      });
+  StGridSpec spec;
+  spec.partitions_x = 4;
+  spec.partitions_y = 4;
+  spec.step_duration_sec = 3600;
+  // The baseline derives its extent from the data; do the same here.
+  spec.aggs = {{df::AggKind::kSum, "pu", "pickups"},
+               {df::AggKind::kSum, "do", "dropoffs"}};
+  StGridResult result = STManager::GetStGridDataFrame(channels, spec);
+  ts::Tensor ours =
+      STManager::GetStGridTensor(result, {"pickups", "dropoffs"});
+
+  ASSERT_EQ(ours.shape(), outcome.st_tensor.shape());
+  EXPECT_TRUE(ts::AllClose(ours, outcome.st_tensor, 0.0f, 0.0f))
+      << "prep module and baseline disagree";
+}
+
+TEST(BaselineTest, OomGuardTrips) {
+  synth::TaxiTripConfig config;
+  config.num_records = 2000;
+  config.seed = 1;
+  auto trips = synth::GenerateTaxiTrips(config);
+  baseline::BaselineOptions options;
+  options.memory_limit_bytes = 10000;  // absurdly small
+  baseline::BaselineOutcome outcome =
+      baseline::GeoPandasLikePrepare(trips, options);
+  EXPECT_TRUE(outcome.out_of_memory);
+  EXPECT_GT(outcome.peak_logical_bytes, 10000);
+}
+
+TEST(RasterProcessingTest, ParallelNdiMatchesDirectOp) {
+  std::vector<raster::RasterImage> images;
+  Rng rng(2);
+  for (int i = 0; i < 5; ++i) {
+    raster::RasterImage img(8, 8, 3);
+    for (auto& v : img.data()) v = static_cast<float>(rng.Uniform(0.1, 1));
+    images.push_back(std::move(img));
+  }
+  auto transformed =
+      RasterProcessing::AppendNormalizedDifferenceIndex(images, 0, 1);
+  ASSERT_EQ(transformed.size(), 5u);
+  for (size_t i = 0; i < images.size(); ++i) {
+    raster::RasterImage direct =
+        raster::AppendNormalizedDifferenceIndex(images[i], 0, 1);
+    EXPECT_EQ(transformed[i].bands(), 4);
+    EXPECT_EQ(transformed[i].data(), direct.data());
+  }
+}
+
+TEST(RasterProcessingTest, WriteLoadRoundTrip) {
+  std::vector<raster::RasterImage> images;
+  for (int i = 0; i < 3; ++i) {
+    raster::RasterImage img(4, 4, 2);
+    img.at(0, 0, 0) = static_cast<float>(i);
+    images.push_back(std::move(img));
+  }
+  auto paths = RasterProcessing::WriteGeotiffImages(
+      images, testing::TempDir(), "prep_test_");
+  ASSERT_TRUE(paths.ok());
+  auto loaded = RasterProcessing::LoadGeotiffImages(*paths);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[2].at(0, 0, 0), 2.0f);
+}
+
+TEST(DfToTorchTest, BatchesAllRows) {
+  df::DataFrame frame =
+      df::DataFrame::FromColumns(
+          {{"a", df::Column::FromDoubles({1, 2, 3, 4, 5})},
+           {"b", df::Column::FromInt64s({10, 20, 30, 40, 50})},
+           {"label", df::Column::FromInt64s({0, 1, 0, 1, 0})}})
+          .Repartition(2);
+  DfToTorch::Options options;
+  options.feature_columns = {"a", "b"};
+  options.label_column = "label";
+  options.batch_size = 2;
+  DfToTorch converter(frame, options);
+  EXPECT_EQ(converter.num_rows(), 5);
+
+  ts::Tensor x;
+  ts::Tensor y;
+  int64_t rows = 0;
+  int batches = 0;
+  double label_sum = 0.0;
+  while (converter.NextBatch(&x, &y)) {
+    EXPECT_EQ(x.size(1), 2);
+    EXPECT_EQ(x.size(0), y.size(0));
+    rows += x.size(0);
+    ++batches;
+    label_sum += ts::SumAll(y);
+  }
+  EXPECT_EQ(rows, 5);
+  EXPECT_EQ(batches, 3);
+  EXPECT_EQ(label_sum, 2.0);  // two 1-labels
+
+  // Reset allows a second pass.
+  converter.Reset();
+  EXPECT_TRUE(converter.NextBatch(&x, &y));
+}
+
+TEST(DfToTorchTest, TransformApplied) {
+  df::DataFrame frame = df::DataFrame::FromColumns(
+      {{"a", df::Column::FromDoubles({1, 2, 3})}});
+  DfToTorch::Options options;
+  options.feature_columns = {"a"};
+  options.batch_size = 10;
+  options.transform = [](const ts::Tensor& x) {
+    return ts::MulScalar(x, 10.0f);
+  };
+  DfToTorch converter(frame, options);
+  ts::Tensor x;
+  ts::Tensor y;
+  ASSERT_TRUE(converter.NextBatch(&x, &y));
+  EXPECT_EQ(x.flat(0), 10.0f);
+  EXPECT_EQ(x.flat(2), 30.0f);
+}
+
+TEST(DfToTorchTest, ToDatasetMaterializes) {
+  df::DataFrame frame =
+      df::DataFrame::FromColumns(
+          {{"a", df::Column::FromDoubles({1, 2, 3, 4})},
+           {"y", df::Column::FromDoubles({0.1, 0.2, 0.3, 0.4})}})
+          .Repartition(2);
+  DfToTorch::Options options;
+  options.feature_columns = {"a"};
+  options.label_column = "y";
+  DfToTorch converter(frame, options);
+  auto dataset = converter.ToDataset();
+  EXPECT_EQ(dataset->Size(), 4);
+  // All labels present regardless of partition order.
+  double sum = 0.0;
+  for (int64_t i = 0; i < 4; ++i) sum += dataset->Get(i).y.flat(0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace geotorch::prep

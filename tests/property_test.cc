@@ -1,0 +1,330 @@
+// Property-based (parameterized) tests: each suite sweeps a parameter
+// space and checks an invariant against an independent reference
+// implementation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "core/rng.h"
+#include "datasets/grid_dataset.h"
+#include "df/dataframe.h"
+#include "spatial/join.h"
+#include "spatial/strtree.h"
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+
+namespace geotorch {
+namespace {
+
+namespace ts = ::geotorch::tensor;
+
+// --- Conv2d against a direct 7-loop reference -----------------------------
+
+using ConvParams = std::tuple<int, int, int, int, int, int>;
+// (in_channels, filters, kernel, stride, padding, size)
+
+class ConvSweep : public ::testing::TestWithParam<ConvParams> {};
+
+ts::Tensor DirectConv(const ts::Tensor& x, const ts::Tensor& w,
+                      const ts::Tensor& bias, const ts::ConvSpec& spec) {
+  const int64_t n = x.size(0);
+  const int64_t c = x.size(1);
+  const int64_t h = x.size(2);
+  const int64_t wd = x.size(3);
+  const int64_t f = w.size(0);
+  const int64_t kh = w.size(2);
+  const int64_t kw = w.size(3);
+  const int64_t oh = ts::ConvOutSize(h, kh, spec.stride, spec.padding);
+  const int64_t ow = ts::ConvOutSize(wd, kw, spec.stride, spec.padding);
+  ts::Tensor out = ts::Tensor::Zeros({n, f, oh, ow});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t fi = 0; fi < f; ++fi) {
+      for (int64_t oi = 0; oi < oh; ++oi) {
+        for (int64_t oj = 0; oj < ow; ++oj) {
+          float acc = bias.numel() > 0 ? bias.flat(fi) : 0.0f;
+          for (int64_t ci = 0; ci < c; ++ci) {
+            for (int64_t ki = 0; ki < kh; ++ki) {
+              for (int64_t kj = 0; kj < kw; ++kj) {
+                const int64_t ii = oi * spec.stride + ki - spec.padding;
+                const int64_t jj = oj * spec.stride + kj - spec.padding;
+                if (ii < 0 || ii >= h || jj < 0 || jj >= wd) continue;
+                acc += x.at({i, ci, ii, jj}) * w.at({fi, ci, ki, kj});
+              }
+            }
+          }
+          out.at({i, fi, oi, oj}) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST_P(ConvSweep, Im2ColMatchesDirect) {
+  auto [c, f, k, stride, padding, size] = GetParam();
+  Rng rng(c * 100 + f * 10 + k);
+  ts::Tensor x = ts::Tensor::Randn({2, c, size, size}, rng);
+  ts::Tensor w = ts::Tensor::Randn({f, c, k, k}, rng, 0.0f, 0.5f);
+  ts::Tensor b = ts::Tensor::Randn({f}, rng);
+  ts::ConvSpec spec{.stride = stride, .padding = padding};
+  ts::Tensor fast = ts::Conv2dForward(x, w, b, spec);
+  ts::Tensor slow = DirectConv(x, w, b, spec);
+  EXPECT_TRUE(ts::AllClose(fast, slow, 1e-4f, 1e-4f))
+      << "c=" << c << " f=" << f << " k=" << k << " s=" << stride
+      << " p=" << padding << " size=" << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvSweep,
+    ::testing::Values(ConvParams{1, 1, 1, 1, 0, 4},
+                      ConvParams{1, 2, 3, 1, 1, 5},
+                      ConvParams{3, 4, 3, 1, 1, 8},
+                      ConvParams{2, 3, 5, 1, 2, 9},
+                      ConvParams{2, 2, 3, 2, 1, 8},
+                      ConvParams{4, 8, 3, 2, 0, 10},
+                      ConvParams{3, 2, 1, 1, 0, 6},
+                      ConvParams{2, 5, 4, 2, 1, 12}));
+
+// --- Broadcasting against an index-arithmetic reference ------------------
+
+using BroadcastParams = std::tuple<ts::Shape, ts::Shape>;
+
+class BroadcastSweep : public ::testing::TestWithParam<BroadcastParams> {};
+
+TEST_P(BroadcastSweep, AddMatchesManualIndexing) {
+  auto [sa, sb] = GetParam();
+  Rng rng(7);
+  ts::Tensor a = ts::Tensor::Randn(sa, rng);
+  ts::Tensor b = ts::Tensor::Randn(sb, rng);
+  ts::Tensor out = ts::Add(a, b);
+  const ts::Shape os = ts::BroadcastShapes(sa, sb);
+  ASSERT_EQ(out.shape(), os);
+
+  const auto stride_a = ts::ContiguousStrides(sa);
+  const auto stride_b = ts::ContiguousStrides(sb);
+  const auto stride_o = ts::ContiguousStrides(os);
+  for (int64_t flat = 0; flat < out.numel(); ++flat) {
+    // Decompose the output index; map to each input index.
+    int64_t rem = flat;
+    int64_t ia = 0;
+    int64_t ib = 0;
+    for (size_t d = 0; d < os.size(); ++d) {
+      const int64_t idx = rem / stride_o[d];
+      rem %= stride_o[d];
+      const int da = static_cast<int>(d) -
+                     static_cast<int>(os.size() - sa.size());
+      const int db = static_cast<int>(d) -
+                     static_cast<int>(os.size() - sb.size());
+      if (da >= 0 && sa[da] != 1) ia += idx * stride_a[da];
+      if (db >= 0 && sb[db] != 1) ib += idx * stride_b[db];
+    }
+    EXPECT_FLOAT_EQ(out.flat(flat), a.flat(ia) + b.flat(ib));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastSweep,
+    ::testing::Values(BroadcastParams{{4}, {1}},
+                      BroadcastParams{{2, 3}, {3}},
+                      BroadcastParams{{2, 3}, {2, 1}},
+                      BroadcastParams{{4, 1, 3}, {2, 3}},
+                      BroadcastParams{{2, 3, 4}, {1, 3, 1}},
+                      BroadcastParams{{1, 5}, {4, 1}},
+                      BroadcastParams{{2, 1, 4, 1}, {3, 1, 5}}));
+
+// --- GridDataset representations: sizes and sample boundaries -------------
+
+using GridRepParams = std::tuple<int, int, int, int>;
+// (timesteps, len_closeness, len_period, len_trend)
+
+class PeriodicalSweep : public ::testing::TestWithParam<GridRepParams> {};
+
+TEST_P(PeriodicalSweep, SampleIndexingInvariants) {
+  auto [t, lc, lp, lt] = GetParam();
+  const int steps_per_day = 4;
+  ts::Tensor data({t, 1, 2, 2});
+  for (int64_t i = 0; i < t; ++i) {
+    for (int p = 0; p < 4; ++p) data.flat(i * 4 + p) = static_cast<float>(i);
+  }
+  datasets::GridDataset dataset(data, steps_per_day);
+  dataset.SetPeriodicalRepresentation(lc, lp, lt);
+
+  int64_t first = lc;
+  if (lp > 0) first = std::max<int64_t>(first, lp * steps_per_day);
+  if (lt > 0) first = std::max<int64_t>(first, lt * 7 * steps_per_day);
+  ASSERT_EQ(dataset.Size(), t - first);
+
+  for (int64_t i : {int64_t{0}, dataset.Size() - 1}) {
+    data::Sample s = dataset.Get(i);
+    const float target = static_cast<float>(first + i);
+    EXPECT_EQ(s.y.flat(0), target);
+    // Closeness stack: most recent frame is target - 1.
+    EXPECT_EQ(s.x.flat((lc - 1) * 4), target - 1);
+    EXPECT_EQ(s.x.flat(0), target - lc);
+    size_t extra = 0;
+    if (lp > 0) {
+      EXPECT_EQ(s.extras[extra].flat(0), target - lp * steps_per_day);
+      ++extra;
+    }
+    if (lt > 0) {
+      EXPECT_EQ(s.extras[extra].flat(0), target - lt * 7 * steps_per_day);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PeriodicalSweep,
+                         ::testing::Values(GridRepParams{40, 1, 0, 0},
+                                           GridRepParams{40, 3, 0, 0},
+                                           GridRepParams{40, 2, 1, 0},
+                                           GridRepParams{40, 2, 2, 1},
+                                           GridRepParams{70, 4, 3, 2},
+                                           GridRepParams{120, 3, 4, 4}));
+
+// --- Spatial join strategies agree on random workloads --------------------
+
+using JoinParams = std::tuple<int, int, int>;  // (grid_x, grid_y, points)
+
+class JoinSweep : public ::testing::TestWithParam<JoinParams> {};
+
+TEST_P(JoinSweep, AllStrategiesAgree) {
+  auto [gx, gy, n] = GetParam();
+  Rng rng(gx * 7 + gy * 3 + n);
+  spatial::GridPartitioner grid(spatial::Envelope(-10, -5, 10, 5), gx, gy);
+  std::vector<spatial::Polygon> cells = grid.CellPolygons();
+  std::vector<spatial::Point> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(-9.99, 9.99), rng.Uniform(-4.99, 4.99)});
+  }
+  auto hash = spatial::PointInPolygonJoin(points, cells,
+                                          spatial::JoinStrategy::kGridHash,
+                                          &grid);
+  auto tree = spatial::PointInPolygonJoin(points, cells,
+                                          spatial::JoinStrategy::kStrTree);
+  ASSERT_EQ(hash.size(), points.size());
+  ASSERT_EQ(tree.size(), points.size());
+  std::map<int64_t, int64_t> hash_map;
+  for (const auto& p : hash) hash_map[p.point_idx] = p.polygon_idx;
+  for (const auto& p : tree) {
+    EXPECT_EQ(hash_map[p.point_idx], p.polygon_idx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, JoinSweep,
+                         ::testing::Values(JoinParams{1, 1, 50},
+                                           JoinParams{2, 3, 100},
+                                           JoinParams{8, 8, 200},
+                                           JoinParams{16, 4, 200},
+                                           JoinParams{5, 20, 150}));
+
+// --- GroupBy: packed fast path vs generic path vs manual ------------------
+
+using GroupByParams = std::tuple<int, int64_t, bool>;
+// (num rows, key cardinality, force generic path with huge keys)
+
+class GroupBySweep : public ::testing::TestWithParam<GroupByParams> {};
+
+TEST_P(GroupBySweep, MatchesManualAggregation) {
+  auto [n, cardinality, huge_keys] = GetParam();
+  Rng rng(static_cast<uint64_t>(n + cardinality));
+  const int64_t offset = huge_keys ? (int64_t{1} << 40) : 0;
+  std::vector<int64_t> keys(n);
+  std::vector<double> values(n);
+  std::map<int64_t, std::pair<int64_t, double>> manual;
+  for (int i = 0; i < n; ++i) {
+    keys[i] = offset + rng.UniformInt(0, cardinality - 1);
+    values[i] = rng.Uniform(-1, 1);
+    manual[keys[i]].first += 1;
+    manual[keys[i]].second += values[i];
+  }
+  df::DataFrame frame =
+      df::DataFrame::FromColumns({{"k", df::Column::FromInt64s(keys)},
+                                  {"v", df::Column::FromDoubles(values)}})
+          .Repartition(3);
+  df::DataFrame agg =
+      frame
+          .GroupByAgg({"k"}, {{df::AggKind::kCount, "", "n"},
+                              {df::AggKind::kSum, "v", "s"}})
+          .SortByInt64("k");
+  ASSERT_EQ(agg.NumRows(), static_cast<int64_t>(manual.size()));
+  auto out_k = agg.CollectInt64("k");
+  auto out_n = agg.CollectInt64("n");
+  auto out_s = agg.CollectDouble("s");
+  for (size_t i = 0; i < out_k.size(); ++i) {
+    EXPECT_EQ(out_n[i], manual[out_k[i]].first);
+    EXPECT_NEAR(out_s[i], manual[out_k[i]].second, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, GroupBySweep,
+                         ::testing::Values(GroupByParams{100, 5, false},
+                                           GroupByParams{1000, 50, false},
+                                           GroupByParams{1000, 900, false},
+                                           GroupByParams{500, 20, true},
+                                           GroupByParams{2000, 2000, true}));
+
+// --- STR-tree across node capacities ---------------------------------------
+
+class StrTreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrTreeSweep, QueryMatchesBruteForceAtEveryCapacity) {
+  const int capacity = GetParam();
+  Rng rng(capacity);
+  std::vector<spatial::StrTree::Entry> entries;
+  for (int64_t i = 0; i < 150; ++i) {
+    const double x = rng.Uniform(0, 50);
+    const double y = rng.Uniform(0, 50);
+    entries.push_back({spatial::Envelope(x, y, x + rng.Uniform(0, 3),
+                                         y + rng.Uniform(0, 3)),
+                       i});
+  }
+  spatial::StrTree tree(entries, capacity);
+  for (int q = 0; q < 10; ++q) {
+    const double x = rng.Uniform(0, 50);
+    const double y = rng.Uniform(0, 50);
+    spatial::Envelope query(x, y, x + 8, y + 8);
+    auto got = tree.Query(query);
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> want;
+    for (const auto& e : entries) {
+      if (e.envelope.Intersects(query)) want.push_back(e.id);
+    }
+    EXPECT_EQ(got, want) << "capacity " << capacity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, StrTreeSweep,
+                         ::testing::Values(2, 3, 4, 10, 50, 200));
+
+// --- Pooling / upsample adjointness ---------------------------------------
+// <down(x), y> == <x, up(y)> must hold for adjoint pairs — the property
+// the autograd backward passes rely on.
+
+TEST(AdjointProperty, UpsampleAndItsBackwardAreAdjoint) {
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    ts::Tensor x = ts::Tensor::Randn({2, 3, 4, 4}, rng);
+    ts::Tensor y = ts::Tensor::Randn({2, 3, 8, 8}, rng);
+    const float lhs = ts::SumAll(ts::Mul(ts::UpsampleNearest2x(x), y));
+    const float rhs =
+        ts::SumAll(ts::Mul(x, ts::UpsampleNearest2xBackward(y)));
+    EXPECT_NEAR(lhs, rhs, 1e-3f);
+  }
+}
+
+TEST(AdjointProperty, Im2ColAndCol2ImAreAdjoint) {
+  Rng rng(10);
+  ts::ConvSpec spec{.stride = 2, .padding = 1};
+  ts::Tensor x = ts::Tensor::Randn({1, 2, 6, 6}, rng);
+  ts::Tensor cols = ts::Im2Col(x, 0, 3, 3, spec);
+  ts::Tensor y = ts::Tensor::Randn(cols.shape(), rng);
+  const float lhs = ts::SumAll(ts::Mul(cols, y));
+  ts::Tensor back = ts::Tensor::Zeros({1, 2, 6, 6});
+  ts::Col2ImAdd(y, back, 0, 3, 3, spec);
+  const float rhs = ts::SumAll(ts::Mul(x, back));
+  EXPECT_NEAR(lhs, rhs, 1e-3f);
+}
+
+}  // namespace
+}  // namespace geotorch

@@ -1,0 +1,268 @@
+#include "synth/taxi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/noise.h"
+#include "synth/satimage.h"
+#include "synth/weather.h"
+#include "tensor/ops.h"
+
+namespace geotorch::synth {
+namespace {
+
+namespace ts = ::geotorch::tensor;
+
+TEST(NoiseTest, SmoothNoiseIsBoundedAndSmooth) {
+  Rng rng(1);
+  std::vector<float> field = SmoothNoise(32, 32, 8, rng);
+  float max_jump = 0.0f;
+  for (int64_t i = 0; i < 32; ++i) {
+    for (int64_t j = 1; j < 32; ++j) {
+      EXPECT_LE(std::fabs(field[i * 32 + j]), 1.0f);
+      max_jump =
+          std::max(max_jump,
+                   std::fabs(field[i * 32 + j] - field[i * 32 + j - 1]));
+    }
+  }
+  // Lattice spacing 8 bounds the per-pixel delta to ~2/8.
+  EXPECT_LE(max_jump, 0.5f);
+}
+
+TEST(NoiseTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(SmoothNoise(16, 16, 4, a), SmoothNoise(16, 16, 4, b));
+}
+
+TEST(NoiseTest, FractalAddsDetail) {
+  Rng a(7);
+  Rng b(7);
+  std::vector<float> single = SmoothNoise(64, 64, 16, a);
+  std::vector<float> fractal = FractalNoise(64, 64, 16, 3, b);
+  EXPECT_EQ(fractal.size(), single.size());
+  for (float v : fractal) EXPECT_LE(std::fabs(v), 1.001f);
+}
+
+TEST(TaxiTest, GeneratesRequestedCount) {
+  TaxiTripConfig config;
+  config.num_records = 5000;
+  config.seed = 11;
+  auto trips = GenerateTaxiTrips(config);
+  EXPECT_EQ(trips.size(), 5000u);
+  for (const auto& t : trips) {
+    EXPECT_TRUE(config.extent.Contains({t.lon, t.lat}));
+    EXPECT_GE(t.time_sec, 0);
+    EXPECT_LT(t.time_sec, config.duration_sec);
+    EXPECT_TRUE(t.is_pickup == 0 || t.is_pickup == 1);
+  }
+}
+
+TEST(TaxiTest, Deterministic) {
+  TaxiTripConfig config;
+  config.num_records = 100;
+  config.seed = 5;
+  auto a = GenerateTaxiTrips(config);
+  auto b = GenerateTaxiTrips(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lon, b[i].lon);
+    EXPECT_EQ(a[i].time_sec, b[i].time_sec);
+  }
+}
+
+TEST(TaxiTest, DiurnalProfileHasRushHours) {
+  // 6pm on a weekday beats 3am.
+  const int64_t weekday = 1 * 86400;
+  EXPECT_GT(TripIntensity(weekday + 18 * 3600),
+            2.0 * TripIntensity(weekday + 3 * 3600));
+  // Weekends are quieter than weekdays at the same hour.
+  const int64_t saturday = 5 * 86400;  // epoch day 0 = Thursday-like; day%7>=5
+  EXPECT_LT(TripIntensity(saturday + 18 * 3600),
+            TripIntensity(weekday + 18 * 3600));
+}
+
+TEST(TaxiTest, RushHoursShowUpInGeneratedData) {
+  TaxiTripConfig config;
+  config.num_records = 20000;
+  config.duration_sec = 14 * 86400;
+  config.seed = 3;
+  auto trips = GenerateTaxiTrips(config);
+  std::vector<int64_t> by_hour(24, 0);
+  for (const auto& t : trips) ++by_hour[(t.time_sec % 86400) / 3600];
+  EXPECT_GT(by_hour[18], 2 * by_hour[3]);
+}
+
+TEST(TaxiTest, DataFrameConversion) {
+  TaxiTripConfig config;
+  config.num_records = 1000;
+  auto trips = GenerateTaxiTrips(config);
+  df::DataFrame frame = TripsToDataFrame(trips, 4);
+  EXPECT_EQ(frame.NumRows(), 1000);
+  EXPECT_EQ(frame.num_partitions(), 4);
+  EXPECT_TRUE(frame.schema().HasField("lon"));
+  EXPECT_TRUE(frame.schema().HasField("is_pickup"));
+}
+
+TEST(WeatherTest, TemperatureShapeAndRange) {
+  ts::Tensor field = GenerateWeatherField(WeatherKind::kTemperature, 48, 8,
+                                          16, /*seed=*/2);
+  EXPECT_EQ(field.shape(), (ts::Shape{48, 1, 8, 16}));
+  EXPECT_GT(ts::MaxAll(field), 0.0f);    // warm somewhere
+  EXPECT_LT(ts::MinAll(field), 15.0f);   // cold somewhere
+  EXPECT_GT(ts::MinAll(field), -60.0f);  // physically plausible
+}
+
+TEST(WeatherTest, TemperatureIsAutocorrelated) {
+  ts::Tensor field =
+      GenerateWeatherField(WeatherKind::kTemperature, 100, 8, 8, 4);
+  // Persistence (frame t predicts t+1) must beat the climatological
+  // spread: |x_{t+1} - x_t| << |x_{t+1} - mean|.
+  ts::Tensor next = ts::Slice(field, 0, 1, 100);
+  ts::Tensor cur = ts::Slice(field, 0, 0, 99);
+  const float step_mae = ts::MeanAll(ts::Abs(ts::Sub(next, cur)));
+  const float mean = ts::MeanAll(field);
+  const float clim_mae =
+      ts::MeanAll(ts::Abs(ts::AddScalar(field, -mean)));
+  EXPECT_LT(step_mae, 0.5f * clim_mae);
+}
+
+TEST(WeatherTest, PrecipitationSparseNonNegative) {
+  ts::Tensor field =
+      GenerateWeatherField(WeatherKind::kPrecipitation, 48, 8, 16, 3);
+  EXPECT_GE(ts::MinAll(field), 0.0f);
+  // Most cells are dry.
+  int64_t wet = 0;
+  for (int64_t i = 0; i < field.numel(); ++i) {
+    if (field.flat(i) > 0.0f) ++wet;
+  }
+  EXPECT_LT(wet, field.numel() / 2);
+  EXPECT_GT(wet, 0);
+}
+
+TEST(WeatherTest, CloudCoverInUnitInterval) {
+  ts::Tensor field =
+      GenerateWeatherField(WeatherKind::kCloudCover, 24, 8, 16, 5);
+  EXPECT_GE(ts::MinAll(field), 0.0f);
+  EXPECT_LE(ts::MaxAll(field), 1.0f);
+}
+
+TEST(GridFlowTest, ShapeNonNegativeAndPeriodic) {
+  ts::Tensor flow = GenerateGridFlow(/*t=*/7 * 24, /*c=*/2, /*h=*/6,
+                                     /*w=*/6, /*steps_per_day=*/24, 9);
+  EXPECT_EQ(flow.shape(), (ts::Shape{168, 2, 6, 6}));
+  EXPECT_GE(ts::MinAll(flow), 0.0f);
+  // Daily periodicity: same-hour frames correlate more than offset
+  // frames. Compare hour-18 across days vs hour-18 against hour-3.
+  auto frame_mean = [&](int64_t t) {
+    return ts::MeanAll(ts::Slice(flow, 0, t, t + 1));
+  };
+  const float rush1 = frame_mean(18);
+  const float rush2 = frame_mean(18 + 24);
+  const float night = frame_mean(3 + 24);
+  EXPECT_GT((rush1 + rush2) / 2, 1.5f * night);
+}
+
+TEST(SatImageTest, SceneShapesAndRange) {
+  SceneConfig config;
+  config.size = 16;
+  config.bands = 4;
+  config.num_classes = 6;
+  raster::RasterImage img = GenerateScene(config, 2, /*image_seed=*/7);
+  EXPECT_EQ(img.height(), 16);
+  EXPECT_EQ(img.bands(), 4);
+  for (float v : img.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SatImageTest, ClassesAreSpectrallySeparable) {
+  SceneConfig config;
+  config.size = 16;
+  config.bands = 4;
+  config.num_classes = 6;
+  // Per-band means of two images from the same class are closer than
+  // two images from different classes (averaged over pairs).
+  auto band_means = [&](int cls, uint64_t seed) {
+    raster::RasterImage img = GenerateScene(config, cls, seed);
+    std::vector<float> m(config.bands);
+    for (int64_t b = 0; b < config.bands; ++b) {
+      double s = 0;
+      for (int64_t i = 0; i < img.PixelsPerBand(); ++i) {
+        s += img.band_data(b)[i];
+      }
+      m[b] = static_cast<float>(s / img.PixelsPerBand());
+    }
+    return m;
+  };
+  auto dist = [&](const std::vector<float>& a, const std::vector<float>& b) {
+    double d = 0;
+    for (size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+    return d;
+  };
+  double same = 0.0;
+  double diff = 0.0;
+  int same_n = 0;
+  int diff_n = 0;
+  for (int c1 = 0; c1 < 4; ++c1) {
+    for (int c2 = 0; c2 < 4; ++c2) {
+      const double d =
+          dist(band_means(c1, 100 + c1), band_means(c2, 200 + c2));
+      if (c1 == c2) {
+        same += d;
+        ++same_n;
+      } else {
+        diff += d;
+        ++diff_n;
+      }
+    }
+  }
+  EXPECT_LT(same / same_n, diff / diff_n);
+}
+
+TEST(SatImageTest, ClassificationSetBalancedLabels) {
+  SceneConfig config;
+  config.size = 8;
+  config.bands = 3;
+  config.num_classes = 5;
+  auto [images, labels] = GenerateClassificationSet(25, config);
+  EXPECT_EQ(images.shape(), (ts::Shape{25, 3, 8, 8}));
+  std::vector<int> counts(5, 0);
+  for (int64_t i = 0; i < 25; ++i) {
+    ++counts[static_cast<int>(labels.flat(i))];
+  }
+  for (int c : counts) EXPECT_EQ(c, 5);
+}
+
+TEST(SatImageTest, CloudMasksBinaryAndCorrelated) {
+  auto [images, masks] = GenerateCloudSegmentationSet(6, 16, 4, /*seed=*/8);
+  EXPECT_EQ(images.shape(), (ts::Shape{6, 4, 16, 16}));
+  EXPECT_EQ(masks.shape(), (ts::Shape{6, 16, 16}));
+  double cloud_sum = 0.0;
+  double clear_sum = 0.0;
+  int64_t cloud_n = 0;
+  int64_t clear_n = 0;
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t p = 0; p < 16 * 16; ++p) {
+      const float m = masks.flat(i * 256 + p);
+      EXPECT_TRUE(m == 0.0f || m == 1.0f);
+      const float v = images.flat(i * 4 * 256 + p);  // band 0
+      if (m > 0.5f) {
+        cloud_sum += v;
+        ++cloud_n;
+      } else {
+        clear_sum += v;
+        ++clear_n;
+      }
+    }
+  }
+  ASSERT_GT(cloud_n, 0);
+  ASSERT_GT(clear_n, 0);
+  // Clouds are brighter.
+  EXPECT_GT(cloud_sum / cloud_n, clear_sum / clear_n + 0.1);
+}
+
+}  // namespace
+}  // namespace geotorch::synth

@@ -1,0 +1,271 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/device.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "tensor/shape.h"
+
+namespace geotorch::tensor {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0}), 0);
+}
+
+TEST(ShapeTest, ContiguousStrides) {
+  auto s = ContiguousStrides({2, 3, 4});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 12);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s[2], 1);
+}
+
+TEST(ShapeTest, BroadcastShapes) {
+  EXPECT_EQ(BroadcastShapes({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({4, 1, 3}, {2, 1}), (Shape{4, 2, 3}));
+  EXPECT_EQ(BroadcastShapes({1}, {5}), (Shape{5}));
+}
+
+TEST(ShapeTest, BroadcastableTo) {
+  EXPECT_TRUE(BroadcastableTo({1, 3}, {2, 3}));
+  EXPECT_TRUE(BroadcastableTo({3}, {2, 3}));
+  EXPECT_FALSE(BroadcastableTo({2}, {2, 3}));
+  EXPECT_FALSE(BroadcastableTo({2, 3, 4}, {3, 4}));
+}
+
+TEST(TensorTest, FactoriesAndAccess) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.at({1, 2}), 0.0f);
+
+  Tensor o = Tensor::Ones({4});
+  EXPECT_EQ(SumAll(o), 4.0f);
+
+  Tensor f = Tensor::Full({2, 2}, 3.5f);
+  EXPECT_EQ(f.at({0, 1}), 3.5f);
+
+  Tensor a = Tensor::Arange(5);
+  EXPECT_EQ(a.flat(3), 3.0f);
+
+  Tensor v = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(v.at({1, 0}), 3.0f);
+}
+
+TEST(TensorTest, RandomFactoriesDeterministic) {
+  Rng rng1(42);
+  Rng rng2(42);
+  Tensor a = Tensor::Randn({8}, rng1);
+  Tensor b = Tensor::Randn({8}, rng2);
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a = Tensor::Arange(6);
+  Tensor b = a.Reshape({2, 3});
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  b.at({0, 0}) = 99.0f;
+  EXPECT_EQ(a.flat(0), 99.0f);
+}
+
+TEST(TensorTest, ReshapeInfersDimension) {
+  Tensor a = Tensor::Arange(12);
+  Tensor b = a.Reshape({3, -1});
+  EXPECT_EQ(b.size(1), 4);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Arange(4);
+  Tensor b = a.Clone();
+  EXPECT_FALSE(a.SharesStorageWith(b));
+  b.flat(0) = -1.0f;
+  EXPECT_EQ(a.flat(0), 0.0f);
+}
+
+TEST(TensorTest, AddInPlaceAndScale) {
+  Tensor a = Tensor::Ones({3});
+  Tensor b = Tensor::Full({3}, 2.0f);
+  a.AddInPlace(b);
+  a.ScaleInPlace(2.0f);
+  EXPECT_EQ(a.flat(0), 6.0f);
+}
+
+TEST(OpsTest, ElementwiseBasics) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  EXPECT_TRUE(AllClose(Add(a, b), Tensor::FromVector({3}, {5, 7, 9})));
+  EXPECT_TRUE(AllClose(Sub(b, a), Tensor::FromVector({3}, {3, 3, 3})));
+  EXPECT_TRUE(AllClose(Mul(a, b), Tensor::FromVector({3}, {4, 10, 18})));
+  EXPECT_TRUE(AllClose(Div(b, a), Tensor::FromVector({3}, {4, 2.5f, 2})));
+  EXPECT_TRUE(AllClose(Maximum(a, Tensor::FromVector({3}, {2, 2, 2})),
+                       Tensor::FromVector({3}, {2, 2, 3})));
+}
+
+TEST(OpsTest, BroadcastAdd) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor col = Tensor::FromVector({2, 1}, {100, 200});
+  Tensor s1 = Add(a, row);
+  EXPECT_EQ(s1.at({1, 2}), 36.0f);
+  Tensor s2 = Add(a, col);
+  EXPECT_EQ(s2.at({0, 0}), 101.0f);
+  EXPECT_EQ(s2.at({1, 0}), 204.0f);
+}
+
+TEST(OpsTest, BroadcastChannelParams) {
+  // The BatchNorm pattern: (N,C,H,W) * (1,C,1,1).
+  Tensor x = Tensor::Ones({2, 3, 2, 2});
+  Tensor g = Tensor::FromVector({1, 3, 1, 1}, {1, 2, 3});
+  Tensor y = Mul(x, g);
+  EXPECT_EQ(y.at({0, 0, 0, 0}), 1.0f);
+  EXPECT_EQ(y.at({1, 1, 1, 1}), 2.0f);
+  EXPECT_EQ(y.at({1, 2, 0, 1}), 3.0f);
+}
+
+TEST(OpsTest, UnaryOps) {
+  Tensor a = Tensor::FromVector({4}, {-1, 0, 1, 4});
+  EXPECT_TRUE(AllClose(Relu(a), Tensor::FromVector({4}, {0, 0, 1, 4})));
+  EXPECT_TRUE(AllClose(Abs(a), Tensor::FromVector({4}, {1, 0, 1, 4})));
+  EXPECT_TRUE(AllClose(Neg(a), Tensor::FromVector({4}, {1, 0, -1, -4})));
+  EXPECT_NEAR(Sqrt(a).flat(3), 2.0f, 1e-6);
+  EXPECT_NEAR(Sigmoid(Tensor::Zeros({1})).flat(0), 0.5f, 1e-6);
+  EXPECT_NEAR(Tanh(Tensor::Zeros({1})).flat(0), 0.0f, 1e-6);
+  EXPECT_TRUE(AllClose(Clamp(a, 0.0f, 2.0f),
+                       Tensor::FromVector({4}, {0, 0, 1, 2})));
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(SumAll(a), 21.0f);
+  EXPECT_EQ(MeanAll(a), 3.5f);
+  EXPECT_EQ(MaxAll(a), 6.0f);
+  EXPECT_EQ(MinAll(a), 1.0f);
+  EXPECT_TRUE(AllClose(Sum(a, 0), Tensor::FromVector({3}, {5, 7, 9})));
+  EXPECT_TRUE(AllClose(Sum(a, 1), Tensor::FromVector({2}, {6, 15})));
+  EXPECT_TRUE(
+      AllClose(Sum(a, 1, true), Tensor::FromVector({2, 1}, {6, 15})));
+  EXPECT_TRUE(AllClose(Mean(a, 0), Tensor::FromVector({3}, {2.5f, 3.5f, 4.5f})));
+}
+
+TEST(OpsTest, SumToShape) {
+  Tensor a = Tensor::Ones({2, 3, 4});
+  Tensor s = SumToShape(a, {3, 4});
+  EXPECT_EQ(s.shape(), (Shape{3, 4}));
+  EXPECT_EQ(s.flat(0), 2.0f);
+  Tensor s2 = SumToShape(a, {1, 3, 1});
+  EXPECT_EQ(s2.shape(), (Shape{1, 3, 1}));
+  EXPECT_EQ(s2.flat(0), 8.0f);
+}
+
+TEST(OpsTest, Argmax) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 9, 3, 7, 2, 5});
+  Tensor m = Argmax(a, 1);
+  EXPECT_EQ(m.flat(0), 1.0f);
+  EXPECT_EQ(m.flat(1), 0.0f);
+  Tensor m0 = Argmax(a, 0);
+  EXPECT_EQ(m0.flat(0), 1.0f);  // 7 > 1
+  EXPECT_EQ(m0.flat(1), 0.0f);  // 9 > 2
+}
+
+TEST(OpsTest, MatMul) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(
+      AllClose(c, Tensor::FromVector({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(OpsTest, MatMulSerialEqualsParallel) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({64, 32}, rng);
+  Tensor b = Tensor::Randn({32, 48}, rng);
+  Tensor serial;
+  Tensor parallel;
+  {
+    DeviceGuard guard(Device::kSerial);
+    serial = MatMul(a, b);
+  }
+  {
+    DeviceGuard guard(Device::kParallel);
+    parallel = MatMul(a, b);
+  }
+  EXPECT_TRUE(AllClose(serial, parallel, 1e-4f, 1e-5f));
+}
+
+TEST(OpsTest, Transpose2d) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2d(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at({2, 1}), 6.0f);
+  EXPECT_TRUE(AllClose(Transpose2d(t), a));
+}
+
+TEST(OpsTest, Permute) {
+  Tensor a = Tensor::Arange(24).Reshape({2, 3, 4});
+  Tensor p = Permute(a, {2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  EXPECT_EQ(p.at({1, 1, 2}), a.at({1, 2, 1}));
+}
+
+TEST(OpsTest, ConcatAndSlice) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{4, 2}));
+  EXPECT_EQ(c0.at({2, 0}), 5.0f);
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{2, 4}));
+  EXPECT_EQ(c1.at({0, 2}), 5.0f);
+  EXPECT_TRUE(AllClose(Slice(c1, 1, 0, 2), a));
+  EXPECT_TRUE(AllClose(Slice(c1, 1, 2, 4), b));
+  EXPECT_TRUE(AllClose(Slice(c0, 0, 2, 4), b));
+}
+
+TEST(OpsTest, Stack) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  Tensor s = Stack({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.at({1, 0}), 3.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 7}, rng);
+  Tensor s = Softmax(a, 1);
+  Tensor rows = Sum(s, 1);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(rows.flat(i), 1.0f, 1e-5);
+}
+
+TEST(OpsTest, LogSoftmaxStability) {
+  // Large logits must not produce inf/nan.
+  Tensor a = Tensor::FromVector({1, 3}, {1000.0f, 1001.0f, 1002.0f});
+  Tensor l = LogSoftmax(a, 1);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(l.flat(i)));
+  }
+  EXPECT_NEAR(l.flat(2), -0.40761f, 1e-3);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn({3, 4, 5}, rng);
+  const std::string path = testing::TempDir() + "/t.gten";
+  ASSERT_TRUE(SaveTensor(path, a).ok());
+  auto loaded = LoadTensor(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(AllClose(*loaded, a, 0.0f, 0.0f));
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  auto r = LoadTensor("/nonexistent/nope.gten");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace geotorch::tensor
