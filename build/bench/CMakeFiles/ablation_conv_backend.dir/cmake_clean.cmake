@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conv_backend.dir/ablation_conv_backend.cc.o"
+  "CMakeFiles/ablation_conv_backend.dir/ablation_conv_backend.cc.o.d"
+  "ablation_conv_backend"
+  "ablation_conv_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conv_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

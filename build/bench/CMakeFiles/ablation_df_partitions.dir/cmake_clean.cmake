@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_df_partitions.dir/ablation_df_partitions.cc.o"
+  "CMakeFiles/ablation_df_partitions.dir/ablation_df_partitions.cc.o.d"
+  "ablation_df_partitions"
+  "ablation_df_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_df_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spatial_join.dir/ablation_spatial_join.cc.o"
+  "CMakeFiles/ablation_spatial_join.dir/ablation_spatial_join.cc.o.d"
+  "ablation_spatial_join"
+  "ablation_spatial_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spatial_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_tensor_prep_scalability.
+# This may be replaced when dependencies are built.

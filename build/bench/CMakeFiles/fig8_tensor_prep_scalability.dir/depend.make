@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_tensor_prep_scalability.
+# This may be replaced when dependencies are built.

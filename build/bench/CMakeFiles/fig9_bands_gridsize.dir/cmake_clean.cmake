@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_bands_gridsize.dir/fig9_bands_gridsize.cc.o"
+  "CMakeFiles/fig9_bands_gridsize.dir/fig9_bands_gridsize.cc.o.d"
+  "fig9_bands_gridsize"
+  "fig9_bands_gridsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bands_gridsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

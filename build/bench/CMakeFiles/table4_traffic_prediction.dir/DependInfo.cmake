@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_traffic_prediction.cc" "bench/CMakeFiles/table4_traffic_prediction.dir/table4_traffic_prediction.cc.o" "gcc" "bench/CMakeFiles/table4_traffic_prediction.dir/table4_traffic_prediction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/geo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/geo_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/geo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/geo_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/geo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/geo_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/prep/CMakeFiles/geo_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/geo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/geo_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/geo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/df/CMakeFiles/geo_df.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/geo_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/geo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

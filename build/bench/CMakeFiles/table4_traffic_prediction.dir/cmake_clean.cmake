@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_traffic_prediction.dir/table4_traffic_prediction.cc.o"
+  "CMakeFiles/table4_traffic_prediction.dir/table4_traffic_prediction.cc.o.d"
+  "table4_traffic_prediction"
+  "table4_traffic_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_traffic_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

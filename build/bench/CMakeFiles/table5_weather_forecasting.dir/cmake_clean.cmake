@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_weather_forecasting.dir/table5_weather_forecasting.cc.o"
+  "CMakeFiles/table5_weather_forecasting.dir/table5_weather_forecasting.cc.o.d"
+  "table5_weather_forecasting"
+  "table5_weather_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_weather_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

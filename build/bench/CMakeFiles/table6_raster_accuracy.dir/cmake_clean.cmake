@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_raster_accuracy.dir/table6_raster_accuracy.cc.o"
+  "CMakeFiles/table6_raster_accuracy.dir/table6_raster_accuracy.cc.o.d"
+  "table6_raster_accuracy"
+  "table6_raster_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_raster_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

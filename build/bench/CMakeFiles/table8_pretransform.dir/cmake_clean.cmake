@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_pretransform.dir/table8_pretransform.cc.o"
+  "CMakeFiles/table8_pretransform.dir/table8_pretransform.cc.o.d"
+  "table8_pretransform"
+  "table8_pretransform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_pretransform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

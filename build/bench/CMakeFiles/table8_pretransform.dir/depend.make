@@ -1,0 +1,2 @@
+# Empty dependencies file for table8_pretransform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_classification.dir/feature_classification.cpp.o"
+  "CMakeFiles/feature_classification.dir/feature_classification.cpp.o.d"
+  "feature_classification"
+  "feature_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raster_preprocessing.dir/raster_preprocessing.cpp.o"
+  "CMakeFiles/raster_preprocessing.dir/raster_preprocessing.cpp.o.d"
+  "raster_preprocessing"
+  "raster_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raster_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_trip_pipeline.dir/taxi_trip_pipeline.cpp.o"
+  "CMakeFiles/taxi_trip_pipeline.dir/taxi_trip_pipeline.cpp.o.d"
+  "taxi_trip_pipeline"
+  "taxi_trip_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_trip_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

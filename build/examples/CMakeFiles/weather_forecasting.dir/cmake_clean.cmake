@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_forecasting.dir/weather_forecasting.cpp.o"
+  "CMakeFiles/weather_forecasting.dir/weather_forecasting.cpp.o.d"
+  "weather_forecasting"
+  "weather_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for weather_forecasting.
+# This may be replaced when dependencies are built.

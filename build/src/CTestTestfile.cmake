@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("tensor")
+subdirs("autograd")
+subdirs("nn")
+subdirs("optim")
+subdirs("data")
+subdirs("spatial")
+subdirs("df")
+subdirs("raster")
+subdirs("synth")
+subdirs("baseline")
+subdirs("prep")
+subdirs("datasets")
+subdirs("transforms")
+subdirs("models")

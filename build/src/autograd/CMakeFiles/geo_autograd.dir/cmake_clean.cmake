@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_autograd.dir/ops.cc.o"
+  "CMakeFiles/geo_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/geo_autograd.dir/variable.cc.o"
+  "CMakeFiles/geo_autograd.dir/variable.cc.o.d"
+  "libgeo_autograd.a"
+  "libgeo_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_baseline.dir/geopandas_like.cc.o"
+  "CMakeFiles/geo_baseline.dir/geopandas_like.cc.o.d"
+  "libgeo_baseline.a"
+  "libgeo_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_core.dir/memory.cc.o"
+  "CMakeFiles/geo_core.dir/memory.cc.o.d"
+  "CMakeFiles/geo_core.dir/status.cc.o"
+  "CMakeFiles/geo_core.dir/status.cc.o.d"
+  "CMakeFiles/geo_core.dir/thread_pool.cc.o"
+  "CMakeFiles/geo_core.dir/thread_pool.cc.o.d"
+  "libgeo_core.a"
+  "libgeo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

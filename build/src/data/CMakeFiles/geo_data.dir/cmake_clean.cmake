@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_data.dir/dataloader.cc.o"
+  "CMakeFiles/geo_data.dir/dataloader.cc.o.d"
+  "CMakeFiles/geo_data.dir/dataset.cc.o"
+  "CMakeFiles/geo_data.dir/dataset.cc.o.d"
+  "CMakeFiles/geo_data.dir/metrics.cc.o"
+  "CMakeFiles/geo_data.dir/metrics.cc.o.d"
+  "libgeo_data.a"
+  "libgeo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

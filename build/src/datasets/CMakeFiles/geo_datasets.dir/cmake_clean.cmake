@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_datasets.dir/benchmarks.cc.o"
+  "CMakeFiles/geo_datasets.dir/benchmarks.cc.o.d"
+  "CMakeFiles/geo_datasets.dir/grid_dataset.cc.o"
+  "CMakeFiles/geo_datasets.dir/grid_dataset.cc.o.d"
+  "CMakeFiles/geo_datasets.dir/raster_dataset.cc.o"
+  "CMakeFiles/geo_datasets.dir/raster_dataset.cc.o.d"
+  "libgeo_datasets.a"
+  "libgeo_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/df/column.cc" "src/df/CMakeFiles/geo_df.dir/column.cc.o" "gcc" "src/df/CMakeFiles/geo_df.dir/column.cc.o.d"
+  "/root/repo/src/df/csv.cc" "src/df/CMakeFiles/geo_df.dir/csv.cc.o" "gcc" "src/df/CMakeFiles/geo_df.dir/csv.cc.o.d"
+  "/root/repo/src/df/dataframe.cc" "src/df/CMakeFiles/geo_df.dir/dataframe.cc.o" "gcc" "src/df/CMakeFiles/geo_df.dir/dataframe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/geo_spatial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

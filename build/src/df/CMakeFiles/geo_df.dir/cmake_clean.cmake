@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_df.dir/column.cc.o"
+  "CMakeFiles/geo_df.dir/column.cc.o.d"
+  "CMakeFiles/geo_df.dir/csv.cc.o"
+  "CMakeFiles/geo_df.dir/csv.cc.o.d"
+  "CMakeFiles/geo_df.dir/dataframe.cc.o"
+  "CMakeFiles/geo_df.dir/dataframe.cc.o.d"
+  "libgeo_df.a"
+  "libgeo_df.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_df.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

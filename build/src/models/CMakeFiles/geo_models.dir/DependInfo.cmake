@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/grid_models.cc" "src/models/CMakeFiles/geo_models.dir/grid_models.cc.o" "gcc" "src/models/CMakeFiles/geo_models.dir/grid_models.cc.o.d"
+  "/root/repo/src/models/raster_models.cc" "src/models/CMakeFiles/geo_models.dir/raster_models.cc.o" "gcc" "src/models/CMakeFiles/geo_models.dir/raster_models.cc.o.d"
+  "/root/repo/src/models/segmentation_models.cc" "src/models/CMakeFiles/geo_models.dir/segmentation_models.cc.o" "gcc" "src/models/CMakeFiles/geo_models.dir/segmentation_models.cc.o.d"
+  "/root/repo/src/models/trainer.cc" "src/models/CMakeFiles/geo_models.dir/trainer.cc.o" "gcc" "src/models/CMakeFiles/geo_models.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/geo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/geo_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/geo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/geo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/geo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/geo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

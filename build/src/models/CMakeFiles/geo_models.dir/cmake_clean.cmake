@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_models.dir/grid_models.cc.o"
+  "CMakeFiles/geo_models.dir/grid_models.cc.o.d"
+  "CMakeFiles/geo_models.dir/raster_models.cc.o"
+  "CMakeFiles/geo_models.dir/raster_models.cc.o.d"
+  "CMakeFiles/geo_models.dir/segmentation_models.cc.o"
+  "CMakeFiles/geo_models.dir/segmentation_models.cc.o.d"
+  "CMakeFiles/geo_models.dir/trainer.cc.o"
+  "CMakeFiles/geo_models.dir/trainer.cc.o.d"
+  "libgeo_models.a"
+  "libgeo_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeo_models.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_nn.dir/init.cc.o"
+  "CMakeFiles/geo_nn.dir/init.cc.o.d"
+  "CMakeFiles/geo_nn.dir/layers.cc.o"
+  "CMakeFiles/geo_nn.dir/layers.cc.o.d"
+  "CMakeFiles/geo_nn.dir/module.cc.o"
+  "CMakeFiles/geo_nn.dir/module.cc.o.d"
+  "libgeo_nn.a"
+  "libgeo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

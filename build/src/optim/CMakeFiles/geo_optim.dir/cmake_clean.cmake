@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_optim.dir/optimizer.cc.o"
+  "CMakeFiles/geo_optim.dir/optimizer.cc.o.d"
+  "libgeo_optim.a"
+  "libgeo_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_prep.dir/df_to_torch.cc.o"
+  "CMakeFiles/geo_prep.dir/df_to_torch.cc.o.d"
+  "CMakeFiles/geo_prep.dir/raster_processing.cc.o"
+  "CMakeFiles/geo_prep.dir/raster_processing.cc.o.d"
+  "CMakeFiles/geo_prep.dir/st_manager.cc.o"
+  "CMakeFiles/geo_prep.dir/st_manager.cc.o.d"
+  "libgeo_prep.a"
+  "libgeo_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raster/glcm.cc" "src/raster/CMakeFiles/geo_raster.dir/glcm.cc.o" "gcc" "src/raster/CMakeFiles/geo_raster.dir/glcm.cc.o.d"
+  "/root/repo/src/raster/io.cc" "src/raster/CMakeFiles/geo_raster.dir/io.cc.o" "gcc" "src/raster/CMakeFiles/geo_raster.dir/io.cc.o.d"
+  "/root/repo/src/raster/ops.cc" "src/raster/CMakeFiles/geo_raster.dir/ops.cc.o" "gcc" "src/raster/CMakeFiles/geo_raster.dir/ops.cc.o.d"
+  "/root/repo/src/raster/raster.cc" "src/raster/CMakeFiles/geo_raster.dir/raster.cc.o" "gcc" "src/raster/CMakeFiles/geo_raster.dir/raster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/geo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

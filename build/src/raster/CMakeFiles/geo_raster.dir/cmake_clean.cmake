@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_raster.dir/glcm.cc.o"
+  "CMakeFiles/geo_raster.dir/glcm.cc.o.d"
+  "CMakeFiles/geo_raster.dir/io.cc.o"
+  "CMakeFiles/geo_raster.dir/io.cc.o.d"
+  "CMakeFiles/geo_raster.dir/ops.cc.o"
+  "CMakeFiles/geo_raster.dir/ops.cc.o.d"
+  "CMakeFiles/geo_raster.dir/raster.cc.o"
+  "CMakeFiles/geo_raster.dir/raster.cc.o.d"
+  "libgeo_raster.a"
+  "libgeo_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for geo_raster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/geometry.cc" "src/spatial/CMakeFiles/geo_spatial.dir/geometry.cc.o" "gcc" "src/spatial/CMakeFiles/geo_spatial.dir/geometry.cc.o.d"
+  "/root/repo/src/spatial/grid.cc" "src/spatial/CMakeFiles/geo_spatial.dir/grid.cc.o" "gcc" "src/spatial/CMakeFiles/geo_spatial.dir/grid.cc.o.d"
+  "/root/repo/src/spatial/join.cc" "src/spatial/CMakeFiles/geo_spatial.dir/join.cc.o" "gcc" "src/spatial/CMakeFiles/geo_spatial.dir/join.cc.o.d"
+  "/root/repo/src/spatial/strtree.cc" "src/spatial/CMakeFiles/geo_spatial.dir/strtree.cc.o" "gcc" "src/spatial/CMakeFiles/geo_spatial.dir/strtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/geo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_spatial.dir/geometry.cc.o"
+  "CMakeFiles/geo_spatial.dir/geometry.cc.o.d"
+  "CMakeFiles/geo_spatial.dir/grid.cc.o"
+  "CMakeFiles/geo_spatial.dir/grid.cc.o.d"
+  "CMakeFiles/geo_spatial.dir/join.cc.o"
+  "CMakeFiles/geo_spatial.dir/join.cc.o.d"
+  "CMakeFiles/geo_spatial.dir/strtree.cc.o"
+  "CMakeFiles/geo_spatial.dir/strtree.cc.o.d"
+  "libgeo_spatial.a"
+  "libgeo_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

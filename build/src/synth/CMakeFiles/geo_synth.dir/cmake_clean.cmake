@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_synth.dir/noise.cc.o"
+  "CMakeFiles/geo_synth.dir/noise.cc.o.d"
+  "CMakeFiles/geo_synth.dir/satimage.cc.o"
+  "CMakeFiles/geo_synth.dir/satimage.cc.o.d"
+  "CMakeFiles/geo_synth.dir/taxi.cc.o"
+  "CMakeFiles/geo_synth.dir/taxi.cc.o.d"
+  "CMakeFiles/geo_synth.dir/weather.cc.o"
+  "CMakeFiles/geo_synth.dir/weather.cc.o.d"
+  "libgeo_synth.a"
+  "libgeo_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

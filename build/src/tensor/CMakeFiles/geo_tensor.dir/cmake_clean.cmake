@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_tensor.dir/conv.cc.o"
+  "CMakeFiles/geo_tensor.dir/conv.cc.o.d"
+  "CMakeFiles/geo_tensor.dir/device.cc.o"
+  "CMakeFiles/geo_tensor.dir/device.cc.o.d"
+  "CMakeFiles/geo_tensor.dir/ops.cc.o"
+  "CMakeFiles/geo_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/geo_tensor.dir/serialize.cc.o"
+  "CMakeFiles/geo_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/geo_tensor.dir/shape.cc.o"
+  "CMakeFiles/geo_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/geo_tensor.dir/tensor.cc.o"
+  "CMakeFiles/geo_tensor.dir/tensor.cc.o.d"
+  "libgeo_tensor.a"
+  "libgeo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_transforms.dir/transforms.cc.o"
+  "CMakeFiles/geo_transforms.dir/transforms.cc.o.d"
+  "libgeo_transforms.a"
+  "libgeo_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

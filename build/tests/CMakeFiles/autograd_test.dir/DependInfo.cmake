@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/autograd_test.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/autograd_test.dir/autograd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/geo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/geo_gradcheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/geo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/geo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_test.dir/df_test.cc.o"
+  "CMakeFiles/df_test.dir/df_test.cc.o.d"
+  "df_test"
+  "df_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions2_test.dir/extensions2_test.cc.o"
+  "CMakeFiles/extensions2_test.dir/extensions2_test.cc.o.d"
+  "extensions2_test"
+  "extensions2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_gradcheck.dir/gradcheck.cc.o"
+  "CMakeFiles/geo_gradcheck.dir/gradcheck.cc.o.d"
+  "libgeo_gradcheck.a"
+  "libgeo_gradcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_gradcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

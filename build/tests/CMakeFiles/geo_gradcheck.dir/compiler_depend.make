@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for geo_gradcheck.
+# This may be replaced when dependencies are built.

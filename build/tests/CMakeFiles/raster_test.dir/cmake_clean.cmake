@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raster_test.dir/raster_test.cc.o"
+  "CMakeFiles/raster_test.dir/raster_test.cc.o.d"
+  "raster_test"
+  "raster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
