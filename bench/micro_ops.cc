@@ -4,12 +4,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "df/dataframe.h"
 #include "raster/glcm.h"
 #include "spatial/strtree.h"
 #include "tensor/conv.h"
 #include "tensor/device.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace geotorch {
@@ -50,6 +59,50 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBlockedSerial(benchmark::State& state) {
+  Rng rng(3);
+  const int64_t n = state.range(0);
+  ts::Tensor a = ts::Tensor::Randn({n, n}, rng);
+  ts::Tensor b = ts::Tensor::Randn({n, n}, rng);
+  ts::Tensor c({n, n});
+  ts::DeviceGuard guard(ts::Device::kSerial);
+  for (auto _ : state) {
+    ts::Gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlockedSerial)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmBlockedParallel(benchmark::State& state) {
+  Rng rng(3);
+  const int64_t n = state.range(0);
+  ts::Tensor a = ts::Tensor::Randn({n, n}, rng);
+  ts::Tensor b = ts::Tensor::Randn({n, n}, rng);
+  ts::Tensor c({n, n});
+  ts::DeviceGuard guard(ts::Device::kParallel);
+  for (auto _ : state) {
+    ts::Gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlockedParallel)->Arg(256)->Arg(512);
+
+void BM_GemmReference(benchmark::State& state) {
+  Rng rng(3);
+  const int64_t n = state.range(0);
+  ts::Tensor a = ts::Tensor::Randn({n, n}, rng);
+  ts::Tensor b = ts::Tensor::Randn({n, n}, rng);
+  ts::Tensor c({n, n});
+  for (auto _ : state) {
+    ts::ReferenceGemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmReference)->Arg(128)->Arg(256);
 
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(4);
@@ -135,7 +188,146 @@ void BM_DataFrameGroupBy(benchmark::State& state) {
 }
 BENCHMARK(BM_DataFrameGroupBy)->Arg(100000)->Arg(1000000);
 
+// ---------------------------------------------------------------------------
+// GEMM sweep: naive baseline vs blocked kernel (serial and parallel),
+// written to a JSON report. Invoked by --gemm_json=PATH; sizes cover the
+// acceptance shape (512^3) plus rectangular shapes taken from the paper
+// models' hot GEMMs (conv im2col products and linear/RNN projections).
+// ---------------------------------------------------------------------------
+
+struct GemmShape {
+  const char* label;
+  int64_t m, k, n;
+};
+
+// Times `fn` (one full GEMM) and returns best-of-reps GFLOP/s. Repeats
+// until ~200 ms of accumulated runtime so fast shapes are not in the
+// timer noise.
+template <typename Fn>
+double MeasureGflops(int64_t m, int64_t k, int64_t n, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  const double flop = 2.0 * static_cast<double>(m) * k * n;
+  double best_sec = 1e30;
+  double total_sec = 0.0;
+  int reps = 0;
+  while ((total_sec < 0.2 || reps < 3) && reps < 200) {
+    const auto t0 = Clock::now();
+    fn();
+    const double sec = std::chrono::duration<double>(Clock::now() - t0).count();
+    best_sec = std::min(best_sec, sec);
+    total_sec += sec;
+    ++reps;
+  }
+  return flop / best_sec * 1e-9;
+}
+
+int RunGemmSweep(const std::string& json_path, bool smoke) {
+  // Fail before measuring, not after: a full sweep takes minutes.
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  // Full sizes: 512^3 is the acceptance shape; 256^3 sits near the L2
+  // capacity knee; the rectangular shapes are im2col products
+  // (F x C*KH*KW @ C*KH*KW x OH*OW) and batched linear projections from
+  // the paper's models (SatCNN/DeepSatV2 convs, LSTM gates).
+  std::vector<GemmShape> shapes;
+  if (smoke) {
+    shapes = {
+        {"square_64", 64, 64, 64},
+        {"conv_tiny", 16, 72, 256},
+    };
+  } else {
+    shapes = {
+        {"square_256", 256, 256, 256},
+        {"square_512", 512, 512, 512},
+        {"conv_first_layer", 32, 117, 4096},
+        {"conv_mid_layer", 64, 576, 1024},
+        {"conv_backward_gw", 576, 4096, 64},
+        {"linear_head", 64, 1024, 128},
+        {"lstm_gates", 32, 256, 1024},
+    };
+  }
+
+  Rng rng(11);
+  std::string rows;
+  std::printf("%-18s %10s %10s %10s %8s %8s\n", "shape", "naive", "serial",
+              "parallel", "ser_x", "par_x");
+  for (const GemmShape& s : shapes) {
+    ts::Tensor a = ts::Tensor::Randn({s.m, s.k}, rng);
+    ts::Tensor b = ts::Tensor::Randn({s.k, s.n}, rng);
+    ts::Tensor c({s.m, s.n});
+
+    const double naive = MeasureGflops(s.m, s.k, s.n, [&] {
+      ts::ReferenceGemm(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    });
+    double serial = 0.0;
+    {
+      ts::DeviceGuard guard(ts::Device::kSerial);
+      serial = MeasureGflops(s.m, s.k, s.n, [&] {
+        ts::Gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+      });
+    }
+    double parallel = 0.0;
+    {
+      ts::DeviceGuard guard(ts::Device::kParallel);
+      parallel = MeasureGflops(s.m, s.k, s.n, [&] {
+        ts::Gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+      });
+    }
+
+    std::printf("%-18s %10.2f %10.2f %10.2f %7.2fx %7.2fx\n", s.label, naive,
+                serial, parallel, serial / naive, parallel / naive);
+
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"label\": \"%s\", \"m\": %lld, \"k\": %lld, "
+                  "\"n\": %lld, \"naive_gflops\": %.3f, "
+                  "\"blocked_serial_gflops\": %.3f, "
+                  "\"blocked_parallel_gflops\": %.3f, "
+                  "\"serial_speedup\": %.3f, \"parallel_speedup\": %.3f}",
+                  s.label, static_cast<long long>(s.m),
+                  static_cast<long long>(s.k), static_cast<long long>(s.n),
+                  naive, serial, parallel, serial / naive, parallel / naive);
+    if (!rows.empty()) rows += ",\n";
+    rows += row;
+  }
+
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"gemm\",\n"
+               "  \"flop_formula\": \"2*m*k*n, best-of-reps timing\",\n"
+               "  \"pool_threads\": %d,\n  \"smoke\": %s,\n"
+               "  \"shapes\": [\n%s\n  ]\n}\n",
+               ThreadPool::Global().num_threads(), smoke ? "true" : "false",
+               rows.c_str());
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace geotorch
 
-BENCHMARK_MAIN();
+// Custom main: `--gemm_json=PATH [--gemm_smoke]` runs the GEMM sweep and
+// writes the JSON report instead of the google-benchmark suite; any
+// other invocation behaves exactly like BENCHMARK_MAIN().
+int main(int argc, char** argv) {
+  std::string gemm_json;
+  bool gemm_smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--gemm_json=", 12) == 0) {
+      gemm_json = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--gemm_smoke") == 0) {
+      gemm_smoke = true;
+    }
+  }
+  if (!gemm_json.empty()) {
+    return geotorch::RunGemmSweep(gemm_json, gemm_smoke);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/tensor/conv.cc" "src/tensor/CMakeFiles/geo_tensor.dir/conv.cc.o" "gcc" "src/tensor/CMakeFiles/geo_tensor.dir/conv.cc.o.d"
   "/root/repo/src/tensor/device.cc" "src/tensor/CMakeFiles/geo_tensor.dir/device.cc.o" "gcc" "src/tensor/CMakeFiles/geo_tensor.dir/device.cc.o.d"
+  "/root/repo/src/tensor/gemm.cc" "src/tensor/CMakeFiles/geo_tensor.dir/gemm.cc.o" "gcc" "src/tensor/CMakeFiles/geo_tensor.dir/gemm.cc.o.d"
+  "/root/repo/src/tensor/gemm_ref.cc" "src/tensor/CMakeFiles/geo_tensor.dir/gemm_ref.cc.o" "gcc" "src/tensor/CMakeFiles/geo_tensor.dir/gemm_ref.cc.o.d"
   "/root/repo/src/tensor/ops.cc" "src/tensor/CMakeFiles/geo_tensor.dir/ops.cc.o" "gcc" "src/tensor/CMakeFiles/geo_tensor.dir/ops.cc.o.d"
   "/root/repo/src/tensor/serialize.cc" "src/tensor/CMakeFiles/geo_tensor.dir/serialize.cc.o" "gcc" "src/tensor/CMakeFiles/geo_tensor.dir/serialize.cc.o.d"
   "/root/repo/src/tensor/shape.cc" "src/tensor/CMakeFiles/geo_tensor.dir/shape.cc.o" "gcc" "src/tensor/CMakeFiles/geo_tensor.dir/shape.cc.o.d"

@@ -3,6 +3,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/geo_tensor.dir/conv.cc.o.d"
   "CMakeFiles/geo_tensor.dir/device.cc.o"
   "CMakeFiles/geo_tensor.dir/device.cc.o.d"
+  "CMakeFiles/geo_tensor.dir/gemm.cc.o"
+  "CMakeFiles/geo_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/geo_tensor.dir/gemm_ref.cc.o"
+  "CMakeFiles/geo_tensor.dir/gemm_ref.cc.o.d"
   "CMakeFiles/geo_tensor.dir/ops.cc.o"
   "CMakeFiles/geo_tensor.dir/ops.cc.o.d"
   "CMakeFiles/geo_tensor.dir/serialize.cc.o"

@@ -260,4 +260,5 @@ src/tensor/CMakeFiles/geo_tensor.dir/ops.cc.o: \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread /root/repo/src/tensor/device.h
+ /usr/include/c++/12/thread /root/repo/src/tensor/device.h \
+ /root/repo/src/tensor/gemm.h

@@ -325,4 +325,5 @@ tests/CMakeFiles/autograd_test.dir/autograd_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/tensor/ops.h /root/repo/tests/gradcheck.h
+ /root/repo/src/tensor/device.h /root/repo/src/tensor/ops.h \
+ /root/repo/tests/gradcheck.h

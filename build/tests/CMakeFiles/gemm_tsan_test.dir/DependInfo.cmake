@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/memory.cc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/core/memory.cc.o" "gcc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/core/memory.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/core/thread_pool.cc.o" "gcc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/core/thread_pool.cc.o.d"
+  "/root/repo/src/tensor/device.cc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/tensor/device.cc.o" "gcc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/tensor/device.cc.o.d"
+  "/root/repo/src/tensor/gemm.cc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/tensor/gemm.cc.o" "gcc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/tensor/gemm.cc.o.d"
+  "/root/repo/src/tensor/gemm_ref.cc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/tensor/gemm_ref.cc.o" "gcc" "tests/CMakeFiles/gemm_tsan_test.dir/__/src/tensor/gemm_ref.cc.o.d"
+  "/root/repo/tests/gemm_tsan_test.cc" "tests/CMakeFiles/gemm_tsan_test.dir/gemm_tsan_test.cc.o" "gcc" "tests/CMakeFiles/gemm_tsan_test.dir/gemm_tsan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

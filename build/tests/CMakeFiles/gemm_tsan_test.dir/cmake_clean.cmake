@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_tsan_test.dir/__/src/core/memory.cc.o"
+  "CMakeFiles/gemm_tsan_test.dir/__/src/core/memory.cc.o.d"
+  "CMakeFiles/gemm_tsan_test.dir/__/src/core/thread_pool.cc.o"
+  "CMakeFiles/gemm_tsan_test.dir/__/src/core/thread_pool.cc.o.d"
+  "CMakeFiles/gemm_tsan_test.dir/__/src/tensor/device.cc.o"
+  "CMakeFiles/gemm_tsan_test.dir/__/src/tensor/device.cc.o.d"
+  "CMakeFiles/gemm_tsan_test.dir/__/src/tensor/gemm.cc.o"
+  "CMakeFiles/gemm_tsan_test.dir/__/src/tensor/gemm.cc.o.d"
+  "CMakeFiles/gemm_tsan_test.dir/__/src/tensor/gemm_ref.cc.o"
+  "CMakeFiles/gemm_tsan_test.dir/__/src/tensor/gemm_ref.cc.o.d"
+  "CMakeFiles/gemm_tsan_test.dir/gemm_tsan_test.cc.o"
+  "CMakeFiles/gemm_tsan_test.dir/gemm_tsan_test.cc.o.d"
+  "gemm_tsan_test"
+  "gemm_tsan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_tsan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -158,8 +158,10 @@ Variable MatMul(const Variable& a, const Variable& b) {
   ts::Tensor vb = b.value();
   ts::Tensor out = ts::MatMul(va, vb);
   return Variable::FromOp(std::move(out), {a, b}, [va, vb](Node& n) {
-    PushGrad(n, 0, ts::MatMul(n.grad, ts::Transpose2d(vb)));
-    PushGrad(n, 1, ts::MatMul(ts::Transpose2d(va), n.grad));
+    // dA = g·B^T, dB = A^T·g; the kernel consumes the transposed
+    // operand in place, so neither transpose is materialized.
+    PushGrad(n, 0, ts::MatMulT(n.grad, vb, false, true));
+    PushGrad(n, 1, ts::MatMulT(va, n.grad, true, false));
   });
 }
 

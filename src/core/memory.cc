@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 namespace geotorch {
 
@@ -38,6 +40,40 @@ int64_t CurrentRssBytes() {
   std::fclose(f);
   if (scanned != 2) return 0;
   return static_cast<int64_t>(resident) * sysconf(_SC_PAGESIZE);
+}
+
+namespace {
+
+// One growable buffer per (thread, slot). Workers in the global pool
+// live for the process lifetime, so these are effectively a fixed set of
+// arenas; the tracker sees only growth deltas.
+struct WorkspaceSet {
+  std::vector<float> slots[kWorkspaceSlotCount];
+  ~WorkspaceSet() {
+    for (auto& s : slots) {
+      MemoryTracker::Global().Release(
+          static_cast<int64_t>(s.capacity() * sizeof(float)));
+    }
+  }
+};
+
+}  // namespace
+
+float* ThreadLocalWorkspace(WorkspaceSlot slot, int64_t floats) {
+  thread_local WorkspaceSet set;
+  std::vector<float>& buf = set.slots[slot];
+  if (static_cast<int64_t>(buf.size()) < floats) {
+    const int64_t old_cap = static_cast<int64_t>(buf.capacity());
+    const int64_t grown =
+        std::max<int64_t>(floats, static_cast<int64_t>(buf.size()) * 2);
+    buf.resize(grown);
+    const int64_t new_cap = static_cast<int64_t>(buf.capacity());
+    if (new_cap > old_cap) {
+      MemoryTracker::Global().Allocate((new_cap - old_cap) *
+                                       static_cast<int64_t>(sizeof(float)));
+    }
+  }
+  return buf.data();
 }
 
 }  // namespace geotorch

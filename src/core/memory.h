@@ -53,6 +53,26 @@ class ScopedAllocation {
 /// 0 when unavailable. Used as a cross-check next to logical accounting.
 int64_t CurrentRssBytes();
 
+/// Named per-thread scratch slots for kernel workspaces. Each slot is an
+/// independent buffer on the calling thread, so a kernel may hold several
+/// live workspaces at once (e.g. an im2col buffer while the GEMM packs
+/// its panels) as long as they use distinct slots.
+enum WorkspaceSlot {
+  kWorkspaceGemmPackA = 0,  ///< packed A micro-panels (GEMM)
+  kWorkspaceGemmPackB,      ///< packed B micro-panels (GEMM)
+  kWorkspaceIm2Col,         ///< im2col patch matrix (conv kernels)
+  kWorkspaceConvCols,       ///< second column matrix (conv backward/transpose)
+  kWorkspaceSlotCount,
+};
+
+/// Returns a float buffer of at least `floats` elements, private to the
+/// calling thread and `slot`. The buffer is reused across calls (grown
+/// geometrically, never shrunk), so per-sample kernels stop paying an
+/// allocation per invocation. Contents are unspecified; the pointer is
+/// invalidated by the next call with the same slot on the same thread.
+/// Growth is reported to MemoryTracker::Global().
+float* ThreadLocalWorkspace(WorkspaceSlot slot, int64_t floats);
+
 }  // namespace geotorch
 
 #endif  // GEOTORCH_CORE_MEMORY_H_

@@ -7,33 +7,85 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/memory.h"
 #include "core/thread_pool.h"
 #include "tensor/device.h"
+#include "tensor/gemm.h"
 
 namespace geotorch::tensor {
 namespace {
 
-// Serial (m,k)x(k,n) accumulate into pre-zeroed `out`. Kernels call this
-// from per-sample parallel loops, so it must not re-dispatch.
-void RawMatMul(const float* a, const float* b, float* out, int64_t m,
-               int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* out_row = out + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = a_row[kk];
-      if (av == 0.0f) continue;
-      const float* b_row = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-    }
-  }
-}
-
+// Device gate for per-sample (or per-plane) loops. Matmuls issued from
+// inside the loop body still go through Gemm(); nested parallel dispatch
+// collapses to serial on pool workers, so samples parallelize across the
+// pool and each sample's GEMM runs serially within its worker.
 void ForEachSample(int64_t n, const std::function<void(int64_t)>& fn) {
   if (GetDefaultDevice() == Device::kParallel && n > 1) {
     ThreadPool::Global().ParallelFor(n, fn);
   } else {
     for (int64_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+// im2col core writing into caller-provided storage (a reusable
+// per-thread workspace in the conv kernels, so no allocation per sample
+// per step). `cols` must hold c*kh*kw * oh*ow floats; it is fully
+// (re)initialized including the zero padding.
+void Im2ColInto(const Tensor& x, int64_t n, int64_t kh, int64_t kw,
+                const ConvSpec& spec, float* cols) {
+  const int64_t c = x.size(1);
+  const int64_t h = x.size(2);
+  const int64_t w = x.size(3);
+  const int64_t oh = ConvOutSize(h, kh, spec.stride, spec.padding);
+  const int64_t ow = ConvOutSize(w, kw, spec.stride, spec.padding);
+  std::memset(cols, 0, sizeof(float) * c * kh * kw * oh * ow);
+  const float* px = x.data() + n * c * h * w;
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        float* dst = cols + ((ci * kh + ki) * kw + kj) * oh * ow;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * spec.stride + ki - spec.padding;
+          if (ii < 0 || ii >= h) continue;
+          const float* src_row = px + (ci * h + ii) * w;
+          float* dst_row = dst + oi * ow;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * spec.stride + kj - spec.padding;
+            if (jj < 0 || jj >= w) continue;
+            dst_row[oj] = src_row[jj];
+          }
+        }
+      }
+    }
+  }
+}
+
+// col2im scatter-add core reading from raw column storage.
+void Col2ImAddRaw(const float* cols, Tensor& out, int64_t n, int64_t kh,
+                  int64_t kw, const ConvSpec& spec) {
+  const int64_t c = out.size(1);
+  const int64_t h = out.size(2);
+  const int64_t w = out.size(3);
+  const int64_t oh = ConvOutSize(h, kh, spec.stride, spec.padding);
+  const int64_t ow = ConvOutSize(w, kw, spec.stride, spec.padding);
+  float* po = out.data() + n * c * h * w;
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        const float* src = cols + ((ci * kh + ki) * kw + kj) * oh * ow;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * spec.stride + ki - spec.padding;
+          if (ii < 0 || ii >= h) continue;
+          float* dst_row = po + (ci * h + ii) * w;
+          const float* src_row = src + oi * ow;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * spec.stride + kj - spec.padding;
+            if (jj < 0 || jj >= w) continue;
+            dst_row[jj] += src_row[oj];
+          }
+        }
+      }
+    }
   }
 }
 
@@ -52,31 +104,10 @@ Tensor Im2Col(const Tensor& x, int64_t n, int64_t kh, int64_t kw,
               const ConvSpec& spec) {
   GEO_CHECK_EQ(x.ndim(), 4);
   const int64_t c = x.size(1);
-  const int64_t h = x.size(2);
-  const int64_t w = x.size(3);
-  const int64_t oh = ConvOutSize(h, kh, spec.stride, spec.padding);
-  const int64_t ow = ConvOutSize(w, kw, spec.stride, spec.padding);
-  Tensor cols = Tensor::Zeros({c * kh * kw, oh * ow});
-  const float* px = x.data() + n * c * h * w;
-  float* pc = cols.data();
-  for (int64_t ci = 0; ci < c; ++ci) {
-    for (int64_t ki = 0; ki < kh; ++ki) {
-      for (int64_t kj = 0; kj < kw; ++kj) {
-        float* dst = pc + ((ci * kh + ki) * kw + kj) * oh * ow;
-        for (int64_t oi = 0; oi < oh; ++oi) {
-          const int64_t ii = oi * spec.stride + ki - spec.padding;
-          if (ii < 0 || ii >= h) continue;
-          const float* src_row = px + (ci * h + ii) * w;
-          float* dst_row = dst + oi * ow;
-          for (int64_t oj = 0; oj < ow; ++oj) {
-            const int64_t jj = oj * spec.stride + kj - spec.padding;
-            if (jj < 0 || jj >= w) continue;
-            dst_row[oj] = src_row[jj];
-          }
-        }
-      }
-    }
-  }
+  const int64_t oh = ConvOutSize(x.size(2), kh, spec.stride, spec.padding);
+  const int64_t ow = ConvOutSize(x.size(3), kw, spec.stride, spec.padding);
+  Tensor cols({c * kh * kw, oh * ow});
+  Im2ColInto(x, n, kh, kw, spec, cols.data());
   return cols;
 }
 
@@ -84,32 +115,11 @@ void Col2ImAdd(const Tensor& cols, Tensor& out, int64_t n, int64_t kh,
                int64_t kw, const ConvSpec& spec) {
   GEO_CHECK_EQ(out.ndim(), 4);
   const int64_t c = out.size(1);
-  const int64_t h = out.size(2);
-  const int64_t w = out.size(3);
-  const int64_t oh = ConvOutSize(h, kh, spec.stride, spec.padding);
-  const int64_t ow = ConvOutSize(w, kw, spec.stride, spec.padding);
+  const int64_t oh = ConvOutSize(out.size(2), kh, spec.stride, spec.padding);
+  const int64_t ow = ConvOutSize(out.size(3), kw, spec.stride, spec.padding);
   GEO_CHECK_EQ(cols.size(0), c * kh * kw);
   GEO_CHECK_EQ(cols.size(1), oh * ow);
-  const float* pc = cols.data();
-  float* po = out.data() + n * c * h * w;
-  for (int64_t ci = 0; ci < c; ++ci) {
-    for (int64_t ki = 0; ki < kh; ++ki) {
-      for (int64_t kj = 0; kj < kw; ++kj) {
-        const float* src = pc + ((ci * kh + ki) * kw + kj) * oh * ow;
-        for (int64_t oi = 0; oi < oh; ++oi) {
-          const int64_t ii = oi * spec.stride + ki - spec.padding;
-          if (ii < 0 || ii >= h) continue;
-          float* dst_row = po + (ci * h + ii) * w;
-          const float* src_row = src + oi * ow;
-          for (int64_t oj = 0; oj < ow; ++oj) {
-            const int64_t jj = oj * spec.stride + kj - spec.padding;
-            if (jj < 0 || jj >= w) continue;
-            dst_row[jj] += src_row[oj];
-          }
-        }
-      }
-    }
-  }
+  Col2ImAddRaw(cols.data(), out, n, kh, kw, spec);
 }
 
 Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
@@ -125,9 +135,11 @@ Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
   const int64_t oh = ConvOutSize(x.size(2), kh, spec.stride, spec.padding);
   const int64_t ow = ConvOutSize(x.size(3), kw, spec.stride, spec.padding);
   const bool has_bias = bias.numel() > 0;
-  if (has_bias) GEO_CHECK_EQ(bias.numel(), f);
+  if (has_bias) {
+    GEO_CHECK_EQ(bias.numel(), f);
+  }
 
-  Tensor out = Tensor::Zeros({n, f, oh, ow});
+  Tensor out({n, f, oh, ow});
   const float* pw = w.data();
   const float* pb = has_bias ? bias.data() : nullptr;
   float* po = out.data();
@@ -135,9 +147,12 @@ Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
   const int64_t l = oh * ow;
 
   ForEachSample(n, [&](int64_t i) {
-    Tensor cols = Im2Col(x, i, kh, kw, spec);
+    float* cols = ThreadLocalWorkspace(kWorkspaceIm2Col, ck * l);
+    Im2ColInto(x, i, kh, kw, spec, cols);
     float* out_i = po + i * f * l;
-    RawMatMul(pw, cols.data(), out_i, f, ck, l);
+    // out[i] = W (f, ck) x cols (ck, l); beta=0 overwrites the
+    // uninitialized output plane.
+    Gemm(pw, cols, out_i, f, ck, l, {.beta = 0.0f});
     if (has_bias) {
       for (int64_t fi = 0; fi < f; ++fi) {
         float* row = out_i + fi * l;
@@ -169,14 +184,6 @@ Conv2dGrads Conv2dBackward(const Tensor& grad_out, const Tensor& x,
 
   const float* pg = grad_out.data();
   const float* pw = w.data();
-  // Transposed weight matrix (ck, f) for the grad_x pass.
-  Tensor wt = Tensor::Zeros({ck, f});
-  {
-    float* pwt = wt.data();
-    for (int64_t fi = 0; fi < f; ++fi) {
-      for (int64_t q = 0; q < ck; ++q) pwt[q * f + fi] = pw[fi * ck + q];
-    }
-  }
 
   // Per-sample partial weight/bias grads accumulate under a lock-free
   // scheme: each worker writes into its own accumulator, merged after.
@@ -196,14 +203,17 @@ Conv2dGrads Conv2dBackward(const Tensor& grad_out, const Tensor& x,
     float* gb = has_bias ? gb_parts[worker].data() : nullptr;
     for (int64_t i = begin; i < end; ++i) {
       const float* g_i = pg + i * f * l;
-      // grad wrt weights: g_i (f, l) x cols^T (l, ck).
-      Tensor cols = Im2Col(x, i, kh, kw, spec);
-      Tensor colst = Transpose2d(cols);
-      RawMatMul(g_i, colst.data(), gw, f, l, ck);
-      // grad wrt input: wt (ck, f) x g_i (f, l) -> (ck, l), col2im.
-      Tensor gcols = Tensor::Zeros({ck, l});
-      RawMatMul(wt.data(), g_i, gcols.data(), ck, f, l);
-      Col2ImAdd(gcols, grads.grad_x, i, kh, kw, spec);
+      // grad wrt weights: gw += g_i (f, l) x cols^T (l, ck). The kernel
+      // consumes cols (ck, l) as a transposed operand directly.
+      float* cols = ThreadLocalWorkspace(kWorkspaceIm2Col, ck * l);
+      Im2ColInto(x, i, kh, kw, spec, cols);
+      Gemm(g_i, cols, gw, f, l, ck, {.beta = 1.0f, .trans_b = true});
+      // grad wrt input: W^T (ck, f) x g_i (f, l) -> (ck, l), col2im.
+      // W (f, ck) is consumed transposed, and beta=0 overwrites the
+      // workspace, so neither W^T nor a zeroed buffer is materialized.
+      float* gcols = ThreadLocalWorkspace(kWorkspaceConvCols, ck * l);
+      Gemm(pw, g_i, gcols, ck, f, l, {.beta = 0.0f, .trans_a = true});
+      Col2ImAddRaw(gcols, grads.grad_x, i, kh, kw, spec);
       if (has_bias) {
         for (int64_t fi = 0; fi < f; ++fi) {
           const float* row = g_i + fi * l;
@@ -254,24 +264,17 @@ Tensor ConvTranspose2dForward(const Tensor& x, const Tensor& w,
   GEO_CHECK(oh > 0 && ow > 0);
   const bool has_bias = bias.numel() > 0;
 
-  // W reshaped (c, f*kh*kw) then transposed -> (f*kh*kw, c).
   const int64_t fk = f * kh * kw;
-  Tensor wt = Tensor::Zeros({fk, c});
-  {
-    const float* pw = w.data();
-    float* pwt = wt.data();
-    for (int64_t ci = 0; ci < c; ++ci) {
-      for (int64_t q = 0; q < fk; ++q) pwt[q * c + ci] = pw[ci * fk + q];
-    }
-  }
-
   Tensor out = Tensor::Zeros({n, f, oh, ow});
   const int64_t l = h * wd;
   const float* px = x.data();
+  const float* pw = w.data();
   ForEachSample(n, [&](int64_t i) {
-    Tensor cols = Tensor::Zeros({fk, l});
-    RawMatMul(wt.data(), px + i * c * l, cols.data(), fk, c, l);
-    Col2ImAdd(cols, out, i, kh, kw, spec);
+    // cols = W^T (fk, c) x x[i] (c, l); W (c, fk) is consumed
+    // transposed in place of the old materialized (fk, c) matrix.
+    float* cols = ThreadLocalWorkspace(kWorkspaceConvCols, fk * l);
+    Gemm(pw, px + i * c * l, cols, fk, c, l, {.beta = 0.0f, .trans_a = true});
+    Col2ImAddRaw(cols, out, i, kh, kw, spec);
   });
   if (has_bias) {
     GEO_CHECK_EQ(bias.numel(), f);
@@ -312,16 +315,21 @@ ConvTranspose2dGrads ConvTranspose2dBackward(const Tensor& grad_out,
   float* pgw = grads.grad_w.data();
   float* pgb = has_bias ? grads.grad_bias.data() : nullptr;
   const int64_t gl = grad_out.size(2) * grad_out.size(3);
+  // im2col over grad_out must land back on x's spatial extent.
+  GEO_CHECK_EQ(
+      ConvOutSize(grad_out.size(2), kh, spec.stride, spec.padding), h);
+  GEO_CHECK_EQ(
+      ConvOutSize(grad_out.size(3), kw, spec.stride, spec.padding), wd);
 
   for (int64_t i = 0; i < n; ++i) {
     // dcols = im2col(grad_out[i]) with the same spec: (fk, l).
-    Tensor dcols = Im2Col(grad_out, i, kh, kw, spec);
-    GEO_CHECK_EQ(dcols.size(1), l);
+    float* dcols = ThreadLocalWorkspace(kWorkspaceIm2Col, fk * l);
+    Im2ColInto(grad_out, i, kh, kw, spec, dcols);
     // grad_x[i] = W (c, fk) x dcols (fk, l).
-    RawMatMul(pw, dcols.data(), pgx + i * c * l, c, fk, l);
-    // grad_w += x[i] (c, l) x dcols^T (l, fk).
-    Tensor dcolst = Transpose2d(dcols);
-    RawMatMul(px + i * c * l, dcolst.data(), pgw, c, l, fk);
+    Gemm(pw, dcols, pgx + i * c * l, c, fk, l, {.beta = 0.0f});
+    // grad_w += x[i] (c, l) x dcols^T (l, fk); dcols is consumed
+    // transposed, dropping the old materialized Transpose2d.
+    Gemm(px + i * c * l, dcols, pgw, c, l, fk, {.beta = 1.0f, .trans_b = true});
     if (has_bias) {
       const float* pg = grad_out.data() + i * f * gl;
       for (int64_t fi = 0; fi < f; ++fi) {
@@ -352,31 +360,32 @@ std::pair<Tensor, std::vector<int64_t>> MaxPool2dForward(const Tensor& x,
   std::vector<int64_t> argmax(out.numel());
   const float* px = x.data();
   float* po = out.data();
-  int64_t oidx = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t ci = 0; ci < c; ++ci) {
-      const float* plane = px + (i * c + ci) * h * w;
-      const int64_t plane_off = (i * c + ci) * h * w;
-      for (int64_t oi = 0; oi < oh; ++oi) {
-        for (int64_t oj = 0; oj < ow; ++oj) {
-          float best = plane[(oi * kernel) * w + oj * kernel];
-          int64_t best_off = (oi * kernel) * w + oj * kernel;
-          for (int64_t ki = 0; ki < kernel; ++ki) {
-            for (int64_t kj = 0; kj < kernel; ++kj) {
-              const int64_t off = (oi * kernel + ki) * w + oj * kernel + kj;
-              if (plane[off] > best) {
-                best = plane[off];
-                best_off = off;
-              }
+  int64_t* pam = argmax.data();
+  // Each (n, c) plane is independent; parallelize with the same device
+  // gate as the conv sample loops.
+  ForEachSample(n * c, [&](int64_t nc) {
+    const float* plane = px + nc * h * w;
+    const int64_t plane_off = nc * h * w;
+    int64_t oidx = nc * oh * ow;
+    for (int64_t oi = 0; oi < oh; ++oi) {
+      for (int64_t oj = 0; oj < ow; ++oj) {
+        float best = plane[(oi * kernel) * w + oj * kernel];
+        int64_t best_off = (oi * kernel) * w + oj * kernel;
+        for (int64_t ki = 0; ki < kernel; ++ki) {
+          for (int64_t kj = 0; kj < kernel; ++kj) {
+            const int64_t off = (oi * kernel + ki) * w + oj * kernel + kj;
+            if (plane[off] > best) {
+              best = plane[off];
+              best_off = off;
             }
           }
-          po[oidx] = best;
-          argmax[oidx] = plane_off + best_off;
-          ++oidx;
         }
+        po[oidx] = best;
+        pam[oidx] = plane_off + best_off;
+        ++oidx;
       }
     }
-  }
+  });
   return {out, std::move(argmax)};
 }
 
@@ -405,7 +414,7 @@ Tensor AvgPool2dForward(const Tensor& x, int64_t kernel) {
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t nc = 0; nc < n * c; ++nc) {
+  ForEachSample(n * c, [&](int64_t nc) {
     const float* plane = px + nc * h * w;
     float* out_plane = po + nc * oh * ow;
     for (int64_t oi = 0; oi < oh; ++oi) {
@@ -419,7 +428,7 @@ Tensor AvgPool2dForward(const Tensor& x, int64_t kernel) {
         out_plane[oi * ow + oj] = acc * inv;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -435,7 +444,7 @@ Tensor AvgPool2dBackward(const Tensor& grad_out, const Shape& input_shape,
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
   const float* pg = grad_out.data();
   float* px = grad_x.data();
-  for (int64_t nc = 0; nc < n * c; ++nc) {
+  ForEachSample(n * c, [&](int64_t nc) {
     const float* g_plane = pg + nc * oh * ow;
     float* x_plane = px + nc * h * w;
     for (int64_t oi = 0; oi < oh; ++oi) {
@@ -448,7 +457,7 @@ Tensor AvgPool2dBackward(const Tensor& grad_out, const Shape& input_shape,
         }
       }
     }
-  }
+  });
   return grad_x;
 }
 
@@ -461,7 +470,7 @@ Tensor UpsampleNearest2x(const Tensor& x) {
   Tensor out({n, c, h * 2, w * 2});
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t nc = 0; nc < n * c; ++nc) {
+  ForEachSample(n * c, [&](int64_t nc) {
     const float* in_plane = px + nc * h * w;
     float* out_plane = po + nc * h * w * 4;
     for (int64_t i = 0; i < h; ++i) {
@@ -474,7 +483,7 @@ Tensor UpsampleNearest2x(const Tensor& x) {
         base[2 * w + 1] = v;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -490,7 +499,7 @@ Tensor UpsampleNearest2xBackward(const Tensor& grad_out) {
   Tensor grad_x = Tensor::Zeros({n, c, h, w});
   const float* pg = grad_out.data();
   float* px = grad_x.data();
-  for (int64_t nc = 0; nc < n * c; ++nc) {
+  ForEachSample(n * c, [&](int64_t nc) {
     const float* g_plane = pg + nc * oh * ow;
     float* x_plane = px + nc * h * w;
     for (int64_t i = 0; i < h; ++i) {
@@ -499,7 +508,7 @@ Tensor UpsampleNearest2xBackward(const Tensor& grad_out) {
         x_plane[i * w + j] = base[0] + base[1] + base[ow] + base[ow + 1];
       }
     }
-  }
+  });
   return grad_x;
 }
 

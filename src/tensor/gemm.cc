@@ -1,0 +1,257 @@
+// Blocked, packed SGEMM (BLIS-style). Structure:
+//
+//   for jc in N by NC:            B strip
+//     for pc in K by KC:          shared-K block (accumulation order is
+//                                 fixed, so serial == parallel bitwise)
+//       pack B(pc:kc, jc:nc)      -> thread-local ~KC*NC panel
+//       for ic in M by MC:
+//         pack A(ic:mc, pc:kc)    -> thread-local ~MC*KC panel
+//         for each MR*NR register tile: micro-kernel over kc
+//
+// The micro-kernel reads contiguous MR- and NR-wide slices of the packed
+// panels, accumulates into a local MR*NR tile, and is written so the
+// compiler auto-vectorizes the NR loop into FMA chains (this file is
+// built with the vector ISA of the build machine; see
+// src/tensor/CMakeLists.txt). Transposed operands are absorbed by the
+// packing stage, so callers never materialize a transpose.
+//
+// Parallel execution tiles the M×N macro-block grid across the thread
+// pool; each task packs into its own per-thread workspace. Nested calls
+// from pool workers (per-sample conv loops) collapse to serial inside
+// ThreadPool::ParallelForRange, so the kernel is re-entrant under the
+// device dispatch rules in DESIGN.md.
+
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/memory.h"
+#include "core/thread_pool.h"
+#include "tensor/device.h"
+
+namespace geotorch::tensor {
+namespace {
+
+using namespace gemm_internal;
+
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Logical-element access over the (possibly transposed) operands.
+struct OperandView {
+  const float* a;
+  const float* b;
+  int64_t m, k, n;
+  bool ta, tb;
+  float A(int64_t i, int64_t p) const { return ta ? a[p * m + i] : a[i * k + p]; }
+  float B(int64_t p, int64_t j) const { return tb ? b[j * k + p] : b[p * n + j]; }
+};
+
+// Packs A(ic:ic+mc, pc:pc+kc) into kMR-row micro-panels: panel `pi`
+// holds rows [pi*kMR, pi*kMR+kMR) laid out column-major (p outer, r
+// inner) so the micro-kernel reads one contiguous MR-slice per k step.
+// Rows past `mc` pad with zeros.
+void PackABlock(const OperandView& v, int64_t ic, int64_t mc, int64_t pc,
+                int64_t kc, float* __restrict ap) {
+  for (int64_t pi = 0; pi * kMR < mc; ++pi) {
+    float* panel = ap + pi * kc * kMR;
+    const int64_t rows = std::min(kMR, mc - pi * kMR);
+    const int64_t base_i = ic + pi * kMR;
+    for (int64_t p = 0; p < kc; ++p) {
+      float* dst = panel + p * kMR;
+      int64_t r = 0;
+      for (; r < rows; ++r) dst[r] = v.A(base_i + r, pc + p);
+      for (; r < kMR; ++r) dst[r] = 0.0f;
+    }
+  }
+}
+
+// Packs B(pc:pc+kc, jc:jc+nc) into kNR-column micro-panels (p outer,
+// column inner); columns past `nc` pad with zeros.
+void PackBBlock(const OperandView& v, int64_t pc, int64_t kc, int64_t jc,
+                int64_t nc, float* __restrict bp) {
+  for (int64_t pj = 0; pj * kNR < nc; ++pj) {
+    float* panel = bp + pj * kc * kNR;
+    const int64_t cols = std::min(kNR, nc - pj * kNR);
+    const int64_t base_j = jc + pj * kNR;
+    if (!v.tb) {
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* __restrict src = v.b + (pc + p) * v.n + base_j;
+        float* __restrict dst = panel + p * kNR;
+        int64_t c = 0;
+        for (; c < cols; ++c) dst[c] = src[c];
+        for (; c < kNR; ++c) dst[c] = 0.0f;
+      }
+    } else {
+      for (int64_t p = 0; p < kc; ++p) {
+        float* __restrict dst = panel + p * kNR;
+        int64_t c = 0;
+        for (; c < cols; ++c) dst[c] = v.b[(base_j + c) * v.k + pc + p];
+        for (; c < kNR; ++c) dst[c] = 0.0f;
+      }
+    }
+  }
+}
+
+// Vector lane type for the micro-kernel accumulator. 8-float lanes map
+// to one FMA per lane on AVX-class hardware; on baseline x86-64 (or any
+// target without 32-byte vectors) 4-float lanes avoid double-pumped
+// emulation and ABI warnings. Lanes evenly tile an NR-wide row.
+#if defined(__AVX__)
+typedef float VecLane __attribute__((vector_size(32), aligned(4)));
+constexpr int64_t kLane = 8;
+#else
+typedef float VecLane __attribute__((vector_size(16), aligned(4)));
+constexpr int64_t kLane = 4;
+#endif
+constexpr int64_t kLanesPerRow = kNR / kLane;
+static_assert(kNR % kLane == 0);
+
+inline VecLane LoadLane(const float* p) {
+  VecLane v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// kMR×kNR register tile over a packed-panel pair, merged into C at the
+// end. The accumulator is a local array of vector lanes with constant
+// trip counts, so it lives entirely in SIMD registers across the k
+// loop; each k step reads one contiguous MR slice of A and NR slice of
+// B. `beta_eff` is the caller's beta on the first K block, 1 afterwards;
+// only the valid rows×cols corner is written for edge tiles.
+void MicroKernel(int64_t kc, const float* __restrict ap,
+                 const float* __restrict bp, float* __restrict c, int64_t ldc,
+                 int64_t rows, int64_t cols, float beta_eff) {
+  VecLane acc[kMR][kLanesPerRow] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* __restrict a_slice = ap + p * kMR;
+    const float* __restrict b_slice = bp + p * kNR;
+    VecLane b_lane[kLanesPerRow];
+    for (int64_t l = 0; l < kLanesPerRow; ++l)
+      b_lane[l] = LoadLane(b_slice + l * kLane);
+    for (int64_t r = 0; r < kMR; ++r) {
+      const VecLane av = a_slice[r] - VecLane{};  // broadcast
+      for (int64_t l = 0; l < kLanesPerRow; ++l)
+        acc[r][l] += av * b_lane[l];
+    }
+  }
+  if (rows == kMR && cols == kNR) {
+    for (int64_t r = 0; r < kMR; ++r) {
+      float* __restrict c_row = c + r * ldc;
+      if (beta_eff == 0.0f) {
+        for (int64_t l = 0; l < kLanesPerRow; ++l)
+          __builtin_memcpy(c_row + l * kLane, &acc[r][l], sizeof(VecLane));
+      } else if (beta_eff == 1.0f) {
+        for (int64_t l = 0; l < kLanesPerRow; ++l) {
+          const VecLane sum = LoadLane(c_row + l * kLane) + acc[r][l];
+          __builtin_memcpy(c_row + l * kLane, &sum, sizeof(VecLane));
+        }
+      } else {
+        for (int64_t l = 0; l < kLanesPerRow; ++l) {
+          const VecLane sum =
+              beta_eff * LoadLane(c_row + l * kLane) + acc[r][l];
+          __builtin_memcpy(c_row + l * kLane, &sum, sizeof(VecLane));
+        }
+      }
+    }
+    return;
+  }
+  // Edge tile: spill the accumulator and merge the valid corner.
+  alignas(64) float spill[kMR * kNR];
+  for (int64_t r = 0; r < kMR; ++r)
+    __builtin_memcpy(spill + r * kNR, acc[r], sizeof(acc[r]));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* __restrict acc_row = spill + r * kNR;
+    float* __restrict c_row = c + r * ldc;
+    if (beta_eff == 0.0f) {
+      for (int64_t j = 0; j < cols; ++j) c_row[j] = acc_row[j];
+    } else if (beta_eff == 1.0f) {
+      for (int64_t j = 0; j < cols; ++j) c_row[j] += acc_row[j];
+    } else {
+      for (int64_t j = 0; j < cols; ++j)
+        c_row[j] = beta_eff * c_row[j] + acc_row[j];
+    }
+  }
+}
+
+// All register tiles of one (mc × nc) macro-block against packed panels.
+void MacroKernel(const float* ap, const float* bp, float* c, int64_t ldc,
+                 int64_t ic, int64_t mc, int64_t jc, int64_t nc, int64_t kc,
+                 float beta_eff) {
+  for (int64_t pj = 0; pj * kNR < nc; ++pj) {
+    const int64_t cols = std::min(kNR, nc - pj * kNR);
+    for (int64_t pi = 0; pi * kMR < mc; ++pi) {
+      const int64_t rows = std::min(kMR, mc - pi * kMR);
+      MicroKernel(kc, ap + pi * kc * kMR, bp + pj * kc * kNR,
+                  c + (ic + pi * kMR) * ldc + jc + pj * kNR, ldc, rows, cols,
+                  beta_eff);
+    }
+  }
+}
+
+// Serial blocked GEMM over the C region [mb, me) × [nb, ne). Each
+// invocation packs into the calling thread's workspace slots, so
+// parallel tasks over disjoint regions never share scratch.
+void GemmRegion(const OperandView& v, float* c, float beta, int64_t mb,
+                int64_t me, int64_t nb, int64_t ne) {
+  for (int64_t jc = nb; jc < ne; jc += kNC) {
+    const int64_t nc = std::min(kNC, ne - jc);
+    for (int64_t pc = 0; pc < v.k; pc += kKC) {
+      const int64_t kc = std::min(kKC, v.k - pc);
+      float* bp = ThreadLocalWorkspace(kWorkspaceGemmPackB,
+                                       CeilDiv(nc, kNR) * kNR * kc);
+      PackBBlock(v, pc, kc, jc, nc, bp);
+      const float beta_eff = (pc == 0) ? beta : 1.0f;
+      for (int64_t ic = mb; ic < me; ic += kMC) {
+        const int64_t mc = std::min(kMC, me - ic);
+        float* ap = ThreadLocalWorkspace(kWorkspaceGemmPackA,
+                                         CeilDiv(mc, kMR) * kMR * kc);
+        PackABlock(v, ic, mc, pc, kc, ap);
+        MacroKernel(ap, bp, c, v.n, ic, mc, jc, nc, kc, beta_eff);
+      }
+    }
+  }
+}
+
+// C := beta*C for the degenerate k == 0 case.
+void ScaleC(float* c, int64_t count, float beta) {
+  if (beta == 0.0f) {
+    std::fill(c, c + count, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < count; ++i) c[i] *= beta;
+  }
+}
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, const GemmOptions& opts) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    ScaleC(c, m * n, opts.beta);
+    return;
+  }
+  const int64_t work = m * n * k;
+  if (work < kBlockedMinWork) {
+    ReferenceGemm(a, b, c, m, k, n, opts);
+    return;
+  }
+  const OperandView v{a, b, m, k, n, opts.trans_a, opts.trans_b};
+  const int64_t mt = CeilDiv(m, kMC);
+  const int64_t nt = CeilDiv(n, kNC);
+  const bool parallel = opts.allow_parallel &&
+                        GetDefaultDevice() == Device::kParallel &&
+                        work >= kParallelMinWork && mt * nt > 1;
+  if (!parallel) {
+    GemmRegion(v, c, opts.beta, 0, m, 0, n);
+    return;
+  }
+  ThreadPool::Global().ParallelFor(mt * nt, [&](int64_t t) {
+    const int64_t ti = t / nt;
+    const int64_t tj = t % nt;
+    GemmRegion(v, c, opts.beta, ti * kMC, std::min(m, (ti + 1) * kMC),
+               tj * kNC, std::min(n, (tj + 1) * kNC));
+  });
+}
+
+}  // namespace geotorch::tensor

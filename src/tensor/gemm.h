@@ -1,0 +1,67 @@
+#ifndef GEOTORCH_TENSOR_GEMM_H_
+#define GEOTORCH_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace geotorch::tensor {
+
+/// Options for Gemm(). Operands are dense row-major float32; the
+/// `trans_*` flags select a logically transposed operand without
+/// materializing the transpose (the packing stage absorbs the layout).
+struct GemmOptions {
+  /// C := A_op·B_op + beta·C. With beta == 0 the output may be
+  /// uninitialized (it is overwritten); beta == 1 accumulates, which is
+  /// what the convolution backward passes use for `+=` semantics.
+  float beta = 0.0f;
+  /// When set, `a` holds A^T: stored (k, m) row-major.
+  bool trans_a = false;
+  /// When set, `b` holds B^T: stored (n, k) row-major.
+  bool trans_b = false;
+  /// Permit tiling the M×N macro-block grid across the thread pool when
+  /// the default device is Device::kParallel and the problem is large
+  /// enough. Calls made from inside pool workers (e.g. per-sample conv
+  /// loops) degrade to serial automatically, so leaving this on is safe
+  /// everywhere; set false only to force serial execution.
+  bool allow_parallel = true;
+};
+
+/// Blocked, packed SGEMM: C (m×n) = A_op (m×k) · B_op (k×n) + beta·C.
+///
+/// Cache-blocked over (MC, KC, NC) with A/B panels packed into
+/// thread-local scratch (core/memory workspaces) and a register-tiled
+/// MR×NR micro-kernel written to auto-vectorize. Small problems fall
+/// through to the reference loop so tiny matmuls don't pay packing
+/// overhead. Deterministic: the K-blocking (accumulation) order is
+/// identical on the serial and parallel paths.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, const GemmOptions& opts = {});
+
+/// Reference triple-loop kernel, compiled with the project's default
+/// flags. This is the pre-blocking `MatMul`/`RawMatMul` loop, kept as
+/// the correctness oracle for tests and the baseline the micro-benchmark
+/// sweep measures speedups against.
+void ReferenceGemm(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n, const GemmOptions& opts = {});
+
+namespace gemm_internal {
+
+// Blocking parameters (see DESIGN.md "GEMM kernel & parallel execution"
+// for how to re-tune them).
+inline constexpr int64_t kMR = 6;    // register-tile rows
+inline constexpr int64_t kNR = 16;   // register-tile columns
+inline constexpr int64_t kMC = 96;   // A block rows      (MC×KC panel in L2)
+inline constexpr int64_t kKC = 256;  // shared K block
+inline constexpr int64_t kNC = 512;  // B block columns   (KC×NC panel in L3)
+
+// Problems with m*n*k below this run the reference loop (packing would
+// dominate); at or above it the blocked kernel engages.
+inline constexpr int64_t kBlockedMinWork = int64_t{1} << 15;
+
+// Minimum m*n*k before the M×N macro-tile grid is spread over the pool.
+inline constexpr int64_t kParallelMinWork = int64_t{1} << 18;
+
+}  // namespace gemm_internal
+
+}  // namespace geotorch::tensor
+
+#endif  // GEOTORCH_TENSOR_GEMM_H_

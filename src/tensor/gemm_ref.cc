@@ -1,0 +1,47 @@
+// Reference GEMM, deliberately kept in its own translation unit with the
+// project's default portable flags: it is byte-for-byte the loop the old
+// naive MatMul/RawMatMul compiled to, which keeps the speedups reported
+// by bench/micro_ops.cc honest against the pre-blocking kernel.
+
+#include <algorithm>
+
+#include "tensor/gemm.h"
+
+namespace geotorch::tensor {
+
+void ReferenceGemm(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n, const GemmOptions& opts) {
+  if (m <= 0 || n <= 0) return;
+  if (opts.beta == 0.0f) {
+    std::fill(c, c + m * n, 0.0f);
+  } else if (opts.beta != 1.0f) {
+    for (int64_t i = 0; i < m * n; ++i) c[i] *= opts.beta;
+  }
+  if (!opts.trans_a && !opts.trans_b) {
+    // The historical hot loop: row-broadcast with a zero skip (im2col
+    // matrices are sparse at the borders).
+    for (int64_t i = 0; i < m; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a_row[p];
+        if (av == 0.0f) continue;
+        const float* b_row = b + p * n;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+    return;
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = opts.trans_a ? a[p * m + i] : a[i * k + p];
+      if (av == 0.0f) continue;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += av * (opts.trans_b ? b[j * k + p] : b[p * n + j]);
+      }
+    }
+  }
+}
+
+}  // namespace geotorch::tensor

@@ -7,6 +7,7 @@
 #include "core/check.h"
 #include "core/thread_pool.h"
 #include "tensor/device.h"
+#include "tensor/gemm.h"
 
 namespace geotorch::tensor {
 namespace {
@@ -290,37 +291,21 @@ Tensor Argmax(const Tensor& a, int dim) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  return MatMulT(a, b, /*trans_a=*/false, /*trans_b=*/false);
+}
+
+Tensor MatMulT(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   GEO_CHECK_EQ(a.ndim(), 2);
   GEO_CHECK_EQ(b.ndim(), 2);
-  const int64_t m = a.size(0);
-  const int64_t k = a.size(1);
-  GEO_CHECK_EQ(b.size(0), k)
-      << "MatMul " << ShapeToString(a.shape()) << " x "
-      << ShapeToString(b.shape());
-  const int64_t n = b.size(1);
-  Tensor out = Tensor::Zeros({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-
-  auto rows = [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      float* out_row = po + i * n;
-      const float* a_row = pa + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = a_row[kk];
-        if (av == 0.0f) continue;
-        const float* b_row = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-      }
-    }
-  };
-  if (GetDefaultDevice() == Device::kParallel && m * n * k >= (1 << 16) &&
-      m > 1) {
-    ThreadPool::Global().ParallelForRange(m, rows);
-  } else {
-    rows(0, m);
-  }
+  const int64_t m = trans_a ? a.size(1) : a.size(0);
+  const int64_t k = trans_a ? a.size(0) : a.size(1);
+  GEO_CHECK_EQ(trans_b ? b.size(1) : b.size(0), k)
+      << "MatMul " << ShapeToString(a.shape()) << (trans_a ? "^T" : "")
+      << " x " << ShapeToString(b.shape()) << (trans_b ? "^T" : "");
+  const int64_t n = trans_b ? b.size(0) : b.size(1);
+  Tensor out({m, n});
+  Gemm(a.data(), b.data(), out.data(), m, k, n,
+       {.beta = 0.0f, .trans_a = trans_a, .trans_b = trans_b});
   return out;
 }
 
@@ -331,8 +316,17 @@ Tensor Transpose2d(const Tensor& a) {
   Tensor out({n, m});
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  // Tiled so both the row-major read and the column-major write stay
+  // within a cache-resident 32×32 block.
+  constexpr int64_t kTile = 32;
+  for (int64_t ib = 0; ib < m; ib += kTile) {
+    const int64_t ie = std::min(m, ib + kTile);
+    for (int64_t jb = 0; jb < n; jb += kTile) {
+      const int64_t je = std::min(n, jb + kTile);
+      for (int64_t i = ib; i < ie; ++i) {
+        for (int64_t j = jb; j < je; ++j) po[j * m + i] = pa[i * n + j];
+      }
+    }
   }
   return out;
 }

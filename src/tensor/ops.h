@@ -64,9 +64,14 @@ Tensor Argmax(const Tensor& a, int dim);
 // ---------------------------------------------------------------------------
 // Linear algebra and layout.
 // ---------------------------------------------------------------------------
-/// (m,k) x (k,n) -> (m,n). Dispatches to the current Device backend.
+/// (m,k) x (k,n) -> (m,n). Dispatches through the blocked GEMM kernel
+/// (tensor/gemm.h) on the current Device backend.
 Tensor MatMul(const Tensor& a, const Tensor& b);
-/// 2-D transpose.
+/// MatMul with either operand logically transposed — the packed kernel
+/// consumes the transposed layout directly, so no transpose is
+/// materialized. Used by autograd's MatMul backward.
+Tensor MatMulT(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b);
+/// 2-D transpose (cache-blocked).
 Tensor Transpose2d(const Tensor& a);
 /// General dimension permutation: out.shape[i] = in.shape[perm[i]].
 Tensor Permute(const Tensor& a, const std::vector<int>& perm);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tensor/device.h"
 #include "tensor/ops.h"
 #include "tests/gradcheck.h"
 
@@ -205,6 +206,42 @@ TEST(GradCheckTest, ConvTranspose2d) {
                 [&spec](const auto& v) {
                   Variable y = ConvTranspose2d(v[0], v[1], v[2], spec);
                   return SumAll(Mul(y, y));
+                },
+                {x, w, b}),
+            kTol);
+}
+
+TEST(GradCheckTest, Conv2dStride2PaddedParallelDevice) {
+  // Same strided/padded geometry as Conv2dStride2 but on the parallel
+  // backend, with bias: covers the pool-dispatched sample loop, the
+  // beta=1 weight-gradient accumulation, and the transposed-operand
+  // GEMM paths in Conv2dBackward.
+  ts::DeviceGuard guard(ts::Device::kParallel);
+  Rng rng(21);
+  ts::Tensor x = ts::Tensor::Randn({2, 3, 6, 6}, rng);
+  ts::Tensor w = ts::Tensor::Randn({4, 3, 3, 3}, rng, 0.0f, 0.5f);
+  ts::Tensor b = ts::Tensor::Randn({4}, rng);
+  ts::ConvSpec spec{.stride = 2, .padding = 1};
+  EXPECT_LT(GradCheck(
+                [&spec](const auto& v) {
+                  Variable y = Conv2d(v[0], v[1], v[2], spec);
+                  return MeanAll(Mul(y, y));
+                },
+                {x, w, b}),
+            kTol);
+}
+
+TEST(GradCheckTest, ConvTranspose2dStride2PaddedParallelDevice) {
+  ts::DeviceGuard guard(ts::Device::kParallel);
+  Rng rng(22);
+  ts::Tensor x = ts::Tensor::Randn({2, 3, 4, 4}, rng);
+  ts::Tensor w = ts::Tensor::Randn({3, 2, 3, 3}, rng, 0.0f, 0.5f);
+  ts::Tensor b = ts::Tensor::Randn({2}, rng);
+  ts::ConvSpec spec{.stride = 2, .padding = 1};
+  EXPECT_LT(GradCheck(
+                [&spec](const auto& v) {
+                  Variable y = ConvTranspose2d(v[0], v[1], v[2], spec);
+                  return MeanAll(Mul(y, y));
                 },
                 {x, w, b}),
             kTol);
