@@ -11,10 +11,13 @@ namespace geotorch::bench {
 /// Command-line knobs shared by the table/figure harnesses. Every bench
 /// defaults to a laptop-scale configuration; pass --iterations=N to
 /// average over more seeds (the paper uses 5) and --scale=paper to use
-/// the paper's full dataset shapes (slower).
+/// the paper's full dataset shapes (slower). --trace_json=PATH dumps
+/// the observability snapshot (counters, histograms, span tree) of the
+/// run to PATH.
 struct BenchArgs {
   int iterations = 1;
   bool paper_scale = false;
+  std::string trace_json;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -23,6 +26,8 @@ struct BenchArgs {
         args.iterations = std::atoi(argv[i] + 13);
       } else if (std::strcmp(argv[i], "--scale=paper") == 0) {
         args.paper_scale = true;
+      } else if (std::strncmp(argv[i], "--trace_json=", 13) == 0) {
+        args.trace_json = argv[i] + 13;
       }
     }
     if (args.iterations < 1) args.iterations = 1;

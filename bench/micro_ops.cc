@@ -14,6 +14,7 @@
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "df/dataframe.h"
+#include "obs/obs.h"
 #include "raster/glcm.h"
 #include "spatial/strtree.h"
 #include "tensor/conv.h"
@@ -306,28 +307,129 @@ int RunGemmSweep(const std::string& json_path, bool smoke) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Observability overhead A/B: the same GEMM workload with the
+// instrumentation runtime-enabled vs runtime-disabled. The disabled
+// path is one relaxed atomic load per instrumented site, so it stands
+// in for a GEOTORCH_OBS=OFF compile-out build; the acceptance budget
+// for the delta is <2%. Invoked by --obs_ab[=PATH] (PATH gets a small
+// JSON report).
+// ---------------------------------------------------------------------------
+
+int RunObsAb(const std::string& json_path, bool smoke) {
+  const std::vector<GemmShape> shapes =
+      smoke ? std::vector<GemmShape>{{"square_128", 128, 128, 128}}
+            : std::vector<GemmShape>{{"square_256", 256, 256, 256},
+                                     {"conv_mid_layer", 64, 576, 1024}};
+  Rng rng(13);
+  std::string rows;
+  double worst_delta_pct = 0.0;
+  std::printf("%-18s %12s %12s %9s\n", "shape", "obs_off", "obs_on",
+              "delta");
+  for (const GemmShape& s : shapes) {
+    ts::Tensor a = ts::Tensor::Randn({s.m, s.k}, rng);
+    ts::Tensor b = ts::Tensor::Randn({s.k, s.n}, rng);
+    ts::Tensor c({s.m, s.n});
+    const auto run = [&] {
+      ts::Gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    };
+    // Interleave the two arms so thermal / frequency drift hits both.
+    double off = 0.0;
+    double on = 0.0;
+    for (int round = 0; round < 3; ++round) {
+      obs::SetEnabled(false);
+      off = std::max(off, MeasureGflops(s.m, s.k, s.n, run));
+      obs::SetEnabled(true);
+      on = std::max(on, MeasureGflops(s.m, s.k, s.n, run));
+    }
+    const double delta_pct = (off - on) / off * 100.0;
+    worst_delta_pct = std::max(worst_delta_pct, delta_pct);
+    std::printf("%-18s %10.2f %10.2f %+8.2f%%\n", s.label, off, on,
+                delta_pct);
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"label\": \"%s\", \"obs_off_gflops\": %.3f, "
+                  "\"obs_on_gflops\": %.3f, \"delta_pct\": %.3f}",
+                  s.label, off, on, delta_pct);
+    if (!rows.empty()) rows += ",\n";
+    rows += row;
+  }
+  std::printf("worst overhead: %.2f%% (budget 2%%)\n", worst_delta_pct);
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"obs_ab\",\n"
+                 "  \"worst_delta_pct\": %.3f,\n  \"budget_pct\": 2.0,\n"
+                 "  \"shapes\": [\n%s\n  ]\n}\n",
+                 worst_delta_pct, rows.c_str());
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace geotorch
 
-// Custom main: `--gemm_json=PATH [--gemm_smoke]` runs the GEMM sweep and
-// writes the JSON report instead of the google-benchmark suite; any
-// other invocation behaves exactly like BENCHMARK_MAIN().
+// Custom main: `--gemm_json=PATH [--gemm_smoke]` runs the GEMM sweep
+// and writes the JSON report; `--obs_ab[=PATH]` measures observability
+// overhead on the GEMM hot path; any other invocation behaves exactly
+// like BENCHMARK_MAIN(). `--trace_json=PATH` additionally dumps the
+// observability snapshot (counters, histograms, spans) after any mode.
 int main(int argc, char** argv) {
   std::string gemm_json;
+  std::string trace_json;
+  std::string obs_ab_json;
   bool gemm_smoke = false;
+  bool obs_ab = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--gemm_json=", 12) == 0) {
       gemm_json = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--gemm_smoke") == 0) {
       gemm_smoke = true;
+    } else if (std::strncmp(argv[i], "--trace_json=", 13) == 0) {
+      trace_json = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--obs_ab=", 9) == 0) {
+      obs_ab = true;
+      obs_ab_json = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--obs_ab") == 0) {
+      obs_ab = true;
     }
   }
-  if (!gemm_json.empty()) {
-    return geotorch::RunGemmSweep(gemm_json, gemm_smoke);
+  int rc = 0;
+  if (obs_ab) {
+    rc = geotorch::RunObsAb(obs_ab_json, gemm_smoke);
+  } else if (!gemm_json.empty()) {
+    rc = geotorch::RunGemmSweep(gemm_json, gemm_smoke);
+  } else {
+    // Strip --trace_json before handing argv to google-benchmark, which
+    // rejects flags it does not know.
+    std::vector<char*> bench_argv;
+    for (int i = 0; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--trace_json=", 13) != 0) {
+        bench_argv.push_back(argv[i]);
+      }
+    }
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  if (!trace_json.empty()) {
+    if (geotorch::obs::WriteJsonFile(trace_json)) {
+      std::printf("wrote %s\n", trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
 }

@@ -5,7 +5,8 @@
 // Periodical CNN fastest of the grid models and ConvLSTM by far the
 // slowest; DeepSAT-V2 much faster than SatCNN; FCN < UNet < UNet++.
 //
-// Flags: --scale=paper for full-size datasets.
+// Flags: --scale=paper for full-size datasets; --trace_json=PATH to
+// dump the aggregated trace-span tree and counters of the whole run.
 
 #include <cstdio>
 #include <memory>
@@ -14,13 +15,51 @@
 #include "bench/grid_bench_common.h"
 #include "datasets/benchmarks.h"
 #include "models/segmentation_models.h"
+#include "obs/obs.h"
 
 namespace geotorch::bench {
 namespace {
 
 namespace ds = ::geotorch::datasets;
+namespace obs = ::geotorch::obs;
+
+// Prints the trainer phase breakdown from the aggregated span tree and
+// writes the full observability snapshot to args.trace_json. The
+// per-phase times (load/forward/backward/step) should cover nearly all
+// of the measured epoch wall-clock — the gap is loop overhead.
+void DumpTrace(const BenchArgs& args, double measured_epoch_secs) {
+  const auto roots = obs::AggregateSpans();
+  const obs::SpanNode* epoch = nullptr;
+  for (const auto& r : roots) {
+    if (r.name == "trainer.epoch") epoch = &r;
+  }
+  if (epoch != nullptr) {
+    std::printf("\nTrace breakdown (%lld epochs, %.3f s inside "
+                "trainer.epoch, %.3f s measured):\n",
+                static_cast<long long>(epoch->count),
+                epoch->total_ns * 1e-9, measured_epoch_secs);
+    double phase_sum_ns = 0.0;
+    for (const auto& child : epoch->children) {
+      phase_sum_ns += static_cast<double>(child.total_ns);
+      std::printf("  %-18s %8lld calls %10.3f s\n", child.name.c_str(),
+                  static_cast<long long>(child.count),
+                  child.total_ns * 1e-9);
+    }
+    std::printf("  %-18s %19s %10.3f s (%.1f%% of measured wall-clock)\n",
+                "phase sum", "", phase_sum_ns * 1e-9,
+                100.0 * phase_sum_ns * 1e-9 / measured_epoch_secs);
+  }
+  if (obs::WriteJsonFile(args.trace_json)) {
+    std::printf("wrote %s\n", args.trace_json.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", args.trace_json.c_str());
+  }
+}
 
 void Run(const BenchArgs& args) {
+  // Clean capture window: only this run's activity lands in the dump.
+  if (!args.trace_json.empty()) obs::Reset();
+  double total_epoch_secs = 0.0;
   const int64_t weather_t = args.paper_scale ? 2000 : 400;
   const int64_t wh = args.paper_scale ? 32 : 16;
   const int64_t ww = args.paper_scale ? 64 : 32;
@@ -58,6 +97,7 @@ void Run(const BenchArgs& args) {
       }
       std::unique_ptr<models::GridModel> model = MakeGridModel(kind, mc);
       const double secs = models::TimeOneEpochGrid(*model, dataset, tc);
+      total_epoch_secs += secs;
       std::printf("%-12s %-15s %-15s %.3f s\n", "Temperature", "Prediction",
                   GridModelName(kind), secs);
     }
@@ -89,6 +129,7 @@ void Run(const BenchArgs& args) {
       }
       const double secs =
           models::TimeOneEpochClassifier(*model, dataset, tc);
+      total_epoch_secs += secs;
       std::printf("%-12s %-15s %-15s %.3f s\n", "EuroSAT", "Classification",
                   name, secs);
     }
@@ -115,11 +156,13 @@ void Run(const BenchArgs& args) {
         model = std::make_unique<models::UNetPlusPlus>(mc);
       }
       const double secs = models::TimeOneEpochSegmenter(*model, dataset, tc);
+      total_epoch_secs += secs;
       std::printf("%-12s %-15s %-15s %.3f s\n", "38-Cloud", "Segmentation",
                   name, secs);
     }
   }
   PrintRule();
+  if (!args.trace_json.empty()) DumpTrace(args, total_epoch_secs);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "core/check.h"
+#include "obs/obs.h"
 
 namespace geotorch {
 namespace {
@@ -33,10 +34,13 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
+  GEO_OBS_COUNT("pool.tasks_submitted", 1);
+  const int64_t enqueue_ns = GEO_OBS_ON() ? obs::NowNs() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     GEO_CHECK(!shutdown_);
-    tasks_.push(std::move(packaged));
+    tasks_.push({std::move(packaged), enqueue_ns});
+    GEO_OBS_HIST("pool.queue_depth", static_cast<int64_t>(tasks_.size()));
   }
   cv_.notify_one();
   return fut;
@@ -45,15 +49,23 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WorkerLoop() {
   t_inside_pool_worker = true;
   for (;;) {
-    std::packaged_task<void()> task;
+    PendingTask pending;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
       if (shutdown_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      pending = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    const int64_t start_ns = GEO_OBS_ON() ? obs::NowNs() : 0;
+    if (pending.enqueue_ns != 0 && start_ns != 0) {
+      GEO_OBS_HIST("pool.task_latency_us",
+                   (start_ns - pending.enqueue_ns) / 1000);
+    }
+    pending.task();
+    if (start_ns != 0) {
+      GEO_OBS_HIST("pool.task_run_us", (obs::NowNs() - start_ns) / 1000);
+    }
   }
 }
 
@@ -61,11 +73,13 @@ void ThreadPool::ParallelForRange(
     int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
   if (n <= 0) return;
   if (t_inside_pool_worker) {
+    GEO_OBS_COUNT("pool.inline_runs", 1);
     fn(0, n);
     return;
   }
   const int64_t chunks = std::min<int64_t>(n, num_threads());
   if (chunks <= 1) {
+    GEO_OBS_COUNT("pool.inline_runs", 1);
     fn(0, n);
     return;
   }

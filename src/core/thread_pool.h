@@ -42,10 +42,17 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
+  /// A queued task plus its enqueue timestamp (0 when observability is
+  /// off — the latency histogram is skipped for such tasks).
+  struct PendingTask {
+    std::packaged_task<void()> task;
+    int64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<PendingTask> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;

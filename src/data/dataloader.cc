@@ -1,10 +1,12 @@
 #include "data/dataloader.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "core/check.h"
 #include "core/thread_pool.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 
 namespace geotorch::data {
@@ -45,6 +47,7 @@ int64_t DataLoader::NumBatches() const {
 }
 
 Batch DataLoader::BuildRange(int64_t begin, int64_t end) const {
+  const int64_t t0 = GEO_OBS_ON() ? obs::NowNs() : 0;
   std::vector<ts::Tensor> xs;
   std::vector<ts::Tensor> ys;
   std::vector<std::vector<ts::Tensor>> extras;
@@ -65,6 +68,8 @@ Batch DataLoader::BuildRange(int64_t begin, int64_t end) const {
   batch.y = ts::Stack(ys);
   for (auto& group : extras) batch.extras.push_back(ts::Stack(group));
   batch.size = static_cast<int64_t>(xs.size());
+  GEO_OBS_COUNT("loader.batches_built", 1);
+  if (t0 != 0) GEO_OBS_HIST("loader.build_us", (obs::NowNs() - t0) / 1000);
   return batch;
 }
 
@@ -89,7 +94,22 @@ bool DataLoader::Next(Batch* batch) {
   // Prefetching: consume the in-flight batch (or build the first one),
   // then enqueue assembly of the following batch on the pool.
   if (pending_.has_value()) {
-    *batch = pending_->get();
+    if (GEO_OBS_ON()) {
+      // A not-yet-ready future means the trainer outran the prefetch
+      // worker — the stall the batch_wait_us histogram quantifies.
+      const bool ready = pending_->wait_for(std::chrono::seconds(0)) ==
+                         std::future_status::ready;
+      if (ready) {
+        GEO_OBS_COUNT("loader.prefetch_hits", 1);
+      } else {
+        GEO_OBS_COUNT("loader.prefetch_stalls", 1);
+      }
+      const int64_t t0 = obs::NowNs();
+      *batch = pending_->get();
+      GEO_OBS_HIST("loader.batch_wait_us", (obs::NowNs() - t0) / 1000);
+    } else {
+      *batch = pending_->get();
+    }
     pending_.reset();
   } else {
     if (!NextRange(&begin, &end)) return false;

@@ -8,9 +8,19 @@
 
 #include "core/check.h"
 #include "core/thread_pool.h"
+#include "obs/obs.h"
 
 namespace geotorch::df {
 namespace {
+
+// Publishes the engine's logical-memory accounting alongside the
+// metrics, so a trace dump shows operator timings and the bytes the
+// operators left live (Fig. 8's measurement, now exported).
+void PublishMemoryGauges() {
+  if (!GEO_OBS_ON()) return;
+  obs::SetGauge("df.tracked_bytes", MemoryTracker::Global().current_bytes());
+  obs::SetGauge("df.tracked_peak_bytes", MemoryTracker::Global().peak_bytes());
+}
 
 // Numeric read of a column cell as double (int64 widens).
 double NumericAt(const Column& col, int64_t row) {
@@ -214,12 +224,18 @@ int64_t DataFrame::ByteSize() const {
 void DataFrame::ForEachPartition(
     const std::function<void(const Partition&, int)>& fn) const {
   ThreadPool::Global().ParallelFor(
-      static_cast<int64_t>(partitions_.size()),
-      [&](int64_t i) { fn(*partitions_[i], static_cast<int>(i)); });
+      static_cast<int64_t>(partitions_.size()), [&](int64_t i) {
+        const int64_t t0 = GEO_OBS_ON() ? obs::NowNs() : 0;
+        fn(*partitions_[i], static_cast<int>(i));
+        if (t0 != 0) {
+          GEO_OBS_HIST("df.partition_us", (obs::NowNs() - t0) / 1000);
+        }
+      });
 }
 
 DataFrame DataFrame::Repartition(int n) const {
   GEO_CHECK_GE(n, 1);
+  GEO_OBS_SPAN(op_span, "df.repartition");
   // Round-robin split by global row id; each output partition gathers
   // its rows from every input partition.
   std::vector<int64_t> part_offsets = {0};
@@ -285,6 +301,7 @@ DataFrame DataFrame::Select(const std::vector<std::string>& names) const {
 
 DataFrame DataFrame::Filter(
     const std::function<bool(const RowView&)>& pred) const {
+  GEO_OBS_SPAN(op_span, "df.filter");
   std::vector<std::shared_ptr<const Partition>> out_parts(num_partitions());
   ForEachPartition([&](const Partition& part, int pi) {
     std::vector<int64_t> keep;
@@ -307,6 +324,7 @@ DataFrame DataFrame::WithColumn(
     const std::function<Value(const RowView&)>& fn) const {
   GEO_CHECK(!schema_->HasField(name))
       << "column '" << name << "' already exists";
+  GEO_OBS_SPAN(op_span, "df.with_column");
   auto fields = schema_->fields();
   fields.emplace_back(name, type);
   auto out_schema = std::make_shared<Schema>(std::move(fields));
@@ -361,6 +379,8 @@ DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
   const size_t num_aggs = aggs.size();
   GEO_CHECK_LE(num_aggs, kMaxAggs) << "too many aggregations";
 
+  GEO_OBS_SPAN(op_span, "df.groupby");
+
   // Fast path: one or two non-negative 31-bit keys pack into a single
   // uint64, avoiding a heap-allocated vector per hash probe.
   bool packable = key_idx.size() <= 2;
@@ -387,56 +407,59 @@ DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
   // the merge phase needs no locking.
   std::vector<std::vector<PackedMap>> packed_partials(partitions_.size());
   std::vector<std::vector<VectorMap>> vector_partials(partitions_.size());
-  ForEachPartition([&](const Partition& part, int pi) {
-    const int64_t rows = part.num_rows();
-    std::vector<const std::vector<int64_t>*> key_cols;
-    for (int k : key_idx) key_cols.push_back(&part.column(k).int64s());
-    if (packable) {
-      std::vector<PackedMap> shards(num_shards);
-      for (auto& m : shards) m.reserve(rows / num_shards + 16);
-      for (int64_t r = 0; r < rows; ++r) {
-        uint64_t packed = static_cast<uint64_t>((*key_cols[0])[r]);
-        if (key_cols.size() == 2) {
-          packed = (packed << 31) | static_cast<uint64_t>((*key_cols[1])[r]);
+  {
+    GEO_OBS_SPAN(partial_span, "df.groupby.partial");
+    ForEachPartition([&](const Partition& part, int pi) {
+      const int64_t rows = part.num_rows();
+      std::vector<const std::vector<int64_t>*> key_cols;
+      for (int k : key_idx) key_cols.push_back(&part.column(k).int64s());
+      if (packable) {
+        std::vector<PackedMap> shards(num_shards);
+        for (auto& m : shards) m.reserve(rows / num_shards + 16);
+        for (int64_t r = 0; r < rows; ++r) {
+          uint64_t packed = static_cast<uint64_t>((*key_cols[0])[r]);
+          if (key_cols.size() == 2) {
+            packed = (packed << 31) | static_cast<uint64_t>((*key_cols[1])[r]);
+          }
+          const int shard = static_cast<int>(MixHash(packed) % num_shards);
+          AggState& state = shards[shard][packed];
+          InitState(state, num_aggs);
+          ++state.count;
+          for (size_t a = 0; a < num_aggs; ++a) {
+            if (agg_idx[a] < 0) continue;
+            const double v = NumericAt(part.column(agg_idx[a]), r);
+            state.sum[a] += v;
+            state.sumsq[a] += v * v;
+            state.min[a] = std::min(state.min[a], v);
+            state.max[a] = std::max(state.max[a], v);
+          }
         }
-        const int shard = static_cast<int>(MixHash(packed) % num_shards);
-        AggState& state = shards[shard][packed];
-        InitState(state, num_aggs);
-        ++state.count;
-        for (size_t a = 0; a < num_aggs; ++a) {
-          if (agg_idx[a] < 0) continue;
-          const double v = NumericAt(part.column(agg_idx[a]), r);
-          state.sum[a] += v;
-          state.sumsq[a] += v * v;
-          state.min[a] = std::min(state.min[a], v);
-          state.max[a] = std::max(state.max[a], v);
+        packed_partials[pi] = std::move(shards);
+      } else {
+        std::vector<VectorMap> shards(num_shards);
+        for (auto& m : shards) m.reserve(rows / num_shards + 16);
+        std::vector<int64_t> key(key_idx.size());
+        for (int64_t r = 0; r < rows; ++r) {
+          for (size_t k = 0; k < key_cols.size(); ++k) {
+            key[k] = (*key_cols[k])[r];
+          }
+          const int shard = static_cast<int>(HashKey(key) % num_shards);
+          AggState& state = shards[shard][key];
+          InitState(state, num_aggs);
+          ++state.count;
+          for (size_t a = 0; a < num_aggs; ++a) {
+            if (agg_idx[a] < 0) continue;
+            const double v = NumericAt(part.column(agg_idx[a]), r);
+            state.sum[a] += v;
+            state.sumsq[a] += v * v;
+            state.min[a] = std::min(state.min[a], v);
+            state.max[a] = std::max(state.max[a], v);
+          }
         }
+        vector_partials[pi] = std::move(shards);
       }
-      packed_partials[pi] = std::move(shards);
-    } else {
-      std::vector<VectorMap> shards(num_shards);
-      for (auto& m : shards) m.reserve(rows / num_shards + 16);
-      std::vector<int64_t> key(key_idx.size());
-      for (int64_t r = 0; r < rows; ++r) {
-        for (size_t k = 0; k < key_cols.size(); ++k) {
-          key[k] = (*key_cols[k])[r];
-        }
-        const int shard = static_cast<int>(HashKey(key) % num_shards);
-        AggState& state = shards[shard][key];
-        InitState(state, num_aggs);
-        ++state.count;
-        for (size_t a = 0; a < num_aggs; ++a) {
-          if (agg_idx[a] < 0) continue;
-          const double v = NumericAt(part.column(agg_idx[a]), r);
-          state.sum[a] += v;
-          state.sumsq[a] += v * v;
-          state.min[a] = std::min(state.min[a], v);
-          state.max[a] = std::max(state.max[a], v);
-        }
-      }
-      vector_partials[pi] = std::move(shards);
-    }
-  });
+    });
+  }
 
   // Output schema: keys then agg aliases.
   std::vector<std::pair<std::string, DataType>> fields;
@@ -449,6 +472,7 @@ DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
   auto out_schema = std::make_shared<Schema>(std::move(fields));
 
   // Phase 2: shard-parallel merge; one output partition per shard.
+  GEO_OBS_SPAN(merge_span, "df.groupby.merge");
   const size_t num_keys = key_idx.size();
   std::vector<std::shared_ptr<const Partition>> out_parts(num_shards);
   ThreadPool::Global().ParallelFor(num_shards, [&](int64_t shard) {
@@ -501,7 +525,9 @@ DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
     }
     out_parts[shard] = std::make_shared<Partition>(std::move(cols));
   });
-  return FromPartitions(out_schema, std::move(out_parts));
+  DataFrame out = FromPartitions(out_schema, std::move(out_parts));
+  PublishMemoryGauges();
+  return out;
 }
 
 DataFrame DataFrame::JoinInner(const DataFrame& right,
@@ -512,6 +538,8 @@ DataFrame DataFrame::JoinInner(const DataFrame& right,
   GEO_CHECK(schema_->type(lk) == DataType::kInt64 &&
             right.schema().type(rk) == DataType::kInt64)
       << "join keys must be int64";
+
+  GEO_OBS_SPAN(op_span, "df.join");
 
   // Build side: key -> (partition, row) list.
   std::unordered_multimap<int64_t, std::pair<int, int64_t>> build;
@@ -563,12 +591,15 @@ DataFrame DataFrame::JoinInner(const DataFrame& right,
     }
     out_parts[pi] = std::make_shared<Partition>(std::move(cols));
   });
-  return FromPartitions(out_schema, std::move(out_parts));
+  DataFrame out = FromPartitions(out_schema, std::move(out_parts));
+  PublishMemoryGauges();
+  return out;
 }
 
 DataFrame DataFrame::SortByInt64(const std::string& name) const {
   const int idx = schema_->FieldIndex(name);
   GEO_CHECK(schema_->type(idx) == DataType::kInt64);
+  GEO_OBS_SPAN(op_span, "df.sort");
   // Gather (key, partition, row), sort, emit one partition.
   struct Loc {
     int64_t key;

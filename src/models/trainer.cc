@@ -5,6 +5,7 @@
 
 #include "core/stopwatch.h"
 #include "data/metrics.h"
+#include "obs/obs.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
 
@@ -36,28 +37,51 @@ float RunEpoch(nn::Module& model, optim::Optimizer& opt,
                LossFn loss_fn) {
   model.SetTraining(true);
   loader.Reset();
+  GEO_OBS_SPAN(epoch_span, "trainer.epoch");
   data::Batch batch;
   double total = 0.0;
   int64_t batches = 0;
+  // Pulls the next batch under a "trainer.load" span so the trace tree
+  // separates input-pipeline time from compute time.
+  auto next_batch = [&loader, &batch] {
+    GEO_OBS_SPAN(load_span, "trainer.load");
+    return loader.Next(&batch);
+  };
   if (!config.cumulative) {
-    while (loader.Next(&batch)) {
+    while (next_batch()) {
       opt.ZeroGrad();
-      ag::Variable loss = loss_fn(batch);
-      loss.Backward();
-      if (config.grad_clip > 0.0f) opt.ClipGradNorm(config.grad_clip);
-      opt.Step();
+      ag::Variable loss = [&] {
+        GEO_OBS_SPAN(fwd_span, "trainer.forward");
+        return loss_fn(batch);
+      }();
+      {
+        GEO_OBS_SPAN(bwd_span, "trainer.backward");
+        loss.Backward();
+      }
+      {
+        GEO_OBS_SPAN(step_span, "trainer.step");
+        if (config.grad_clip > 0.0f) opt.ClipGradNorm(config.grad_clip);
+        opt.Step();
+      }
       total += loss.value().flat(0);
       ++batches;
     }
   } else {
     opt.ZeroGrad();
-    while (loader.Next(&batch)) {
-      ag::Variable loss = loss_fn(batch);
-      loss.Backward();
+    while (next_batch()) {
+      ag::Variable loss = [&] {
+        GEO_OBS_SPAN(fwd_span, "trainer.forward");
+        return loss_fn(batch);
+      }();
+      {
+        GEO_OBS_SPAN(bwd_span, "trainer.backward");
+        loss.Backward();
+      }
       total += loss.value().flat(0);
       ++batches;
     }
     if (batches > 0) {
+      GEO_OBS_SPAN(step_span, "trainer.step");
       if (config.grad_clip > 0.0f) {
         opt.ClipGradNorm(config.grad_clip * static_cast<float>(batches));
       }

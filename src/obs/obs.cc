@@ -1,0 +1,417 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace geotorch::obs {
+namespace {
+
+bool InitEnabledFromEnv() {
+  const char* env = std::getenv("GEOTORCH_OBS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool> g_enabled{InitEnabledFromEnv()};
+
+}  // namespace
+
+namespace internal {
+
+// One closed-or-open span. `parent` indexes into the same thread's
+// record vector (-1 for a root); parents always precede children.
+struct SpanRecord {
+  const char* name;
+  int64_t start_ns;
+  int64_t end_ns;  // 0 while open
+  int32_t parent;
+};
+
+// Per-thread span storage. The mutex is uncontended on the fast path
+// (only the owner thread touches it between exports); AggregateSpans
+// and Reset lock it from other threads.
+struct ThreadSpans {
+  std::mutex mu;
+  std::vector<SpanRecord> records;
+  int32_t open = -1;          // innermost open span, -1 if none
+  uint64_t generation = 0;    // bumped by Reset() to orphan open spans
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::SpanRecord;
+using internal::ThreadSpans;
+
+// All named metrics plus the live/retired per-thread span stores. The
+// registry is a leaked singleton so thread-exit hooks and late exports
+// never race static destruction.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, int64_t> gauges;
+  std::vector<ThreadSpans*> threads;
+  // Span records of exited threads, one vector per thread so parent
+  // indices stay valid.
+  std::vector<std::vector<SpanRecord>> retired;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+// Registers the calling thread's span store for its lifetime; on thread
+// exit the closed records move to the retired list.
+struct ThreadSpansOwner {
+  ThreadSpans* spans = new ThreadSpans;
+
+  ThreadSpansOwner() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.threads.push_back(spans);
+  }
+
+  ~ThreadSpansOwner() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.threads.erase(std::remove(r.threads.begin(), r.threads.end(), spans),
+                    r.threads.end());
+    {
+      std::lock_guard<std::mutex> spans_lock(spans->mu);
+      if (!spans->records.empty()) {
+        r.retired.push_back(std::move(spans->records));
+      }
+    }
+    delete spans;
+  }
+};
+
+ThreadSpans* LocalThreadSpans() {
+  thread_local ThreadSpansOwner owner;
+  return owner.spans;
+}
+
+void AtomicMin(std::atomic<int64_t>& slot, int64_t v) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>& slot, int64_t v) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- Histogram -------------------------------------------------------------
+
+void Histogram::Record(int64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  int bucket = 0;
+  if (v > 0) {
+    bucket = std::min<int>(kNumBuckets - 1,
+                           std::bit_width(static_cast<uint64_t>(v)));
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+}
+
+int64_t Histogram::min() const {
+  const int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+int64_t Histogram::max() const {
+  const int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
+}
+
+int64_t Histogram::BucketBound(int i) {
+  if (i <= 0) return 0;
+  return int64_t{1} << i;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry accessors ----------------------------------------------------
+
+Counter* GetCounter(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* GetHistogram(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void SetGauge(const std::string& name, int64_t value) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.gauges[name] = value;
+}
+
+std::vector<std::pair<std::string, int64_t>> CounterValues() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, counter] : r.counters) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> GaugeValues() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return {r.gauges.begin(), r.gauges.end()};
+}
+
+// --- TraceSpan -------------------------------------------------------------
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!Enabled()) return;
+  ThreadSpans* spans = LocalThreadSpans();
+  std::lock_guard<std::mutex> lock(spans->mu);
+  state_ = spans;
+  generation_ = spans->generation;
+  index_ = static_cast<int32_t>(spans->records.size());
+  spans->records.push_back({name, NowNs(), 0, spans->open});
+  spans->open = index_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (state_ == nullptr) return;
+  auto* spans = static_cast<ThreadSpans*>(state_);
+  std::lock_guard<std::mutex> lock(spans->mu);
+  // A Reset() between open and close dropped this record; nothing to do.
+  if (spans->generation != generation_) return;
+  SpanRecord& record = spans->records[index_];
+  record.end_ns = NowNs();
+  spans->open = record.parent;
+}
+
+// --- Aggregation and export ------------------------------------------------
+
+namespace {
+
+struct AggNode {
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  std::map<std::string, AggNode> children;
+};
+
+// Folds one thread's records into the aggregate forest. Parents precede
+// children in the vector, so a single pass suffices; spans still open
+// (end_ns == 0) are skipped and their children re-root.
+void FoldRecords(const std::vector<SpanRecord>& records, AggNode* root) {
+  std::vector<AggNode*> node_of(records.size(), nullptr);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& rec = records[i];
+    if (rec.end_ns == 0) continue;
+    AggNode* parent =
+        (rec.parent >= 0 && node_of[rec.parent] != nullptr)
+            ? node_of[rec.parent]
+            : root;
+    AggNode* mine = &parent->children[rec.name];
+    mine->count += 1;
+    mine->total_ns += rec.end_ns - rec.start_ns;
+    node_of[i] = mine;
+  }
+}
+
+std::vector<SpanNode> ToSpanNodes(const AggNode& node) {
+  std::vector<SpanNode> out;
+  out.reserve(node.children.size());
+  for (const auto& [name, child] : node.children) {
+    SpanNode sn;
+    sn.name = name;
+    sn.count = child.count;
+    sn.total_ns = child.total_ns;
+    sn.children = ToSpanNodes(child);
+    out.push_back(std::move(sn));
+  }
+  return out;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendKeyValue(std::string* out, const std::string& name, int64_t value,
+                    bool* first) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += "\"";
+  AppendEscaped(out, name);
+  *out += "\": ";
+  *out += buf;
+}
+
+void AppendSpanNodes(std::string* out, const std::vector<SpanNode>& nodes,
+                     int indent) {
+  const std::string pad(indent, ' ');
+  *out += "[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const SpanNode& n = nodes[i];
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "\"count\": %lld, \"total_ms\": %.3f",
+                  static_cast<long long>(n.count),
+                  static_cast<double>(n.total_ns) * 1e-6);
+    *out += (i == 0 ? "\n" : ",\n") + pad + "  {\"name\": \"";
+    AppendEscaped(out, n.name);
+    *out += "\", ";
+    *out += buf;
+    *out += ", \"children\": ";
+    AppendSpanNodes(out, n.children, indent + 2);
+    *out += "}";
+  }
+  if (!nodes.empty()) *out += "\n" + pad;
+  *out += "]";
+}
+
+}  // namespace
+
+std::vector<SpanNode> AggregateSpans() {
+  Registry& r = GetRegistry();
+  AggNode root;
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (ThreadSpans* spans : r.threads) {
+    std::lock_guard<std::mutex> spans_lock(spans->mu);
+    FoldRecords(spans->records, &root);
+  }
+  for (const auto& records : r.retired) FoldRecords(records, &root);
+  return ToSpanNodes(root);
+}
+
+std::string ExportJson() {
+  std::string out = "{\n";
+  out += std::string("  \"enabled\": ") + (Enabled() ? "true" : "false");
+
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : CounterValues()) {
+    AppendKeyValue(&out, name, value, &first);
+  }
+  out += "}";
+
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : GaugeValues()) {
+    AppendKeyValue(&out, name, value, &first);
+  }
+  out += "}";
+
+  out += ",\n  \"histograms\": {";
+  {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    first = true;
+    for (const auto& [name, hist] : r.histograms) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\n    \"";
+      AppendEscaped(&out, name);
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "\": {\"count\": %lld, \"sum\": %lld, \"min\": %lld, "
+                    "\"max\": %lld, \"buckets\": {",
+                    static_cast<long long>(hist->count()),
+                    static_cast<long long>(hist->sum()),
+                    static_cast<long long>(hist->min()),
+                    static_cast<long long>(hist->max()));
+      out += buf;
+      bool first_bucket = true;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        const int64_t n = hist->bucket(b);
+        if (n == 0) continue;
+        char bucket_name[32];
+        std::snprintf(bucket_name, sizeof(bucket_name), "%lld",
+                      static_cast<long long>(Histogram::BucketBound(b)));
+        AppendKeyValue(&out, bucket_name, n, &first_bucket);
+      }
+      out += "}}";
+    }
+    if (!r.histograms.empty()) out += "\n  ";
+  }
+  out += "}";
+
+  out += ",\n  \"spans\": ";
+  AppendSpanNodes(&out, AggregateSpans(), 2);
+  out += "\n}\n";
+  return out;
+}
+
+bool WriteJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ExportJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Reset() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, counter] : r.counters) counter->Reset();
+  for (auto& [name, hist] : r.histograms) hist->Reset();
+  r.gauges.clear();
+  r.retired.clear();
+  for (ThreadSpans* spans : r.threads) {
+    std::lock_guard<std::mutex> spans_lock(spans->mu);
+    spans->records.clear();
+    spans->open = -1;
+    ++spans->generation;
+  }
+}
+
+}  // namespace geotorch::obs

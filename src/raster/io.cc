@@ -67,7 +67,14 @@ Result<RasterImage> LoadGeotiffImage(const std::string& path) {
       !ReadOne(f.get(), &b) || !ReadOne(f.get(), &epsg)) {
     return Status::IoError("corrupt GTIF1 header: " + path);
   }
-  if (h <= 0 || w <= 0 || b <= 0 || h * w * b > (int64_t{1} << 34)) {
+  // Cap each dimension before multiplying: a hostile header with
+  // h = w = b = 2^40 would overflow the int64 product and sail past a
+  // product-only check. With these caps the product fits in 2^54.
+  constexpr int64_t kMaxSide = int64_t{1} << 20;   // 1M pixels per side
+  constexpr int64_t kMaxBands = int64_t{1} << 14;  // 16K bands
+  constexpr int64_t kMaxElements = int64_t{1} << 31;
+  if (h <= 0 || w <= 0 || b <= 0 || h > kMaxSide || w > kMaxSide ||
+      b > kMaxBands || h * w * b > kMaxElements) {
     return Status::IoError("implausible GTIF1 dims: " + path);
   }
   std::array<double, 6> gt;
@@ -75,6 +82,25 @@ Result<RasterImage> LoadGeotiffImage(const std::string& path) {
     if (!ReadOne(f.get(), &g)) {
       return Status::IoError("corrupt GTIF1 geotransform: " + path);
     }
+  }
+  // Cross-check the header against the actual file size before
+  // allocating h*w*b floats — a truncated or lying file must fail with
+  // a Status, not a multi-gigabyte allocation followed by a short read.
+  const long header_end = std::ftell(f.get());
+  if (header_end < 0 || std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IoError("cannot stat GTIF1 file: " + path);
+  }
+  const long file_end = std::ftell(f.get());
+  if (file_end < 0 ||
+      std::fseek(f.get(), header_end, SEEK_SET) != 0) {
+    return Status::IoError("cannot stat GTIF1 file: " + path);
+  }
+  const int64_t payload_bytes =
+      static_cast<int64_t>(file_end) - static_cast<int64_t>(header_end);
+  const int64_t expected_bytes =
+      h * w * b * static_cast<int64_t>(sizeof(float));
+  if (payload_bytes < expected_bytes) {
+    return Status::IoError("truncated GTIF1 payload: " + path);
   }
   RasterImage img(h, w, b);
   img.set_crs_epsg(epsg);

@@ -28,6 +28,7 @@
 #include "core/check.h"
 #include "core/memory.h"
 #include "core/thread_pool.h"
+#include "obs/obs.h"
 #include "tensor/device.h"
 
 namespace geotorch::tensor {
@@ -198,15 +199,19 @@ void GemmRegion(const OperandView& v, float* c, float beta, int64_t mb,
     const int64_t nc = std::min(kNC, ne - jc);
     for (int64_t pc = 0; pc < v.k; pc += kKC) {
       const int64_t kc = std::min(kKC, v.k - pc);
-      float* bp = ThreadLocalWorkspace(kWorkspaceGemmPackB,
-                                       CeilDiv(nc, kNR) * kNR * kc);
+      const int64_t b_floats = CeilDiv(nc, kNR) * kNR * kc;
+      float* bp = ThreadLocalWorkspace(kWorkspaceGemmPackB, b_floats);
       PackBBlock(v, pc, kc, jc, nc, bp);
+      GEO_OBS_COUNT("gemm.pack_b_bytes",
+                    b_floats * static_cast<int64_t>(sizeof(float)));
       const float beta_eff = (pc == 0) ? beta : 1.0f;
       for (int64_t ic = mb; ic < me; ic += kMC) {
         const int64_t mc = std::min(kMC, me - ic);
-        float* ap = ThreadLocalWorkspace(kWorkspaceGemmPackA,
-                                         CeilDiv(mc, kMR) * kMR * kc);
+        const int64_t a_floats = CeilDiv(mc, kMR) * kMR * kc;
+        float* ap = ThreadLocalWorkspace(kWorkspaceGemmPackA, a_floats);
         PackABlock(v, ic, mc, pc, kc, ap);
+        GEO_OBS_COUNT("gemm.pack_a_bytes",
+                      a_floats * static_cast<int64_t>(sizeof(float)));
         MacroKernel(ap, bp, c, v.n, ic, mc, jc, nc, kc, beta_eff);
       }
     }
@@ -227,12 +232,15 @@ void ScaleC(float* c, int64_t count, float beta) {
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, const GemmOptions& opts) {
   if (m <= 0 || n <= 0) return;
+  GEO_OBS_COUNT("gemm.calls", 1);
   if (k <= 0) {
     ScaleC(c, m * n, opts.beta);
     return;
   }
   const int64_t work = m * n * k;
+  GEO_OBS_COUNT("gemm.flops", 2 * work);
   if (work < kBlockedMinWork) {
+    GEO_OBS_COUNT("gemm.path.ref", 1);
     ReferenceGemm(a, b, c, m, k, n, opts);
     return;
   }
@@ -243,9 +251,11 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
                         GetDefaultDevice() == Device::kParallel &&
                         work >= kParallelMinWork && mt * nt > 1;
   if (!parallel) {
+    GEO_OBS_COUNT("gemm.path.blocked_serial", 1);
     GemmRegion(v, c, opts.beta, 0, m, 0, n);
     return;
   }
+  GEO_OBS_COUNT("gemm.path.blocked_parallel", 1);
   ThreadPool::Global().ParallelFor(mt * nt, [&](int64_t t) {
     const int64_t ti = t / nt;
     const int64_t tj = t % nt;

@@ -127,6 +127,68 @@ TEST(DataLoaderTest, ShuffleCoversAllOnceAndReshuffles) {
   EXPECT_NE(epoch1, epoch2);  // re-shuffled
 }
 
+// Labels of every batch of one epoch, in iteration order.
+std::vector<float> EpochLabels(DataLoader& loader) {
+  std::vector<float> labels;
+  Batch batch;
+  while (loader.Next(&batch)) {
+    for (float v : batch.y.ToVector()) labels.push_back(v);
+  }
+  return labels;
+}
+
+TEST(DataLoaderTest, PrefetchMatchesNonPrefetchShuffled) {
+  ts::Tensor xs = ts::Tensor::Arange(34).Reshape({17, 2});
+  TensorDataset dataset(xs, ts::Tensor::Arange(17));
+  DataLoader plain(&dataset, 4, /*shuffle=*/true, /*seed=*/99,
+                   /*drop_last=*/false, /*prefetch=*/false);
+  DataLoader prefetched(&dataset, 4, /*shuffle=*/true, /*seed=*/99,
+                        /*drop_last=*/false, /*prefetch=*/true);
+  // Same seed must yield the same batch sequence whether or not batches
+  // are assembled ahead of time on a worker thread — across the epoch
+  // boundary too (Reset reshuffles from the same RNG stream).
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    if (epoch > 0) {
+      plain.Reset();
+      prefetched.Reset();
+    }
+    EXPECT_EQ(EpochLabels(plain), EpochLabels(prefetched))
+        << "epoch " << epoch;
+  }
+}
+
+TEST(DataLoaderTest, PrefetchRaggedTailNoDropNoDup) {
+  // 10 % 4 != 0: the final short batch must still arrive, and no sample
+  // may be dropped or duplicated — in either of two consecutive epochs.
+  ts::Tensor xs = ts::Tensor::Arange(10).Reshape({10, 1});
+  TensorDataset dataset(xs, ts::Tensor::Arange(10));
+  DataLoader loader(&dataset, 4, /*shuffle=*/true, /*seed=*/5,
+                    /*drop_last=*/false, /*prefetch=*/true);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    if (epoch > 0) loader.Reset();
+    std::vector<float> labels = EpochLabels(loader);
+    ASSERT_EQ(labels.size(), 10u) << "epoch " << epoch;
+    std::multiset<float> seen(labels.begin(), labels.end());
+    for (int64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(seen.count(static_cast<float>(i)), 1u)
+          << "sample " << i << " in epoch " << epoch;
+    }
+  }
+}
+
+TEST(DataLoaderTest, PrefetchDropLastConsistent) {
+  ts::Tensor xs = ts::Tensor::Arange(10).Reshape({10, 1});
+  TensorDataset dataset(xs, ts::Tensor::Arange(10));
+  DataLoader plain(&dataset, 4, /*shuffle=*/false, /*seed=*/0,
+                   /*drop_last=*/true, /*prefetch=*/false);
+  DataLoader prefetched(&dataset, 4, /*shuffle=*/false, /*seed=*/0,
+                        /*drop_last=*/true, /*prefetch=*/true);
+  std::vector<float> a = EpochLabels(plain);
+  std::vector<float> b = EpochLabels(prefetched);
+  EXPECT_EQ(a.size(), 8u);  // 2 full batches, tail dropped
+  EXPECT_EQ(a, b);
+}
+
 TEST(MetricsTest, MaeRmse) {
   ts::Tensor pred = ts::Tensor::FromVector({4}, {1, 2, 3, 4});
   ts::Tensor target = ts::Tensor::FromVector({4}, {1, 2, 3, 8});

@@ -1,0 +1,233 @@
+// Serial vs parallel bitwise determinism. The blocked GEMM fixes its
+// K-accumulation order regardless of how work is split across threads,
+// and every parallel loop writes disjoint outputs — so one training
+// step must produce bit-identical losses and gradients on
+// Device::kSerial and Device::kParallel. This test runs one
+// forward/backward for every grid and raster model on both devices and
+// compares the float bit patterns exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "data/dataloader.h"
+#include "datasets/benchmarks.h"
+#include "models/grid_models.h"
+#include "models/raster_models.h"
+#include "models/segmentation_models.h"
+#include "tensor/device.h"
+
+namespace {
+
+namespace ag = ::geotorch::autograd;
+namespace ts = ::geotorch::tensor;
+namespace data = ::geotorch::data;
+namespace datasets = ::geotorch::datasets;
+namespace models = ::geotorch::models;
+
+// The float bit patterns of a tensor, for exact comparison.
+std::vector<uint32_t> Bits(const ts::Tensor& t) {
+  std::vector<uint32_t> bits(t.numel());
+  if (t.numel() > 0) {
+    std::memcpy(bits.data(), t.data(), t.numel() * sizeof(uint32_t));
+  }
+  return bits;
+}
+
+struct StepResult {
+  std::vector<uint32_t> loss_bits;
+  std::vector<std::vector<uint32_t>> grad_bits;
+};
+
+// Runs one forward/backward of a freshly built model on `device` and
+// captures the bit patterns of the loss and every parameter gradient.
+template <typename MakeModel, typename LossFn>
+StepResult RunStep(ts::Device device, const MakeModel& make_model,
+                   const LossFn& loss_fn) {
+  ts::DeviceGuard guard(device);
+  auto model = make_model();
+  ag::Variable loss = loss_fn(*model);
+  loss.Backward();
+  StepResult result;
+  result.loss_bits = Bits(loss.value());
+  for (const ag::Variable& p : model->Parameters()) {
+    EXPECT_TRUE(p.has_grad()) << "parameter missing gradient";
+    result.grad_bits.push_back(p.has_grad() ? Bits(p.grad())
+                                            : std::vector<uint32_t>{});
+  }
+  return result;
+}
+
+template <typename MakeModel, typename LossFn>
+void ExpectDeterministic(const std::string& label,
+                         const MakeModel& make_model, const LossFn& loss_fn) {
+  const StepResult serial =
+      RunStep(ts::Device::kSerial, make_model, loss_fn);
+  const StepResult parallel =
+      RunStep(ts::Device::kParallel, make_model, loss_fn);
+  EXPECT_EQ(serial.loss_bits, parallel.loss_bits)
+      << label << ": loss differs between serial and parallel";
+  ASSERT_EQ(serial.grad_bits.size(), parallel.grad_bits.size()) << label;
+  for (size_t i = 0; i < serial.grad_bits.size(); ++i) {
+    EXPECT_EQ(serial.grad_bits[i], parallel.grad_bits[i])
+        << label << ": gradient of parameter " << i
+        << " differs between serial and parallel";
+  }
+}
+
+data::Batch FirstBatch(const data::Dataset& ds, int64_t batch_size) {
+  data::DataLoader loader(&ds, batch_size, /*shuffle=*/false);
+  data::Batch batch;
+  EXPECT_TRUE(loader.Next(&batch));
+  return batch;
+}
+
+// --- Grid models -----------------------------------------------------------
+
+enum class GridKind { kPeriodicalCnn, kConvLstm, kStResNet, kDeepStnPlus };
+
+void RunGridDeterminism(GridKind kind, const std::string& label) {
+  // 16x32 grid: the first conv's im2col GEMM clears the parallel-path
+  // work threshold, so the parallel run genuinely fans out. The trend
+  // component reaches back one week (7 * 24 steps), so give the
+  // synthetic series a bit more than that.
+  datasets::GridDataset ds =
+      datasets::MakeTemperature(/*timesteps=*/200, /*height=*/16,
+                                /*width=*/32, /*seed=*/7);
+  ds.MinMaxNormalize();
+
+  models::GridModelConfig mc;
+  mc.channels = ds.channels();
+  mc.height = ds.height();
+  mc.width = ds.width();
+  mc.len_closeness = 3;
+  mc.len_period = 2;
+  mc.len_trend = 1;
+  mc.hidden = 16;
+  mc.seed = 42;
+
+  if (kind == GridKind::kConvLstm) {
+    ds.SetSequentialRepresentation(/*history=*/4, /*prediction=*/1);
+  } else {
+    ds.SetPeriodicalRepresentation(mc.len_closeness, mc.len_period,
+                                   mc.len_trend);
+  }
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/4);
+
+  auto make_model = [&]() -> std::unique_ptr<models::GridModel> {
+    switch (kind) {
+      case GridKind::kPeriodicalCnn:
+        return std::make_unique<models::PeriodicalCnn>(mc);
+      case GridKind::kConvLstm:
+        return std::make_unique<models::ConvLstm>(mc, 1);
+      case GridKind::kStResNet:
+        return std::make_unique<models::StResNet>(mc);
+      case GridKind::kDeepStnPlus:
+        return std::make_unique<models::DeepStnPlus>(mc);
+    }
+    return nullptr;
+  };
+  auto loss_fn = [&batch](models::GridModel& model) {
+    return ag::MseLoss(model.Forward(batch), batch.y);
+  };
+  ExpectDeterministic(label, make_model, loss_fn);
+}
+
+TEST(DeterminismTest, PeriodicalCnn) {
+  RunGridDeterminism(GridKind::kPeriodicalCnn, "PeriodicalCnn");
+}
+TEST(DeterminismTest, ConvLstm) {
+  RunGridDeterminism(GridKind::kConvLstm, "ConvLstm");
+}
+TEST(DeterminismTest, StResNet) {
+  RunGridDeterminism(GridKind::kStResNet, "StResNet");
+}
+TEST(DeterminismTest, DeepStnPlus) {
+  RunGridDeterminism(GridKind::kDeepStnPlus, "DeepStnPlus");
+}
+
+// --- Raster classifiers ----------------------------------------------------
+
+TEST(DeterminismTest, SatCnn) {
+  datasets::RasterClassificationDataset ds =
+      datasets::MakeEuroSat(/*n=*/16, {}, /*seed=*/3);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/4);
+
+  models::RasterModelConfig rc;
+  rc.in_channels = 13;
+  rc.in_height = 64;
+  rc.in_width = 64;
+  rc.num_classes = 10;
+  rc.base_filters = 16;
+  rc.seed = 42;
+
+  auto make_model = [&] { return std::make_unique<models::SatCnn>(rc); };
+  auto loss_fn = [&batch](models::SatCnn& model) {
+    ag::Variable logits = model.Forward(ag::Variable(batch.x), {});
+    return ag::CrossEntropyLoss(logits,
+                                batch.y.Reshape({batch.y.numel()}));
+  };
+  ExpectDeterministic("SatCnn", make_model, loss_fn);
+}
+
+TEST(DeterminismTest, DeepSatV2) {
+  datasets::RasterDatasetOptions options;
+  options.include_additional_features = true;
+  datasets::RasterClassificationDataset ds =
+      datasets::MakeEuroSat(/*n=*/16, options, /*seed=*/3);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/4);
+  ASSERT_FALSE(batch.extras.empty());
+
+  models::RasterModelConfig rc;
+  rc.in_channels = 13;
+  rc.in_height = 64;
+  rc.in_width = 64;
+  rc.num_classes = 10;
+  rc.num_filtered_features = ds.num_additional_features();
+  rc.base_filters = 16;
+  rc.seed = 42;
+
+  auto make_model = [&] { return std::make_unique<models::DeepSatV2>(rc); };
+  auto loss_fn = [&batch](models::DeepSatV2& model) {
+    ag::Variable logits = model.Forward(ag::Variable(batch.x),
+                                        ag::Variable(batch.extras[0]));
+    return ag::CrossEntropyLoss(logits,
+                                batch.y.Reshape({batch.y.numel()}));
+  };
+  ExpectDeterministic("DeepSatV2", make_model, loss_fn);
+}
+
+// --- Segmentation models ---------------------------------------------------
+
+template <typename Model>
+void RunSegDeterminism(const std::string& label) {
+  datasets::RasterSegmentationDataset ds =
+      datasets::MakeCloud38(/*n=*/8, /*size=*/32, {}, /*seed=*/5);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/2);
+
+  models::SegModelConfig sc;
+  sc.in_channels = 4;
+  sc.num_classes = 2;
+  sc.base_filters = 8;
+  sc.seed = 42;
+
+  auto make_model = [&] { return std::make_unique<Model>(sc); };
+  auto loss_fn = [&batch](Model& model) {
+    return ag::CrossEntropyLoss(model.Forward(ag::Variable(batch.x)),
+                                batch.y);
+  };
+  ExpectDeterministic(label, make_model, loss_fn);
+}
+
+TEST(DeterminismTest, Fcn) { RunSegDeterminism<models::Fcn>("Fcn"); }
+TEST(DeterminismTest, UNet) { RunSegDeterminism<models::UNet>("UNet"); }
+TEST(DeterminismTest, UNetPlusPlus) {
+  RunSegDeterminism<models::UNetPlusPlus>("UNetPlusPlus");
+}
+
+}  // namespace

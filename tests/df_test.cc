@@ -200,6 +200,100 @@ TEST(DataFrameTest, MemoryAccountingReleasesOnDrop) {
   EXPECT_LE(tracker.current_bytes(), before + 1024);
 }
 
+DataFrame EmptyFrame() {
+  return DataFrame::FromColumns(
+      {{"k", Column::FromInt64s({})}, {"v", Column::FromDoubles({})}});
+}
+
+TEST(DataFrameTest, GroupByOnEmptyFrame) {
+  DataFrame agg = EmptyFrame().GroupByAgg(
+      {"k"}, {{AggKind::kCount, "", "n"}, {AggKind::kSum, "v", "sum_v"}});
+  EXPECT_EQ(agg.NumRows(), 0);
+  EXPECT_TRUE(agg.schema().HasField("k"));
+  EXPECT_TRUE(agg.schema().HasField("n"));
+  EXPECT_TRUE(agg.schema().HasField("sum_v"));
+  EXPECT_TRUE(agg.CollectInt64("k").empty());
+}
+
+TEST(DataFrameTest, JoinOnEmptySides) {
+  DataFrame populated = SampleFrame();
+  DataFrame empty = DataFrame::FromColumns(
+      {{"k", Column::FromInt64s({})}, {"tag", Column::FromInt64s({})}});
+
+  DataFrame left_empty = EmptyFrame().JoinInner(populated, "k", "group");
+  EXPECT_EQ(left_empty.NumRows(), 0);
+  EXPECT_TRUE(left_empty.schema().HasField("value"));
+
+  DataFrame right_empty = populated.JoinInner(empty, "group", "k");
+  EXPECT_EQ(right_empty.NumRows(), 0);
+  EXPECT_TRUE(right_empty.schema().HasField("tag"));
+  EXPECT_TRUE(right_empty.CollectInt64("id").empty());
+}
+
+TEST(DataFrameTest, JoinWithZeroMatches) {
+  DataFrame left = SampleFrame();
+  DataFrame right = DataFrame::FromColumns(
+      {{"g", Column::FromInt64s({77, 78})},
+       {"tag", Column::FromInt64s({1, 2})}});
+  DataFrame joined = left.JoinInner(right, "group", "g");
+  EXPECT_EQ(joined.NumRows(), 0);
+  // The right key column is dropped from the output schema.
+  EXPECT_EQ(joined.schema().num_fields(), 4);  // id, group, value, tag
+  EXPECT_TRUE(joined.CollectInt64("tag").empty());
+}
+
+TEST(DataFrameTest, SortOnEmptyFrame) {
+  DataFrame sorted = EmptyFrame().SortByInt64("k");
+  EXPECT_EQ(sorted.NumRows(), 0);
+  EXPECT_TRUE(sorted.CollectInt64("k").empty());
+}
+
+TEST(DataFrameTest, SingleRowPartitions) {
+  // More partitions than rows: some partitions hold one row, some none.
+  DataFrame frame = SampleFrame().Repartition(8);
+  EXPECT_EQ(frame.NumRows(), 6);
+
+  DataFrame agg =
+      frame.GroupByAgg({"group"}, {{AggKind::kCount, "", "n"},
+                                   {AggKind::kSum, "value", "sum_v"}});
+  DataFrame sorted = agg.SortByInt64("group");
+  EXPECT_EQ(sorted.CollectInt64("n"), (std::vector<int64_t>{3, 3}));
+  std::vector<double> sums = sorted.CollectDouble("sum_v");
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_NEAR(sums[0], 1.0 + 3.0 + 5.0, 1e-12);
+  EXPECT_NEAR(sums[1], 2.0 + 4.0 + 6.0, 1e-12);
+
+  DataFrame filtered = frame.Filter([](const RowView&) { return false; });
+  EXPECT_EQ(filtered.NumRows(), 0);
+}
+
+TEST(DataFrameTest, PartitionByteSizesSumToTrackedTotal) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  const int64_t before = tracker.current_bytes();
+  {
+    std::vector<int64_t> keys(5000);
+    std::vector<double> values(5000);
+    for (int i = 0; i < 5000; ++i) {
+      keys[i] = i % 17;
+      values[i] = i * 0.5;
+    }
+    DataFrame frame =
+        DataFrame::FromColumns({{"k", Column::FromInt64s(std::move(keys))},
+                                {"v", Column::FromDoubles(std::move(values))}})
+            .Repartition(4);
+    int64_t partition_sum = 0;
+    for (int pi = 0; pi < frame.num_partitions(); ++pi) {
+      partition_sum += frame.partition(pi).ByteSize();
+    }
+    // The tracker's delta for this frame is exactly the sum of its
+    // partitions' logical byte sizes (the original single-partition
+    // frame was dropped when Repartition returned).
+    EXPECT_EQ(tracker.current_bytes() - before, partition_sum);
+    EXPECT_GE(tracker.peak_bytes(), tracker.current_bytes());
+  }
+  EXPECT_EQ(tracker.current_bytes(), before);
+}
+
 TEST(CsvTest, RoundTrip) {
   DataFrame frame = DataFrame::FromColumns(
       {{"id", Column::FromInt64s({1, 2})},

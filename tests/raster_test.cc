@@ -61,6 +61,85 @@ TEST(RasterIoTest, RejectsGarbage) {
   EXPECT_FALSE(LoadGeotiffImage(path).ok());
 }
 
+// Writes a GTIF1 file with an arbitrary (possibly hostile) header and
+// `payload_floats` floats of payload.
+void WriteRawGtif(const std::string& path, const char* magic, int64_t h,
+                  int64_t w, int64_t b, int64_t payload_floats) {
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fwrite(magic, 1, 5, f);
+  fwrite(&h, sizeof(h), 1, f);
+  fwrite(&w, sizeof(w), 1, f);
+  fwrite(&b, sizeof(b), 1, f);
+  const int32_t epsg = 4326;
+  fwrite(&epsg, sizeof(epsg), 1, f);
+  const double gt[6] = {0, 1, 0, 0, 0, 1};
+  fwrite(gt, sizeof(double), 6, f);
+  const std::vector<float> payload(payload_floats, 1.0f);
+  fwrite(payload.data(), sizeof(float), payload.size(), f);
+  fclose(f);
+}
+
+TEST(RasterIoTest, RejectsBadMagic) {
+  const std::string path = testing::TempDir() + "/bad_magic.gtif";
+  WriteRawGtif(path, "GTIF9", 2, 2, 1, 4);
+  auto loaded = LoadGeotiffImage(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(RasterIoTest, RejectsTruncatedHeader) {
+  const std::string path = testing::TempDir() + "/short_header.gtif";
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fwrite("GTIF1", 1, 5, f);
+  const int64_t h = 4;
+  fwrite(&h, sizeof(h), 1, f);  // header stops mid-way
+  fclose(f);
+  EXPECT_FALSE(LoadGeotiffImage(path).ok());
+}
+
+TEST(RasterIoTest, RejectsTruncatedPayload) {
+  // Header promises 4x4x2 = 32 floats; the file carries only 5. The
+  // loader must notice before reading, not return a half-filled image.
+  const std::string path = testing::TempDir() + "/short_payload.gtif";
+  WriteRawGtif(path, "GTIF1", 4, 4, 2, 5);
+  auto loaded = LoadGeotiffImage(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(RasterIoTest, RejectsAbsurdDims) {
+  const std::string path = testing::TempDir() + "/absurd.gtif";
+  // Non-positive dims.
+  WriteRawGtif(path, "GTIF1", 0, 4, 1, 0);
+  EXPECT_FALSE(LoadGeotiffImage(path).ok());
+  WriteRawGtif(path, "GTIF1", 4, -1, 1, 0);
+  EXPECT_FALSE(LoadGeotiffImage(path).ok());
+  // A single huge side / band count: must be rejected without
+  // attempting the (terabyte-scale) allocation the header implies.
+  WriteRawGtif(path, "GTIF1", int64_t{1} << 21, 4, 1, 0);
+  EXPECT_FALSE(LoadGeotiffImage(path).ok());
+  WriteRawGtif(path, "GTIF1", 4, 4, int64_t{1} << 15, 0);
+  EXPECT_FALSE(LoadGeotiffImage(path).ok());
+  // Dims whose product overflows int64: each factor passes a naive
+  // positivity check, and (2^40)^3 wraps around to something small.
+  WriteRawGtif(path, "GTIF1", int64_t{1} << 40, int64_t{1} << 40,
+               int64_t{1} << 40, 0);
+  EXPECT_FALSE(LoadGeotiffImage(path).ok());
+  // Element count just over the cap with in-range sides.
+  WriteRawGtif(path, "GTIF1", int64_t{1} << 20, int64_t{1} << 20, 4, 0);
+  EXPECT_FALSE(LoadGeotiffImage(path).ok());
+}
+
+TEST(RasterIoTest, TrailingBytesAreTolerated) {
+  // A payload longer than promised is not an error — only shorter is.
+  const std::string path = testing::TempDir() + "/padded.gtif";
+  WriteRawGtif(path, "GTIF1", 2, 2, 1, 4 + 3);
+  auto loaded = LoadGeotiffImage(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->height(), 2);
+  EXPECT_EQ(loaded->at(0, 1, 1), 1.0f);
+}
+
 TEST(RasterOpsTest, NormalizedDifferenceIndex) {
   RasterImage img(1, 2, 2);
   img.at(0, 0, 0) = 3.0f;
