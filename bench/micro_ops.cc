@@ -12,7 +12,11 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/storage_pool.h"
 #include "core/thread_pool.h"
+#include "datasets/benchmarks.h"
+#include "models/grid_models.h"
+#include "models/trainer.h"
 #include "df/dataframe.h"
 #include "obs/obs.h"
 #include "raster/glcm.h"
@@ -372,20 +376,128 @@ int RunObsAb(const std::string& json_path, bool smoke) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Allocation A/B: one epoch of the Table VII Periodical-CNN training
+// loop (Temperature, small scale, batch 16) with the storage pool
+// enabled vs disabled. Reports epoch time for both arms plus the pool
+// hit-rate of the enabled arm, and writes BENCH_alloc.json. The
+// acceptance gate is a >= 90% hit-rate after the warm-up epoch and a
+// measurable epoch-time reduction over the pool-off arm.
+// ---------------------------------------------------------------------------
+
+int RunAllocAb(const std::string& json_path, bool smoke) {
+  namespace ds = ::geotorch::datasets;
+  const int64_t steps = smoke ? 120 : 400;
+  ds::GridDataset dataset = ds::MakeTemperature(steps, 16, 32, 3);
+  dataset.MinMaxNormalize();
+  dataset.SetPeriodicalRepresentation(3, 2, 1);
+
+  models::GridModelConfig mc;
+  mc.channels = 1;
+  mc.height = 16;
+  mc.width = 32;
+  mc.hidden = 16;
+  models::PeriodicalCnn model(mc);
+  models::TrainConfig tc;
+  tc.batch_size = 16;
+
+  StoragePool& pool = StoragePool::Global();
+  const bool was_enabled = StoragePool::Enabled();
+
+  // Warm-up epoch fills the free lists (and JITs page faults, caches).
+  StoragePool::SetEnabled(true);
+  models::TimeOneEpochGrid(model, dataset, tc);
+
+  const int kReps = smoke ? 1 : 3;
+  double on_secs = 1e30;
+  double off_secs = 1e30;
+  double hit_rate = 0.0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t bytes_recycled = 0;
+  // Interleave arms so thermal / frequency drift hits both equally.
+  for (int rep = 0; rep < kReps; ++rep) {
+    StoragePool::SetEnabled(true);
+    pool.ResetStats();
+    obs::Reset();
+    on_secs = std::min(on_secs, models::TimeOneEpochGrid(model, dataset, tc));
+    const StoragePool::Stats stats = pool.GetStats();
+    if (stats.hits + stats.misses > 0) {
+      hits = stats.hits;
+      misses = stats.misses;
+      bytes_recycled = stats.bytes_recycled;
+      hit_rate = static_cast<double>(stats.hits) /
+                 static_cast<double>(stats.hits + stats.misses);
+    }
+
+    StoragePool::SetEnabled(false);
+    pool.Trim();  // the off arm must not benefit from warm lists
+    off_secs =
+        std::min(off_secs, models::TimeOneEpochGrid(model, dataset, tc));
+  }
+  StoragePool::SetEnabled(was_enabled);
+
+  const double speedup_pct = (off_secs - on_secs) / off_secs * 100.0;
+  std::printf("alloc A/B (Periodical CNN, Temperature %lldx16x32, "
+              "batch %d):\n",
+              static_cast<long long>(steps), static_cast<int>(tc.batch_size));
+  std::printf("  pool on : %.3f s/epoch (hit-rate %.1f%%, %lld hits, "
+              "%lld misses, %.1f MiB recycled)\n",
+              on_secs, 100.0 * hit_rate, static_cast<long long>(hits),
+              static_cast<long long>(misses),
+              static_cast<double>(bytes_recycled) / (1024.0 * 1024.0));
+  std::printf("  pool off: %.3f s/epoch\n", off_secs);
+  std::printf("  epoch-time reduction: %.1f%% (hit-rate gate: 90%%)\n",
+              speedup_pct);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"alloc_ab\",\n"
+                 "  \"config\": \"table7 Periodical CNN, Temperature "
+                 "%lldx16x32, batch %d\",\n"
+                 "  \"pool_on_epoch_secs\": %.4f,\n"
+                 "  \"pool_off_epoch_secs\": %.4f,\n"
+                 "  \"epoch_time_reduction_pct\": %.2f,\n"
+                 "  \"pool_hit_rate\": %.4f,\n"
+                 "  \"pool_hits\": %lld,\n  \"pool_misses\": %lld,\n"
+                 "  \"bytes_recycled\": %lld,\n"
+                 "  \"hit_rate_gate\": 0.9\n}\n",
+                 static_cast<long long>(steps),
+                 static_cast<int>(tc.batch_size), on_secs,
+                 off_secs, speedup_pct, hit_rate,
+                 static_cast<long long>(hits),
+                 static_cast<long long>(misses),
+                 static_cast<long long>(bytes_recycled));
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return hit_rate >= 0.9 ? 0 : 2;
+}
+
 }  // namespace
 }  // namespace geotorch
 
 // Custom main: `--gemm_json=PATH [--gemm_smoke]` runs the GEMM sweep
 // and writes the JSON report; `--obs_ab[=PATH]` measures observability
-// overhead on the GEMM hot path; any other invocation behaves exactly
+// overhead on the GEMM hot path; `--alloc_ab[=PATH]` A/B-tests the
+// storage pool on the table7 epoch loop (default PATH
+// BENCH_alloc.json, smoke-sized with --gemm_smoke); any other
+// invocation behaves exactly
 // like BENCHMARK_MAIN(). `--trace_json=PATH` additionally dumps the
 // observability snapshot (counters, histograms, spans) after any mode.
 int main(int argc, char** argv) {
   std::string gemm_json;
   std::string trace_json;
   std::string obs_ab_json;
+  std::string alloc_ab_json = "BENCH_alloc.json";
   bool gemm_smoke = false;
   bool obs_ab = false;
+  bool alloc_ab = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--gemm_json=", 12) == 0) {
       gemm_json = argv[i] + 12;
@@ -398,10 +510,17 @@ int main(int argc, char** argv) {
       obs_ab_json = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--obs_ab") == 0) {
       obs_ab = true;
+    } else if (std::strncmp(argv[i], "--alloc_ab=", 11) == 0) {
+      alloc_ab = true;
+      alloc_ab_json = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--alloc_ab") == 0) {
+      alloc_ab = true;
     }
   }
   int rc = 0;
-  if (obs_ab) {
+  if (alloc_ab) {
+    rc = geotorch::RunAllocAb(alloc_ab_json, gemm_smoke);
+  } else if (obs_ab) {
     rc = geotorch::RunObsAb(obs_ab_json, gemm_smoke);
   } else if (!gemm_json.empty()) {
     rc = geotorch::RunGemmSweep(gemm_json, gemm_smoke);

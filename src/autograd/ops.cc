@@ -15,11 +15,16 @@ namespace ts = ::geotorch::tensor;
 
 using internal::Node;
 
-// Expands `t` to `shape` by broadcasting (adds a zero tensor).
+// Expands `t` to `shape` by broadcasting (one strided copy).
 ts::Tensor Broadcast(const ts::Tensor& t, const ts::Shape& shape) {
-  if (ts::SameShape(t.shape(), shape)) return t;
-  return ts::Add(ts::Tensor::Zeros(shape), t);
+  return ts::BroadcastTo(t, shape);
 }
+
+// Note on the in-place backward kernels below: a node's grad is fully
+// accumulated before its backward_fn runs (reverse topological order),
+// it is privately owned (AccumulateGrad copies incoming gradients), and
+// PushGrad copies out of its argument immediately — so a backward_fn may
+// freely mutate n.grad after (or instead of) materializing a temporary.
 
 // Accumulates `g` into parent i of `n` when that parent wants a grad.
 void PushGrad(Node& n, size_t i, const ts::Tensor& g) {
@@ -45,7 +50,8 @@ Variable Sub(const Variable& a, const Variable& b) {
   ts::Shape sb = b.shape();
   return Variable::FromOp(std::move(out), {a, b}, [sa, sb](Node& n) {
     PushGrad(n, 0, ts::SumToShape(n.grad, sa));
-    PushGrad(n, 1, ts::SumToShape(ts::Neg(n.grad), sb));
+    ts::NegInPlace(n.grad);
+    PushGrad(n, 1, ts::SumToShape(n.grad, sb));
   });
 }
 
@@ -55,7 +61,12 @@ Variable Mul(const Variable& a, const Variable& b) {
   ts::Tensor out = ts::Mul(va, vb);
   return Variable::FromOp(std::move(out), {a, b}, [va, vb](Node& n) {
     PushGrad(n, 0, ts::SumToShape(ts::Mul(n.grad, vb), va.shape()));
-    PushGrad(n, 1, ts::SumToShape(ts::Mul(n.grad, va), vb.shape()));
+    if (ts::SameShape(n.grad.shape(), va.shape())) {
+      ts::MulInPlace(n.grad, va);
+      PushGrad(n, 1, ts::SumToShape(n.grad, vb.shape()));
+    } else {
+      PushGrad(n, 1, ts::SumToShape(ts::Mul(n.grad, va), vb.shape()));
+    }
   });
 }
 
@@ -77,7 +88,8 @@ Variable AddScalar(const Variable& a, float s) {
 
 Variable MulScalar(const Variable& a, float s) {
   return Variable::FromOp(ts::MulScalar(a.value(), s), {a}, [s](Node& n) {
-    PushGrad(n, 0, ts::MulScalar(n.grad, s));
+    n.grad.ScaleInPlace(s);
+    PushGrad(n, 0, n.grad);
   });
 }
 
@@ -90,15 +102,18 @@ Variable PowScalar(const Variable& a, float p) {
 }
 
 Variable Neg(const Variable& a) {
-  return Variable::FromOp(ts::Neg(a.value()), {a},
-                          [](Node& n) { PushGrad(n, 0, ts::Neg(n.grad)); });
+  return Variable::FromOp(ts::Neg(a.value()), {a}, [](Node& n) {
+    ts::NegInPlace(n.grad);
+    PushGrad(n, 0, n.grad);
+  });
 }
 
 Variable Exp(const Variable& a) {
   ts::Tensor out = ts::Exp(a.value());
   ts::Tensor y = out;
   return Variable::FromOp(std::move(out), {a}, [y](Node& n) {
-    PushGrad(n, 0, ts::Mul(n.grad, y));
+    ts::MulInPlace(n.grad, y);
+    PushGrad(n, 0, n.grad);
   });
 }
 
@@ -120,17 +135,16 @@ Variable Sqrt(const Variable& a) {
 Variable Relu(const Variable& a) {
   ts::Tensor va = a.value();
   return Variable::FromOp(ts::Relu(va), {a}, [va](Node& n) {
-    ts::Tensor mask = ts::Map(va, [](float x) { return x > 0 ? 1.0f : 0.0f; });
-    PushGrad(n, 0, ts::Mul(n.grad, mask));
+    ts::ReluMaskInPlace(n.grad, va);
+    PushGrad(n, 0, n.grad);
   });
 }
 
 Variable LeakyRelu(const Variable& a, float slope) {
   ts::Tensor va = a.value();
   return Variable::FromOp(ts::LeakyRelu(va, slope), {a}, [va, slope](Node& n) {
-    ts::Tensor mask =
-        ts::Map(va, [slope](float x) { return x > 0 ? 1.0f : slope; });
-    PushGrad(n, 0, ts::Mul(n.grad, mask));
+    ts::ReluMaskInPlace(n.grad, va, slope);
+    PushGrad(n, 0, n.grad);
   });
 }
 
@@ -138,9 +152,8 @@ Variable Sigmoid(const Variable& a) {
   ts::Tensor out = ts::Sigmoid(a.value());
   ts::Tensor y = out;
   return Variable::FromOp(std::move(out), {a}, [y](Node& n) {
-    // y * (1 - y)
-    ts::Tensor dy = ts::Mul(y, ts::Map(y, [](float v) { return 1.0f - v; }));
-    PushGrad(n, 0, ts::Mul(n.grad, dy));
+    ts::SigmoidGradInPlace(n.grad, y);
+    PushGrad(n, 0, n.grad);
   });
 }
 
@@ -148,8 +161,8 @@ Variable Tanh(const Variable& a) {
   ts::Tensor out = ts::Tanh(a.value());
   ts::Tensor y = out;
   return Variable::FromOp(std::move(out), {a}, [y](Node& n) {
-    ts::Tensor dy = ts::Map(y, [](float v) { return 1.0f - v * v; });
-    PushGrad(n, 0, ts::Mul(n.grad, dy));
+    ts::TanhGradInPlace(n.grad, y);
+    PushGrad(n, 0, n.grad);
   });
 }
 
@@ -340,14 +353,15 @@ Variable Dropout(const Variable& x, float p, bool training, Rng& rng) {
   if (!training || p <= 0.0f) return x;
   GEO_CHECK_LT(p, 1.0f);
   const float scale = 1.0f / (1.0f - p);
-  ts::Tensor mask(x.shape());
+  ts::Tensor mask = ts::Tensor::Uninitialized(x.shape());
   float* pm = mask.data();
   for (int64_t i = 0; i < mask.numel(); ++i) {
     pm[i] = rng.Bernoulli(p) ? 0.0f : scale;
   }
   ts::Tensor out = ts::Mul(x.value(), mask);
   return Variable::FromOp(std::move(out), {x}, [mask](Node& n) {
-    PushGrad(n, 0, ts::Mul(n.grad, mask));
+    ts::MulInPlace(n.grad, mask);
+    PushGrad(n, 0, n.grad);
   });
 }
 

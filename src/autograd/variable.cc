@@ -102,6 +102,9 @@ void Variable::Backward() {
   GEO_CHECK(defined());
   GEO_CHECK(node_->requires_grad)
       << "Backward() on a variable that requires no grad";
+  GEO_CHECK(!node_->released)
+      << "Backward() twice through the same graph: saved intermediates "
+         "were eagerly released by the first pass";
 
   // Iterative post-order DFS over parents -> topological order.
   std::vector<internal::Node*> topo;
@@ -133,6 +136,15 @@ void Variable::Backward() {
     if (n->backward_fn && n->has_grad()) {
       n->backward_fn(*n);
     }
+    // Eager release: once this node's gradient has been pushed into its
+    // parents, neither its backward closure (which captures the saved
+    // forward tensors) nor its interior gradient are needed again —
+    // drop them now instead of at graph teardown, so peak memory tracks
+    // the backward frontier rather than the whole graph. The `parents`
+    // edges must stay: `topo` holds raw pointers into them.
+    n->backward_fn = nullptr;
+    n->released = true;
+    if (!n->is_leaf) n->grad = tensor::Tensor();
   }
 }
 

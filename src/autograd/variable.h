@@ -19,6 +19,10 @@ struct Node {
   tensor::Tensor grad;  // empty until first accumulation
   bool requires_grad = false;
   bool is_leaf = true;
+  /// Set once this node's backward has run and its saved state (the
+  /// backward closure and, for interior nodes, the gradient) has been
+  /// eagerly released. A released graph cannot run Backward() again.
+  bool released = false;
   std::vector<std::shared_ptr<Node>> parents;
   /// Reads `grad` (guaranteed allocated) and accumulates into parents.
   std::function<void(Node&)> backward_fn;

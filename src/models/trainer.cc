@@ -60,6 +60,7 @@ float RunEpoch(nn::Module& model, optim::Optimizer& opt,
       }
       {
         GEO_OBS_SPAN(step_span, "trainer.step");
+        GEO_OBS_COUNT("trainer.steps", 1);
         if (config.grad_clip > 0.0f) opt.ClipGradNorm(config.grad_clip);
         opt.Step();
       }
@@ -82,6 +83,7 @@ float RunEpoch(nn::Module& model, optim::Optimizer& opt,
     }
     if (batches > 0) {
       GEO_OBS_SPAN(step_span, "trainer.step");
+      GEO_OBS_COUNT("trainer.steps", 1);
       if (config.grad_clip > 0.0f) {
         opt.ClipGradNorm(config.grad_clip * static_cast<float>(batches));
       }

@@ -99,12 +99,10 @@ ag::Variable BatchNorm2d::Forward(const ag::Variable& x) {
     // Running statistics (no autograd): ema of batch stats.
     {
       const float m = momentum_;
-      ts::Tensor bm = mean.value();
-      ts::Tensor bv = var.value();
-      running_mean_ = ts::Add(ts::MulScalar(running_mean_, 1.0f - m),
-                              ts::MulScalar(bm, m));
-      running_var_ = ts::Add(ts::MulScalar(running_var_, 1.0f - m),
-                             ts::MulScalar(bv, m));
+      running_mean_.ScaleInPlace(1.0f - m);
+      ts::AddScaledInPlace(running_mean_, mean.value(), m);
+      running_var_.ScaleInPlace(1.0f - m);
+      ts::AddScaledInPlace(running_var_, var.value(), m);
     }
     return ag::Add(ag::Mul(norm, gamma_), beta_);
   }

@@ -3,8 +3,33 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/thread_pool.h"
+#include "obs/obs.h"
+#include "tensor/device.h"
 
 namespace geotorch::optim {
+namespace {
+
+// Minimum parameter count before an update loop bothers with the pool;
+// matches the elementwise kernels' threshold order of magnitude.
+constexpr int64_t kParallelThreshold = 1 << 14;
+
+// Runs `fn` over [0, n), chunked across the thread pool on the parallel
+// device. Every optimizer update below is elementwise (element j depends
+// only on index j of the parameter/grad/state buffers), so the split is
+// bitwise deterministic regardless of chunking.
+template <typename Fn>
+void ForRange(int64_t n, Fn&& fn) {
+  if (tensor::GetDefaultDevice() == tensor::Device::kParallel &&
+      n >= kParallelThreshold) {
+    ThreadPool::Global().ParallelForRange(
+        n, [&fn](int64_t begin, int64_t end) { fn(begin, end); });
+  } else {
+    fn(0, n);
+  }
+}
+
+}  // namespace
 
 void Optimizer::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
@@ -45,6 +70,7 @@ Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum,
 }
 
 void Sgd::Step() {
+  GEO_OBS_COUNT("optim.steps", 1);
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
     if (!p.has_grad()) continue;
@@ -53,15 +79,24 @@ void Sgd::Step() {
     const int64_t n = p.numel();
     if (momentum_ > 0.0f) {
       float* v = velocity_[i].data();
-      for (int64_t j = 0; j < n; ++j) {
-        const float grad = g[j] + weight_decay_ * w[j];
-        v[j] = momentum_ * v[j] + grad;
-        w[j] -= lr_ * v[j];
-      }
+      const float momentum = momentum_;
+      const float weight_decay = weight_decay_;
+      const float lr = lr_;
+      ForRange(n, [=](int64_t begin, int64_t end) {
+        for (int64_t j = begin; j < end; ++j) {
+          const float grad = g[j] + weight_decay * w[j];
+          v[j] = momentum * v[j] + grad;
+          w[j] -= lr * v[j];
+        }
+      });
     } else {
-      for (int64_t j = 0; j < n; ++j) {
-        w[j] -= lr_ * (g[j] + weight_decay_ * w[j]);
-      }
+      const float weight_decay = weight_decay_;
+      const float lr = lr_;
+      ForRange(n, [=](int64_t begin, int64_t end) {
+        for (int64_t j = begin; j < end; ++j) {
+          w[j] -= lr * (g[j] + weight_decay * w[j]);
+        }
+      });
     }
   }
 }
@@ -83,6 +118,7 @@ Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
 }
 
 void Adam::Step() {
+  GEO_OBS_COUNT("optim.steps", 1);
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -94,14 +130,21 @@ void Adam::Step() {
     float* m = m_[i].data();
     float* v = v_[i].data();
     const int64_t n = p.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      const float grad = g[j] + weight_decay_ * w[j];
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
-      const float m_hat = m[j] / bc1;
-      const float v_hat = v[j] / bc2;
-      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    const float beta1 = beta1_;
+    const float beta2 = beta2_;
+    const float eps = eps_;
+    const float weight_decay = weight_decay_;
+    const float lr = lr_;
+    ForRange(n, [=](int64_t begin, int64_t end) {
+      for (int64_t j = begin; j < end; ++j) {
+        const float grad = g[j] + weight_decay * w[j];
+        m[j] = beta1 * m[j] + (1.0f - beta1) * grad;
+        v[j] = beta2 * v[j] + (1.0f - beta2) * grad * grad;
+        const float m_hat = m[j] / bc1;
+        const float v_hat = v[j] / bc2;
+        w[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      }
+    });
   }
 }
 
@@ -116,6 +159,7 @@ RmsProp::RmsProp(std::vector<autograd::Variable> params, float lr,
 }
 
 void RmsProp::Step() {
+  GEO_OBS_COUNT("optim.steps", 1);
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
     if (!p.has_grad()) continue;
@@ -123,10 +167,15 @@ void RmsProp::Step() {
     const float* g = p.grad().data();
     float* s = sq_avg_[i].data();
     const int64_t n = p.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      s[j] = alpha_ * s[j] + (1.0f - alpha_) * g[j] * g[j];
-      w[j] -= lr_ * g[j] / (std::sqrt(s[j]) + eps_);
-    }
+    const float alpha = alpha_;
+    const float eps = eps_;
+    const float lr = lr_;
+    ForRange(n, [=](int64_t begin, int64_t end) {
+      for (int64_t j = begin; j < end; ++j) {
+        s[j] = alpha * s[j] + (1.0f - alpha) * g[j] * g[j];
+        w[j] -= lr * g[j] / (std::sqrt(s[j]) + eps);
+      }
+    });
   }
 }
 

@@ -1,5 +1,7 @@
 #include "raster/raster.h"
 
+#include <algorithm>
+
 #include "core/check.h"
 
 namespace geotorch::raster {
@@ -33,13 +35,17 @@ float* RasterImage::band_data(int64_t band) {
 }
 
 tensor::Tensor RasterImage::ToTensor() const {
-  return tensor::Tensor::FromVector({bands_, height_, width_}, data_);
+  // Pool-backed output + direct copy; FromVector(shape, data_) would
+  // route the copy through a fresh heap vector instead.
+  tensor::Tensor t = tensor::Tensor::Uninitialized({bands_, height_, width_});
+  std::copy(data_.begin(), data_.end(), t.data());
+  return t;
 }
 
 RasterImage RasterImage::FromTensor(const tensor::Tensor& t) {
   GEO_CHECK_EQ(t.ndim(), 3);
   RasterImage img(t.size(1), t.size(2), t.size(0));
-  img.data_ = t.ToVector();
+  std::copy(t.data(), t.data() + t.numel(), img.data_.begin());
   return img;
 }
 

@@ -106,7 +106,7 @@ Tensor Im2Col(const Tensor& x, int64_t n, int64_t kh, int64_t kw,
   const int64_t c = x.size(1);
   const int64_t oh = ConvOutSize(x.size(2), kh, spec.stride, spec.padding);
   const int64_t ow = ConvOutSize(x.size(3), kw, spec.stride, spec.padding);
-  Tensor cols({c * kh * kw, oh * ow});
+  Tensor cols = Tensor::Uninitialized({c * kh * kw, oh * ow});
   Im2ColInto(x, n, kh, kw, spec, cols.data());
   return cols;
 }
@@ -139,7 +139,7 @@ Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
     GEO_CHECK_EQ(bias.numel(), f);
   }
 
-  Tensor out({n, f, oh, ow});
+  Tensor out = Tensor::Uninitialized({n, f, oh, ow});
   const float* pw = w.data();
   const float* pb = has_bias ? bias.data() : nullptr;
   float* po = out.data();
@@ -356,7 +356,7 @@ std::pair<Tensor, std::vector<int64_t>> MaxPool2dForward(const Tensor& x,
       << " kernel " << kernel;
   const int64_t oh = h / kernel;
   const int64_t ow = w / kernel;
-  Tensor out({n, c, oh, ow});
+  Tensor out = Tensor::Uninitialized({n, c, oh, ow});
   std::vector<int64_t> argmax(out.numel());
   const float* px = x.data();
   float* po = out.data();
@@ -410,7 +410,7 @@ Tensor AvgPool2dForward(const Tensor& x, int64_t kernel) {
       << "AvgPool2d expects dims divisible by kernel";
   const int64_t oh = h / kernel;
   const int64_t ow = w / kernel;
-  Tensor out({n, c, oh, ow});
+  Tensor out = Tensor::Uninitialized({n, c, oh, ow});
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
   const float* px = x.data();
   float* po = out.data();
@@ -467,7 +467,7 @@ Tensor UpsampleNearest2x(const Tensor& x) {
   const int64_t c = x.size(1);
   const int64_t h = x.size(2);
   const int64_t w = x.size(3);
-  Tensor out({n, c, h * 2, w * 2});
+  Tensor out = Tensor::Uninitialized({n, c, h * 2, w * 2});
   const float* px = x.data();
   float* po = out.data();
   ForEachSample(n * c, [&](int64_t nc) {

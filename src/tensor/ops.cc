@@ -43,7 +43,7 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape, size_t rank) {
 template <typename BinaryFn>
 Tensor BinaryBroadcastOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
   if (SameShape(a.shape(), b.shape())) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -53,7 +53,7 @@ Tensor BinaryBroadcastOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
     return out;
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const size_t rank = out_shape.size();
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), rank);
   const std::vector<int64_t> sb = BroadcastStrides(b.shape(), rank);
@@ -95,7 +95,7 @@ Tensor BinaryBroadcastOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
 
 template <typename UnaryFn>
 Tensor UnaryOp(const Tensor& a, UnaryFn fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   RunRanges(a.numel(), [&](int64_t begin, int64_t end) {
@@ -170,10 +170,94 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
   return UnaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
 }
 Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t i = 0; i < a.numel(); ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+namespace {
+
+// Shared driver for the binary in-place kernels: pd[i] = fn(pd[i], ps[i]).
+template <typename BinaryFn>
+void BinaryInPlace(Tensor& a, const Tensor& b, const char* name, BinaryFn fn) {
+  GEO_CHECK(SameShape(a.shape(), b.shape()))
+      << name << " " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+  float* pd = a.data();
+  const float* ps = b.data();
+  RunRanges(a.numel(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) pd[i] = fn(pd[i], ps[i]);
+  });
+}
+
+}  // namespace
+
+void MulInPlace(Tensor& a, const Tensor& b) {
+  BinaryInPlace(a, b, "MulInPlace", [](float x, float y) { return x * y; });
+}
+
+void NegInPlace(Tensor& a) {
+  float* pd = a.data();
+  RunRanges(a.numel(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) pd[i] = -pd[i];
+  });
+}
+
+void AddScaledInPlace(Tensor& a, const Tensor& b, float s) {
+  BinaryInPlace(a, b, "AddScaledInPlace",
+                [s](float x, float y) { return x + s * y; });
+}
+
+void ReluMaskInPlace(Tensor& g, const Tensor& x, float slope) {
+  BinaryInPlace(g, x, "ReluMaskInPlace",
+                [slope](float gv, float xv) {
+                  return xv > 0.0f ? gv : slope * gv;
+                });
+}
+
+void SigmoidGradInPlace(Tensor& g, const Tensor& y) {
+  BinaryInPlace(g, y, "SigmoidGradInPlace",
+                [](float gv, float yv) { return gv * yv * (1.0f - yv); });
+}
+
+void TanhGradInPlace(Tensor& g, const Tensor& y) {
+  BinaryInPlace(g, y, "TanhGradInPlace",
+                [](float gv, float yv) { return gv * (1.0f - yv * yv); });
+}
+
+Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
+  if (SameShape(a.shape(), shape)) return a;
+  GEO_CHECK(BroadcastableTo(a.shape(), shape))
+      << "BroadcastTo " << ShapeToString(a.shape()) << " -> "
+      << ShapeToString(shape);
+  Tensor out = Tensor::Uninitialized(shape);
+  const size_t rank = shape.size();
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), rank);
+  const std::vector<int64_t> so = ContiguousStrides(shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  RunRanges(out.numel(), [&](int64_t begin, int64_t end) {
+    std::vector<int64_t> index(rank, 0);
+    int64_t rem = begin;
+    for (size_t d = 0; d < rank; ++d) {
+      index[d] = rem / so[d];
+      rem %= so[d];
+    }
+    int64_t ia = 0;
+    for (size_t d = 0; d < rank; ++d) ia += index[d] * sa[d];
+    for (int64_t i = begin; i < end; ++i) {
+      po[i] = pa[ia];
+      for (int d = static_cast<int>(rank) - 1; d >= 0; --d) {
+        ++index[d];
+        ia += sa[d];
+        if (index[d] < shape[d]) break;
+        index[d] = 0;
+        ia -= sa[d] * shape[d];
+      }
+    }
+  });
   return out;
 }
 
@@ -303,7 +387,7 @@ Tensor MatMulT(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
       << "MatMul " << ShapeToString(a.shape()) << (trans_a ? "^T" : "")
       << " x " << ShapeToString(b.shape()) << (trans_b ? "^T" : "");
   const int64_t n = trans_b ? b.size(0) : b.size(1);
-  Tensor out({m, n});
+  Tensor out = Tensor::Uninitialized({m, n});
   Gemm(a.data(), b.data(), out.data(), m, k, n,
        {.beta = 0.0f, .trans_a = trans_a, .trans_b = trans_b});
   return out;
@@ -313,7 +397,7 @@ Tensor Transpose2d(const Tensor& a) {
   GEO_CHECK_EQ(a.ndim(), 2);
   const int64_t m = a.size(0);
   const int64_t n = a.size(1);
-  Tensor out({n, m});
+  Tensor out = Tensor::Uninitialized({n, m});
   const float* pa = a.data();
   float* po = out.data();
   // Tiled so both the row-major read and the column-major write stay
@@ -336,7 +420,7 @@ Tensor Permute(const Tensor& a, const std::vector<int>& perm) {
   const int rank = a.ndim();
   Shape out_shape(rank);
   for (int d = 0; d < rank; ++d) out_shape[d] = a.shape()[perm[d]];
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const std::vector<int64_t> in_strides = ContiguousStrides(a.shape());
   const std::vector<int64_t> out_strides = ContiguousStrides(out_shape);
   const float* pa = a.data();
@@ -372,7 +456,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int dim) {
     total += t.shape()[dim];
   }
   out_shape[dim] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
 
   int64_t outer = 1;
   for (int d = 0; d < dim; ++d) outer *= out_shape[d];
@@ -401,7 +485,7 @@ Tensor Slice(const Tensor& a, int dim, int64_t start, int64_t end) {
       << a.shape()[dim];
   Shape out_shape = a.shape();
   out_shape[dim] = end - start;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
 
   int64_t outer = 1;
   for (int d = 0; d < dim; ++d) outer *= a.shape()[d];
@@ -426,7 +510,7 @@ Tensor Stack(const std::vector<Tensor>& parts) {
   Shape out_shape;
   out_shape.push_back(static_cast<int64_t>(parts.size()));
   out_shape.insert(out_shape.end(), item_shape.begin(), item_shape.end());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   float* po = out.data();
   const int64_t item_numel = parts[0].numel();
   for (size_t i = 0; i < parts.size(); ++i) {
@@ -450,7 +534,7 @@ Tensor LogSoftmax(const Tensor& a, int dim) {
   for (int d = 0; d < dim; ++d) outer *= shape[d];
   for (int d = dim + 1; d < a.ndim(); ++d) inner *= shape[d];
   const int64_t c = shape[dim];
-  Tensor out(shape);
+  Tensor out = Tensor::Uninitialized(shape);
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t o = 0; o < outer; ++o) {

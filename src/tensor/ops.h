@@ -42,6 +42,32 @@ Tensor Clamp(const Tensor& a, float lo, float hi);
 Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
 
 // ---------------------------------------------------------------------------
+// In-place elementwise kernels. Each mutates its first argument, reusing
+// its storage instead of allocating an output — the workhorses of the
+// autograd backward pass and the fused optimizer steps. Shapes must
+// match exactly (no broadcasting); all are order-independent per
+// element, so parallel execution stays bitwise deterministic.
+// ---------------------------------------------------------------------------
+/// a *= b.
+void MulInPlace(Tensor& a, const Tensor& b);
+/// a = -a.
+void NegInPlace(Tensor& a);
+/// a += s * b.
+void AddScaledInPlace(Tensor& a, const Tensor& b, float s);
+/// g *= (x > 0 ? 1 : slope) — the (Leaky)ReLU backward mask, applied
+/// without materializing the mask tensor.
+void ReluMaskInPlace(Tensor& g, const Tensor& x, float slope = 0.0f);
+/// g *= y * (1 - y) where y = sigmoid(x) (the forward output).
+void SigmoidGradInPlace(Tensor& g, const Tensor& y);
+/// g *= 1 - y^2 where y = tanh(x) (the forward output).
+void TanhGradInPlace(Tensor& g, const Tensor& y);
+
+/// Materializes `a` broadcast to `shape` (NumPy rules). Unlike the ops
+/// above this allocates, but it replaces the old Add(Zeros(shape), a)
+/// idiom with a single strided copy.
+Tensor BroadcastTo(const Tensor& a, const Shape& shape);
+
+// ---------------------------------------------------------------------------
 // Reductions.
 // ---------------------------------------------------------------------------
 float SumAll(const Tensor& a);

@@ -1,0 +1,44 @@
+#include "tensor/storage.h"
+
+#include <cstring>
+
+#include "core/memory.h"
+#include "core/storage_pool.h"
+
+namespace geotorch::tensor {
+
+std::shared_ptr<Storage> Storage::New(int64_t numel, bool zero) {
+  auto s = std::shared_ptr<Storage>(new Storage());
+  s->numel_ = numel;
+  if (numel > 0) {
+    const size_t bytes = static_cast<size_t>(numel) * sizeof(float);
+    s->data_ = static_cast<float*>(
+        StoragePool::Global().Allocate(bytes, &s->class_bytes_));
+    s->pooled_ = true;
+    if (zero) std::memset(s->data_, 0, bytes);
+    MemoryTracker::Global().Allocate(static_cast<int64_t>(bytes));
+  }
+  return s;
+}
+
+std::shared_ptr<Storage> Storage::Adopt(std::vector<float> values) {
+  auto s = std::shared_ptr<Storage>(new Storage());
+  s->numel_ = static_cast<int64_t>(values.size());
+  s->adopted_ = std::move(values);
+  s->data_ = s->adopted_.data();
+  MemoryTracker::Global().Allocate(s->numel_ *
+                                   static_cast<int64_t>(sizeof(float)));
+  return s;
+}
+
+Storage::~Storage() {
+  if (numel_ > 0) {
+    MemoryTracker::Global().Release(numel_ *
+                                    static_cast<int64_t>(sizeof(float)));
+  }
+  if (pooled_ && data_ != nullptr) {
+    StoragePool::Global().Deallocate(data_, class_bytes_);
+  }
+}
+
+}  // namespace geotorch::tensor

@@ -1,0 +1,48 @@
+#ifndef GEOTORCH_TENSOR_STORAGE_H_
+#define GEOTORCH_TENSOR_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace geotorch::tensor {
+
+/// The backing buffer of a Tensor: a float array obtained from the
+/// process-wide StoragePool (or adopted from a std::vector). Owns the
+/// block for its lifetime, returns it to the pool on destruction, and
+/// reports its logical size (numel * sizeof(float)) to the global
+/// MemoryTracker — so live-bytes accounting reflects tensors that
+/// exist, not raw blocks the pool happens to be caching.
+class Storage {
+ public:
+  /// Pool-backed buffer of `numel` floats; zero-filled when `zero`.
+  static std::shared_ptr<Storage> New(int64_t numel, bool zero);
+
+  /// Wraps an existing vector without copying (FromVector fast path).
+  /// The buffer comes from the vector's allocator, not the pool.
+  static std::shared_ptr<Storage> Adopt(std::vector<float> values);
+
+  ~Storage();
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  int64_t numel() const { return numel_; }
+
+ private:
+  Storage() = default;
+
+  float* data_ = nullptr;
+  int64_t numel_ = 0;
+  /// Size class the block belongs to in the StoragePool; 0 when the
+  /// block bypassed the pool or lives in `adopted_`.
+  std::size_t class_bytes_ = 0;
+  bool pooled_ = false;           ///< data_ came from StoragePool::Allocate
+  std::vector<float> adopted_;    ///< owns the buffer in the Adopt case
+};
+
+}  // namespace geotorch::tensor
+
+#endif  // GEOTORCH_TENSOR_STORAGE_H_

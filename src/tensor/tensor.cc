@@ -11,17 +11,26 @@ Tensor::Tensor() : Tensor(Shape{0}) {}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), numel_(NumElements(shape_)) {
-  storage_ = std::make_shared<std::vector<float>>(numel_);
+  storage_ = Storage::New(numel_, /*zero=*/true);
 }
 
 Tensor Tensor::Zeros(Shape shape) {
-  return Tensor(std::move(shape));  // vector zero-initializes
+  return Tensor(std::move(shape));  // ctor zero-fills
+}
+
+Tensor Tensor::Uninitialized(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = NumElements(t.shape_);
+  t.storage_ = Storage::New(t.numel_, /*zero=*/false);
+  t.offset_ = 0;
+  return t;
 }
 
 Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
 
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   t.Fill(value);
   return t;
 }
@@ -33,7 +42,7 @@ Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
   Tensor t;
   t.shape_ = std::move(shape);
   t.numel_ = static_cast<int64_t>(values.size());
-  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  t.storage_ = Storage::Adopt(std::move(values));
   t.offset_ = 0;
   return t;
 }
@@ -41,14 +50,14 @@ Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
 Tensor Tensor::Scalar(float value) { return Full({1}, value); }
 
 Tensor Tensor::Arange(int64_t n) {
-  Tensor t({n});
+  Tensor t = Uninitialized({n});
   float* d = t.data();
   for (int64_t i = 0; i < n; ++i) d[i] = static_cast<float>(i);
   return t;
 }
 
 Tensor Tensor::Randn(Shape shape, Rng& rng, float mean, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   float* d = t.data();
   for (int64_t i = 0; i < t.numel_; ++i) {
     d[i] = static_cast<float>(rng.Normal(mean, stddev));
@@ -57,7 +66,7 @@ Tensor Tensor::Randn(Shape shape, Rng& rng, float mean, float stddev) {
 }
 
 Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   float* d = t.data();
   for (int64_t i = 0; i < t.numel_; ++i) {
     d[i] = static_cast<float>(rng.Uniform(lo, hi));
@@ -126,12 +135,8 @@ Tensor Tensor::Reshape(Shape shape) const {
 }
 
 Tensor Tensor::Clone() const {
-  Tensor t;
-  t.shape_ = shape_;
-  t.numel_ = numel_;
-  t.storage_ = std::make_shared<std::vector<float>>(
-      storage_->begin() + offset_, storage_->begin() + offset_ + numel_);
-  t.offset_ = 0;
+  Tensor t = Uninitialized(shape_);
+  std::copy(data(), data() + numel_, t.data());
   return t;
 }
 

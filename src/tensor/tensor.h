@@ -9,6 +9,7 @@
 
 #include "core/rng.h"
 #include "tensor/shape.h"
+#include "tensor/storage.h"
 
 namespace geotorch::tensor {
 
@@ -21,11 +22,16 @@ class Tensor {
  public:
   /// An empty (rank-1, zero-element) tensor.
   Tensor();
-  /// Uninitialized tensor of the given shape. Prefer the factories below.
+  /// Zero-initialized tensor of the given shape (storage may be a
+  /// recycled pool block, so zeroing is explicit, not incidental).
   explicit Tensor(Shape shape);
 
   // --- Factories -----------------------------------------------------
   static Tensor Zeros(Shape shape);
+  /// Tensor whose contents are NOT initialized. Only for call sites
+  /// that overwrite every element before reading any — with pooled
+  /// storage the buffer holds stale bytes from a previous tensor.
+  static Tensor Uninitialized(Shape shape);
   static Tensor Ones(Shape shape);
   static Tensor Full(Shape shape, float value);
   /// Values copied from `values`; size must match the shape.
@@ -85,7 +91,7 @@ class Tensor {
   std::string ToString(int64_t max_values = 16) const;
 
  private:
-  std::shared_ptr<std::vector<float>> storage_;
+  std::shared_ptr<Storage> storage_;
   int64_t offset_ = 0;
   Shape shape_;
   int64_t numel_ = 0;

@@ -251,6 +251,80 @@ TEST(OpsTest, LogSoftmaxStability) {
   EXPECT_NEAR(l.flat(2), -0.40761f, 1e-3);
 }
 
+
+TEST(InPlaceOpsTest, MulInPlace) {
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({4}, {2, 0.5f, -1, 3});
+  MulInPlace(a, b);
+  EXPECT_TRUE(AllClose(a, Tensor::FromVector({4}, {2, 1, -3, 12})));
+}
+
+TEST(InPlaceOpsTest, NegInPlace) {
+  Tensor a = Tensor::FromVector({3}, {1, -2, 0});
+  NegInPlace(a);
+  EXPECT_TRUE(AllClose(a, Tensor::FromVector({3}, {-1, 2, 0})));
+}
+
+TEST(InPlaceOpsTest, AddScaledInPlace) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  AddScaledInPlace(a, b, 0.5f);
+  EXPECT_TRUE(AllClose(a, Tensor::FromVector({3}, {6, 12, 18})));
+}
+
+TEST(InPlaceOpsTest, ReluMaskInPlace) {
+  Tensor g = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor x = Tensor::FromVector({4}, {-1, 2, 0, 5});
+  ReluMaskInPlace(g, x);
+  EXPECT_TRUE(AllClose(g, Tensor::FromVector({4}, {0, 2, 0, 4})));
+
+  Tensor g2 = Tensor::FromVector({2}, {10, 10});
+  Tensor x2 = Tensor::FromVector({2}, {-1, 1});
+  ReluMaskInPlace(g2, x2, 0.1f);
+  EXPECT_TRUE(AllClose(g2, Tensor::FromVector({2}, {1, 10})));
+}
+
+TEST(InPlaceOpsTest, SigmoidAndTanhGradMatchExpanded) {
+  Tensor x = Tensor::FromVector({4}, {-2, -0.5f, 0.5f, 2});
+  Tensor y_sig = Sigmoid(x);
+  Tensor g = Tensor::Ones({4});
+  SigmoidGradInPlace(g, y_sig);
+  Tensor expect = Mul(y_sig, Map(y_sig, [](float v) { return 1.0f - v; }));
+  EXPECT_TRUE(AllClose(g, expect));
+
+  Tensor y_tanh = Tanh(x);
+  Tensor g2 = Tensor::Ones({4});
+  TanhGradInPlace(g2, y_tanh);
+  Tensor expect2 = Map(y_tanh, [](float v) { return 1.0f - v * v; });
+  EXPECT_TRUE(AllClose(g2, expect2));
+}
+
+TEST(InPlaceOpsTest, BroadcastTo) {
+  Tensor row = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor out = BroadcastTo(row, {2, 3});
+  EXPECT_TRUE(AllClose(out, Tensor::FromVector({2, 3}, {1, 2, 3, 1, 2, 3})));
+
+  Tensor col = Tensor::FromVector({2, 1}, {5, 7});
+  Tensor out2 = BroadcastTo(col, {2, 3});
+  EXPECT_TRUE(
+      AllClose(out2, Tensor::FromVector({2, 3}, {5, 5, 5, 7, 7, 7})));
+
+  // Same shape returns the input (shared storage, no copy).
+  Tensor same = BroadcastTo(row, {1, 3});
+  EXPECT_TRUE(same.SharesStorageWith(row));
+
+  // Matches the general binary-op broadcast machinery.
+  Tensor via_add = Add(Tensor::Zeros({4, 2, 3}), col);
+  EXPECT_TRUE(AllClose(BroadcastTo(col, {4, 2, 3}), via_add));
+}
+
+TEST(TensorTest, UninitializedHasShapeAndWritableStorage) {
+  Tensor t = Tensor::Uninitialized({3, 5});
+  EXPECT_EQ(t.numel(), 15);
+  t.Fill(2.5f);
+  EXPECT_TRUE(AllClose(t, Tensor::Full({3, 5}, 2.5f)));
+}
+
 TEST(SerializeTest, RoundTrip) {
   Rng rng(11);
   Tensor a = Tensor::Randn({3, 4, 5}, rng);
