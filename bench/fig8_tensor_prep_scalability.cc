@@ -11,7 +11,9 @@
 // same accounting; see DESIGN.md §6); the baseline's simulated heap
 // budget makes the largest run fail with OOM like GeoPandas does.
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "baseline/geopandas_like.h"
@@ -34,11 +36,12 @@ struct RunOutcome {
   bool oom = false;
 };
 
-RunOutcome RunGeoTorch(const std::vector<synth::TripRecord>& trips) {
+RunOutcome RunGeoTorch(const std::vector<synth::TripRecord>& trips,
+                       int num_partitions = 4) {
   MemoryTracker& tracker = MemoryTracker::Global();
   tracker.Reset();
   Stopwatch timer;
-  df::DataFrame raw = synth::TripsToDataFrame(trips, /*num_partitions=*/4);
+  df::DataFrame raw = synth::TripsToDataFrame(trips, num_partitions);
   df::DataFrame with_points =
       prep::STManager::AddSpatialPoints(raw, "lat", "lon", "point");
   const int pickup_idx = with_points.schema().FieldIndex("is_pickup");
@@ -153,6 +156,35 @@ void Run(const BenchArgs& args) {
   std::printf("shape check: baseline time and memory grow steeply and OOM "
               "on the largest input;\nGeoTorch-CPP stays near-flat in "
               "memory (partitioned, no row objects).\n");
+
+  // Partition-parallel scalability of the preprocessing pipeline: the
+  // same prep (spatial join via the grid fast path + group-by +
+  // scatter) over a growing partition count. Partitions are the unit
+  // of parallel work, so this is the thread-sweep analogue of the
+  // paper's cluster scaling (limited by the hardware threads of this
+  // machine).
+  const int64_t sweep_n = sizes[std::min<size_t>(1, sizes.size() - 1)];
+  synth::TaxiTripConfig sweep_config;
+  sweep_config.num_records = sweep_n;
+  sweep_config.duration_sec = 92LL * 24 * 3600;
+  sweep_config.seed = 17;
+  auto sweep_trips = synth::GenerateTaxiTrips(sweep_config);
+  std::printf("\nprep scalability vs partitions (%lld records, %u hw "
+              "threads)\n",
+              static_cast<long long>(sweep_n),
+              std::max(1u, std::thread::hardware_concurrency()));
+  PrintRule();
+  std::printf("%-12s %-12s %-12s\n", "partitions", "time (s)", "speedup");
+  PrintRule();
+  double base_secs = 0.0;
+  for (int p : {1, 2, 4, 8}) {
+    RunGeoTorch(sweep_trips, p);  // warm-up
+    RunOutcome outcome = RunGeoTorch(sweep_trips, p);
+    if (p == 1) base_secs = outcome.seconds;
+    std::printf("%-12d %-12.2f %-12.2f\n", p, outcome.seconds,
+                base_secs / outcome.seconds);
+  }
+  PrintRule();
 }
 
 }  // namespace

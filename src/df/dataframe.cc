@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <queue>
 #include <unordered_map>
 
 #include "core/check.h"
@@ -600,31 +601,68 @@ DataFrame DataFrame::SortByInt64(const std::string& name) const {
   const int idx = schema_->FieldIndex(name);
   GEO_CHECK(schema_->type(idx) == DataType::kInt64);
   GEO_OBS_SPAN(op_span, "df.sort");
-  // Gather (key, partition, row), sort, emit one partition.
+  // Per-partition stable sort of (key, row) runs in parallel, then a
+  // k-way merge with ties broken on partition index. A run preserves
+  // its partition's row order for equal keys and the merge takes equal
+  // keys from the lowest partition first, so the merged order equals a
+  // global stable sort over the concatenated partitions — the serial
+  // implementation this replaced.
   struct Loc {
     int64_t key;
+    int64_t row;
+  };
+  const int np = num_partitions();
+  std::vector<std::vector<Loc>> runs(np);
+  ForEachPartition([&](const Partition& part, int pi) {
+    const auto& keys = part.column(idx).int64s();
+    std::vector<Loc>& run = runs[pi];
+    run.reserve(part.num_rows());
+    for (int64_t r = 0; r < part.num_rows(); ++r) {
+      run.push_back({keys[r], r});
+    }
+    std::stable_sort(run.begin(), run.end(),
+                     [](const Loc& a, const Loc& b) { return a.key < b.key; });
+  });
+
+  struct Head {
+    int64_t key;
+    int part;
+  };
+  const auto head_after = [](const Head& a, const Head& b) {
+    return a.key > b.key || (a.key == b.key && a.part > b.part);
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(head_after)> heads(
+      head_after);
+  std::vector<int64_t> cursor(np, 0);
+  for (int pi = 0; pi < np; ++pi) {
+    if (!runs[pi].empty()) heads.push({runs[pi][0].key, pi});
+  }
+  struct OutLoc {
     int part;
     int64_t row;
   };
-  std::vector<Loc> locs;
-  locs.reserve(NumRows());
-  for (int pi = 0; pi < num_partitions(); ++pi) {
-    const auto& keys = partitions_[pi]->column(idx).int64s();
-    for (int64_t r = 0; r < partitions_[pi]->num_rows(); ++r) {
-      locs.push_back({keys[r], pi, r});
+  std::vector<OutLoc> merged;
+  merged.reserve(NumRows());
+  while (!heads.empty()) {
+    const Head head = heads.top();
+    heads.pop();
+    merged.push_back({head.part, runs[head.part][cursor[head.part]].row});
+    const int64_t next = ++cursor[head.part];
+    if (next < static_cast<int64_t>(runs[head.part].size())) {
+      heads.push({runs[head.part][next].key, head.part});
     }
   }
-  std::stable_sort(locs.begin(), locs.end(),
-                   [](const Loc& a, const Loc& b) { return a.key < b.key; });
+
+  // Materialize output columns independently across the pool.
   std::vector<Column> cols;
   for (int c = 0; c < schema_->num_fields(); ++c) {
     cols.emplace_back(schema_->type(c));
   }
-  for (const Loc& loc : locs) {
-    for (int c = 0; c < schema_->num_fields(); ++c) {
+  ThreadPool::Global().ParallelFor(schema_->num_fields(), [&](int64_t c) {
+    for (const OutLoc& loc : merged) {
       cols[c].AppendFrom(partitions_[loc.part]->column(c), loc.row);
     }
-  }
+  });
   std::vector<std::shared_ptr<const Partition>> parts;
   parts.push_back(std::make_shared<Partition>(std::move(cols)));
   return FromPartitions(schema_, std::move(parts));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "obs/obs.h"
 
 namespace geotorch::prep {
 namespace {
@@ -31,6 +32,8 @@ DfToTorch::DfToTorch(const df::DataFrame& frame, Options options)
       has_label ? frame.schema().FieldIndex(options_.label_column) : -1;
 
   // DF Formatter: per-partition row -> array, in parallel.
+  GEO_OBS_SPAN(format_span, "prep.df_to_torch");
+  GEO_OBS_COUNT("prep.rows_formatted", frame.NumRows());
   features_.resize(frame.num_partitions());
   labels_.resize(frame.num_partitions());
   frame.ForEachPartition([&](const df::Partition& part, int pi) {

@@ -1,9 +1,12 @@
 #include "prep/st_manager.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 
 #include "core/check.h"
+#include "obs/obs.h"
+#include "spatial/join.h"
 
 namespace geotorch::prep {
 
@@ -42,8 +45,38 @@ df::DataFrame STManager::AddSpatialPoints(
       });
 }
 
+df::DataFrame STManager::AssignCellColumn(const df::DataFrame& frame,
+                                          const spatial::GridPartitioner& grid,
+                                          const std::string& geometry_column,
+                                          const std::string& alias) {
+  GEO_OBS_SPAN(scatter_span, "prep.cell_scatter");
+  const int geom_col = frame.schema().FieldIndex(geometry_column);
+  GEO_CHECK(frame.schema().type(geom_col) == df::DataType::kGeometry);
+  auto fields = frame.schema().fields();
+  fields.emplace_back(alias, df::DataType::kInt64);
+  auto schema = std::make_shared<const df::Schema>(std::move(fields));
+
+  std::vector<std::shared_ptr<const df::Partition>> parts(
+      frame.num_partitions());
+  frame.ForEachPartition([&](const df::Partition& part, int pi) {
+    // The outer loop already fans partitions across the pool, so the
+    // per-partition assign runs inline on this worker.
+    std::vector<int64_t> cells =
+        spatial::AssignPointsToCells(part.column(geom_col).points(), grid);
+    std::vector<df::SharedColumn> cols;
+    cols.reserve(part.num_columns() + 1);
+    for (int c = 0; c < part.num_columns(); ++c) {
+      cols.push_back(part.column_ptr(c));
+    }
+    cols.push_back(df::TrackColumn(df::Column::FromInt64s(std::move(cells))));
+    parts[pi] = std::make_shared<df::Partition>(std::move(cols));
+  });
+  return df::DataFrame::FromPartitions(std::move(schema), std::move(parts));
+}
+
 StGridResult STManager::GetStGridDataFrame(const df::DataFrame& frame,
                                            const StGridSpec& spec) {
+  GEO_OBS_SPAN(grid_span, "prep.st_grid");
   GEO_CHECK(spec.partitions_x >= 1 && spec.partitions_y >= 1);
   GEO_CHECK_GT(spec.step_duration_sec, 0);
 
@@ -54,18 +87,14 @@ StGridResult STManager::GetStGridDataFrame(const df::DataFrame& frame,
   const spatial::GridPartitioner grid =
       SpacePartition::BuildGrid(extent, spec.partitions_x, spec.partitions_y);
 
-  const int geom_col = frame.schema().FieldIndex(spec.geometry_column);
   const int time_col = frame.schema().FieldIndex(spec.time_column);
   GEO_CHECK(frame.schema().type(time_col) == df::DataType::kInt64)
       << "time column must be int64 seconds";
 
-  // Spatial join (grid-hash) + temporal slicing as computed columns.
-  df::DataFrame with_cell = frame.WithColumn(
-      "cell_id", df::DataType::kInt64,
-      [&grid, geom_col](const df::RowView& row) -> df::Value {
-        auto cell = grid.CellOf(row.GetPoint(geom_col));
-        return cell.has_value() ? *cell : int64_t{-1};
-      });
+  // Spatial join via the grid fast path (bulk, partition-parallel) +
+  // temporal slicing as a computed column.
+  df::DataFrame with_cell =
+      AssignCellColumn(frame, grid, spec.geometry_column, "cell_id");
   df::DataFrame with_time = with_cell.WithColumn(
       "time_id", df::DataType::kInt64,
       [time_col, &spec](const df::RowView& row) -> df::Value {
@@ -111,6 +140,7 @@ StGridResult STManager::GetStGridDataFrame(const df::DataFrame& frame,
 tensor::Tensor STManager::GetStGridTensor(
     const StGridResult& result,
     const std::vector<std::string>& value_columns) {
+  GEO_OBS_SPAN(scatter_span, "prep.tensor_scatter");
   GEO_CHECK(!value_columns.empty());
   const int64_t t = result.num_timesteps;
   const int64_t c = static_cast<int64_t>(value_columns.size());

@@ -66,6 +66,16 @@ class STManager {
                                         const std::string& lon_column,
                                         const std::string& new_column_alias);
 
+  /// Bulk point-to-cell scatter: appends `alias` (int64 cell id, -1
+  /// outside the extent) computed per partition with the spatial
+  /// engine's uniform-grid fast path (spatial::AssignPointsToCells) —
+  /// the partition-parallel spatial join under GetStGridDataFrame,
+  /// bypassing the per-row closure of WithColumn.
+  static df::DataFrame AssignCellColumn(const df::DataFrame& frame,
+                                        const spatial::GridPartitioner& grid,
+                                        const std::string& geometry_column,
+                                        const std::string& alias);
+
   /// Listing 8 line 6: assigns each row a grid cell (spatial join
   /// against the grid) and a time slot, drops rows outside the extent,
   /// and aggregates features within each (cell, timestep) group.

@@ -1,0 +1,32 @@
+#include "spatial/config.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace geotorch::spatial {
+namespace {
+
+bool ParallelEnabledFromEnv() {
+  const char* env = std::getenv("GEOTORCH_SPATIAL_PARALLEL");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& ParallelFlag() {
+  static std::atomic<bool> flag{ParallelEnabledFromEnv()};
+  return flag;
+}
+
+}  // namespace
+
+bool ParallelSpatialEnabled() {
+  return ParallelFlag().load(std::memory_order_relaxed);
+}
+
+void SetParallelSpatialEnabled(bool on) {
+  ParallelFlag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace geotorch::spatial

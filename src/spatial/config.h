@@ -1,0 +1,22 @@
+#ifndef GEOTORCH_SPATIAL_CONFIG_H_
+#define GEOTORCH_SPATIAL_CONFIG_H_
+
+namespace geotorch::spatial {
+
+/// Runtime kill switch for the parallel spatial engine (threaded
+/// STR-tree bulk-load and partition-parallel join probes). Mirrors
+/// GEOTORCH_POOL: set GEOTORCH_SPATIAL_PARALLEL to "0", "off", or
+/// "false" in the environment to force every build/probe onto the
+/// calling thread. Parallel and serial execution produce identical
+/// results (DESIGN.md §8); the switch exists for debugging and for
+/// pinning benchmark baselines.
+bool ParallelSpatialEnabled();
+
+/// Overrides the compiled-in default (on unless the environment says
+/// otherwise). Used by tests and benches; not thread-safe with respect
+/// to concurrently starting joins.
+void SetParallelSpatialEnabled(bool on);
+
+}  // namespace geotorch::spatial
+
+#endif  // GEOTORCH_SPATIAL_CONFIG_H_

@@ -1,25 +1,101 @@
 #include "spatial/join.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
 #include "core/check.h"
+#include "core/thread_pool.h"
+#include "obs/obs.h"
+#include "spatial/config.h"
 
 namespace geotorch::spatial {
+namespace {
+
+JoinStrategy ParseJoinStrategyEnv() {
+  const char* env = std::getenv("GEOTORCH_JOIN");
+  if (env == nullptr) return JoinStrategy::kAuto;
+  if (std::strcmp(env, "nested") == 0) return JoinStrategy::kNestedLoop;
+  if (std::strcmp(env, "strtree") == 0 || std::strcmp(env, "tree") == 0) {
+    return JoinStrategy::kStrTree;
+  }
+  if (std::strcmp(env, "grid") == 0) return JoinStrategy::kGridHash;
+  return JoinStrategy::kAuto;
+}
+
+/// Runs `probe(i, buffer)` for every probe index in [0, n), fanning
+/// contiguous index chunks out across the pool with one result buffer
+/// per chunk, then concatenating the buffers in chunk order. Within a
+/// chunk the probe loop is the serial loop; chunks partition [0, n) in
+/// order — so the merged output equals the serial output row for row,
+/// for any chunk count and any pool size.
+template <typename Pair, typename ProbeFn>
+std::vector<Pair> RunProbes(int64_t n, const JoinOptions& options,
+                            const ProbeFn& probe) {
+  GEO_OBS_SPAN(probe_span, "spatial.probe");
+  GEO_OBS_COUNT("spatial.probes", n);
+  std::vector<Pair> out;
+  ThreadPool* pool = nullptr;
+  if (options.parallel && ParallelSpatialEnabled() && n > 0) {
+    pool = options.pool != nullptr ? options.pool : &ThreadPool::Global();
+    if (pool->num_threads() <= 1) pool = nullptr;
+  }
+  if (pool == nullptr) {
+    for (int64_t i = 0; i < n; ++i) probe(i, out);
+    return out;
+  }
+  const int64_t chunks =
+      std::min<int64_t>(n, int64_t{4} * pool->num_threads());
+  const int64_t per = (n + chunks - 1) / chunks;
+  std::vector<std::vector<Pair>> buffers(chunks);
+  pool->ParallelFor(chunks, [&](int64_t c) {
+    const int64_t begin = c * per;
+    const int64_t end = std::min<int64_t>(n, begin + per);
+    std::vector<Pair>& buffer = buffers[c];
+    for (int64_t i = begin; i < end; ++i) probe(i, buffer);
+  });
+  std::vector<int64_t> offsets(chunks + 1, 0);
+  for (int64_t c = 0; c < chunks; ++c) {
+    offsets[c + 1] = offsets[c] + static_cast<int64_t>(buffers[c].size());
+  }
+  out.resize(offsets[chunks]);
+  pool->ParallelFor(chunks, [&](int64_t c) {
+    std::copy(buffers[c].begin(), buffers[c].end(),
+              out.begin() + offsets[c]);
+  });
+  GEO_OBS_COUNT("spatial.merge_bytes",
+                offsets[chunks] * static_cast<int64_t>(sizeof(Pair)));
+  return out;
+}
+
+}  // namespace
+
+JoinStrategy DefaultJoinStrategy() {
+  static const JoinStrategy strategy = ParseJoinStrategyEnv();
+  return strategy;
+}
 
 std::vector<JoinPair> PointInPolygonJoin(const std::vector<Point>& points,
                                          const std::vector<Polygon>& polygons,
-                                         JoinStrategy strategy,
+                                         const JoinOptions& options,
                                          const GridPartitioner* grid) {
-  std::vector<JoinPair> out;
+  JoinStrategy strategy = options.strategy;
+  if (strategy == JoinStrategy::kAuto) strategy = DefaultJoinStrategy();
+  if (strategy == JoinStrategy::kAuto) {
+    strategy =
+        grid != nullptr ? JoinStrategy::kGridHash : JoinStrategy::kStrTree;
+  }
+  const int64_t num_points = static_cast<int64_t>(points.size());
   switch (strategy) {
     case JoinStrategy::kNestedLoop: {
-      for (int64_t pi = 0; pi < static_cast<int64_t>(points.size()); ++pi) {
-        for (int64_t gi = 0; gi < static_cast<int64_t>(polygons.size());
-             ++gi) {
-          if (polygons[gi].Contains(points[pi])) {
-            out.push_back({pi, gi});
-          }
-        }
-      }
-      break;
+      return RunProbes<JoinPair>(
+          num_points, options,
+          [&points, &polygons](int64_t pi, std::vector<JoinPair>& out) {
+            for (int64_t gi = 0; gi < static_cast<int64_t>(polygons.size());
+                 ++gi) {
+              if (polygons[gi].Contains(points[pi])) out.push_back({pi, gi});
+            }
+          });
     }
     case JoinStrategy::kStrTree: {
       std::vector<StrTree::Entry> entries;
@@ -27,43 +103,80 @@ std::vector<JoinPair> PointInPolygonJoin(const std::vector<Point>& points,
       for (int64_t gi = 0; gi < static_cast<int64_t>(polygons.size()); ++gi) {
         entries.push_back({polygons[gi].bounds(), gi});
       }
-      StrTree tree(std::move(entries));
-      for (int64_t pi = 0; pi < static_cast<int64_t>(points.size()); ++pi) {
-        const Point& p = points[pi];
-        Envelope probe(p.x, p.y, p.x, p.y);
-        tree.Visit(probe, [&](int64_t gi) {
-          if (polygons[gi].Contains(p)) out.push_back({pi, gi});
-        });
-      }
-      break;
+      StrTree tree(std::move(entries), 10,
+                   StrTree::BuildOptions{options.parallel, options.pool});
+      return RunProbes<JoinPair>(
+          num_points, options,
+          [&points, &polygons, &tree](int64_t pi,
+                                      std::vector<JoinPair>& out) {
+            const Point& p = points[pi];
+            Envelope probe(p.x, p.y, p.x, p.y);
+            tree.Visit(probe, [&](int64_t gi) {
+              if (polygons[gi].Contains(p)) out.push_back({pi, gi});
+            });
+          });
     }
     case JoinStrategy::kGridHash: {
-      GEO_CHECK(grid != nullptr)
-          << "kGridHash requires the grid partitioner";
+      GEO_CHECK(grid != nullptr) << "kGridHash requires the grid partitioner";
       GEO_CHECK_EQ(static_cast<int64_t>(polygons.size()), grid->NumCells());
-      for (int64_t pi = 0; pi < static_cast<int64_t>(points.size()); ++pi) {
-        auto cell = grid->CellOf(points[pi]);
-        if (cell.has_value()) out.push_back({pi, *cell});
-      }
-      break;
+      std::vector<JoinPair> out = RunProbes<JoinPair>(
+          num_points, options,
+          [&points, grid](int64_t pi, std::vector<JoinPair>& out) {
+            auto cell = grid->CellOf(points[pi]);
+            if (cell.has_value()) out.push_back({pi, *cell});
+          });
+      GEO_OBS_COUNT("spatial.fastpath_hits",
+                    static_cast<int64_t>(out.size()));
+      return out;
     }
+    case JoinStrategy::kAuto:
+      break;  // resolved above
   }
-  return out;
+  GEO_CHECK(false) << "unreachable join strategy";
+  return {};
+}
+
+std::vector<JoinPair> PointInPolygonJoin(const std::vector<Point>& points,
+                                         const std::vector<Polygon>& polygons,
+                                         JoinStrategy strategy,
+                                         const GridPartitioner* grid) {
+  JoinOptions options;
+  options.strategy = strategy;
+  return PointInPolygonJoin(points, polygons, options, grid);
 }
 
 std::vector<int64_t> AssignPointsToCells(const std::vector<Point>& points,
-                                         const GridPartitioner& grid) {
+                                         const GridPartitioner& grid,
+                                         bool parallel, ThreadPool* pool) {
+  GEO_OBS_SPAN(probe_span, "spatial.probe");
+  const int64_t n = static_cast<int64_t>(points.size());
+  GEO_OBS_COUNT("spatial.probes", n);
   std::vector<int64_t> cells(points.size(), -1);
-  for (size_t i = 0; i < points.size(); ++i) {
-    auto cell = grid.CellOf(points[i]);
-    if (cell.has_value()) cells[i] = *cell;
+  const auto assign_range = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      auto cell = grid.CellOf(points[i]);
+      if (cell.has_value()) cells[i] = *cell;
+    }
+  };
+  if (parallel && ParallelSpatialEnabled() && n > 0) {
+    ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+    p.ParallelForRange(n, assign_range);
+  } else {
+    assign_range(0, n);
+  }
+  if (GEO_OBS_ON()) {
+    const int64_t hits =
+        std::count_if(cells.begin(), cells.end(),
+                      [](int64_t c) { return c >= 0; });
+    GEO_OBS_COUNT("spatial.fastpath_hits", hits);
   }
   return cells;
 }
 
 std::vector<DistancePair> DistanceJoin(const std::vector<Point>& left,
                                        const std::vector<Point>& right,
-                                       double radius) {
+                                       double radius,
+                                       const JoinOptions& options) {
   GEO_CHECK_GE(radius, 0.0);
   std::vector<StrTree::Entry> entries;
   entries.reserve(right.size());
@@ -71,19 +184,28 @@ std::vector<DistancePair> DistanceJoin(const std::vector<Point>& left,
     entries.push_back(
         {Envelope(right[i].x, right[i].y, right[i].x, right[i].y), i});
   }
-  StrTree tree(std::move(entries));
-  std::vector<DistancePair> out;
+  StrTree tree(std::move(entries), 10,
+               StrTree::BuildOptions{options.parallel, options.pool});
   const double r2 = radius * radius;
-  for (int64_t li = 0; li < static_cast<int64_t>(left.size()); ++li) {
-    const Point& p = left[li];
-    Envelope probe(p.x - radius, p.y - radius, p.x + radius, p.y + radius);
-    tree.Visit(probe, [&](int64_t ri) {
-      const double dx = p.x - right[ri].x;
-      const double dy = p.y - right[ri].y;
-      if (dx * dx + dy * dy <= r2) out.push_back({li, ri});
-    });
-  }
-  return out;
+  return RunProbes<DistancePair>(
+      static_cast<int64_t>(left.size()), options,
+      [&left, &right, &tree, r2, radius](int64_t li,
+                                         std::vector<DistancePair>& out) {
+        const Point& p = left[li];
+        Envelope probe(p.x - radius, p.y - radius, p.x + radius,
+                       p.y + radius);
+        tree.Visit(probe, [&](int64_t ri) {
+          const double dx = p.x - right[ri].x;
+          const double dy = p.y - right[ri].y;
+          if (dx * dx + dy * dy <= r2) out.push_back({li, ri});
+        });
+      });
+}
+
+std::vector<DistancePair> DistanceJoin(const std::vector<Point>& left,
+                                       const std::vector<Point>& right,
+                                       double radius) {
+  return DistanceJoin(left, right, radius, JoinOptions{});
 }
 
 }  // namespace geotorch::spatial

@@ -6,11 +6,23 @@
 
 #include "spatial/geometry.h"
 
+namespace geotorch {
+class ThreadPool;
+}  // namespace geotorch
+
 namespace geotorch::spatial {
 
 /// A bulk-loaded Sort-Tile-Recursive R-tree, the index Sedona uses for
 /// spatial joins. Built once over (envelope, id) entries; queried with
 /// an envelope to get candidate ids whose envelopes intersect it.
+///
+/// The bulk-load is level-wise and optionally threaded (DESIGN.md §8):
+/// entries are sorted by center-x, tiled into sqrt(#leaves) slices,
+/// each slice sorted by center-y, and nodes packed level by level. All
+/// sort comparators are strict total orders (ties broken on the entry /
+/// child index), and slice/leaf/parent boundaries depend only on the
+/// entry count and node capacity — so the tree a parallel build
+/// produces is identical to the serial one, node for node.
 class StrTree {
  public:
   struct Entry {
@@ -18,8 +30,19 @@ class StrTree {
     int64_t id;
   };
 
+  /// How to execute the bulk-load. The default runs the sorts and the
+  /// node packing on the global thread pool when the parallel spatial
+  /// engine is enabled (see spatial/config.h).
+  struct BuildOptions {
+    bool parallel = true;
+    /// Pool for parallel phases; nullptr means ThreadPool::Global().
+    ThreadPool* pool = nullptr;
+  };
+
   /// Builds the tree; `node_capacity` children per node.
   explicit StrTree(std::vector<Entry> entries, int node_capacity = 10);
+  StrTree(std::vector<Entry> entries, int node_capacity,
+          const BuildOptions& options);
 
   /// Ids of all entries whose envelope intersects `query`.
   std::vector<int64_t> Query(const Envelope& query) const;
@@ -39,6 +62,11 @@ class StrTree {
   int64_t size() const { return num_entries_; }
   int height() const { return height_; }
 
+  /// True when both trees hold the same entries and the same node
+  /// structure (envelopes compared bitwise). The property tests use
+  /// this to assert parallel builds match serial ones exactly.
+  bool IdenticalTo(const StrTree& other) const;
+
  private:
   struct Node {
     Envelope envelope;
@@ -47,7 +75,7 @@ class StrTree {
     bool is_leaf = false;
   };
 
-  int32_t Build(std::vector<int32_t>& entry_ids, int level);
+  void Build(const BuildOptions& options);
 
   template <typename Fn>
   void VisitNode(int32_t node_id, const Envelope& query, Fn&& fn) const {

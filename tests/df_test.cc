@@ -188,6 +188,47 @@ TEST(DataFrameTest, SortByInt64) {
   EXPECT_EQ(sorted.CollectDouble("v"), (std::vector<double>{10, 20, 30}));
 }
 
+// The sort runs per-partition with a k-way merge; the result must be a
+// *stable* global sort with respect to the frame's row order (its
+// partitions concatenated). Tag each row so ties are observable, and
+// compute the expectation from the frame's own order — Repartition is
+// round-robin, so that order differs from the input vectors'.
+TEST(DataFrameTest, SortByInt64StableAcrossPartitions) {
+  Rng rng(29);
+  const int64_t n = 4000;
+  std::vector<int64_t> keys(n);
+  std::vector<int64_t> tags(n);
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = rng.UniformInt(0, 12);  // heavy ties
+    tags[i] = i;
+  }
+
+  for (int parts : {1, 3, 8}) {
+    DataFrame frame =
+        DataFrame::FromColumns({{"k", Column::FromInt64s(keys)},
+                                {"tag", Column::FromInt64s(tags)}})
+            .Repartition(parts);
+    const std::vector<int64_t> frame_k = frame.CollectInt64("k");
+    const std::vector<int64_t> frame_tag = frame.CollectInt64("tag");
+    std::vector<int64_t> order(n);
+    for (int64_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(
+        order.begin(), order.end(),
+        [&](int64_t a, int64_t b) { return frame_k[a] < frame_k[b]; });
+
+    DataFrame sorted = frame.SortByInt64("k");
+    const std::vector<int64_t> out_k = sorted.CollectInt64("k");
+    const std::vector<int64_t> out_tag = sorted.CollectInt64("tag");
+    ASSERT_EQ(out_k.size(), static_cast<size_t>(n)) << parts;
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out_k[i], frame_k[order[i]])
+          << "parts=" << parts << " i=" << i;
+      ASSERT_EQ(out_tag[i], frame_tag[order[i]])
+          << "parts=" << parts << " i=" << i;
+    }
+  }
+}
+
 TEST(DataFrameTest, MemoryAccountingReleasesOnDrop) {
   MemoryTracker& tracker = MemoryTracker::Global();
   const int64_t before = tracker.current_bytes();

@@ -7,6 +7,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/thread_pool.h"
+#include "spatial/grid.h"
+#include "spatial/join.h"
+#include "spatial/strtree.h"
+
 namespace obs = ::geotorch::obs;
 
 namespace {
@@ -241,6 +246,57 @@ TEST_F(ObsTest, JsonExportStructureAndContent) {
   EXPECT_NE(json.find("\"json_root\""), std::string::npos);
   EXPECT_NE(json.find("\"json_leaf\""), std::string::npos);
 }
+
+#if !defined(GEOTORCH_OBS_DISABLED)
+// The parallel spatial engine instruments its hot paths; a join driven
+// through both strategies must surface its spans and counters in the
+// trace export. An explicit multi-thread pool forces the parallel
+// probe/merge path even on single-core machines (the global pool may
+// have one worker there, which silently falls back to serial).
+TEST_F(ObsTest, SpatialJoinSpansAndCountersInTrace) {
+  namespace sp = ::geotorch::spatial;
+  geotorch::ThreadPool pool(3);
+  sp::GridPartitioner grid(sp::Envelope(0, 0, 10, 10), 4, 4);
+  const std::vector<sp::Polygon> cells = grid.CellPolygons();
+  std::vector<sp::Point> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back({0.01 + 9.98 * (i % 50) / 50.0,
+                      0.01 + 9.98 * (i / 50) / 10.0});
+  }
+
+  sp::JoinOptions tree_opts;
+  tree_opts.strategy = sp::JoinStrategy::kStrTree;
+  tree_opts.parallel = true;
+  tree_opts.pool = &pool;
+  const auto tree_pairs = sp::PointInPolygonJoin(points, cells, tree_opts);
+
+  sp::JoinOptions grid_opts = tree_opts;
+  grid_opts.strategy = sp::JoinStrategy::kGridHash;
+  const auto grid_pairs =
+      sp::PointInPolygonJoin(points, cells, grid_opts, &grid);
+  ASSERT_EQ(grid_pairs, tree_pairs);
+
+  EXPECT_EQ(obs::GetCounter("spatial.probes")->value(),
+            2 * static_cast<int64_t>(points.size()));
+  EXPECT_EQ(obs::GetCounter("spatial.fastpath_hits")->value(),
+            static_cast<int64_t>(grid_pairs.size()));
+  // Both joins took the partition-parallel probe path, so the merged
+  // result bytes were counted for each.
+  EXPECT_EQ(
+      obs::GetCounter("spatial.merge_bytes")->value(),
+      static_cast<int64_t>((tree_pairs.size() + grid_pairs.size()) *
+                           sizeof(sp::JoinPair)));
+
+  const std::string json = obs::ExportJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  for (const char* needle :
+       {"\"spatial.build\"", "\"spatial.probe\"", "\"spatial.probes\"",
+        "\"spatial.build_entries\"", "\"spatial.fastpath_hits\"",
+        "\"spatial.merge_bytes\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+#endif
 
 TEST_F(ObsTest, JsonEscapesSpecialCharacters) {
   obs::SetGauge("quote\"back\\slash", 1);

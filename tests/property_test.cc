@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "datasets/grid_dataset.h"
 #include "df/dataframe.h"
 #include "spatial/join.h"
@@ -217,6 +218,72 @@ INSTANTIATE_TEST_SUITE_P(Grids, JoinSweep,
                                            JoinParams{8, 8, 200},
                                            JoinParams{16, 4, 200},
                                            JoinParams{5, 20, 150}));
+
+// --- Parallel join is row-for-row identical to serial ---------------------
+// The probe-side fan-out uses per-chunk buffers concatenated in chunk
+// order, so for any partition (pool) size the output must equal the
+// serial join exactly — including the degenerate inputs.
+
+using ParallelJoinParams = std::tuple<int, spatial::JoinStrategy>;
+// (pool threads a.k.a. probe partitions, strategy)
+
+class ParallelJoinSweep
+    : public ::testing::TestWithParam<ParallelJoinParams> {};
+
+TEST_P(ParallelJoinSweep, ParallelOutputIdenticalToSerial) {
+  auto [threads, strategy] = GetParam();
+  spatial::GridPartitioner grid(spatial::Envelope(0, 0, 8, 8), 4, 4);
+  std::vector<spatial::Polygon> cells = grid.CellPolygons();
+  ThreadPool pool(threads);
+
+  Rng rng(threads * 31 + static_cast<int>(strategy));
+  std::vector<std::pair<const char*, std::vector<spatial::Point>>> inputs;
+  std::vector<spatial::Point> random_points;
+  for (int i = 0; i < 500; ++i) {
+    random_points.push_back(
+        {rng.Uniform(0.01, 7.99), rng.Uniform(0.01, 7.99)});
+  }
+  inputs.emplace_back("random", std::move(random_points));
+  inputs.emplace_back("empty", std::vector<spatial::Point>{});
+  std::vector<spatial::Point> outside;
+  for (int i = 0; i < 64; ++i) {
+    outside.push_back({rng.Uniform(20, 30), rng.Uniform(20, 30)});
+  }
+  inputs.emplace_back("zero_matches", std::move(outside));
+  inputs.emplace_back("single_row",
+                      std::vector<spatial::Point>{{1.5, 1.5}});
+  std::vector<spatial::Point> one_cell;
+  for (int i = 0; i < 200; ++i) {
+    one_cell.push_back({rng.Uniform(0.01, 1.99), rng.Uniform(0.01, 1.99)});
+  }
+  inputs.emplace_back("all_in_one_cell", std::move(one_cell));
+
+  for (const auto& [label, points] : inputs) {
+    spatial::JoinOptions serial_opts;
+    serial_opts.strategy = strategy;
+    serial_opts.parallel = false;
+    spatial::JoinOptions parallel_opts = serial_opts;
+    parallel_opts.parallel = true;
+    parallel_opts.pool = &pool;
+    auto serial = spatial::PointInPolygonJoin(points, cells, serial_opts,
+                                              &grid);
+    auto parallel = spatial::PointInPolygonJoin(points, cells,
+                                                parallel_opts, &grid);
+    ASSERT_EQ(serial.size(), parallel.size()) << label;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].point_idx, parallel[i].point_idx)
+          << label << " row " << i;
+      EXPECT_EQ(serial[i].polygon_idx, parallel[i].polygon_idx)
+          << label << " row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartitionsByStrategy, ParallelJoinSweep,
+    ::testing::Combine(::testing::Values(1, 3, 8),
+                       ::testing::Values(spatial::JoinStrategy::kStrTree,
+                                         spatial::JoinStrategy::kGridHash)));
 
 // --- GroupBy: packed fast path vs generic path vs manual ------------------
 

@@ -5,6 +5,8 @@
 #include <algorithm>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
+#include "spatial/config.h"
 #include "spatial/grid.h"
 #include "spatial/join.h"
 #include "spatial/strtree.h"
@@ -171,6 +173,140 @@ TEST(JoinTest, AssignPointsToCellsHandlesOutside) {
   EXPECT_EQ(cells[0], 0);
   EXPECT_EQ(cells[1], 3);
   EXPECT_EQ(cells[2], -1);
+}
+
+std::vector<StrTree::Entry> RandomEntries(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<StrTree::Entry> entries;
+  entries.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 100);
+    const double y = rng.Uniform(0, 100);
+    entries.push_back({Envelope(x, y, x + rng.Uniform(0, 4),
+                                y + rng.Uniform(0, 4)),
+                       i});
+  }
+  return entries;
+}
+
+TEST(StrTreeTest, ParallelBuildIdenticalToSerial) {
+  ThreadPool pool(4);
+  for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{9}, int64_t{100},
+                    int64_t{5000}, int64_t{20000}}) {
+    for (int cap : {2, 10}) {
+      auto entries = RandomEntries(n, static_cast<uint64_t>(n + cap));
+      StrTree serial(entries, cap, StrTree::BuildOptions{false, nullptr});
+      StrTree parallel(entries, cap, StrTree::BuildOptions{true, &pool});
+      EXPECT_TRUE(serial.IdenticalTo(parallel))
+          << "n=" << n << " cap=" << cap;
+      EXPECT_TRUE(parallel.IdenticalTo(serial));
+    }
+  }
+}
+
+TEST(StrTreeTest, ParallelBuildQueriesMatchBruteForce) {
+  ThreadPool pool(3);
+  auto entries = RandomEntries(3000, 11);
+  StrTree tree(entries, 10, StrTree::BuildOptions{true, &pool});
+  Rng rng(5);
+  for (int q = 0; q < 25; ++q) {
+    const double x = rng.Uniform(0, 100);
+    const double y = rng.Uniform(0, 100);
+    Envelope query(x, y, x + 7, y + 7);
+    auto got = tree.Query(query);
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> want;
+    for (const auto& e : entries) {
+      if (e.envelope.Intersects(query)) want.push_back(e.id);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(StrTreeTest, IdenticalToDetectsDifferences) {
+  auto entries = RandomEntries(300, 3);
+  StrTree a(entries, 10);
+  StrTree b(entries, 4);                    // different capacity
+  StrTree c(RandomEntries(300, 4), 10);     // different entries
+  EXPECT_FALSE(a.IdenticalTo(b));
+  EXPECT_FALSE(a.IdenticalTo(c));
+  EXPECT_TRUE(a.IdenticalTo(a));
+}
+
+TEST(JoinTest, AutoStrategyPicksGridWhenAvailable) {
+  Rng rng(8);
+  GridPartitioner grid(Envelope(0, 0, 10, 10), 4, 4);
+  std::vector<Polygon> cells = grid.CellPolygons();
+  std::vector<Point> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.Uniform(0.01, 9.99), rng.Uniform(0.01, 9.99)});
+  }
+  JoinOptions auto_opts;  // kAuto
+  auto with_grid = PointInPolygonJoin(points, cells, auto_opts, &grid);
+  auto explicit_grid =
+      PointInPolygonJoin(points, cells, JoinStrategy::kGridHash, &grid);
+  EXPECT_EQ(with_grid, explicit_grid);
+  auto without_grid = PointInPolygonJoin(points, cells, auto_opts, nullptr);
+  auto explicit_tree =
+      PointInPolygonJoin(points, cells, JoinStrategy::kStrTree);
+  EXPECT_EQ(without_grid, explicit_tree);
+}
+
+TEST(JoinTest, ParallelAssignMatchesSerial) {
+  Rng rng(13);
+  GridPartitioner grid(Envelope(0, 0, 50, 50), 10, 10);
+  std::vector<Point> points;
+  for (int i = 0; i < 20000; ++i) {
+    // Include points outside the extent.
+    points.push_back({rng.Uniform(-5, 55), rng.Uniform(-5, 55)});
+  }
+  ThreadPool pool(4);
+  auto serial = AssignPointsToCells(points, grid, /*parallel=*/false);
+  auto parallel = AssignPointsToCells(points, grid, /*parallel=*/true, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(JoinTest, DistanceJoinParallelMatchesSerial) {
+  Rng rng(21);
+  std::vector<Point> left;
+  std::vector<Point> right;
+  for (int i = 0; i < 800; ++i) {
+    left.push_back({rng.Uniform(0, 20), rng.Uniform(0, 20)});
+    right.push_back({rng.Uniform(0, 20), rng.Uniform(0, 20)});
+  }
+  ThreadPool pool(3);
+  JoinOptions serial_opts;
+  serial_opts.parallel = false;
+  JoinOptions par_opts;
+  par_opts.parallel = true;
+  par_opts.pool = &pool;
+  auto serial = DistanceJoin(left, right, 0.8, serial_opts);
+  auto parallel = DistanceJoin(left, right, 0.8, par_opts);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(ConfigTest, ParallelKillSwitchForcesSerialExecution) {
+  // With the switch off, parallel options fall back to the serial path
+  // and must produce the same result.
+  Rng rng(30);
+  GridPartitioner grid(Envelope(0, 0, 10, 10), 5, 5);
+  std::vector<Polygon> cells = grid.CellPolygons();
+  std::vector<Point> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back({rng.Uniform(0.01, 9.99), rng.Uniform(0.01, 9.99)});
+  }
+  ThreadPool pool(4);
+  JoinOptions opts;
+  opts.strategy = JoinStrategy::kStrTree;
+  opts.parallel = true;
+  opts.pool = &pool;
+  auto with_parallel = PointInPolygonJoin(points, cells, opts);
+  const bool was_enabled = ParallelSpatialEnabled();
+  SetParallelSpatialEnabled(false);
+  auto with_kill_switch = PointInPolygonJoin(points, cells, opts);
+  SetParallelSpatialEnabled(was_enabled);
+  EXPECT_EQ(with_parallel, with_kill_switch);
 }
 
 }  // namespace
