@@ -1,0 +1,284 @@
+#include "io/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+
+#include "io/crc32.h"
+#include "tensor/shape.h"
+
+namespace geotorch::io {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'T', 'C', 'P'};
+constexpr uint32_t kVersion = 1;
+// Sanity bounds: a record that claims more than this is corrupt, not
+// merely large (the biggest real model here is ~1M parameters).
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr uint32_t kMaxRank = 16;
+
+// --- Little binary buffer helpers -------------------------------------------
+
+class Writer {
+ public:
+  template <typename T>
+  void Put(const T& v) {
+    const size_t at = buf_.size();
+    buf_.resize(at + sizeof(T));
+    std::memcpy(buf_.data() + at, &v, sizeof(T));
+  }
+  void PutBytes(const void* p, size_t n) {
+    const size_t at = buf_.size();
+    buf_.resize(at + n);
+    if (n > 0) std::memcpy(buf_.data() + at, p, n);
+  }
+  void PutName(const std::string& name) {
+    Put(static_cast<uint32_t>(name.size()));
+    PutBytes(name.data(), name.size());
+  }
+  const std::vector<unsigned char>& buffer() const { return buf_; }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+// Bounds-checked cursor over the file image; every Get reports
+// truncation via ok() instead of reading past the end.
+class Reader {
+ public:
+  Reader(const unsigned char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Get(T* out) {
+    if (pos_ + sizeof(T) > size_) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  bool GetBytes(void* out, size_t n) {
+    if (pos_ + n > size_) return false;
+    if (n > 0) std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool GetName(std::string* out) {
+    uint32_t len = 0;
+    if (!Get(&len) || len > kMaxNameLen) return false;
+    out->resize(len);
+    return GetBytes(out->data(), len);
+  }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const unsigned char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::IoError("corrupt checkpoint " + path + ": " + what);
+}
+
+}  // namespace
+
+const tensor::Tensor* Checkpoint::FindTensor(const std::string& name) const {
+  for (const auto& [n, t] : tensors) {
+    if (n == name) return &t;
+  }
+  return nullptr;
+}
+
+const int64_t* Checkpoint::FindInt(const std::string& name) const {
+  for (const auto& [n, v] : ints) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const double* Checkpoint::FindFloat(const std::string& name) const {
+  for (const auto& [n, v] : floats) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+Status WriteCheckpoint(const std::string& path, const Checkpoint& ckpt) {
+  Writer w;
+  w.PutBytes(kMagic, sizeof(kMagic));
+  w.Put(kVersion);
+  w.Put(static_cast<uint32_t>(ckpt.tensors.size()));
+  w.Put(static_cast<uint32_t>(ckpt.ints.size()));
+  w.Put(static_cast<uint32_t>(ckpt.floats.size()));
+  for (const auto& [name, t] : ckpt.tensors) {
+    w.PutName(name);
+    w.Put(static_cast<uint32_t>(t.ndim()));
+    for (int64_t d : t.shape()) w.Put(d);
+    w.PutBytes(t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+  for (const auto& [name, v] : ckpt.ints) {
+    w.PutName(name);
+    w.Put(v);
+  }
+  for (const auto& [name, v] : ckpt.floats) {
+    w.PutName(name);
+    w.Put(v);
+  }
+  const uint32_t crc = Crc32(w.buffer().data(), w.buffer().size());
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  if (std::fwrite(w.buffer().data(), 1, w.buffer().size(), f.get()) !=
+          w.buffer().size() ||
+      std::fwrite(&crc, sizeof(crc), 1, f.get()) != 1) {
+    return Status::IoError("write failed: " + path);
+  }
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError("flush failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Checkpoint> ReadCheckpoint(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed: " + path);
+  }
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) return Status::IoError("tell failed: " + path);
+  std::rewind(f.get());
+  std::vector<unsigned char> image(static_cast<size_t>(file_size));
+  if (!image.empty() &&
+      std::fread(image.data(), 1, image.size(), f.get()) != image.size()) {
+    return Status::IoError("read failed: " + path);
+  }
+
+  // Header + trailer must fit before anything is interpreted.
+  const size_t header_size = sizeof(kMagic) + 4 * sizeof(uint32_t);
+  if (image.size() < header_size + sizeof(uint32_t)) {
+    return Corrupt(path, "file shorter than header + CRC trailer");
+  }
+  if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a GTCP checkpoint: " + path);
+  }
+  const size_t body_size = image.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, image.data() + body_size, sizeof(stored_crc));
+  const uint32_t actual_crc = Crc32(image.data(), body_size);
+  if (stored_crc != actual_crc) {
+    return Corrupt(path, "CRC mismatch (file damaged or truncated)");
+  }
+
+  Reader r(image.data(), body_size);
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t num_tensors = 0;
+  uint32_t num_ints = 0;
+  uint32_t num_floats = 0;
+  r.GetBytes(magic, sizeof(magic));
+  if (!r.Get(&version) || version != kVersion) {
+    return Status::IoError("unsupported checkpoint version in " + path);
+  }
+  if (!r.Get(&num_tensors) || !r.Get(&num_ints) || !r.Get(&num_floats)) {
+    return Corrupt(path, "truncated section counts");
+  }
+
+  Checkpoint ckpt;
+  ckpt.tensors.reserve(num_tensors);
+  for (uint32_t i = 0; i < num_tensors; ++i) {
+    std::string name;
+    uint32_t rank = 0;
+    if (!r.GetName(&name) || !r.Get(&rank) || rank > kMaxRank) {
+      return Corrupt(path, "bad tensor record header");
+    }
+    tensor::Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!r.Get(&shape[d]) || shape[d] < 0) {
+        return Corrupt(path, "bad tensor dims for '" + name + "'");
+      }
+    }
+    const int64_t n = tensor::NumElements(shape);
+    if (static_cast<size_t>(n) * sizeof(float) > r.remaining()) {
+      return Corrupt(path, "truncated payload for '" + name + "'");
+    }
+    tensor::Tensor t = tensor::Tensor::Uninitialized(std::move(shape));
+    if (!r.GetBytes(t.data(), static_cast<size_t>(n) * sizeof(float))) {
+      return Corrupt(path, "truncated payload for '" + name + "'");
+    }
+    ckpt.tensors.emplace_back(std::move(name), std::move(t));
+  }
+  for (uint32_t i = 0; i < num_ints; ++i) {
+    std::string name;
+    int64_t v = 0;
+    if (!r.GetName(&name) || !r.Get(&v)) {
+      return Corrupt(path, "bad int record");
+    }
+    ckpt.ints.emplace_back(std::move(name), v);
+  }
+  for (uint32_t i = 0; i < num_floats; ++i) {
+    std::string name;
+    double v = 0.0;
+    if (!r.GetName(&name) || !r.Get(&v)) {
+      return Corrupt(path, "bad float record");
+    }
+    ckpt.floats.emplace_back(std::move(name), v);
+  }
+  if (r.remaining() != 0) {
+    return Corrupt(path, "trailing bytes after last record");
+  }
+  return ckpt;
+}
+
+Status SaveStateDict(const nn::Module& module, const std::string& path) {
+  Checkpoint ckpt;
+  for (auto& [name, p] : module.NamedParameters()) {
+    ckpt.tensors.emplace_back(name, p.value());
+  }
+  return WriteCheckpoint(path, ckpt);
+}
+
+Status ApplyStateDict(nn::Module& module, const Checkpoint& ckpt,
+                      const LoadOptions& options, const std::string& prefix) {
+  std::set<std::string> loaded;
+  for (const auto& [full_name, t] : ckpt.tensors) {
+    if (full_name.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string name = full_name.substr(prefix.size());
+    Status s = module.LoadNamedParameter(name, t);
+    if (s.code() == StatusCode::kNotFound) {
+      if (options.strict) {
+        return Status::InvalidArgument(
+            "state dict has unknown parameter '" + name +
+            "' (strict mode; module has no such parameter)");
+      }
+      continue;
+    }
+    GEO_RETURN_NOT_OK(s);
+    loaded.insert(name);
+  }
+  if (options.strict) {
+    for (const auto& [name, p] : module.NamedParameters()) {
+      if (loaded.count(name) == 0) {
+        return Status::InvalidArgument(
+            "state dict is missing parameter '" + name + "' (strict mode)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadStateDict(nn::Module& module, const std::string& path,
+                     const LoadOptions& options) {
+  GEO_ASSIGN_OR_RETURN(Checkpoint ckpt, ReadCheckpoint(path));
+  return ApplyStateDict(module, ckpt, options);
+}
+
+}  // namespace geotorch::io

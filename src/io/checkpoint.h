@@ -1,0 +1,73 @@
+#ifndef GEOTORCH_IO_CHECKPOINT_H_
+#define GEOTORCH_IO_CHECKPOINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::io {
+
+/// An in-memory checkpoint: named float32 tensors plus named int64 /
+/// float64 scalars (epoch counters, optimizer clocks, config fields).
+/// The on-disk format (DESIGN.md §9) is a single versioned binary blob:
+///
+///   "GTCP" magic | u32 version | u32 counts (tensors/ints/floats)
+///   per tensor:  u32 name_len | name | u32 rank | i64 dims | f32 payload
+///   per int:     u32 name_len | name | i64 value
+///   per float:   u32 name_len | name | f64 value
+///   u32 CRC-32 trailer over every preceding byte
+///
+/// Readers validate the magic, version, CRC, and every record bound
+/// before touching tensor storage, so truncated or bit-flipped files
+/// come back as Status errors, never crashes.
+struct Checkpoint {
+  std::vector<std::pair<std::string, tensor::Tensor>> tensors;
+  std::vector<std::pair<std::string, int64_t>> ints;
+  std::vector<std::pair<std::string, double>> floats;
+
+  /// Linear lookups (checkpoints hold tens of entries, not millions).
+  const tensor::Tensor* FindTensor(const std::string& name) const;
+  const int64_t* FindInt(const std::string& name) const;
+  const double* FindFloat(const std::string& name) const;
+};
+
+/// Serializes `ckpt` to `path` (atomically enough for our purposes:
+/// buffer fully in memory, then one write).
+Status WriteCheckpoint(const std::string& path, const Checkpoint& ckpt);
+
+/// Parses a checkpoint written by WriteCheckpoint. Any structural
+/// problem — wrong magic, unsupported version, truncation, CRC
+/// mismatch, out-of-bounds record — returns an error Status.
+Result<Checkpoint> ReadCheckpoint(const std::string& path);
+
+struct LoadOptions {
+  /// Strict (the default) requires the checkpoint's tensor names and
+  /// the module's parameter names to match exactly. Permissive loads
+  /// the intersection and ignores the rest. Shape mismatches on a
+  /// matched name are an error in both modes.
+  bool strict = true;
+};
+
+/// Writes every named parameter of `module` to `path`.
+Status SaveStateDict(const nn::Module& module, const std::string& path);
+
+/// Loads a state dict produced by SaveStateDict into `module`,
+/// overwriting parameter values in place (existing storage, existing
+/// autograd nodes — optimizers holding the parameters stay valid).
+Status LoadStateDict(nn::Module& module, const std::string& path,
+                     const LoadOptions& options = {});
+
+/// In-memory half of LoadStateDict, reused by the trainer's resume
+/// path: applies `ckpt.tensors` (filtered by `prefix`, which is
+/// stripped before the name lookup) to the module's parameters.
+Status ApplyStateDict(nn::Module& module, const Checkpoint& ckpt,
+                      const LoadOptions& options = {},
+                      const std::string& prefix = "");
+
+}  // namespace geotorch::io
+
+#endif  // GEOTORCH_IO_CHECKPOINT_H_

@@ -1,0 +1,16 @@
+#ifndef GEOTORCH_IO_CRC32_H_
+#define GEOTORCH_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace geotorch::io {
+
+/// IEEE CRC-32 (reflected polynomial 0xEDB88320 — the zlib/PNG
+/// variant) over `n` bytes. Pass a previous return value as `seed` to
+/// chain incremental computations over split buffers.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace geotorch::io
+
+#endif  // GEOTORCH_IO_CRC32_H_

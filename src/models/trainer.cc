@@ -2,9 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
+#include "core/check.h"
 #include "core/stopwatch.h"
 #include "data/metrics.h"
+#include "io/checkpoint.h"
 #include "obs/obs.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
@@ -110,7 +113,115 @@ float Evaluate(nn::Module& model, const data::Dataset& dataset,
   return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
 }
 
+// Restores config.resume_from (when set) into the model/optimizer/
+// stopper and returns the number of completed epochs to skip. A bad
+// checkpoint aborts: training onward from half-restored state would
+// silently produce a different model.
+int ResumeIfConfigured(nn::Module& model, optim::Optimizer& opt,
+                       optim::EarlyStopping& stopper,
+                       const TrainConfig& config) {
+  if (config.resume_from.empty()) return 0;
+  auto resumed =
+      LoadTrainCheckpoint(config.resume_from, model, opt, stopper, config);
+  GEO_CHECK(resumed.ok()) << "resume failed: "
+                          << resumed.status().ToString();
+  return *resumed;
+}
+
+// Writes config.checkpoint_path after every checkpoint_every-th epoch.
+// Called after the early-stopping update so the saved stopper state is
+// exactly what an uninterrupted run would carry into the next epoch.
+void MaybeCheckpoint(const nn::Module& model, optim::Optimizer& opt,
+                     const optim::EarlyStopping& stopper,
+                     const TrainConfig& config, int epochs_completed) {
+  if (config.checkpoint_every <= 0 || config.checkpoint_path.empty()) return;
+  if (epochs_completed % config.checkpoint_every != 0) return;
+  GEO_OBS_SPAN(ckpt_span, "trainer.checkpoint");
+  Status s = SaveTrainCheckpoint(config.checkpoint_path, model, opt, stopper,
+                                 config, epochs_completed);
+  if (!s.ok()) {
+    std::fprintf(stderr, "WARNING: checkpoint write failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
 }  // namespace
+
+Status SaveTrainCheckpoint(const std::string& path, const nn::Module& model,
+                           optim::Optimizer& opt,
+                           const optim::EarlyStopping& stopper,
+                           const TrainConfig& config, int epochs_completed) {
+  io::Checkpoint ckpt;
+  for (auto& [name, p] : model.NamedParameters()) {
+    ckpt.tensors.emplace_back("model." + name, p.value());
+  }
+  for (auto& [name, t] : opt.StateTensors()) {
+    ckpt.tensors.emplace_back("optim." + name, t);
+  }
+  ckpt.ints.emplace_back("epoch", epochs_completed);
+  ckpt.ints.emplace_back("optim.step_count", opt.StepCount());
+  ckpt.ints.emplace_back("stopper.bad_epochs", stopper.bad_epochs());
+  ckpt.ints.emplace_back("config.batch_size", config.batch_size);
+  ckpt.ints.emplace_back("config.seed", static_cast<int64_t>(config.seed));
+  ckpt.ints.emplace_back("config.cumulative", config.cumulative ? 1 : 0);
+  ckpt.floats.emplace_back("stopper.best", stopper.best());
+  ckpt.floats.emplace_back("config.lr", config.lr);
+  ckpt.floats.emplace_back("config.grad_clip", config.grad_clip);
+  return io::WriteCheckpoint(path, ckpt);
+}
+
+Result<int> LoadTrainCheckpoint(const std::string& path, nn::Module& model,
+                                optim::Optimizer& opt,
+                                optim::EarlyStopping& stopper,
+                                const TrainConfig& config) {
+  GEO_ASSIGN_OR_RETURN(io::Checkpoint ckpt, io::ReadCheckpoint(path));
+
+  const int64_t* epoch = ckpt.FindInt("epoch");
+  const int64_t* step_count = ckpt.FindInt("optim.step_count");
+  const int64_t* bad_epochs = ckpt.FindInt("stopper.bad_epochs");
+  const double* best = ckpt.FindFloat("stopper.best");
+  if (epoch == nullptr || step_count == nullptr || bad_epochs == nullptr ||
+      best == nullptr) {
+    return Status::InvalidArgument(
+        "not a trainer checkpoint (missing epoch/optimizer/stopper "
+        "records): " + path);
+  }
+  // The fields that shape the batch stream must match, or the resumed
+  // run silently diverges from the one that wrote the checkpoint.
+  const int64_t* batch_size = ckpt.FindInt("config.batch_size");
+  const int64_t* seed = ckpt.FindInt("config.seed");
+  const int64_t* cumulative = ckpt.FindInt("config.cumulative");
+  if (batch_size != nullptr && *batch_size != config.batch_size) {
+    return Status::InvalidArgument("checkpoint batch_size mismatch: " + path);
+  }
+  if (seed != nullptr &&
+      static_cast<uint64_t>(*seed) != config.seed) {
+    return Status::InvalidArgument("checkpoint seed mismatch: " + path);
+  }
+  if (cumulative != nullptr && (*cumulative != 0) != config.cumulative) {
+    return Status::InvalidArgument(
+        "checkpoint cumulative-mode mismatch: " + path);
+  }
+
+  GEO_RETURN_NOT_OK(io::ApplyStateDict(model, ckpt, {/*strict=*/true},
+                                       /*prefix=*/"model."));
+  for (auto& [name, t] : opt.StateTensors()) {
+    const tensor::Tensor* saved = ckpt.FindTensor("optim." + name);
+    if (saved == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint missing optimizer state '" + name + "': " + path);
+    }
+    if (!tensor::SameShape(saved->shape(), t.shape())) {
+      return Status::InvalidArgument(
+          "optimizer state shape mismatch for '" + name + "': " + path);
+    }
+    std::memcpy(t.data(), saved->data(),
+                static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+  opt.SetStepCount(*step_count);
+  stopper.Restore(static_cast<float>(*best), static_cast<int>(*bad_epochs));
+  return static_cast<int>(*epoch);
+}
 
 RegressionResult TrainGridModel(GridModel& model, const data::Dataset& train,
                                 const data::Dataset& val,
@@ -124,9 +235,18 @@ RegressionResult TrainGridModel(GridModel& model, const data::Dataset& train,
     return ag::MseLoss(model.Forward(batch), batch.y);
   };
 
+  const int start_epoch = ResumeIfConfigured(model, opt, stopper, config);
   RegressionResult result;
+  // Epochs restored from the checkpoint count toward epochs_run so a
+  // resumed run reports the same training length as an uninterrupted
+  // one; per-epoch timing covers only the epochs executed here.
+  result.epochs_run = start_epoch;
   Stopwatch total_timer;
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    if (epoch < start_epoch) {
+      train_loader.Reset();  // replay the checkpointed epochs' shuffles
+      continue;
+    }
     const float train_loss =
         RunEpoch(model, opt, train_loader, config, loss_fn);
     const float val_loss =
@@ -136,10 +256,13 @@ RegressionResult TrainGridModel(GridModel& model, const data::Dataset& train,
       std::printf("  epoch %2d train_mse=%.5f val_mse=%.5f\n", epoch,
                   train_loss, val_loss);
     }
-    if (stopper.Update(val_loss)) break;
+    const bool stop = stopper.Update(val_loss);
+    MaybeCheckpoint(model, opt, stopper, config, epoch + 1);
+    if (stop) break;
   }
   result.seconds_per_epoch =
-      total_timer.ElapsedSeconds() / std::max(1, result.epochs_run);
+      total_timer.ElapsedSeconds() /
+      std::max(1, result.epochs_run - start_epoch);
 
   // Test metrics.
   ag::NoGradGuard guard;
@@ -179,8 +302,14 @@ ClassificationResult TrainClassifier(RasterClassifier& model,
   };
 
   ClassificationResult result;
+  const int start_epoch = ResumeIfConfigured(model, opt, stopper, config);
+  result.epochs_run = start_epoch;
   Stopwatch total_timer;
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    if (epoch < start_epoch) {
+      train_loader.Reset();  // replay the checkpointed epochs' shuffles
+      continue;
+    }
     const float train_loss =
         RunEpoch(model, opt, train_loader, config, loss_fn);
     const float val_loss =
@@ -190,10 +319,13 @@ ClassificationResult TrainClassifier(RasterClassifier& model,
       std::printf("  epoch %2d train_ce=%.4f val_ce=%.4f\n", epoch,
                   train_loss, val_loss);
     }
-    if (stopper.Update(val_loss)) break;
+    const bool stop = stopper.Update(val_loss);
+    MaybeCheckpoint(model, opt, stopper, config, epoch + 1);
+    if (stop) break;
   }
   result.seconds_per_epoch =
-      total_timer.ElapsedSeconds() / std::max(1, result.epochs_run);
+      total_timer.ElapsedSeconds() /
+      std::max(1, result.epochs_run - start_epoch);
 
   ag::NoGradGuard guard;
   model.SetTraining(false);
@@ -232,8 +364,14 @@ ClassificationResult TrainSegmenter(nn::UnaryModule& model,
   };
 
   ClassificationResult result;
+  const int start_epoch = ResumeIfConfigured(model, opt, stopper, config);
+  result.epochs_run = start_epoch;
   Stopwatch total_timer;
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    if (epoch < start_epoch) {
+      train_loader.Reset();  // replay the checkpointed epochs' shuffles
+      continue;
+    }
     const float train_loss =
         RunEpoch(model, opt, train_loader, config, loss_fn);
     const float val_loss =
@@ -243,10 +381,13 @@ ClassificationResult TrainSegmenter(nn::UnaryModule& model,
       std::printf("  epoch %2d train_ce=%.4f val_ce=%.4f\n", epoch,
                   train_loss, val_loss);
     }
-    if (stopper.Update(val_loss)) break;
+    const bool stop = stopper.Update(val_loss);
+    MaybeCheckpoint(model, opt, stopper, config, epoch + 1);
+    if (stop) break;
   }
   result.seconds_per_epoch =
-      total_timer.ElapsedSeconds() / std::max(1, result.epochs_run);
+      total_timer.ElapsedSeconds() /
+      std::max(1, result.epochs_run - start_epoch);
 
   ag::NoGradGuard guard;
   model.SetTraining(false);

@@ -1,10 +1,14 @@
 #ifndef GEOTORCH_MODELS_TRAINER_H_
 #define GEOTORCH_MODELS_TRAINER_H_
 
+#include <string>
+
+#include "core/status.h"
 #include "data/dataloader.h"
 #include "data/dataset.h"
 #include "models/grid_models.h"
 #include "models/raster_models.h"
+#include "optim/optimizer.h"
 
 namespace geotorch::models {
 
@@ -26,6 +30,18 @@ struct TrainConfig {
   /// and weights update once at its end) — both modes of Section
   /// III-A2. The paper's experiments use incremental.
   bool cumulative = false;
+
+  // --- Checkpointing (DESIGN.md §9) ----------------------------------
+  /// Every `checkpoint_every` completed epochs the trainer writes
+  /// model parameters, optimizer state, and early-stopping state to
+  /// `checkpoint_path` (0 disables).
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// When non-empty, restores this checkpoint before the first epoch
+  /// and skips the completed epochs, replaying the shuffle stream so
+  /// the continued run is bitwise identical to an uninterrupted one
+  /// (asserted by determinism_test).
+  std::string resume_from;
 };
 
 /// Outcome of a spatiotemporal regression run.
@@ -64,6 +80,26 @@ ClassificationResult TrainSegmenter(nn::UnaryModule& model,
                                     const data::Dataset& val,
                                     const data::Dataset& test,
                                     const TrainConfig& config);
+
+/// Writes a full training checkpoint: model parameters ("model."
+/// prefix), optimizer state ("optim."), early-stopping state, the
+/// stream-shaping TrainConfig fields, and the number of completed
+/// epochs. The trainers call this via `checkpoint_every`; it is public
+/// so harnesses can snapshot at arbitrary points.
+Status SaveTrainCheckpoint(const std::string& path, const nn::Module& model,
+                           optim::Optimizer& opt,
+                           const optim::EarlyStopping& stopper,
+                           const TrainConfig& config, int epochs_completed);
+
+/// Restores a SaveTrainCheckpoint file into an already-constructed
+/// model / optimizer / stopper, verifying that the config fields that
+/// shape the data stream (batch_size, seed, cumulative) match — a
+/// mismatch would resume onto a silently different batch sequence.
+/// Returns the number of completed epochs to skip.
+Result<int> LoadTrainCheckpoint(const std::string& path, nn::Module& model,
+                                optim::Optimizer& opt,
+                                optim::EarlyStopping& stopper,
+                                const TrainConfig& config);
 
 /// Times one training epoch (forward+backward+step over the whole
 /// loader) without early stopping — the Table VII / Fig. 9 measurement.

@@ -1,6 +1,9 @@
 #include "nn/module.h"
 
+#include <cstring>
+
 #include "core/check.h"
+#include "tensor/shape.h"
 
 namespace geotorch::nn {
 
@@ -24,6 +27,26 @@ Module::NamedParameters() const {
     }
   }
   return out;
+}
+
+Status Module::LoadNamedParameter(const std::string& name,
+                                  const tensor::Tensor& value) {
+  auto named = NamedParameters();
+  for (auto& [pname, p] : named) {
+    if (pname != name) continue;
+    if (!tensor::SameShape(p.shape(), value.shape())) {
+      return Status::InvalidArgument(
+          "shape mismatch for parameter '" + name + "': module has " +
+          tensor::ShapeToString(p.shape()) + ", value has " +
+          tensor::ShapeToString(value.shape()));
+    }
+    if (value.numel() > 0) {
+      std::memcpy(p.mutable_value().data(), value.data(),
+                  static_cast<size_t>(value.numel()) * sizeof(float));
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("no parameter named '" + name + "'");
 }
 
 void Module::ZeroGrad() {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "core/status.h"
 
 namespace geotorch::nn {
 
@@ -29,6 +30,14 @@ class Module {
   /// Named parameters, prefixed with the child path ("conv1.weight").
   std::vector<std::pair<std::string, autograd::Variable>> NamedParameters()
       const;
+
+  /// Overwrites the parameter called `name` (a NamedParameters path)
+  /// with `value`, copying into the existing storage so autograd nodes
+  /// and optimizer references stay valid. NotFound when no parameter
+  /// has that name; InvalidArgument on a shape mismatch. This is the
+  /// write hook the io/ checkpoint loader and the serving engine use.
+  Status LoadNamedParameter(const std::string& name,
+                            const tensor::Tensor& value);
 
   /// Clears every parameter gradient.
   void ZeroGrad();

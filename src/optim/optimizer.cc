@@ -1,6 +1,7 @@
 #include "optim/optimizer.h"
 
 #include <cmath>
+#include <string>
 
 #include "core/check.h"
 #include "core/thread_pool.h"
@@ -26,6 +27,17 @@ void ForRange(int64_t n, Fn&& fn) {
         n, [&fn](int64_t begin, int64_t end) { fn(begin, end); });
   } else {
     fn(0, n);
+  }
+}
+
+// Flattens a per-parameter state list into ("<kind>.<i>", tensor)
+// pairs for checkpointing; the tensors alias the optimizer's buffers.
+void AppendState(
+    const char* kind, std::vector<tensor::Tensor>& buffers,
+    std::vector<std::pair<std::string, tensor::Tensor>>* out) {
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    out->emplace_back(std::string(kind) + "." + std::to_string(i),
+                      buffers[i]);
   }
 }
 
@@ -101,6 +113,12 @@ void Sgd::Step() {
   }
 }
 
+std::vector<std::pair<std::string, tensor::Tensor>> Sgd::StateTensors() {
+  std::vector<std::pair<std::string, tensor::Tensor>> out;
+  AppendState("velocity", velocity_, &out);
+  return out;
+}
+
 Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
            float beta2, float eps, float weight_decay)
     : Optimizer(std::move(params)),
@@ -148,6 +166,13 @@ void Adam::Step() {
   }
 }
 
+std::vector<std::pair<std::string, tensor::Tensor>> Adam::StateTensors() {
+  std::vector<std::pair<std::string, tensor::Tensor>> out;
+  AppendState("m", m_, &out);
+  AppendState("v", v_, &out);
+  return out;
+}
+
 RmsProp::RmsProp(std::vector<autograd::Variable> params, float lr,
                  float alpha, float eps)
     : Optimizer(std::move(params)), alpha_(alpha), eps_(eps) {
@@ -177,6 +202,12 @@ void RmsProp::Step() {
       }
     });
   }
+}
+
+std::vector<std::pair<std::string, tensor::Tensor>> RmsProp::StateTensors() {
+  std::vector<std::pair<std::string, tensor::Tensor>> out;
+  AppendState("sq_avg", sq_avg_, &out);
+  return out;
 }
 
 CosineLrScheduler::CosineLrScheduler(Optimizer* optimizer, int total_epochs,

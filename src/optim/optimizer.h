@@ -1,6 +1,8 @@
 #ifndef GEOTORCH_OPTIM_OPTIMIZER_H_
 #define GEOTORCH_OPTIM_OPTIMIZER_H_
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -31,6 +33,18 @@ class Optimizer {
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 
+  /// Named optimizer state tensors for checkpointing (DESIGN.md §9).
+  /// The returned tensors alias the internal buffers (Tensor copies
+  /// share storage), so writing through them restores state in place.
+  /// Names are stable per optimizer class ("m.3", "velocity.0", ...).
+  virtual std::vector<std::pair<std::string, tensor::Tensor>> StateTensors() {
+    return {};
+  }
+  /// Scalar step clock (Adam's bias-correction counter); 0 when the
+  /// optimizer keeps no clock.
+  virtual int64_t StepCount() const { return 0; }
+  virtual void SetStepCount(int64_t step_count) { (void)step_count; }
+
  protected:
   std::vector<autograd::Variable> params_;
   float lr_ = 1e-3f;
@@ -42,6 +56,7 @@ class Sgd : public Optimizer {
   Sgd(std::vector<autograd::Variable> params, float lr,
       float momentum = 0.0f, float weight_decay = 0.0f);
   void Step() override;
+  std::vector<std::pair<std::string, tensor::Tensor>> StateTensors() override;
 
  private:
   float momentum_;
@@ -56,6 +71,9 @@ class Adam : public Optimizer {
   Adam(std::vector<autograd::Variable> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step() override;
+  std::vector<std::pair<std::string, tensor::Tensor>> StateTensors() override;
+  int64_t StepCount() const override { return t_; }
+  void SetStepCount(int64_t step_count) override { t_ = step_count; }
 
  private:
   float beta1_;
@@ -74,6 +92,7 @@ class RmsProp : public Optimizer {
   RmsProp(std::vector<autograd::Variable> params, float lr,
           float alpha = 0.99f, float eps = 1e-8f);
   void Step() override;
+  std::vector<std::pair<std::string, tensor::Tensor>> StateTensors() override;
 
  private:
   float alpha_;
@@ -128,6 +147,14 @@ class EarlyStopping {
   bool should_stop() const { return should_stop_; }
   float best() const { return best_; }
   int bad_epochs() const { return bad_epochs_; }
+
+  /// Restores checkpointed state (models::LoadTrainCheckpoint), so a
+  /// resumed run counts patience exactly where the saved run left off.
+  void Restore(float best, int bad_epochs) {
+    best_ = best;
+    bad_epochs_ = bad_epochs;
+    should_stop_ = bad_epochs_ >= patience_;
+  }
 
  private:
   int patience_;

@@ -1,0 +1,37 @@
+#include "serve/adapters.h"
+
+#include "autograd/variable.h"
+
+namespace geotorch::serve {
+
+namespace ag = ::geotorch::autograd;
+
+Engine::BatchForward GridForward(models::GridModel& model) {
+  model.SetTraining(false);
+  return [&model](const data::Batch& batch) {
+    ag::NoGradGuard no_grad;
+    return model.Forward(batch).value();
+  };
+}
+
+Engine::BatchForward ClassifierForward(models::RasterClassifier& model) {
+  model.SetTraining(false);
+  return [&model](const data::Batch& batch) {
+    ag::NoGradGuard no_grad;
+    ag::Variable x(batch.x);
+    ag::Variable features = batch.extras.empty()
+                                ? ag::Variable()
+                                : ag::Variable(batch.extras[0]);
+    return model.Forward(x, features).value();
+  };
+}
+
+Engine::BatchForward UnaryForward(nn::UnaryModule& model) {
+  model.SetTraining(false);
+  return [&model](const data::Batch& batch) {
+    ag::NoGradGuard no_grad;
+    return model.Forward(ag::Variable(batch.x)).value();
+  };
+}
+
+}  // namespace geotorch::serve

@@ -1,0 +1,31 @@
+#ifndef GEOTORCH_SERVE_ADAPTERS_H_
+#define GEOTORCH_SERVE_ADAPTERS_H_
+
+#include "models/grid_models.h"
+#include "models/raster_models.h"
+#include "nn/module.h"
+#include "serve/engine.h"
+
+namespace geotorch::serve {
+
+/// Adapters wrapping this repo's model families as Engine::BatchForward
+/// closures. Each puts the model in eval mode once and runs every
+/// forward under NoGradGuard — serving never records tape. The caller
+/// keeps ownership of the model and must outlive the Engine.
+
+/// Grid predictors (PeriodicalCnn, ConvLstm, StResNet, DeepStnPlus):
+/// the whole Batch (x + extras) goes to Forward.
+Engine::BatchForward GridForward(models::GridModel& model);
+
+/// Raster classifiers (SatCnn, DeepSat, DeepSatV2): batch.x is the
+/// image stack; batch.extras[0], when present, is the handcrafted
+/// feature matrix (DeepSAT-V2), otherwise features are empty.
+Engine::BatchForward ClassifierForward(models::RasterClassifier& model);
+
+/// Single-input models (Fcn, UNet, UNetPlusPlus and any UnaryModule):
+/// batch.x in, output out; extras are ignored.
+Engine::BatchForward UnaryForward(nn::UnaryModule& model);
+
+}  // namespace geotorch::serve
+
+#endif  // GEOTORCH_SERVE_ADAPTERS_H_

@@ -1,0 +1,36 @@
+#include "serve/config.h"
+
+#include <cstdlib>
+
+namespace geotorch::serve {
+namespace {
+
+// Reads an integer env var; returns `fallback` when unset or when the
+// value does not start with a digit (or '-').
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<int>(v);
+}
+
+int ClampMin(int v, int lo) { return v < lo ? lo : v; }
+
+}  // namespace
+
+EngineOptions EngineOptions::FromEnv() {
+  EngineOptions opts;
+  opts.max_batch =
+      ClampMin(EnvInt("GEOTORCH_SERVE_MAX_BATCH", opts.max_batch), 1);
+  opts.max_delay_us =
+      ClampMin(EnvInt("GEOTORCH_SERVE_MAX_DELAY_US", opts.max_delay_us), 0);
+  opts.max_queue =
+      ClampMin(EnvInt("GEOTORCH_SERVE_MAX_QUEUE", opts.max_queue), 1);
+  opts.warmup_batches =
+      ClampMin(EnvInt("GEOTORCH_SERVE_WARMUP", opts.warmup_batches), 0);
+  return opts;
+}
+
+}  // namespace geotorch::serve

@@ -1,0 +1,37 @@
+#ifndef GEOTORCH_SERVE_CONFIG_H_
+#define GEOTORCH_SERVE_CONFIG_H_
+
+namespace geotorch::serve {
+
+/// Dynamic micro-batcher knobs (DESIGN.md §9). FromEnv() overrides the
+/// compiled-in defaults with the GEOTORCH_SERVE_* environment family,
+/// following the spatial/config conventions:
+///
+///   GEOTORCH_SERVE_MAX_BATCH     coalesce at most this many requests
+///                                into one forward (default 16)
+///   GEOTORCH_SERVE_MAX_DELAY_US  how long the batcher waits for a
+///                                partial batch to fill before running
+///                                it anyway (default 200)
+///   GEOTORCH_SERVE_MAX_QUEUE     bounded request-queue capacity;
+///                                submits beyond it are rejected with a
+///                                Status — backpressure, not unbounded
+///                                memory (default 256)
+///   GEOTORCH_SERVE_WARMUP        full-size warmup forwards run at
+///                                engine construction, so the first
+///                                real request does not pay pool /
+///                                workspace cold-start (default 2)
+struct EngineOptions {
+  int max_batch = 16;
+  int max_delay_us = 200;
+  int max_queue = 256;
+  int warmup_batches = 2;
+
+  /// Defaults overridden by any GEOTORCH_SERVE_* variables present.
+  /// Values are clamped to sane minimums (max_batch/max_queue >= 1,
+  /// max_delay_us/warmup_batches >= 0); unparsable text is ignored.
+  static EngineOptions FromEnv();
+};
+
+}  // namespace geotorch::serve
+
+#endif  // GEOTORCH_SERVE_CONFIG_H_

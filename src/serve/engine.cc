@@ -1,0 +1,233 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "core/check.h"
+#include "obs/obs.h"
+#include "tensor/shape.h"
+
+namespace geotorch::serve {
+
+namespace ts = ::geotorch::tensor;
+
+namespace {
+
+// Stacks per-sample tensors (each of shape `sample_shape`) into one
+// (B, ...) tensor. Hand-rolled memcpy instead of tensor::Stack keeps
+// the engine's dependency surface down to tensor/core/obs, which is
+// what lets serve_tsan_test recompile it standalone.
+template <typename GetSample>
+ts::Tensor StackRows(int64_t b, const ts::Shape& sample_shape,
+                     const GetSample& get) {
+  ts::Shape shape;
+  shape.reserve(sample_shape.size() + 1);
+  shape.push_back(b);
+  shape.insert(shape.end(), sample_shape.begin(), sample_shape.end());
+  ts::Tensor out = ts::Tensor::Uninitialized(std::move(shape));
+  const int64_t row = ts::NumElements(sample_shape);
+  for (int64_t i = 0; i < b; ++i) {
+    std::memcpy(out.data() + i * row, get(i).data(),
+                static_cast<size_t>(row) * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(BatchForward forward, SampleSpec spec, EngineOptions options)
+    : forward_(std::move(forward)),
+      spec_(std::move(spec)),
+      options_(options) {
+  GEO_CHECK(forward_ != nullptr);
+  GEO_CHECK_GE(options_.max_batch, 1);
+  GEO_CHECK_GE(options_.max_queue, 1);
+  Warmup();
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+Engine::~Engine() { Shutdown(); }
+
+void Engine::Warmup() {
+  if (options_.warmup_batches <= 0) return;
+  GEO_OBS_SPAN(warmup_span, "serve.warmup");
+  auto batched = [this](const ts::Shape& sample_shape) {
+    ts::Shape shape;
+    shape.reserve(sample_shape.size() + 1);
+    shape.push_back(options_.max_batch);
+    shape.insert(shape.end(), sample_shape.begin(), sample_shape.end());
+    return ts::Tensor::Zeros(std::move(shape));
+  };
+  data::Batch batch;
+  batch.x = batched(spec_.x);
+  for (const auto& extra_shape : spec_.extras) {
+    batch.extras.push_back(batched(extra_shape));
+  }
+  batch.size = options_.max_batch;
+  for (int i = 0; i < options_.warmup_batches; ++i) forward_(batch);
+}
+
+Result<ts::Tensor> Engine::Submit(const data::Sample& sample) {
+  if (!ts::SameShape(sample.x.shape(), spec_.x)) {
+    return Status::InvalidArgument(
+        "sample shape " + ts::ShapeToString(sample.x.shape()) +
+        " does not match engine spec " + ts::ShapeToString(spec_.x));
+  }
+  if (sample.extras.size() != spec_.extras.size()) {
+    return Status::InvalidArgument(
+        "sample has " + std::to_string(sample.extras.size()) +
+        " extras, engine spec expects " +
+        std::to_string(spec_.extras.size()));
+  }
+  for (size_t e = 0; e < sample.extras.size(); ++e) {
+    if (!ts::SameShape(sample.extras[e].shape(), spec_.extras[e])) {
+      return Status::InvalidArgument(
+          "extra " + std::to_string(e) + " shape mismatch: " +
+          ts::ShapeToString(sample.extras[e].shape()) + " vs spec " +
+          ts::ShapeToString(spec_.extras[e]));
+    }
+  }
+
+  const int64_t t0 = obs::NowNs();
+  std::future<ts::Tensor> fut;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      return Status::InvalidArgument("engine is shut down");
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      GEO_OBS_COUNT("serve.rejected", 1);
+      return Status::OutOfRange(
+          "serve queue full (" + std::to_string(options_.max_queue) +
+          " waiting) — backpressure, retry later");
+    }
+    Request req;
+    req.sample = sample;
+    req.enqueue_ns = t0;
+    fut = req.promise.get_future();
+    queue_.push_back(std::move(req));
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    GEO_OBS_COUNT("serve.requests", 1);
+    if (GEO_OBS_ON()) {
+      obs::SetGauge("serve.queue_depth",
+                    static_cast<int64_t>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+
+  ts::Tensor out = fut.get();
+  GEO_OBS_HIST("serve.latency_us", (obs::NowNs() - t0) / 1000);
+  return out;
+}
+
+void Engine::BatcherLoop() {
+  for (;;) {
+    std::vector<Request> taken;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty() && draining_) return;
+      // A request is waiting. Give the batch up to max_delay_us —
+      // counted from the oldest request's enqueue — to fill before
+      // running it partial. Concurrent clients arrive within
+      // microseconds of each other, so once a quiet window passes
+      // with no new arrival the queue has stopped growing and waiting
+      // longer only adds latency (with fewer clients than max_batch
+      // the batch would never fill and every cycle would burn the
+      // whole budget): run what we have. The window is 1/16 of the
+      // budget — wide enough to catch back-to-back submits, narrow
+      // enough that an unfillable batch costs little dead time.
+      // Drain skips the wait entirely.
+      const int64_t deadline_ns =
+          queue_.front().enqueue_ns +
+          static_cast<int64_t>(options_.max_delay_us) * 1000;
+      const int64_t quiet_ns =
+          std::max<int64_t>(1000, options_.max_delay_us * 1000 / 16);
+      while (static_cast<int>(queue_.size()) < options_.max_batch &&
+             !draining_) {
+        const int64_t now = obs::NowNs();
+        if (now >= deadline_ns) break;
+        const size_t before = queue_.size();
+        cv_.wait_for(lock, std::chrono::nanoseconds(
+                               std::min(deadline_ns - now, quiet_ns)));
+        if (queue_.size() == before) break;  // no arrivals: stop waiting
+      }
+      const size_t take =
+          std::min(queue_.size(), static_cast<size_t>(options_.max_batch));
+      taken.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        taken.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (GEO_OBS_ON()) {
+        obs::SetGauge("serve.queue_depth",
+                      static_cast<int64_t>(queue_.size()));
+      }
+    }
+    RunBatch(std::move(taken));
+  }
+}
+
+void Engine::RunBatch(std::vector<Request> requests) {
+  GEO_OBS_SPAN(batch_span, "serve.batch");
+  const int64_t b = static_cast<int64_t>(requests.size());
+
+  data::Batch batch;
+  batch.x = StackRows(b, spec_.x, [&requests](int64_t i) -> const ts::Tensor& {
+    return requests[i].sample.x;
+  });
+  for (size_t e = 0; e < spec_.extras.size(); ++e) {
+    batch.extras.push_back(StackRows(
+        b, spec_.extras[e], [&requests, e](int64_t i) -> const ts::Tensor& {
+          return requests[i].sample.extras[e];
+        }));
+  }
+  batch.size = b;
+
+  ts::Tensor out;
+  {
+    GEO_OBS_SPAN(fwd_span, "serve.forward");
+    out = forward_(batch);
+  }
+  GEO_CHECK(out.ndim() >= 1 && out.size(0) == b)
+      << "BatchForward must return one output row per request";
+
+  // Account the batch BEFORE releasing any waiter: a caller that
+  // returns from Submit must observe this batch in stats().
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  GEO_OBS_COUNT("serve.batches", 1);
+  GEO_OBS_HIST("serve.batch_size", b);
+
+  ts::Shape row_shape(out.shape().begin() + 1, out.shape().end());
+  if (row_shape.empty()) row_shape = {1};
+  const int64_t row = ts::NumElements(row_shape);
+  for (int64_t i = 0; i < b; ++i) {
+    ts::Tensor slice = ts::Tensor::Uninitialized(row_shape);
+    std::memcpy(slice.data(), out.data() + i * row,
+                static_cast<size_t>(row) * sizeof(float));
+    requests[i].promise.set_value(std::move(slice));
+  }
+}
+
+void Engine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (batcher_.joinable()) batcher_.join();
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace geotorch::serve

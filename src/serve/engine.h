@@ -1,0 +1,110 @@
+#ifndef GEOTORCH_SERVE_ENGINE_H_
+#define GEOTORCH_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "data/dataloader.h"
+#include "serve/config.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::serve {
+
+/// Per-sample input contract of an engine: the shape of one request's
+/// `x` (no leading batch dimension) and of each extra input. Submits
+/// are validated against it, and warmup batches are built from it.
+struct SampleSpec {
+  tensor::Shape x;
+  std::vector<tensor::Shape> extras;
+};
+
+struct EngineStats {
+  int64_t requests = 0;  ///< accepted submits
+  int64_t rejected = 0;  ///< backpressure rejections (queue full)
+  int64_t batches = 0;   ///< forward passes run (excluding warmup)
+};
+
+/// Dynamically-batched inference engine (DESIGN.md §9). Callers submit
+/// single samples and block on the result; a batcher thread coalesces
+/// up to `max_batch` queued requests (waiting at most `max_delay_us`
+/// for a partial batch to fill), runs ONE batched forward, and
+/// scatters the output rows back to the waiting callers. The bounded
+/// queue rejects submits once `max_queue` requests are waiting, giving
+/// overloaded deployments backpressure instead of unbounded memory.
+///
+/// The engine is model-agnostic: it owns a BatchForward closure.
+/// serve/adapters.h wraps this repo's model families (grid models,
+/// raster classifiers, segmentation nets) in eval mode under
+/// NoGradGuard; checkpoints load via io::LoadStateDict beforehand.
+class Engine {
+ public:
+  /// Batched inference function: a stacked (B, ...) batch in, stacked
+  /// (B, ...) outputs out (row i belongs to request i). Called only
+  /// from the batcher thread, never concurrently with itself.
+  using BatchForward = std::function<tensor::Tensor(const data::Batch&)>;
+
+  /// Starts the batcher thread after running `warmup_batches` full-size
+  /// zero-batch forwards.
+  Engine(BatchForward forward, SampleSpec spec,
+         EngineOptions options = EngineOptions::FromEnv());
+  /// Drains and joins (graceful shutdown).
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submits one sample (sample.x and sample.extras must match the
+  /// SampleSpec; sample.y is ignored) and blocks until its output row
+  /// is ready. Errors:
+  ///   InvalidArgument — shape/extras mismatch, or engine shut down;
+  ///   OutOfRange     — bounded queue full (backpressure; retry later).
+  Result<tensor::Tensor> Submit(const data::Sample& sample);
+
+  /// Stops accepting new submits, serves everything already queued,
+  /// and joins the batcher thread. Idempotent and thread-safe.
+  void Shutdown();
+
+  EngineStats stats() const;
+  const EngineOptions& options() const { return options_; }
+  const SampleSpec& spec() const { return spec_; }
+
+ private:
+  struct Request {
+    data::Sample sample;
+    std::promise<tensor::Tensor> promise;
+    int64_t enqueue_ns = 0;
+  };
+
+  void BatcherLoop();
+  /// Stacks `requests` into one Batch, runs the forward, scatters the
+  /// output rows into the request promises.
+  void RunBatch(std::vector<Request> requests);
+  void Warmup();
+
+  BatchForward forward_;
+  SampleSpec spec_;
+  EngineOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool draining_ = false;
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> batches_{0};
+
+  std::mutex join_mu_;  // serializes concurrent Shutdown() calls
+  std::thread batcher_;
+};
+
+}  // namespace geotorch::serve
+
+#endif  // GEOTORCH_SERVE_ENGINE_H_

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include "models/grid_models.h"
 #include "models/raster_models.h"
 #include "models/segmentation_models.h"
+#include "models/trainer.h"
 #include "tensor/device.h"
 
 namespace {
@@ -222,6 +224,85 @@ void RunSegDeterminism(const std::string& label) {
                                 batch.y);
   };
   ExpectDeterministic(label, make_model, loss_fn);
+}
+
+// --- Checkpoint / resume ---------------------------------------------------
+
+// Training N epochs straight through must be bitwise identical to
+// training k epochs, checkpointing, and resuming a FRESH model from
+// that checkpoint for the remaining N-k epochs. The trainer replays
+// the shuffle stream for the skipped epochs and the checkpoint carries
+// optimizer state (Adam moments + step clock) and early-stopping
+// state, so the continued trajectory is the same trajectory.
+TEST(DeterminismTest, ResumeMatchesStraightThroughTraining) {
+  datasets::GridDataset ds = datasets::MakeTemperature(
+      /*timesteps=*/200, /*height=*/8, /*width=*/8, /*seed=*/7);
+  ds.MinMaxNormalize();
+  ds.SetPeriodicalRepresentation(3, 2, 1);
+  data::SplitIndices split = data::ChronologicalSplit(ds.Size());
+  data::SubsetDataset train(&ds, split.train);
+  data::SubsetDataset val(&ds, split.val);
+  data::SubsetDataset test(&ds, split.test);
+
+  models::GridModelConfig mc;
+  mc.channels = ds.channels();
+  mc.height = ds.height();
+  mc.width = ds.width();
+  mc.len_closeness = 3;
+  mc.len_period = 2;
+  mc.len_trend = 1;
+  mc.hidden = 8;
+  mc.seed = 42;
+
+  models::TrainConfig base;
+  base.max_epochs = 4;
+  base.patience = 100;  // run all epochs; early stopping stays armed
+  base.batch_size = 8;
+  base.lr = 1e-2f;
+  base.seed = 9;
+
+  // Straight-through run.
+  models::PeriodicalCnn straight(mc);
+  const models::RegressionResult want =
+      models::TrainGridModel(straight, train, val, test, base);
+
+  // Interrupted run: 2 epochs, checkpoint written after epoch 2.
+  const std::string path = testing::TempDir() + "/resume_determinism.ckpt";
+  models::TrainConfig first = base;
+  first.max_epochs = 2;
+  first.checkpoint_every = 2;
+  first.checkpoint_path = path;
+  models::PeriodicalCnn interrupted(mc);
+  models::TrainGridModel(interrupted, train, val, test, first);
+
+  // Resume into a DIFFERENTLY-initialized model: everything it knows
+  // must come from the checkpoint.
+  models::GridModelConfig mc2 = mc;
+  mc2.seed = 77;
+  models::PeriodicalCnn resumed(mc2);
+  models::TrainConfig second = base;
+  second.resume_from = path;
+  const models::RegressionResult got =
+      models::TrainGridModel(resumed, train, val, test, second);
+
+  // Metrics bitwise equal...
+  EXPECT_EQ(Bits(ts::Tensor::Scalar(want.mae)),
+            Bits(ts::Tensor::Scalar(got.mae)));
+  EXPECT_EQ(Bits(ts::Tensor::Scalar(want.rmse)),
+            Bits(ts::Tensor::Scalar(got.rmse)));
+  EXPECT_EQ(want.epochs_run, got.epochs_run);
+
+  // ...and every parameter bitwise equal.
+  const auto a = straight.NamedParameters();
+  const auto b = resumed.NamedParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(Bits(a[i].second.value()), Bits(b[i].second.value()))
+        << "parameter " << a[i].first
+        << " differs between straight and resumed training";
+  }
+  std::remove(path.c_str());
 }
 
 TEST(DeterminismTest, Fcn) { RunSegDeterminism<models::Fcn>("Fcn"); }

@@ -1,0 +1,436 @@
+// Checkpoint format and state-dict round-trips. The acceptance bar is
+// bitwise: save -> load into a differently-initialized clone must make
+// every parameter and every forward output bit-identical to the
+// original, for all nine paper models. Corrupted files (truncation,
+// bad magic, bit flips caught by the CRC trailer) must come back as
+// Status errors, never crashes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "data/dataloader.h"
+#include "datasets/benchmarks.h"
+#include "io/checkpoint.h"
+#include "io/crc32.h"
+#include "models/grid_models.h"
+#include "models/raster_models.h"
+#include "models/segmentation_models.h"
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+namespace ag = ::geotorch::autograd;
+namespace ts = ::geotorch::tensor;
+namespace data = ::geotorch::data;
+namespace datasets = ::geotorch::datasets;
+namespace io = ::geotorch::io;
+namespace models = ::geotorch::models;
+namespace nn = ::geotorch::nn;
+using ::geotorch::Status;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<uint32_t> Bits(const ts::Tensor& t) {
+  std::vector<uint32_t> bits(t.numel());
+  if (t.numel() > 0) {
+    std::memcpy(bits.data(), t.data(), t.numel() * sizeof(uint32_t));
+  }
+  return bits;
+}
+
+std::vector<unsigned char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// --- CRC-32 ----------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectors) {
+  // The classic zlib check value.
+  EXPECT_EQ(geotorch::io::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(geotorch::io::Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, SeedChainsAcrossChunks) {
+  const char* msg = "spatiotemporal";
+  const uint32_t whole = geotorch::io::Crc32(msg, 14);
+  const uint32_t chained =
+      geotorch::io::Crc32(msg + 5, 9, geotorch::io::Crc32(msg, 5));
+  EXPECT_EQ(whole, chained);
+}
+
+// --- Checkpoint container round-trip ---------------------------------------
+
+TEST(CheckpointTest, RoundTripsTensorsAndScalars) {
+  io::Checkpoint ckpt;
+  geotorch::Rng rng(11);
+  ckpt.tensors.emplace_back("w", ts::Tensor::Randn({3, 4}, rng));
+  ckpt.tensors.emplace_back("b", ts::Tensor::Arange(7));
+  ckpt.tensors.emplace_back("scalar", ts::Tensor::Scalar(-2.5f));
+  ckpt.ints.emplace_back("epoch", 12);
+  ckpt.ints.emplace_back("step", -3);
+  ckpt.floats.emplace_back("lr", 1e-3);
+
+  const std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, ckpt).ok());
+  auto loaded = io::ReadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->tensors.size(), 3u);
+  for (size_t i = 0; i < ckpt.tensors.size(); ++i) {
+    EXPECT_EQ(loaded->tensors[i].first, ckpt.tensors[i].first);
+    EXPECT_EQ(loaded->tensors[i].second.shape(),
+              ckpt.tensors[i].second.shape());
+    EXPECT_EQ(Bits(loaded->tensors[i].second), Bits(ckpt.tensors[i].second));
+  }
+  const int64_t* epoch = loaded->FindInt("epoch");
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(*epoch, 12);
+  const int64_t* step = loaded->FindInt("step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(*step, -3);
+  const double* lr = loaded->FindFloat("lr");
+  ASSERT_NE(lr, nullptr);
+  EXPECT_EQ(*lr, 1e-3);
+  EXPECT_EQ(loaded->FindTensor("nope"), nullptr);
+  EXPECT_EQ(loaded->FindInt("nope"), nullptr);
+  EXPECT_EQ(loaded->FindFloat("nope"), nullptr);
+}
+
+TEST(CheckpointTest, EmptyCheckpointRoundTrips) {
+  const std::string path = TempPath("empty.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, io::Checkpoint{}).ok());
+  auto loaded = io::ReadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->tensors.empty());
+  EXPECT_TRUE(loaded->ints.empty());
+  EXPECT_TRUE(loaded->floats.empty());
+}
+
+// --- Corruption ------------------------------------------------------------
+
+io::Checkpoint SmallCheckpoint() {
+  io::Checkpoint ckpt;
+  geotorch::Rng rng(5);
+  ckpt.tensors.emplace_back("layer.weight", ts::Tensor::Randn({4, 4}, rng));
+  ckpt.ints.emplace_back("epoch", 3);
+  return ckpt;
+}
+
+TEST(CheckpointTest, MissingFileIsAnError) {
+  auto r = io::ReadCheckpoint(TempPath("does_not_exist.ckpt"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckpointTest, TruncationAtEveryPrefixIsAnErrorNotACrash) {
+  const std::string path = TempPath("trunc_src.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, SmallCheckpoint()).ok());
+  const std::vector<unsigned char> bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 16u);
+
+  const std::string trunc = TempPath("trunc.ckpt");
+  // Every proper prefix must be rejected (CRC or bounds), including the
+  // empty file and a cut mid-header.
+  for (size_t keep = 0; keep < bytes.size(); keep += 7) {
+    WriteFileBytes(trunc, std::vector<unsigned char>(bytes.begin(),
+                                                     bytes.begin() + keep));
+    auto r = io::ReadCheckpoint(trunc);
+    EXPECT_FALSE(r.ok()) << "prefix of " << keep << " bytes was accepted";
+  }
+}
+
+TEST(CheckpointTest, BadMagicIsAnError) {
+  const std::string path = TempPath("bad_magic.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, SmallCheckpoint()).ok());
+  std::vector<unsigned char> bytes = ReadFileBytes(path);
+  bytes[0] = 'X';
+  WriteFileBytes(path, bytes);
+  auto r = io::ReadCheckpoint(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), geotorch::StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, BitFlipFailsTheCrc) {
+  const std::string path = TempPath("bitflip.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, SmallCheckpoint()).ok());
+  std::vector<unsigned char> bytes = ReadFileBytes(path);
+  // Flip one bit in the middle of the tensor payload.
+  bytes[bytes.size() / 2] ^= 0x10;
+  WriteFileBytes(path, bytes);
+  auto r = io::ReadCheckpoint(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("CRC"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CheckpointTest, TrailingGarbageIsAnError) {
+  const std::string path = TempPath("trailing.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, SmallCheckpoint()).ok());
+  std::vector<unsigned char> bytes = ReadFileBytes(path);
+  bytes.push_back(0xAB);
+  bytes.push_back(0xCD);
+  WriteFileBytes(path, bytes);
+  EXPECT_FALSE(io::ReadCheckpoint(path).ok());
+}
+
+// --- Module::LoadNamedParameter --------------------------------------------
+
+TEST(LoadNamedParameterTest, OverwritesInPlaceAndChecksShapes) {
+  geotorch::Rng rng(1);
+  nn::Linear lin(3, 2, rng);
+  auto named = lin.NamedParameters();
+  ASSERT_FALSE(named.empty());
+  const std::string name = named[0].first;
+  const ts::Shape shape = named[0].second.value().shape();
+
+  // The Variable returned by NamedParameters shares storage with the
+  // module's own parameter, so an in-place load must show through it.
+  ts::Tensor replacement = ts::Tensor::Full(shape, 0.25f);
+  ASSERT_TRUE(lin.LoadNamedParameter(name, replacement).ok());
+  EXPECT_EQ(Bits(lin.NamedParameters()[0].second.value()),
+            Bits(replacement));
+
+  Status bad_shape = lin.LoadNamedParameter(name, ts::Tensor::Zeros({5}));
+  ASSERT_FALSE(bad_shape.ok());
+  EXPECT_EQ(bad_shape.code(), geotorch::StatusCode::kInvalidArgument);
+
+  Status missing =
+      lin.LoadNamedParameter("no.such.param", ts::Tensor::Zeros(shape));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), geotorch::StatusCode::kNotFound);
+}
+
+// --- Strict vs permissive state-dict loading -------------------------------
+
+TEST(StateDictTest, StrictRejectsMissingAndUnknownNames) {
+  geotorch::Rng rng(1);
+  nn::Linear lin(3, 2, rng);
+
+  // Unknown extra tensor in the checkpoint.
+  io::Checkpoint extra;
+  for (const auto& [name, p] : lin.NamedParameters()) {
+    extra.tensors.emplace_back(name, p.value());
+  }
+  extra.tensors.emplace_back("ghost", ts::Tensor::Zeros({2}));
+  EXPECT_FALSE(io::ApplyStateDict(lin, extra).ok());
+  EXPECT_TRUE(io::ApplyStateDict(lin, extra, {/*strict=*/false}).ok());
+
+  // Checkpoint missing one of the module's parameters.
+  io::Checkpoint partial;
+  partial.tensors.emplace_back(lin.NamedParameters()[0].first,
+                               lin.NamedParameters()[0].second.value());
+  EXPECT_FALSE(io::ApplyStateDict(lin, partial).ok());
+  EXPECT_TRUE(io::ApplyStateDict(lin, partial, {/*strict=*/false}).ok());
+}
+
+TEST(StateDictTest, ShapeMismatchFailsEvenPermissively) {
+  geotorch::Rng rng(1);
+  nn::Linear lin(3, 2, rng);
+  io::Checkpoint ckpt;
+  ckpt.tensors.emplace_back(lin.NamedParameters()[0].first,
+                            ts::Tensor::Zeros({9, 9}));
+  EXPECT_FALSE(io::ApplyStateDict(lin, ckpt).ok());
+  EXPECT_FALSE(io::ApplyStateDict(lin, ckpt, {/*strict=*/false}).ok());
+}
+
+TEST(StateDictTest, LoadFromDifferentArchitectureFailsCleanly) {
+  geotorch::Rng rng1(1);
+  geotorch::Rng rng2(2);
+  nn::Linear small(3, 2, rng1);
+  nn::Linear big(8, 4, rng2);
+  const std::string path = TempPath("arch_mismatch.ckpt");
+  ASSERT_TRUE(io::SaveStateDict(small, path).ok());
+  EXPECT_FALSE(io::LoadStateDict(big, path).ok());
+}
+
+// --- Full-model round-trips ------------------------------------------------
+
+// Saves `src`, loads into `dst` (differently initialized, same
+// architecture), and requires every named parameter to match bitwise.
+void ExpectStateDictRoundTrip(const std::string& label, nn::Module& src,
+                              nn::Module& dst) {
+  const std::string path = TempPath(label + ".ckpt");
+  ASSERT_TRUE(io::SaveStateDict(src, path).ok()) << label;
+  ASSERT_TRUE(io::LoadStateDict(dst, path).ok()) << label;
+
+  const auto a = src.NamedParameters();
+  const auto b = dst.NamedParameters();
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << label;
+    EXPECT_EQ(Bits(a[i].second.value()), Bits(b[i].second.value()))
+        << label << ": parameter " << a[i].first << " differs after load";
+  }
+  std::remove(path.c_str());
+}
+
+data::Batch FirstBatch(const data::Dataset& ds, int64_t batch_size) {
+  data::DataLoader loader(&ds, batch_size, /*shuffle=*/false);
+  data::Batch batch;
+  EXPECT_TRUE(loader.Next(&batch));
+  return batch;
+}
+
+enum class GridKind { kPeriodicalCnn, kConvLstm, kStResNet, kDeepStnPlus };
+
+std::unique_ptr<models::GridModel> MakeGridModel(
+    GridKind kind, const models::GridModelConfig& mc) {
+  switch (kind) {
+    case GridKind::kPeriodicalCnn:
+      return std::make_unique<models::PeriodicalCnn>(mc);
+    case GridKind::kConvLstm:
+      return std::make_unique<models::ConvLstm>(mc, 1);
+    case GridKind::kStResNet:
+      return std::make_unique<models::StResNet>(mc);
+    case GridKind::kDeepStnPlus:
+      return std::make_unique<models::DeepStnPlus>(mc);
+  }
+  return nullptr;
+}
+
+void RunGridRoundTrip(GridKind kind, const std::string& label) {
+  datasets::GridDataset ds = datasets::MakeTemperature(
+      /*timesteps=*/200, /*height=*/8, /*width=*/8, /*seed=*/7);
+  ds.MinMaxNormalize();
+
+  models::GridModelConfig mc;
+  mc.channels = ds.channels();
+  mc.height = ds.height();
+  mc.width = ds.width();
+  mc.len_closeness = 3;
+  mc.len_period = 2;
+  mc.len_trend = 1;
+  mc.hidden = 8;
+  mc.seed = 42;
+  if (kind == GridKind::kConvLstm) {
+    ds.SetSequentialRepresentation(/*history=*/4, /*prediction=*/1);
+  } else {
+    ds.SetPeriodicalRepresentation(mc.len_closeness, mc.len_period,
+                                   mc.len_trend);
+  }
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/2);
+
+  auto src = MakeGridModel(kind, mc);
+  models::GridModelConfig mc2 = mc;
+  mc2.seed = 43;  // different init: the load must overwrite everything
+  auto dst = MakeGridModel(kind, mc2);
+  ExpectStateDictRoundTrip(label, *src, *dst);
+
+  // With identical parameters, the forward outputs must be bitwise
+  // identical too.
+  src->SetTraining(false);
+  dst->SetTraining(false);
+  ag::NoGradGuard no_grad;
+  EXPECT_EQ(Bits(src->Forward(batch).value()),
+            Bits(dst->Forward(batch).value()))
+      << label << ": forward differs after state-dict load";
+}
+
+TEST(StateDictRoundTrip, PeriodicalCnn) {
+  RunGridRoundTrip(GridKind::kPeriodicalCnn, "PeriodicalCnn");
+}
+TEST(StateDictRoundTrip, ConvLstm) {
+  RunGridRoundTrip(GridKind::kConvLstm, "ConvLstm");
+}
+TEST(StateDictRoundTrip, StResNet) {
+  RunGridRoundTrip(GridKind::kStResNet, "StResNet");
+}
+TEST(StateDictRoundTrip, DeepStnPlus) {
+  RunGridRoundTrip(GridKind::kDeepStnPlus, "DeepStnPlus");
+}
+
+template <typename Model>
+void RunRasterRoundTrip(const std::string& label, bool with_features) {
+  datasets::RasterDatasetOptions options;
+  options.include_additional_features = with_features;
+  datasets::RasterClassificationDataset ds =
+      datasets::MakeEuroSat(/*n=*/4, options, /*seed=*/3);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/2);
+
+  models::RasterModelConfig rc;
+  rc.in_channels = 13;
+  rc.in_height = 64;
+  rc.in_width = 64;
+  rc.num_classes = 10;
+  rc.num_filtered_features =
+      with_features ? ds.num_additional_features() : 0;
+  rc.base_filters = 8;
+  rc.seed = 42;
+
+  Model src(rc);
+  models::RasterModelConfig rc2 = rc;
+  rc2.seed = 43;
+  Model dst(rc2);
+  ExpectStateDictRoundTrip(label, src, dst);
+
+  src.SetTraining(false);
+  dst.SetTraining(false);
+  ag::NoGradGuard no_grad;
+  ag::Variable features =
+      with_features ? ag::Variable(batch.extras[0]) : ag::Variable();
+  EXPECT_EQ(Bits(src.Forward(ag::Variable(batch.x), features).value()),
+            Bits(dst.Forward(ag::Variable(batch.x), features).value()))
+      << label << ": forward differs after state-dict load";
+}
+
+TEST(StateDictRoundTrip, SatCnn) {
+  RunRasterRoundTrip<models::SatCnn>("SatCnn", /*with_features=*/false);
+}
+TEST(StateDictRoundTrip, DeepSatV2) {
+  RunRasterRoundTrip<models::DeepSatV2>("DeepSatV2", /*with_features=*/true);
+}
+
+template <typename Model>
+void RunSegRoundTrip(const std::string& label) {
+  datasets::RasterSegmentationDataset ds =
+      datasets::MakeCloud38(/*n=*/4, /*size=*/16, {}, /*seed=*/5);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/2);
+
+  models::SegModelConfig sc;
+  sc.in_channels = 4;
+  sc.num_classes = 2;
+  sc.base_filters = 4;
+  sc.seed = 42;
+
+  Model src(sc);
+  models::SegModelConfig sc2 = sc;
+  sc2.seed = 43;
+  Model dst(sc2);
+  ExpectStateDictRoundTrip(label, src, dst);
+
+  src.SetTraining(false);
+  dst.SetTraining(false);
+  ag::NoGradGuard no_grad;
+  EXPECT_EQ(Bits(src.Forward(ag::Variable(batch.x)).value()),
+            Bits(dst.Forward(ag::Variable(batch.x)).value()))
+      << label << ": forward differs after state-dict load";
+}
+
+TEST(StateDictRoundTrip, Fcn) { RunSegRoundTrip<models::Fcn>("Fcn"); }
+TEST(StateDictRoundTrip, UNet) { RunSegRoundTrip<models::UNet>("UNet"); }
+TEST(StateDictRoundTrip, UNetPlusPlus) {
+  RunSegRoundTrip<models::UNetPlusPlus>("UNetPlusPlus");
+}
+
+}  // namespace

@@ -11,6 +11,8 @@
 #include "spatial/grid.h"
 #include "spatial/join.h"
 #include "spatial/strtree.h"
+#include "serve/engine.h"
+#include "tensor/tensor.h"
 
 namespace obs = ::geotorch::obs;
 
@@ -293,6 +295,70 @@ TEST_F(ObsTest, SpatialJoinSpansAndCountersInTrace) {
        {"\"spatial.build\"", "\"spatial.probe\"", "\"spatial.probes\"",
         "\"spatial.build_entries\"", "\"spatial.fastpath_hits\"",
         "\"spatial.merge_bytes\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(ObsTest, ServeEngineCountersHistogramsAndSpans) {
+  namespace serve = ::geotorch::serve;
+  namespace ts = ::geotorch::tensor;
+  namespace data = ::geotorch::data;
+
+  serve::EngineOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay_us = 100;
+  opts.max_queue = 64;
+  opts.warmup_batches = 1;
+  constexpr int kRequests = 12;
+  {
+    serve::Engine engine([](const data::Batch& batch) { return batch.x; },
+                         serve::SampleSpec{{4}, {}}, opts);
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+      clients.emplace_back([&engine] {
+        for (int i = 0; i < kRequests / 4; ++i) {
+          data::Sample s;
+          s.x = ts::Tensor::Full({4}, 1.0f);
+          auto r = engine.Submit(s);
+          EXPECT_TRUE(r.ok());
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+  }  // engine drains and joins here
+
+  EXPECT_EQ(obs::GetCounter("serve.requests")->value(), kRequests);
+  EXPECT_EQ(obs::GetCounter("serve.rejected")->value(), 0);
+  const int64_t batches = obs::GetCounter("serve.batches")->value();
+  EXPECT_GE(batches, (kRequests + opts.max_batch - 1) / opts.max_batch);
+  EXPECT_LE(batches, kRequests);
+
+  // Histograms: one batch_size sample per batch summing to the request
+  // count, one latency sample per served request.
+  obs::Histogram* batch_size = obs::GetHistogram("serve.batch_size");
+  EXPECT_EQ(batch_size->count(), batches);
+  EXPECT_EQ(batch_size->sum(), kRequests);
+  EXPECT_LE(batch_size->max(), opts.max_batch);
+  EXPECT_EQ(obs::GetHistogram("serve.latency_us")->count(), kRequests);
+
+  // Spans: one warmup, one serve.batch per batch with the forward
+  // nested inside it.
+  const auto spans = obs::AggregateSpans();
+  const obs::SpanNode* warmup = FindNode(spans, "serve.warmup");
+  ASSERT_NE(warmup, nullptr);
+  EXPECT_EQ(warmup->count, 1);
+  const obs::SpanNode* batch_span = FindNode(spans, "serve.batch");
+  ASSERT_NE(batch_span, nullptr);
+  EXPECT_EQ(batch_span->count, batches);
+  const obs::SpanNode* fwd = FindNode(batch_span->children, "serve.forward");
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->count, batches);
+
+  const std::string json = obs::ExportJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  for (const char* needle :
+       {"\"serve.requests\"", "\"serve.batches\"", "\"serve.batch_size\"",
+        "\"serve.latency_us\"", "\"serve.queue_depth\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
 }

@@ -1,0 +1,424 @@
+// The dynamically-batched serving engine: concurrent submits must come
+// back with exactly their own output row (bitwise equal to a direct
+// single-sample forward), the bounded queue must reject — not block —
+// when full, and shutdown must drain everything already accepted.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/benchmarks.h"
+#include "io/checkpoint.h"
+#include "models/grid_models.h"
+#include "serve/adapters.h"
+#include "serve/config.h"
+#include "serve/engine.h"
+#include "tensor/device.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+namespace ag = ::geotorch::autograd;
+namespace ts = ::geotorch::tensor;
+namespace data = ::geotorch::data;
+namespace datasets = ::geotorch::datasets;
+namespace models = ::geotorch::models;
+namespace serve = ::geotorch::serve;
+
+std::vector<uint32_t> Bits(const ts::Tensor& t) {
+  std::vector<uint32_t> bits(t.numel());
+  if (t.numel() > 0) {
+    std::memcpy(bits.data(), t.data(), t.numel() * sizeof(uint32_t));
+  }
+  return bits;
+}
+
+serve::EngineOptions FastOptions() {
+  serve::EngineOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay_us = 100;
+  opts.max_queue = 64;
+  opts.warmup_batches = 1;
+  return opts;
+}
+
+// --- EngineOptions::FromEnv -------------------------------------------------
+
+struct EnvVarGuard {
+  explicit EnvVarGuard(std::vector<const char*> names)
+      : names_(std::move(names)) {}
+  ~EnvVarGuard() {
+    for (const char* n : names_) unsetenv(n);
+  }
+  std::vector<const char*> names_;
+};
+
+TEST(EngineOptionsTest, FromEnvDefaultsWhenUnset) {
+  EnvVarGuard guard({"GEOTORCH_SERVE_MAX_BATCH", "GEOTORCH_SERVE_MAX_DELAY_US",
+                     "GEOTORCH_SERVE_MAX_QUEUE", "GEOTORCH_SERVE_WARMUP"});
+  const serve::EngineOptions opts = serve::EngineOptions::FromEnv();
+  const serve::EngineOptions defaults;
+  EXPECT_EQ(opts.max_batch, defaults.max_batch);
+  EXPECT_EQ(opts.max_delay_us, defaults.max_delay_us);
+  EXPECT_EQ(opts.max_queue, defaults.max_queue);
+  EXPECT_EQ(opts.warmup_batches, defaults.warmup_batches);
+}
+
+TEST(EngineOptionsTest, FromEnvParsesAndClamps) {
+  EnvVarGuard guard({"GEOTORCH_SERVE_MAX_BATCH", "GEOTORCH_SERVE_MAX_DELAY_US",
+                     "GEOTORCH_SERVE_MAX_QUEUE", "GEOTORCH_SERVE_WARMUP"});
+  setenv("GEOTORCH_SERVE_MAX_BATCH", "32", 1);
+  setenv("GEOTORCH_SERVE_MAX_DELAY_US", "1500", 1);
+  setenv("GEOTORCH_SERVE_MAX_QUEUE", "0", 1);     // clamped to 1
+  setenv("GEOTORCH_SERVE_WARMUP", "bogus", 1);    // unparsable -> default
+  const serve::EngineOptions opts = serve::EngineOptions::FromEnv();
+  EXPECT_EQ(opts.max_batch, 32);
+  EXPECT_EQ(opts.max_delay_us, 1500);
+  EXPECT_EQ(opts.max_queue, 1);
+  EXPECT_EQ(opts.warmup_batches, serve::EngineOptions{}.warmup_batches);
+}
+
+// --- Echo engine: scatter correctness under concurrency ---------------------
+
+TEST(EngineTest, ConcurrentSubmitsGetTheirOwnRows) {
+  // Identity forward: output row i == input row i, so every client can
+  // verify it got exactly its own sample back even when coalesced.
+  serve::Engine engine([](const data::Batch& batch) { return batch.x; },
+                       serve::SampleSpec{{4}, {}}, FastOptions());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&engine, &mismatches, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        data::Sample s;
+        s.x = ts::Tensor::Full({4}, static_cast<float>(t * 1000 + i));
+        auto out = engine.Submit(s);
+        if (!out.ok() || Bits(*out) != Bits(s.x)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_GE(stats.batches, (kThreads * kPerThread + 3) / 4);
+}
+
+TEST(EngineTest, ScalarOutputRowsComeBackAsSingletons) {
+  // Forward returning shape (B): each caller gets a {1} tensor.
+  serve::Engine engine(
+      [](const data::Batch& batch) {
+        ts::Tensor out = ts::Tensor::Uninitialized({batch.size});
+        for (int64_t i = 0; i < batch.size; ++i) {
+          out.data()[i] = batch.x.data()[i * 3];  // first element of row i
+        }
+        return out;
+      },
+      serve::SampleSpec{{3}, {}}, FastOptions());
+  data::Sample s;
+  s.x = ts::Tensor::Full({3}, 7.5f);
+  auto out = engine.Submit(s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), ts::Shape({1}));
+  EXPECT_EQ(out->data()[0], 7.5f);
+}
+
+// --- Validation -------------------------------------------------------------
+
+TEST(EngineTest, RejectsShapeMismatches) {
+  serve::Engine engine([](const data::Batch& batch) { return batch.x; },
+                       serve::SampleSpec{{4}, {{2}}}, FastOptions());
+  data::Sample bad_x;
+  bad_x.x = ts::Tensor::Zeros({5});
+  bad_x.extras.push_back(ts::Tensor::Zeros({2}));
+  auto r1 = engine.Submit(bad_x);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), geotorch::StatusCode::kInvalidArgument);
+
+  data::Sample missing_extra;
+  missing_extra.x = ts::Tensor::Zeros({4});
+  auto r2 = engine.Submit(missing_extra);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), geotorch::StatusCode::kInvalidArgument);
+
+  data::Sample bad_extra;
+  bad_extra.x = ts::Tensor::Zeros({4});
+  bad_extra.extras.push_back(ts::Tensor::Zeros({3}));
+  auto r3 = engine.Submit(bad_extra);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), geotorch::StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, SubmitAfterShutdownFails) {
+  serve::Engine engine([](const data::Batch& batch) { return batch.x; },
+                       serve::SampleSpec{{2}, {}}, FastOptions());
+  engine.Shutdown();
+  engine.Shutdown();  // idempotent
+  data::Sample s;
+  s.x = ts::Tensor::Zeros({2});
+  auto r = engine.Submit(s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), geotorch::StatusCode::kInvalidArgument);
+}
+
+// --- Backpressure and drain -------------------------------------------------
+
+// A forward that blocks until the test opens a gate, so the queue can
+// be filled deterministically while the batcher is stuck mid-batch.
+class GatedForward {
+ public:
+  ts::Tensor operator()(const data::Batch& batch) {
+    in_forward_.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+    return batch.x;
+  }
+  void WaitUntilInForward(int n) {
+    while (in_forward_.load() < n) std::this_thread::yield();
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  std::atomic<int> in_forward_{0};
+};
+
+TEST(EngineTest, FullQueueRejectsWithBackpressure) {
+  auto gate = std::make_shared<GatedForward>();
+  serve::EngineOptions opts;
+  opts.max_batch = 1;
+  opts.max_delay_us = 0;
+  opts.max_queue = 2;
+  opts.warmup_batches = 0;  // warmup would block on the gate
+  serve::Engine engine(
+      [gate](const data::Batch& batch) { return (*gate)(batch); },
+      serve::SampleSpec{{2}, {}}, opts);
+
+  data::Sample s;
+  s.x = ts::Tensor::Full({2}, 1.0f);
+
+  // First submit: picked up by the batcher, which blocks in forward.
+  std::thread first([&engine, s] {
+    auto r = engine.Submit(s);
+    EXPECT_TRUE(r.ok());
+  });
+  gate->WaitUntilInForward(1);
+
+  // Fill the queue behind the stuck batch.
+  std::vector<std::thread> queued;
+  for (int i = 0; i < 2; ++i) {
+    queued.emplace_back([&engine, s] {
+      auto r = engine.Submit(s);
+      EXPECT_TRUE(r.ok());
+    });
+  }
+  while (engine.stats().requests < 3) std::this_thread::yield();
+
+  // Queue is full now: the next submit must be rejected, not block.
+  auto rejected = engine.Submit(s);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), geotorch::StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.stats().rejected, 1);
+
+  gate->Open();
+  first.join();
+  for (auto& t : queued) t.join();
+  EXPECT_EQ(engine.stats().requests, 3);
+}
+
+TEST(EngineTest, ShutdownDrainsAcceptedRequests) {
+  auto gate = std::make_shared<GatedForward>();
+  serve::EngineOptions opts;
+  opts.max_batch = 2;
+  opts.max_delay_us = 0;
+  opts.max_queue = 16;
+  opts.warmup_batches = 0;
+  serve::Engine engine(
+      [gate](const data::Batch& batch) { return (*gate)(batch); },
+      serve::SampleSpec{{2}, {}}, opts);
+
+  data::Sample s;
+  s.x = ts::Tensor::Full({2}, 3.0f);
+
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 5; ++i) {
+    clients.emplace_back([&engine, &served, s] {
+      auto r = engine.Submit(s);
+      if (r.ok()) served.fetch_add(1);
+    });
+  }
+  // Wait until all five are accepted (queued or mid-batch), then shut
+  // down while the gate still blocks the batcher.
+  while (engine.stats().requests < 5) std::this_thread::yield();
+  std::thread closer([&engine] { engine.Shutdown(); });
+  gate->Open();
+  closer.join();
+  for (auto& c : clients) c.join();
+  // Every accepted request was served before the batcher exited.
+  EXPECT_EQ(served.load(), 5);
+}
+
+// --- Against a real model ---------------------------------------------------
+
+TEST(EngineTest, BatchedForwardMatchesDirectSingleSampleForward) {
+  ts::DeviceGuard device(ts::Device::kParallel);
+
+  datasets::GridDataset ds = datasets::MakeTemperature(
+      /*timesteps=*/200, /*height=*/8, /*width=*/8, /*seed=*/7);
+  ds.MinMaxNormalize();
+  models::GridModelConfig mc;
+  mc.channels = ds.channels();
+  mc.height = ds.height();
+  mc.width = ds.width();
+  mc.len_closeness = 3;
+  mc.len_period = 2;
+  mc.len_trend = 1;
+  mc.hidden = 8;
+  mc.seed = 42;
+  ds.SetPeriodicalRepresentation(mc.len_closeness, mc.len_period,
+                                 mc.len_trend);
+  models::PeriodicalCnn model(mc);
+
+  serve::SampleSpec spec;
+  {
+    data::Sample probe = ds.Get(0);
+    spec.x = probe.x.shape();
+    for (const auto& e : probe.extras) spec.extras.push_back(e.shape());
+  }
+
+  serve::EngineOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay_us = 2000;  // encourage real coalescing
+  opts.max_queue = 64;
+  opts.warmup_batches = 1;
+  serve::Engine engine(serve::GridForward(model), spec, opts);
+
+  // Direct single-sample forwards as ground truth. The engine batches
+  // requests together, so this also checks that a row of a size-B
+  // forward is bitwise identical to the same sample at B=1 (the
+  // blocked GEMM fixes its K-accumulation order).
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 4;
+  std::vector<data::Sample> samples;
+  std::vector<std::vector<uint32_t>> expected;
+  for (int i = 0; i < kClients * kPerClient; ++i) {
+    samples.push_back(ds.Get(i));
+    // Build a B=1 batch from the sample for the ground-truth forward.
+    data::Batch one;
+    ts::Shape xb = samples[i].x.shape();
+    xb.insert(xb.begin(), 1);
+    one.x = samples[i].x.Reshape(xb);
+    for (const auto& e : samples[i].extras) {
+      ts::Shape eb = e.shape();
+      eb.insert(eb.begin(), 1);
+      one.extras.push_back(e.Reshape(eb));
+    }
+    one.size = 1;
+    ag::NoGradGuard no_grad;
+    ts::Tensor out = model.Forward(one).value();
+    ts::Shape row(out.shape().begin() + 1, out.shape().end());
+    if (row.empty()) row = {1};
+    expected.push_back(Bits(out.Reshape(row)));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const int idx = c * kPerClient + i;
+        auto out = engine.Submit(samples[idx]);
+        if (!out.ok() || Bits(*out) != expected[idx]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(engine.stats().requests, kClients * kPerClient);
+}
+
+// --- Checkpoint + serve integration -----------------------------------------
+
+TEST(EngineTest, ServesFromALoadedCheckpoint) {
+  datasets::GridDataset ds = datasets::MakeTemperature(
+      /*timesteps=*/200, /*height=*/8, /*width=*/8, /*seed=*/7);
+  ds.MinMaxNormalize();
+  models::GridModelConfig mc;
+  mc.channels = ds.channels();
+  mc.height = ds.height();
+  mc.width = ds.width();
+  mc.len_closeness = 3;
+  mc.len_period = 2;
+  mc.len_trend = 1;
+  mc.hidden = 8;
+  mc.seed = 42;
+  ds.SetPeriodicalRepresentation(mc.len_closeness, mc.len_period,
+                                 mc.len_trend);
+
+  models::PeriodicalCnn trained(mc);
+  const std::string path = testing::TempDir() + "/served_model.ckpt";
+  ASSERT_TRUE(geotorch::io::SaveStateDict(trained, path).ok());
+
+  models::GridModelConfig mc2 = mc;
+  mc2.seed = 99;
+  models::PeriodicalCnn fresh(mc2);
+  ASSERT_TRUE(geotorch::io::LoadStateDict(fresh, path).ok());
+
+  serve::SampleSpec spec;
+  data::Sample sample = ds.Get(0);
+  spec.x = sample.x.shape();
+  for (const auto& e : sample.extras) spec.extras.push_back(e.shape());
+  serve::Engine engine(serve::GridForward(fresh), spec, FastOptions());
+
+  auto served = engine.Submit(sample);
+  ASSERT_TRUE(served.ok());
+
+  // The engine must answer with the trained model's output.
+  data::Batch one;
+  ts::Shape xb = sample.x.shape();
+  xb.insert(xb.begin(), 1);
+  one.x = sample.x.Reshape(xb);
+  for (const auto& e : sample.extras) {
+    ts::Shape eb = e.shape();
+    eb.insert(eb.begin(), 1);
+    one.extras.push_back(e.Reshape(eb));
+  }
+  one.size = 1;
+  trained.SetTraining(false);
+  ag::NoGradGuard no_grad;
+  ts::Tensor direct = trained.Forward(one).value();
+  ts::Shape row(direct.shape().begin() + 1, direct.shape().end());
+  EXPECT_EQ(Bits(*served), Bits(direct.Reshape(row)));
+  std::remove(path.c_str());
+}
+
+}  // namespace
