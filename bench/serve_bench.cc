@@ -21,6 +21,7 @@
 #include "data/dataset.h"
 #include "datasets/benchmarks.h"
 #include "models/grid_models.h"
+#include "nn/precision.h"
 #include "obs/obs.h"
 #include "serve/adapters.h"
 #include "serve/engine.h"
@@ -37,6 +38,7 @@ namespace ts = ::geotorch::tensor;
 
 struct Record {
   std::string model;
+  std::string precision = "f32";
   int max_batch = 0;
   int clients = 0;
   int64_t requests = 0;
@@ -57,16 +59,18 @@ int64_t Percentile(std::vector<int64_t>& sorted_us, double p) {
 
 Record RunOnce(const std::string& model_name, models::GridModel& model,
                const std::vector<data::Sample>& samples, int max_batch,
-               int clients, int requests_per_client) {
+               int clients, int requests_per_client,
+               nn::Precision precision = nn::Precision::kF32) {
   serve::EngineOptions opts;
   opts.max_batch = max_batch;
   opts.max_delay_us = 200;
   opts.max_queue = 1024;
   opts.warmup_batches = 2;
+  opts.precision = precision;
   serve::SampleSpec spec;
   spec.x = samples[0].x.shape();
   for (const auto& e : samples[0].extras) spec.extras.push_back(e.shape());
-  serve::Engine engine(serve::GridForward(model), spec, opts);
+  serve::Engine engine(serve::GridForward(model, opts.precision), spec, opts);
 
   std::vector<std::vector<int64_t>> latencies(clients);
   std::atomic<int64_t> errors{0};
@@ -95,6 +99,7 @@ Record RunOnce(const std::string& model_name, models::GridModel& model,
 
   Record rec;
   rec.model = model_name;
+  rec.precision = nn::PrecisionName(precision);
   rec.max_batch = max_batch;
   rec.clients = clients;
   rec.requests = static_cast<int64_t>(clients) * requests_per_client -
@@ -150,11 +155,12 @@ void WriteJson(const std::string& path, const std::vector<Record>& records,
     const Record& r = records[i];
     std::fprintf(
         f,
-        "    {\"model\": \"%s\", \"max_batch\": %d, \"clients\": %d, "
+        "    {\"model\": \"%s\", \"precision\": \"%s\", \"max_batch\": %d, "
+        "\"clients\": %d, "
         "\"requests\": %lld, \"seconds\": %.6f, \"throughput_rps\": %.1f, "
         "\"p50_us\": %lld, \"p99_us\": %lld, \"mean_batch\": %.2f, "
         "\"batches\": %lld}%s\n",
-        r.model.c_str(), r.max_batch, r.clients,
+        r.model.c_str(), r.precision.c_str(), r.max_batch, r.clients,
         static_cast<long long>(r.requests), r.seconds, r.throughput_rps,
         static_cast<long long>(r.p50_us), static_cast<long long>(r.p99_us),
         r.mean_batch, static_cast<long long>(r.batches),
@@ -255,6 +261,32 @@ void Run(const BenchArgs& args, const std::string& json_path, bool smoke) {
   }
   PrintRule();
 
+  // Per-precision rows over the first zoo model (the f32 row above is
+  // the baseline; these serve the same model through the adapters'
+  // precision path — GEOTORCH_SERVE_PRECISION in production). Grid
+  // models are conv-heavy, so the weight operand rides the GEMM's A
+  // side and cannot be pre-packed: expect bf16 near 1x here and int8
+  // winning on compute alone; quant_bench has the classifier story.
+  std::printf("per-precision (model=%s, clients=4, max_batch=8)\n",
+              zoo.front().name.c_str());
+  for (nn::Precision p : {nn::Precision::kBf16, nn::Precision::kInt8}) {
+    Record rec;
+    for (int r = 0; r < reps; ++r) {
+      Record one = RunOnce(zoo.front().name, *zoo.front().model,
+                           zoo.front().samples, /*max_batch=*/8,
+                           /*clients=*/4, requests_per_client, p);
+      if (r == 0 || one.throughput_rps > rec.throughput_rps) rec = one;
+    }
+    std::printf("%-14s %-10d %-8d %-12.1f %-9lld %-9lld %-10.2f  [%s]\n",
+                rec.model.c_str(), rec.max_batch, rec.clients,
+                rec.throughput_rps, static_cast<long long>(rec.p50_us),
+                static_cast<long long>(rec.p99_us), rec.mean_batch,
+                rec.precision.c_str());
+    records.push_back(rec);
+  }
+  zoo.front().model->SetPrecision(nn::Precision::kF32);
+  PrintRule();
+
   // Acceptance headline: coalescing (max_batch >= 8) vs batch-size-1
   // at >= 4 concurrent clients — best batched config over the
   // batch-1 row with the same model and client count. On a host with
@@ -267,10 +299,11 @@ void Run(const BenchArgs& args, const std::string& json_path, bool smoke) {
   int speedup_batch = 0;
   double speedup = 0.0;
   for (const Record& r : records) {
-    if (r.clients < 4 || r.max_batch < 8) continue;
+    if (r.clients < 4 || r.max_batch < 8 || r.precision != "f32") continue;
     for (const Record& base : records) {
-      if (base.max_batch == 1 && base.clients == r.clients &&
-          base.model == r.model && base.throughput_rps > 0) {
+      if (base.max_batch == 1 && base.precision == "f32" &&
+          base.clients == r.clients && base.model == r.model &&
+          base.throughput_rps > 0) {
         const double s = r.throughput_rps / base.throughput_rps;
         if (s > speedup) {
           speedup = s;

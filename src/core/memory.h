@@ -62,6 +62,9 @@ enum WorkspaceSlot {
   kWorkspaceGemmPackB,      ///< packed B micro-panels (GEMM)
   kWorkspaceIm2Col,         ///< im2col patch matrix (conv kernels)
   kWorkspaceConvCols,       ///< second column matrix (conv backward/transpose)
+  kWorkspaceGemmLpA,        ///< packed A panels, low-precision GEMMs
+  kWorkspaceGemmLpB,        ///< packed B panels, low-precision GEMMs
+  kWorkspaceQuant,          ///< quantized activations at layer boundaries
   kWorkspaceSlotCount,
 };
 

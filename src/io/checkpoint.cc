@@ -7,13 +7,17 @@
 #include <set>
 
 #include "io/crc32.h"
+#include "tensor/quant.h"
 #include "tensor/shape.h"
 
 namespace geotorch::io {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'T', 'C', 'P'};
-constexpr uint32_t kVersion = 1;
+// Version 2 added the quantized-tensor section; files without
+// qtensors are still written as version 1 (identical bytes to the
+// pre-quantization writer) and version-1 files parse forever.
+constexpr uint32_t kVersion = 2;
 // Sanity bounds: a record that claims more than this is corrupt, not
 // merely large (the biggest real model here is ~1M parameters).
 constexpr uint32_t kMaxNameLen = 4096;
@@ -90,9 +94,22 @@ Status Corrupt(const std::string& path, const std::string& what) {
 
 }  // namespace
 
+int64_t QuantTensor::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims) n *= d;
+  return n;
+}
+
 const tensor::Tensor* Checkpoint::FindTensor(const std::string& name) const {
   for (const auto& [n, t] : tensors) {
     if (n == name) return &t;
+  }
+  return nullptr;
+}
+
+const QuantTensor* Checkpoint::FindQuantTensor(const std::string& name) const {
+  for (const auto& q : qtensors) {
+    if (q.name == name) return &q;
   }
   return nullptr;
 }
@@ -114,15 +131,29 @@ const double* Checkpoint::FindFloat(const std::string& name) const {
 Status WriteCheckpoint(const std::string& path, const Checkpoint& ckpt) {
   Writer w;
   w.PutBytes(kMagic, sizeof(kMagic));
-  w.Put(kVersion);
+  // A checkpoint with no qtensors serializes as version 1 so f32-only
+  // files stay byte-identical to the pre-quantization format.
+  const uint32_t version = ckpt.qtensors.empty() ? 1u : kVersion;
+  w.Put(version);
   w.Put(static_cast<uint32_t>(ckpt.tensors.size()));
   w.Put(static_cast<uint32_t>(ckpt.ints.size()));
   w.Put(static_cast<uint32_t>(ckpt.floats.size()));
+  if (version >= 2) w.Put(static_cast<uint32_t>(ckpt.qtensors.size()));
   for (const auto& [name, t] : ckpt.tensors) {
     w.PutName(name);
     w.Put(static_cast<uint32_t>(t.ndim()));
     for (int64_t d : t.shape()) w.Put(d);
     w.PutBytes(t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+  for (const auto& q : ckpt.qtensors) {
+    w.PutName(q.name);
+    w.Put(static_cast<uint8_t>(q.kind));
+    w.Put(static_cast<uint32_t>(q.dims.size()));
+    for (int64_t d : q.dims) w.Put(d);
+    w.Put(q.zero_point);
+    w.Put(static_cast<uint32_t>(q.scales.size()));
+    w.PutBytes(q.scales.data(), q.scales.size() * sizeof(float));
+    w.PutBytes(q.data.data(), q.data.size());
   }
   for (const auto& [name, v] : ckpt.ints) {
     w.PutName(name);
@@ -184,11 +215,24 @@ Result<Checkpoint> ReadCheckpoint(const std::string& path) {
   uint32_t num_tensors = 0;
   uint32_t num_ints = 0;
   uint32_t num_floats = 0;
+  uint32_t num_qtensors = 0;
   r.GetBytes(magic, sizeof(magic));
-  if (!r.Get(&version) || version != kVersion) {
+  if (!r.Get(&version)) {
+    return Corrupt(path, "truncated version field");
+  }
+  if (version > kVersion) {
+    return Status::IoError("checkpoint version " + std::to_string(version) +
+                           " in " + path + " is newer than this build's " +
+                           std::to_string(kVersion) +
+                           " (refusing to guess at the format)");
+  }
+  if (version < 1) {
     return Status::IoError("unsupported checkpoint version in " + path);
   }
   if (!r.Get(&num_tensors) || !r.Get(&num_ints) || !r.Get(&num_floats)) {
+    return Corrupt(path, "truncated section counts");
+  }
+  if (version >= 2 && !r.Get(&num_qtensors)) {
     return Corrupt(path, "truncated section counts");
   }
 
@@ -215,6 +259,51 @@ Result<Checkpoint> ReadCheckpoint(const std::string& path) {
       return Corrupt(path, "truncated payload for '" + name + "'");
     }
     ckpt.tensors.emplace_back(std::move(name), std::move(t));
+  }
+  ckpt.qtensors.reserve(num_qtensors);
+  for (uint32_t i = 0; i < num_qtensors; ++i) {
+    QuantTensor q;
+    uint8_t kind = 0;
+    uint32_t rank = 0;
+    if (!r.GetName(&q.name) || !r.Get(&kind) ||
+        kind > static_cast<uint8_t>(QuantKind::kPerCol) || !r.Get(&rank) ||
+        rank > kMaxRank) {
+      return Corrupt(path, "bad quantized tensor record header");
+    }
+    q.kind = static_cast<QuantKind>(kind);
+    q.dims.resize(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!r.Get(&q.dims[d]) || q.dims[d] < 0) {
+        return Corrupt(path, "bad quantized dims for '" + q.name + "'");
+      }
+    }
+    uint32_t nscales = 0;
+    if (!r.Get(&q.zero_point) || !r.Get(&nscales)) {
+      return Corrupt(path, "bad quantized scale header for '" + q.name + "'");
+    }
+    const int64_t n = q.numel();
+    int64_t want_scales = 1;
+    if (q.kind == QuantKind::kPerRow) {
+      want_scales = q.dims.empty() ? 1 : q.dims.front();
+    } else if (q.kind == QuantKind::kPerCol) {
+      want_scales = q.dims.empty() ? 1 : q.dims.back();
+    }
+    if (nscales != static_cast<uint32_t>(want_scales)) {
+      return Corrupt(path, "scale count does not match the quantization "
+                           "kind for '" + q.name + "'");
+    }
+    if (static_cast<size_t>(nscales) * sizeof(float) +
+            static_cast<size_t>(n) >
+        r.remaining()) {
+      return Corrupt(path, "truncated quantized payload for '" + q.name + "'");
+    }
+    q.scales.resize(nscales);
+    q.data.resize(n);
+    if (!r.GetBytes(q.scales.data(), nscales * sizeof(float)) ||
+        !r.GetBytes(q.data.data(), n)) {
+      return Corrupt(path, "truncated quantized payload for '" + q.name + "'");
+    }
+    ckpt.qtensors.push_back(std::move(q));
   }
   for (uint32_t i = 0; i < num_ints; ++i) {
     std::string name;
@@ -246,6 +335,77 @@ Status SaveStateDict(const nn::Module& module, const std::string& path) {
   return WriteCheckpoint(path, ckpt);
 }
 
+QuantTensor QuantizeTensor(const std::string& name, const tensor::Tensor& t) {
+  QuantTensor q;
+  q.name = name;
+  q.dims.assign(t.shape().begin(), t.shape().end());
+  const int64_t n = t.numel();
+  q.data.resize(n);
+  if (t.ndim() == 2) {
+    // Linear weights (in, out): per output column.
+    q.kind = QuantKind::kPerCol;
+    q.scales.resize(t.size(1));
+    tensor::QuantizeColsInt8(t.data(), t.size(0), t.size(1), q.data.data(),
+                             q.scales.data());
+  } else if (t.ndim() >= 3) {
+    // Conv-style weights (F, ...): per output filter row.
+    q.kind = QuantKind::kPerRow;
+    const int64_t rows = t.size(0);
+    q.scales.resize(rows);
+    tensor::QuantizeRowsInt8(t.data(), rows, rows > 0 ? n / rows : 0,
+                             q.data.data(), q.scales.data());
+  } else {
+    q.kind = QuantKind::kPerTensor;
+    q.scales.resize(1);
+    q.scales[0] = tensor::SymmetricScale(tensor::AbsMax(t.data(), n));
+    tensor::QuantizeInt8(t.data(), n, q.scales[0], q.data.data());
+  }
+  return q;
+}
+
+tensor::Tensor DequantizeTensor(const QuantTensor& q) {
+  tensor::Shape shape(q.dims.size());
+  for (size_t i = 0; i < q.dims.size(); ++i) shape[i] = q.dims[i];
+  tensor::Tensor t = tensor::Tensor::Uninitialized(std::move(shape));
+  const int64_t n = q.numel();
+  float* out = t.data();
+  if (q.kind == QuantKind::kPerTensor) {
+    const float s = q.scales[0];
+    for (int64_t i = 0; i < n; ++i) out[i] = s * q.data[i];
+  } else if (q.kind == QuantKind::kPerRow) {
+    const int64_t rows = q.dims.front();
+    const int64_t cols = rows > 0 ? n / rows : 0;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float s = q.scales[r];
+      for (int64_t c = 0; c < cols; ++c) {
+        out[r * cols + c] = s * q.data[r * cols + c];
+      }
+    }
+  } else {
+    const int64_t cols = q.dims.back();
+    const int64_t rows = cols > 0 ? n / cols : 0;
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) {
+        out[r * cols + c] = q.scales[c] * q.data[r * cols + c];
+      }
+    }
+  }
+  return t;
+}
+
+Status SaveQuantizedStateDict(const nn::Module& module,
+                              const std::string& path) {
+  Checkpoint ckpt;
+  for (auto& [name, p] : module.NamedParameters()) {
+    if (p.value().ndim() >= 2) {
+      ckpt.qtensors.push_back(QuantizeTensor(name, p.value()));
+    } else {
+      ckpt.tensors.emplace_back(name, p.value());
+    }
+  }
+  return WriteCheckpoint(path, ckpt);
+}
+
 Status ApplyStateDict(nn::Module& module, const Checkpoint& ckpt,
                       const LoadOptions& options, const std::string& prefix) {
   std::set<std::string> loaded;
@@ -253,6 +413,21 @@ Status ApplyStateDict(nn::Module& module, const Checkpoint& ckpt,
     if (full_name.compare(0, prefix.size(), prefix) != 0) continue;
     const std::string name = full_name.substr(prefix.size());
     Status s = module.LoadNamedParameter(name, t);
+    if (s.code() == StatusCode::kNotFound) {
+      if (options.strict) {
+        return Status::InvalidArgument(
+            "state dict has unknown parameter '" + name +
+            "' (strict mode; module has no such parameter)");
+      }
+      continue;
+    }
+    GEO_RETURN_NOT_OK(s);
+    loaded.insert(name);
+  }
+  for (const QuantTensor& q : ckpt.qtensors) {
+    if (q.name.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string name = q.name.substr(prefix.size());
+    Status s = module.LoadNamedParameter(name, DequantizeTensor(q));
     if (s.code() == StatusCode::kNotFound) {
       if (options.strict) {
         return Status::InvalidArgument(

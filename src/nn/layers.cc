@@ -1,15 +1,65 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/check.h"
+#include "core/memory.h"
 #include "nn/init.h"
+#include "obs/obs.h"
+#include "tensor/conv.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 
 namespace geotorch::nn {
 
 namespace ag = ::geotorch::autograd;
 namespace ts = ::geotorch::tensor;
+
+namespace {
+
+// Publishes the worst per-element dequantization error of an int8
+// weight cache, as parts-per-million of the tensor's absmax. Gauges are
+// last-write-wins, so the value reflects the most recently quantized
+// layer — enough to spot a layer whose distribution quantizes badly.
+void PublishWeightQuantError(const float* w, const int8_t* q,
+                             const float* scales, int64_t rows, int64_t cols,
+                             bool per_row) {
+  float max_err = 0.0f;
+  float absmax = 0.0f;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const float orig = w[r * cols + c];
+      const float s = per_row ? scales[r] : scales[c];
+      max_err = std::max(max_err,
+                         std::fabs(orig - static_cast<float>(q[r * cols + c]) *
+                                              s));
+      absmax = std::max(absmax, std::fabs(orig));
+    }
+  }
+  if (absmax > 0.0f) {
+    obs::SetGauge("quant.weight_err_ppm",
+                  static_cast<int64_t>(1e6f * max_err / absmax + 0.5f));
+  }
+}
+
+// True when the eval forward should take a low-precision kernel: never
+// in training or calibration, and never when a gradient graph is being
+// recorded (low-precision paths have no backward).
+bool UseLowPrecision(const Module& m) {
+  return !m.training() && !m.calibrating() &&
+         m.precision() != Precision::kF32 && !ag::GradEnabled();
+}
+
+void AddBiasRow(float* y, const float* b, int64_t m, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = y + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] += b[j];
+  }
+}
+
+}  // namespace
 
 // --- Linear ---------------------------------------------------------------
 
@@ -26,9 +76,70 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
 
 ag::Variable Linear::Forward(const ag::Variable& x) {
   GEO_CHECK_EQ(x.value().ndim(), 2);
+  const ts::Tensor& xv = x.value();
+  if (!training() && calibrating()) {
+    act_absmax_ = std::max(act_absmax_, ts::AbsMax(xv.data(), xv.numel()));
+  }
+  if (UseLowPrecision(*this)) {
+    const int64_t m = xv.size(0);
+    const int64_t k = xv.size(1);
+    const int64_t n = weight_.shape()[1];
+    if (precision() == Precision::kBf16 && !w_bf16_.empty()) {
+      ts::Tensor y = ts::Tensor::Uninitialized({m, n});
+      ts::GemmBf16(xv.data(), ts::Bf16PackedB{w_bf16_.data()}, y.data(), m, k,
+                   n);
+      if (has_bias_) AddBiasRow(y.data(), bias_.value().data(), m, n);
+      return ag::Variable(std::move(y));
+    }
+    if (precision() == Precision::kInt8 && !w_q_.empty()) {
+      const float act_scale =
+          act_absmax_ > 0.0f
+              ? ts::SymmetricScale(act_absmax_)
+              : ts::SymmetricScale(ts::AbsMax(xv.data(), xv.numel()));
+      int8_t* xq = reinterpret_cast<int8_t*>(
+          ThreadLocalWorkspace(kWorkspaceQuant, (m * k + 3) / 4));
+      ts::QuantizeInt8(xv.data(), m * k, act_scale, xq);
+      ts::Tensor y = ts::Tensor::Uninitialized({m, n});
+      ts::Int8GemmOptions opts;
+      opts.a_scales = &act_scale;
+      opts.a_scales_len = 1;
+      opts.b_scales = w_scales_.data();
+      opts.b_scales_len = n;
+      ts::GemmInt8(xq, ts::Int8PackedB{w_q_.data()}, y.data(), m, k, n, opts);
+      if (has_bias_) AddBiasRow(y.data(), bias_.value().data(), m, n);
+      return ag::Variable(std::move(y));
+    }
+  }
   ag::Variable y = ag::MatMul(x, weight_);
   if (has_bias_) y = ag::Add(y, bias_);
   return y;
+}
+
+void Linear::OnPrecisionChanged() {
+  w_bf16_.clear();
+  w_q_.clear();
+  w_scales_.clear();
+  const ts::Tensor& w = weight_.value();
+  const int64_t in = w.size(0);
+  const int64_t out = w.size(1);
+  // The weight is the (constant) B operand of every serving matmul, so
+  // it is stored pre-packed in the kernel's panel layout — the per-call
+  // cost of the low-precision GEMM is then just packing the small
+  // activation panel.
+  if (precision() == Precision::kBf16) {
+    std::vector<uint16_t> raw(w.numel());
+    ts::ConvertToBf16(w.data(), raw.data(), w.numel());
+    w_bf16_.resize(ts::Bf16PackedBSize(in, out));
+    ts::PackBf16B(raw.data(), in, out, w_bf16_.data());
+  } else if (precision() == Precision::kInt8) {
+    std::vector<int8_t> raw(w.numel());
+    w_scales_.resize(out);
+    ts::QuantizeColsInt8(w.data(), in, out, raw.data(), w_scales_.data());
+    PublishWeightQuantError(w.data(), raw.data(), w_scales_.data(), in, out,
+                            /*per_row=*/false);
+    w_q_.resize(ts::Int8PackedBSize(in, out));
+    ts::PackInt8B(raw.data(), in, out, w_q_.data());
+  }
 }
 
 // --- Conv2d ---------------------------------------------------------------
@@ -48,7 +159,50 @@ Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
 }
 
 ag::Variable Conv2d::Forward(const ag::Variable& x) {
+  const ts::Tensor& xv = x.value();
+  if (!training() && calibrating()) {
+    act_absmax_ = std::max(act_absmax_, ts::AbsMax(xv.data(), xv.numel()));
+  }
+  if (UseLowPrecision(*this)) {
+    const ts::Tensor& w = weight_.value();
+    const int64_t f = w.size(0);
+    const int64_t c = w.size(1);
+    const int64_t kh = w.size(2);
+    const int64_t kw = w.size(3);
+    const ts::Tensor empty;
+    const ts::Tensor& b = has_bias_ ? bias_.value() : empty;
+    if (precision() == Precision::kBf16 && !w_bf16_.empty()) {
+      return ag::Variable(
+          ts::Conv2dForwardBf16(xv, w_bf16_.data(), f, c, kh, kw, b, spec_));
+    }
+    if (precision() == Precision::kInt8 && !w_q_.empty()) {
+      const float act_scale =
+          act_absmax_ > 0.0f ? ts::SymmetricScale(act_absmax_) : 0.0f;
+      return ag::Variable(ts::Conv2dForwardInt8(xv, w_q_.data(),
+                                                w_scales_.data(), f, c, kh, kw,
+                                                act_scale, b, spec_));
+    }
+  }
   return ag::Conv2d(x, weight_, has_bias_ ? bias_ : ag::Variable(), spec_);
+}
+
+void Conv2d::OnPrecisionChanged() {
+  w_bf16_.clear();
+  w_q_.clear();
+  w_scales_.clear();
+  const ts::Tensor& w = weight_.value();
+  if (precision() == Precision::kBf16) {
+    w_bf16_.resize(w.numel());
+    ts::ConvertToBf16(w.data(), w_bf16_.data(), w.numel());
+  } else if (precision() == Precision::kInt8) {
+    const int64_t f = w.size(0);
+    const int64_t ck = w.numel() / f;
+    w_q_.resize(w.numel());
+    w_scales_.resize(f);
+    ts::QuantizeRowsInt8(w.data(), f, ck, w_q_.data(), w_scales_.data());
+    PublishWeightQuantError(w.data(), w_q_.data(), w_scales_.data(), f, ck,
+                            /*per_row=*/true);
+  }
 }
 
 // --- ConvTranspose2d -------------------------------------------------------

@@ -1,6 +1,7 @@
 #ifndef GEOTORCH_NN_LAYERS_H_
 #define GEOTORCH_NN_LAYERS_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -10,19 +11,39 @@
 namespace geotorch::nn {
 
 /// Fully connected layer: y = x @ W + b with x: (N, in), W: (in, out).
+///
+/// In eval mode with gradients disabled, SetPrecision(kBf16 / kInt8)
+/// routes the matmul through the low-precision GEMMs (DESIGN.md §10):
+/// bf16 keeps the weights stored at half width; int8 uses per-output-
+/// channel symmetric weight scales and a per-tensor activation scale
+/// (static when calibrated via SetCalibrating, else per-batch).
 class Linear : public UnaryModule {
  public:
   Linear(int64_t in_features, int64_t out_features, Rng& rng,
          bool bias = true);
   autograd::Variable Forward(const autograd::Variable& x) override;
 
+ protected:
+  void OnPrecisionChanged() override;
+
  private:
   autograd::Variable weight_;
   autograd::Variable bias_;
   bool has_bias_;
+  // Low-precision weight caches, rebuilt by SetPrecision from the
+  // current f32 parameters (empty in f32 mode). Both hold the weight
+  // pre-packed in the GEMM panel layout (Bf16PackedB / Int8PackedB) so
+  // serving skips the per-call B pack; they are derived state and are
+  // never persisted.
+  std::vector<uint16_t> w_bf16_;
+  std::vector<int8_t> w_q_;
+  std::vector<float> w_scales_;
+  float act_absmax_ = 0.0f;  // recorded during calibration; 0 = dynamic
 };
 
-/// 2-D convolution over NCHW input.
+/// 2-D convolution over NCHW input. Supports the same eval-time
+/// low-precision modes as Linear (per-output-channel int8 weight
+/// scales, i.e. per row of the flattened (F, C*KH*KW) weight matrix).
 class Conv2d : public UnaryModule {
  public:
   Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
@@ -30,11 +51,18 @@ class Conv2d : public UnaryModule {
          bool bias = true);
   autograd::Variable Forward(const autograd::Variable& x) override;
 
+ protected:
+  void OnPrecisionChanged() override;
+
  private:
   autograd::Variable weight_;
   autograd::Variable bias_;
   tensor::ConvSpec spec_;
   bool has_bias_;
+  std::vector<uint16_t> w_bf16_;
+  std::vector<int8_t> w_q_;
+  std::vector<float> w_scales_;
+  float act_absmax_ = 0.0f;
 };
 
 /// Transposed 2-D convolution (upsampling decoder layers).

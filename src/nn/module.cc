@@ -58,6 +58,17 @@ void Module::SetTraining(bool training) {
   for (auto& [name, child] : children_) child->SetTraining(training);
 }
 
+void Module::SetPrecision(Precision precision) {
+  precision_ = precision;
+  for (auto& [name, child] : children_) child->SetPrecision(precision);
+  OnPrecisionChanged();
+}
+
+void Module::SetCalibrating(bool calibrating) {
+  calibrating_ = calibrating;
+  for (auto& [name, child] : children_) child->SetCalibrating(calibrating);
+}
+
 int64_t Module::NumParameters() const {
   int64_t n = 0;
   for (const auto& p : Parameters()) n += p.numel();

@@ -7,6 +7,7 @@
 
 #include "autograd/variable.h"
 #include "core/status.h"
+#include "nn/precision.h"
 
 namespace geotorch::nn {
 
@@ -46,6 +47,21 @@ class Module {
   void SetTraining(bool training);
   bool training() const { return training_; }
 
+  /// Selects the eval-path numeric mode recursively. Layers with a
+  /// low-precision kernel (Linear, Conv2d) re-derive their quantized /
+  /// bf16 weight caches from the current f32 parameters, so call this
+  /// (again) after loading a checkpoint. Training forwards ignore the
+  /// setting and stay f32.
+  void SetPrecision(Precision precision);
+  Precision precision() const { return precision_; }
+
+  /// Toggles calibration mode recursively. While calibrating, eval
+  /// forwards run in f32 and quantizing layers record the absolute
+  /// maximum of their activations; the next int8 forward uses that
+  /// static per-tensor scale instead of a per-batch dynamic one.
+  void SetCalibrating(bool calibrating);
+  bool calibrating() const { return calibrating_; }
+
   /// Total number of scalar parameters.
   int64_t NumParameters() const;
 
@@ -57,10 +73,16 @@ class Module {
   /// data member).
   void RegisterModule(std::string name, Module* child);
 
+  /// Hook invoked after precision() changes; layers rebuild their
+  /// low-precision weight caches here.
+  virtual void OnPrecisionChanged() {}
+
  private:
   std::vector<std::pair<std::string, autograd::Variable>> params_;
   std::vector<std::pair<std::string, Module*>> children_;
   bool training_ = true;
+  Precision precision_ = Precision::kF32;
+  bool calibrating_ = false;
 };
 
 /// A module with the common one-in/one-out forward signature, enabling

@@ -6,16 +6,20 @@ namespace geotorch::serve {
 
 namespace ag = ::geotorch::autograd;
 
-Engine::BatchForward GridForward(models::GridModel& model) {
+Engine::BatchForward GridForward(models::GridModel& model,
+                                 nn::Precision precision) {
   model.SetTraining(false);
+  model.SetPrecision(precision);
   return [&model](const data::Batch& batch) {
     ag::NoGradGuard no_grad;
     return model.Forward(batch).value();
   };
 }
 
-Engine::BatchForward ClassifierForward(models::RasterClassifier& model) {
+Engine::BatchForward ClassifierForward(models::RasterClassifier& model,
+                                       nn::Precision precision) {
   model.SetTraining(false);
+  model.SetPrecision(precision);
   return [&model](const data::Batch& batch) {
     ag::NoGradGuard no_grad;
     ag::Variable x(batch.x);
@@ -26,8 +30,10 @@ Engine::BatchForward ClassifierForward(models::RasterClassifier& model) {
   };
 }
 
-Engine::BatchForward UnaryForward(nn::UnaryModule& model) {
+Engine::BatchForward UnaryForward(nn::UnaryModule& model,
+                                  nn::Precision precision) {
   model.SetTraining(false);
+  model.SetPrecision(precision);
   return [&model](const data::Batch& batch) {
     ag::NoGradGuard no_grad;
     return model.Forward(ag::Variable(batch.x)).value();

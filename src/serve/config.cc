@@ -1,6 +1,7 @@
 #include "serve/config.h"
 
 #include <cstdlib>
+#include <string>
 
 namespace geotorch::serve {
 namespace {
@@ -30,6 +31,10 @@ EngineOptions EngineOptions::FromEnv() {
       ClampMin(EnvInt("GEOTORCH_SERVE_MAX_QUEUE", opts.max_queue), 1);
   opts.warmup_batches =
       ClampMin(EnvInt("GEOTORCH_SERVE_WARMUP", opts.warmup_batches), 0);
+  if (const char* env = std::getenv("GEOTORCH_SERVE_PRECISION");
+      env != nullptr && *env != '\0') {
+    nn::ParsePrecision(std::string(env), &opts.precision);
+  }
   return opts;
 }
 

@@ -1,6 +1,8 @@
 #ifndef GEOTORCH_SERVE_CONFIG_H_
 #define GEOTORCH_SERVE_CONFIG_H_
 
+#include "nn/precision.h"
+
 namespace geotorch::serve {
 
 /// Dynamic micro-batcher knobs (DESIGN.md §9). FromEnv() overrides the
@@ -20,11 +22,20 @@ namespace geotorch::serve {
 ///                                engine construction, so the first
 ///                                real request does not pay pool /
 ///                                workspace cold-start (default 2)
+///   GEOTORCH_SERVE_PRECISION     numeric mode the served model runs
+///                                its GEMMs in: "f32" (default),
+///                                "bf16", or "int8" (DESIGN.md §10).
+///                                Applied by the serve/adapters.h
+///                                factories at model-wrap time, which
+///                                is when int8 weights are quantized
+///                                and panel-packed; unknown values are
+///                                ignored
 struct EngineOptions {
   int max_batch = 16;
   int max_delay_us = 200;
   int max_queue = 256;
   int warmup_batches = 2;
+  nn::Precision precision = nn::Precision::kF32;
 
   /// Defaults overridden by any GEOTORCH_SERVE_* variables present.
   /// Values are clamped to sane minimums (max_batch/max_queue >= 1,

@@ -140,13 +140,18 @@ void Engine::BatcherLoop() {
       // whole budget): run what we have. The window is 1/16 of the
       // budget — wide enough to catch back-to-back submits, narrow
       // enough that an unfillable batch costs little dead time.
-      // Drain skips the wait entirely.
+      // Drain skips the wait entirely, and so does a stream that just
+      // proved it cannot coalesce (skip_fill_wait_, set by RunBatch):
+      // a lone sequential client submits only after the previous
+      // reply, so even one quiet window per request is pure added
+      // latency — run immediately until batching pressure reappears.
       const int64_t deadline_ns =
           queue_.front().enqueue_ns +
           static_cast<int64_t>(options_.max_delay_us) * 1000;
       const int64_t quiet_ns =
           std::max<int64_t>(1000, options_.max_delay_us * 1000 / 16);
-      while (static_cast<int>(queue_.size()) < options_.max_batch &&
+      while (!skip_fill_wait_ &&
+             static_cast<int>(queue_.size()) < options_.max_batch &&
              !draining_) {
         const int64_t now = obs::NowNs();
         if (now >= deadline_ns) break;
@@ -200,6 +205,20 @@ void Engine::RunBatch(std::vector<Request> requests) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   GEO_OBS_COUNT("serve.batches", 1);
   GEO_OBS_HIST("serve.batch_size", b);
+
+  // Decide the next cycle's fill-wait BEFORE any promise is fulfilled:
+  // once a waiter wakes it may resubmit instantly, and that follow-up
+  // from a non-coalescing client must not be mistaken for batching
+  // pressure. A singleton batch that left the queue empty means the
+  // fill-wait gained nothing — skip it next cycle. Any coalescing at
+  // all (b > 1), or requests queued behind this forward, re-arms the
+  // wait; partial-but-plural batches (say 4 steady clients under
+  // max_batch 16) keep their quiet window, because for them it is
+  // what makes batching happen.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    skip_fill_wait_ = b == 1 && queue_.empty();
+  }
 
   ts::Shape row_shape(out.shape().begin() + 1, out.shape().end());
   if (row_shape.empty()) row_shape = {1};

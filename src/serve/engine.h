@@ -96,6 +96,14 @@ class Engine {
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool draining_ = false;
+  /// Guarded by mu_. Set by RunBatch when the batch it just ran was a
+  /// singleton AND the queue was empty at completion: the request
+  /// stream demonstrably does not coalesce (a lone sequential client
+  /// only submits after the previous reply), so the next cycle skips
+  /// the fill-wait and runs immediately instead of burning a quiet
+  /// window per request. Cleared as soon as any coalescing happens or
+  /// requests queue up behind a running forward.
+  bool skip_fill_wait_ = false;
 
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> rejected_{0};

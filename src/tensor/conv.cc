@@ -11,6 +11,7 @@
 #include "core/thread_pool.h"
 #include "tensor/device.h"
 #include "tensor/gemm.h"
+#include "tensor/quant.h"
 
 namespace geotorch::tensor {
 namespace {
@@ -160,6 +161,88 @@ Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& bias,
         for (int64_t j = 0; j < l; ++j) row[j] += b;
       }
     }
+  });
+  return out;
+}
+
+namespace {
+
+// Shared shape bookkeeping for the low-precision forwards.
+struct LpConvDims {
+  int64_t n, oh, ow, ck, l;
+};
+
+LpConvDims LpConvCheck(const Tensor& x, int64_t f, int64_t c, int64_t kh,
+                       int64_t kw, const Tensor& bias, const ConvSpec& spec) {
+  GEO_CHECK_EQ(x.ndim(), 4);
+  GEO_CHECK_EQ(x.size(1), c) << "Conv2d channel mismatch";
+  LpConvDims d;
+  d.n = x.size(0);
+  d.oh = ConvOutSize(x.size(2), kh, spec.stride, spec.padding);
+  d.ow = ConvOutSize(x.size(3), kw, spec.stride, spec.padding);
+  d.ck = c * kh * kw;
+  d.l = d.oh * d.ow;
+  if (bias.numel() > 0) {
+    GEO_CHECK_EQ(bias.numel(), f);
+  }
+  return d;
+}
+
+void AddBiasRows(float* out_i, const float* pb, int64_t f, int64_t l) {
+  for (int64_t fi = 0; fi < f; ++fi) {
+    float* row = out_i + fi * l;
+    const float b = pb[fi];
+    for (int64_t j = 0; j < l; ++j) row[j] += b;
+  }
+}
+
+}  // namespace
+
+Tensor Conv2dForwardBf16(const Tensor& x, const uint16_t* w_bf16, int64_t f,
+                         int64_t c, int64_t kh, int64_t kw, const Tensor& bias,
+                         const ConvSpec& spec) {
+  const LpConvDims d = LpConvCheck(x, f, c, kh, kw, bias, spec);
+  Tensor out = Tensor::Uninitialized({d.n, f, d.oh, d.ow});
+  const float* pb = bias.numel() > 0 ? bias.data() : nullptr;
+  float* po = out.data();
+  ForEachSample(d.n, [&](int64_t i) {
+    float* cols = ThreadLocalWorkspace(kWorkspaceIm2Col, d.ck * d.l);
+    Im2ColInto(x, i, kh, kw, spec, cols);
+    float* out_i = po + i * f * d.l;
+    GemmBf16(w_bf16, cols, out_i, f, d.ck, d.l, {.beta = 0.0f});
+    if (pb != nullptr) AddBiasRows(out_i, pb, f, d.l);
+  });
+  return out;
+}
+
+Tensor Conv2dForwardInt8(const Tensor& x, const int8_t* w_q,
+                         const float* w_scales, int64_t f, int64_t c,
+                         int64_t kh, int64_t kw, float act_scale,
+                         const Tensor& bias, const ConvSpec& spec) {
+  const LpConvDims d = LpConvCheck(x, f, c, kh, kw, bias, spec);
+  // Per-tensor activation scale: static (calibrated) when provided,
+  // otherwise derived from the whole batch up front — never per sample,
+  // so serial and parallel schedules quantize identically.
+  if (act_scale <= 0.0f) {
+    act_scale = SymmetricScale(AbsMax(x.data(), x.numel()));
+  }
+  Tensor out = Tensor::Uninitialized({d.n, f, d.oh, d.ow});
+  const float* pb = bias.numel() > 0 ? bias.data() : nullptr;
+  float* po = out.data();
+  ForEachSample(d.n, [&](int64_t i) {
+    float* cols = ThreadLocalWorkspace(kWorkspaceIm2Col, d.ck * d.l);
+    Im2ColInto(x, i, kh, kw, spec, cols);
+    int8_t* colsq = reinterpret_cast<int8_t*>(
+        ThreadLocalWorkspace(kWorkspaceQuant, (d.ck * d.l + 3) / 4));
+    QuantizeInt8(cols, d.ck * d.l, act_scale, colsq);
+    float* out_i = po + i * f * d.l;
+    Int8GemmOptions opts;
+    opts.a_scales = w_scales;
+    opts.a_scales_len = f;
+    opts.b_scales = &act_scale;
+    opts.b_scales_len = 1;
+    GemmInt8(w_q, colsq, out_i, f, d.ck, d.l, opts);
+    if (pb != nullptr) AddBiasRows(out_i, pb, f, d.l);
   });
   return out;
 }

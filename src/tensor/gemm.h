@@ -43,6 +43,78 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
 void ReferenceGemm(const float* a, const float* b, float* c, int64_t m,
                    int64_t k, int64_t n, const GemmOptions& opts = {});
 
+/// bf16-storage, f32-accumulate GEMM (gemm_bf16.cc): operands are
+/// rounded to bf16 (round-to-nearest-even) as they are packed into the
+/// panel workspaces, the micro-kernel widens them back to f32 and
+/// accumulates in f32. C = A_bf16 · B_bf16 + beta·C. Same transpose /
+/// parallelism semantics as Gemm(); K-accumulation order is fixed, so
+/// serial == parallel bitwise. The second overload takes B already
+/// converted to bf16 (row-major (k, n), no transpose) — the layer eval
+/// path uses it to keep weights stored at half width.
+void GemmBf16(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n, const GemmOptions& opts = {});
+void GemmBf16(const float* a, const uint16_t* b_bf16, float* c, int64_t m,
+              int64_t k, int64_t n, const GemmOptions& opts = {});
+/// A already converted to bf16, row-major (m, k), no transpose — the
+/// conv eval path uses it (weights are the A operand there).
+void GemmBf16(const uint16_t* a_bf16, const float* b, float* c, int64_t m,
+              int64_t k, int64_t n, const GemmOptions& opts = {});
+
+/// Pre-packed constant B operand (weights). Serving calls the same
+/// GEMM repeatedly against a weight matrix that never changes, so the
+/// panel-packing of B — a large share of a small-batch GEMM — can be
+/// hoisted to SetPrecision time: PackBf16B lays B out in exactly the
+/// blocked panel order GemmBf16 walks, and the packed overload skips
+/// the per-call B pack entirely (A is still packed per call). The
+/// packed blob is kernel-version-specific and must not be persisted.
+struct Bf16PackedB {
+  const uint16_t* data = nullptr;
+};
+/// Number of uint16 elements PackBf16B writes for a (k, n) matrix.
+int64_t Bf16PackedBSize(int64_t k, int64_t n);
+/// b: row-major (k, n) bf16, no transpose.
+void PackBf16B(const uint16_t* b, int64_t k, int64_t n, uint16_t* packed);
+void GemmBf16(const float* a, Bf16PackedB b, float* c, int64_t m, int64_t k,
+              int64_t n, const GemmOptions& opts = {});
+
+/// Options for GemmInt8. Scales map the int8 operands back to real
+/// values: row i of A carries a_scales[i % a_scales_len] (pass len 1
+/// for a per-tensor activation scale), column j of B carries
+/// b_scales[j % b_scales_len] (per-output-channel weight scales).
+struct Int8GemmOptions {
+  const float* a_scales = nullptr;
+  int64_t a_scales_len = 1;
+  const float* b_scales = nullptr;
+  int64_t b_scales_len = 1;
+  /// C := dequant(A·B) + beta·C (beta in {0, 1} fast paths as in Gemm).
+  float beta = 0.0f;
+  bool allow_parallel = true;
+};
+
+/// int8 symmetric-quantized GEMM with i32 accumulation (gemm_int8.cc):
+/// C (m×n, f32) = a_scale ⊙ (A_q (m×k, int8) · B_q (k×n, int8)) ⊙
+/// b_scale + beta·C. Integer accumulation is exact, so serial and
+/// parallel paths are bitwise identical; on AVX-512 VNNI hardware the
+/// inner product runs on _mm512_dpwssd_epi32, elsewhere on a portable
+/// int32 loop with the same results. The K dimension is blocked at
+/// kKCInt8 (i32-overflow-safe: 127·127·kKCInt8 < 2^31); blocks past the
+/// first dequantize-accumulate into C in f32.
+void GemmInt8(const int8_t* a, const int8_t* b, float* c, int64_t m, int64_t k,
+              int64_t n, const Int8GemmOptions& opts);
+
+/// Pre-packed constant B operand for GemmInt8, mirroring Bf16PackedB
+/// (same motivation; the int8 panel layout blocks K at kKCInt8, so the
+/// two packed formats are not interchangeable).
+struct Int8PackedB {
+  const int8_t* data = nullptr;
+};
+/// Number of int8 elements PackInt8B writes for a (k, n) matrix.
+int64_t Int8PackedBSize(int64_t k, int64_t n);
+/// b: row-major (k, n) int8, no transpose.
+void PackInt8B(const int8_t* b, int64_t k, int64_t n, int8_t* packed);
+void GemmInt8(const int8_t* a, Int8PackedB b, float* c, int64_t m, int64_t k,
+              int64_t n, const Int8GemmOptions& opts);
+
 namespace gemm_internal {
 
 // Blocking parameters (see DESIGN.md "GEMM kernel & parallel execution"
@@ -59,6 +131,51 @@ inline constexpr int64_t kBlockedMinWork = int64_t{1} << 15;
 
 // Minimum m*n*k before the M×N macro-tile grid is spread over the pool.
 inline constexpr int64_t kParallelMinWork = int64_t{1} << 18;
+
+// Low-precision kernels widen the register tile to kNRLp columns (the
+// bf16/int8 micro-kernels target 512-bit lanes) and block K at kKCInt8
+// for the int8 path so the i32 accumulator cannot overflow:
+// 127 * 127 * kKCInt8 = 1.3e8 < 2^31.
+inline constexpr int64_t kNRLp = 32;
+inline constexpr int64_t kKCInt8 = 8192;
+
+// Geometry of the pre-packed low-precision B blobs: panel blocks are
+// laid out jc-major (kNC column blocks), then pc (kc_block K blocks),
+// each block holding ceil(nc/kNRLp) micro-panels of kNRLp columns of
+// K pairs — exactly the order the GemmRegion loops consume them.
+inline constexpr int64_t LpCeilDiv(int64_t a, int64_t b) {
+  return (a + b - 1) / b;
+}
+// Total packed K extent (every K block rounds up to whole pairs).
+inline int64_t LpPairedK(int64_t k, int64_t kc_block) {
+  int64_t total = 0;
+  for (int64_t pc = 0; pc < k; pc += kc_block) {
+    const int64_t kc = k - pc < kc_block ? k - pc : kc_block;
+    total += 2 * LpCeilDiv(kc, 2);
+  }
+  return total;
+}
+inline int64_t LpPackedBSize(int64_t k, int64_t n, int64_t kc_block) {
+  int64_t total = 0;
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = n - jc < kNC ? n - jc : kNC;
+    total += LpCeilDiv(nc, kNRLp) * kNRLp * LpPairedK(k, kc_block);
+  }
+  return total;
+}
+// Element offset of the (jc, pc) block. jc is a multiple of kNC, so
+// every earlier column block is full width (kNC, a multiple of kNRLp).
+inline int64_t LpPackedBOffset(int64_t k, int64_t n, int64_t jc, int64_t pc,
+                               int64_t kc_block) {
+  const int64_t nc = n - jc < kNC ? n - jc : kNC;
+  const int64_t width = LpCeilDiv(nc, kNRLp) * kNRLp;
+  int64_t k_before = 0;
+  for (int64_t p = 0; p < pc; p += kc_block) {
+    const int64_t kc = k - p < kc_block ? k - p : kc_block;
+    k_before += 2 * LpCeilDiv(kc, 2);
+  }
+  return jc * LpPairedK(k, kc_block) + width * k_before;
+}
 
 }  // namespace gemm_internal
 

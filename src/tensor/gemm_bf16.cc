@@ -1,0 +1,362 @@
+// bf16-storage, f32-accumulate GEMM. Same BLIS-style blocking as the
+// f32 kernel in gemm.cc, with two changes:
+//
+//   - Operands are rounded to bf16 at packing time and stored as raw
+//     uint16 in the packed panels (half the bytes of the f32 panels,
+//     so the streaming operand costs half the cache/memory traffic).
+//     Both panels interleave consecutive K values in PAIRS: element
+//     (p, r) of an A micro-panel lives at (p/2 * kMR + r) * 2 + p%2,
+//     and likewise for B with kNRLp columns. Odd K tails pad the
+//     second slot of the last pair with bf16 zero.
+//   - On AVX512-BF16 machines the micro-kernel consumes a pair per
+//     step with _mm512_dpbf16_ps: one 32-bit broadcast of an A pair
+//     against a 512-bit load of 16 interleaved B column pairs, which
+//     retires 32 bf16 MACs per instruction (~2x the f32 FMA flops on
+//     the bench host). Elsewhere a portable widen-and-FMA loop over
+//     the same panel layout is used.
+//
+// Accumulation is f32 with the K-blocking order fixed across the serial
+// and parallel paths, so results are bitwise identical for a given
+// binary (serial == parallel), and the only difference from f32 GEMM is
+// the bf16 rounding of the operands.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "core/memory.h"
+#include "core/thread_pool.h"
+#include "obs/obs.h"
+#include "tensor/device.h"
+#include "tensor/gemm.h"
+#include "tensor/quant.h"
+
+#if defined(__AVX512BF16__) && defined(__AVX512F__)
+#define GEO_GEMM_BF16_DPBF16 1
+#include <immintrin.h>
+#endif
+
+namespace geotorch::tensor {
+namespace {
+
+using namespace gemm_internal;
+
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// B is either an f32 matrix (rounded to bf16 while packing) or an
+// already-bf16 matrix (packed verbatim). A transposed view is only
+// supported for the f32 source, which is all the callers need.
+struct LpView {
+  const float* a;          // one of a / a_bf16 is set
+  const uint16_t* a_bf16;  // row-major (m, k), never transposed
+  const float* b_f32;      // one of b_f32 / b_bf16 / packed_b is set
+  const uint16_t* b_bf16;  // row-major (k, n), never transposed
+  const uint16_t* packed_b;  // pre-packed panels (PackBf16B layout)
+  int64_t m, k, n;
+  bool ta, tb;
+  uint16_t A(int64_t i, int64_t p) const {
+    if (a_bf16 != nullptr) return a_bf16[i * k + p];
+    return Bf16FromF32(ta ? a[p * m + i] : a[i * k + p]);
+  }
+  uint16_t B(int64_t p, int64_t j) const {
+    if (b_bf16 != nullptr) return b_bf16[p * n + j];
+    return Bf16FromF32(tb ? b_f32[j * k + p] : b_f32[p * n + j]);
+  }
+};
+
+// Packs A micro-panels in the pair-interleaved bf16 layout described
+// in the file comment; rows beyond mc and K beyond kc pad with zero.
+void PackABf16(const LpView& v, int64_t ic, int64_t mc, int64_t pc, int64_t kc,
+               uint16_t* __restrict ap) {
+  const int64_t kc2 = CeilDiv(kc, 2);
+  for (int64_t pi = 0; pi * kMR < mc; ++pi) {
+    uint16_t* panel = ap + pi * kc2 * kMR * 2;
+    const int64_t rows = std::min(kMR, mc - pi * kMR);
+    const int64_t base_i = ic + pi * kMR;
+    for (int64_t p2 = 0; p2 < kc2; ++p2) {
+      uint16_t* dst = panel + p2 * kMR * 2;
+      for (int64_t t = 0; t < 2; ++t) {
+        const int64_t p = p2 * 2 + t;
+        if (p < kc) {
+          int64_t r = 0;
+          for (; r < rows; ++r) dst[r * 2 + t] = v.A(base_i + r, pc + p);
+          for (; r < kMR; ++r) dst[r * 2 + t] = 0;
+        } else {
+          for (int64_t r = 0; r < kMR; ++r) dst[r * 2 + t] = 0;
+        }
+      }
+    }
+  }
+}
+
+// Packs B into kNRLp-column micro-panels of pair-interleaved bf16.
+void PackBBf16(const LpView& v, int64_t pc, int64_t kc, int64_t jc, int64_t nc,
+               uint16_t* __restrict bp) {
+  const int64_t kc2 = CeilDiv(kc, 2);
+  for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
+    uint16_t* panel = bp + pj * kc2 * kNRLp * 2;
+    const int64_t cols = std::min(kNRLp, nc - pj * kNRLp);
+    const int64_t base_j = jc + pj * kNRLp;
+    for (int64_t p2 = 0; p2 < kc2; ++p2) {
+      uint16_t* dst = panel + p2 * kNRLp * 2;
+      for (int64_t t = 0; t < 2; ++t) {
+        const int64_t p = p2 * 2 + t;
+        if (p < kc) {
+          int64_t c = 0;
+          for (; c < cols; ++c) dst[c * 2 + t] = v.B(pc + p, base_j + c);
+          for (; c < kNRLp; ++c) dst[c * 2 + t] = 0;
+        } else {
+          for (int64_t c = 0; c < kNRLp; ++c) dst[c * 2 + t] = 0;
+        }
+      }
+    }
+  }
+}
+
+#if defined(GEO_GEMM_BF16_DPBF16)
+
+// AVX512-BF16 micro-kernel: 6x32 f32 tile in acc[kMR][2] zmm, one
+// vdpbf16ps per (row, half-tile) per K pair.
+void MicroKernelBf16(int64_t kc2, const uint16_t* __restrict ap,
+                     const uint16_t* __restrict bp, float* __restrict c,
+                     int64_t ldc, int64_t rows, int64_t cols, float beta_eff) {
+  __m512 acc[kMR][2];
+  for (int64_t r = 0; r < kMR; ++r)
+    for (int64_t l = 0; l < 2; ++l) acc[r][l] = _mm512_setzero_ps();
+  for (int64_t p2 = 0; p2 < kc2; ++p2) {
+    const uint16_t* __restrict b_slice = bp + p2 * kNRLp * 2;
+    const __m512bh b0 = (__m512bh)_mm512_loadu_si512(b_slice);
+    const __m512bh b1 = (__m512bh)_mm512_loadu_si512(b_slice + 32);
+    const uint16_t* __restrict a_slice = ap + p2 * kMR * 2;
+    for (int64_t r = 0; r < kMR; ++r) {
+      int32_t pair;
+      std::memcpy(&pair, a_slice + r * 2, sizeof(pair));
+      const __m512bh av = (__m512bh)_mm512_set1_epi32(pair);
+      acc[r][0] = _mm512_dpbf16_ps(acc[r][0], av, b0);
+      acc[r][1] = _mm512_dpbf16_ps(acc[r][1], av, b1);
+    }
+  }
+  if (rows == kMR && cols == kNRLp) {
+    for (int64_t r = 0; r < kMR; ++r) {
+      float* __restrict c_row = c + r * ldc;
+      for (int64_t l = 0; l < 2; ++l) {
+        __m512 sum = acc[r][l];
+        if (beta_eff == 1.0f) {
+          sum = _mm512_add_ps(_mm512_loadu_ps(c_row + l * 16), sum);
+        } else if (beta_eff != 0.0f) {
+          sum = _mm512_fmadd_ps(_mm512_set1_ps(beta_eff),
+                                _mm512_loadu_ps(c_row + l * 16), sum);
+        }
+        _mm512_storeu_ps(c_row + l * 16, sum);
+      }
+    }
+    return;
+  }
+  alignas(64) float spill[kMR * kNRLp];
+  for (int64_t r = 0; r < kMR; ++r) {
+    _mm512_storeu_ps(spill + r * kNRLp, acc[r][0]);
+    _mm512_storeu_ps(spill + r * kNRLp + 16, acc[r][1]);
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* __restrict acc_row = spill + r * kNRLp;
+    float* __restrict c_row = c + r * ldc;
+    if (beta_eff == 0.0f) {
+      for (int64_t j = 0; j < cols; ++j) c_row[j] = acc_row[j];
+    } else if (beta_eff == 1.0f) {
+      for (int64_t j = 0; j < cols; ++j) c_row[j] += acc_row[j];
+    } else {
+      for (int64_t j = 0; j < cols; ++j)
+        c_row[j] = beta_eff * c_row[j] + acc_row[j];
+    }
+  }
+}
+
+#else  // !GEO_GEMM_BF16_DPBF16
+
+// Portable fallback over the same pair-interleaved panels: widen each
+// bf16 to f32 (zero-extend + 16-bit shift) and FMA with GCC vector
+// extensions at the widest lane the build allows.
+#if defined(__AVX512F__)
+constexpr int64_t kLaneB = 16;
+#elif defined(__AVX__)
+constexpr int64_t kLaneB = 8;
+#else
+constexpr int64_t kLaneB = 4;
+#endif
+typedef float VecFB __attribute__((vector_size(kLaneB * 4), aligned(4)));
+constexpr int64_t kLanesPerRowB = kNRLp / kLaneB;
+static_assert(kNRLp % kLaneB == 0);
+
+inline VecFB LoadLaneB(const float* p) {
+  VecFB v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void MicroKernelBf16(int64_t kc2, const uint16_t* __restrict ap,
+                     const uint16_t* __restrict bp, float* __restrict c,
+                     int64_t ldc, int64_t rows, int64_t cols, float beta_eff) {
+  VecFB acc[kMR][kLanesPerRowB] = {};
+  alignas(64) float bw0[kNRLp], bw1[kNRLp];
+  for (int64_t p2 = 0; p2 < kc2; ++p2) {
+    const uint16_t* __restrict b_slice = bp + p2 * kNRLp * 2;
+    for (int64_t j = 0; j < kNRLp; ++j) {
+      bw0[j] = F32FromBf16(b_slice[j * 2]);
+      bw1[j] = F32FromBf16(b_slice[j * 2 + 1]);
+    }
+    const uint16_t* __restrict a_slice = ap + p2 * kMR * 2;
+    for (int64_t r = 0; r < kMR; ++r) {
+      const VecFB av0 = F32FromBf16(a_slice[r * 2]) - VecFB{};  // broadcast
+      const VecFB av1 = F32FromBf16(a_slice[r * 2 + 1]) - VecFB{};
+      for (int64_t l = 0; l < kLanesPerRowB; ++l)
+        acc[r][l] += av0 * LoadLaneB(bw0 + l * kLaneB) +
+                     av1 * LoadLaneB(bw1 + l * kLaneB);
+    }
+  }
+  alignas(64) float spill[kMR * kNRLp];
+  for (int64_t r = 0; r < kMR; ++r)
+    __builtin_memcpy(spill + r * kNRLp, acc[r], sizeof(acc[r]));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* __restrict acc_row = spill + r * kNRLp;
+    float* __restrict c_row = c + r * ldc;
+    if (beta_eff == 0.0f) {
+      for (int64_t j = 0; j < cols; ++j) c_row[j] = acc_row[j];
+    } else if (beta_eff == 1.0f) {
+      for (int64_t j = 0; j < cols; ++j) c_row[j] += acc_row[j];
+    } else {
+      for (int64_t j = 0; j < cols; ++j)
+        c_row[j] = beta_eff * c_row[j] + acc_row[j];
+    }
+  }
+}
+
+#endif  // GEO_GEMM_BF16_DPBF16
+
+void MacroKernelBf16(const uint16_t* ap, const uint16_t* bp, float* c,
+                     int64_t ldc, int64_t ic, int64_t mc, int64_t jc,
+                     int64_t nc, int64_t kc, float beta_eff) {
+  const int64_t kc2 = CeilDiv(kc, 2);
+  for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
+    const int64_t cols = std::min(kNRLp, nc - pj * kNRLp);
+    for (int64_t pi = 0; pi * kMR < mc; ++pi) {
+      const int64_t rows = std::min(kMR, mc - pi * kMR);
+      MicroKernelBf16(kc2, ap + pi * kc2 * kMR * 2, bp + pj * kc2 * kNRLp * 2,
+                      c + (ic + pi * kMR) * ldc + jc + pj * kNRLp, ldc, rows,
+                      cols, beta_eff);
+    }
+  }
+}
+
+void GemmRegionBf16(const LpView& v, float* c, float beta, int64_t mb,
+                    int64_t me, int64_t nb, int64_t ne) {
+  for (int64_t jc = nb; jc < ne; jc += kNC) {
+    const int64_t nc = std::min(kNC, ne - jc);
+    for (int64_t pc = 0; pc < v.k; pc += kKC) {
+      const int64_t kc = std::min(kKC, v.k - pc);
+      const int64_t kc2 = CeilDiv(kc, 2);
+      const uint16_t* bp;
+      if (v.packed_b != nullptr) {
+        bp = v.packed_b + LpPackedBOffset(v.k, v.n, jc, pc, kKC);
+      } else {
+        const int64_t b_u16s = CeilDiv(nc, kNRLp) * kNRLp * kc2 * 2;
+        // The lp workspaces are float buffers reused as raw bytes.
+        uint16_t* wp = reinterpret_cast<uint16_t*>(
+            ThreadLocalWorkspace(kWorkspaceGemmLpB, CeilDiv(b_u16s, 2)));
+        PackBBf16(v, pc, kc, jc, nc, wp);
+        bp = wp;
+      }
+      const float beta_eff = (pc == 0) ? beta : 1.0f;
+      for (int64_t ic = mb; ic < me; ic += kMC) {
+        const int64_t mc = std::min(kMC, me - ic);
+        const int64_t a_u16s = CeilDiv(mc, kMR) * kMR * kc2 * 2;
+        uint16_t* ap = reinterpret_cast<uint16_t*>(
+            ThreadLocalWorkspace(kWorkspaceGemmLpA, CeilDiv(a_u16s, 2)));
+        PackABf16(v, ic, mc, pc, kc, ap);
+        MacroKernelBf16(ap, bp, c, v.n, ic, mc, jc, nc, kc, beta_eff);
+      }
+    }
+  }
+}
+
+void ScaleCBf16(float* c, int64_t count, float beta) {
+  if (beta == 0.0f) {
+    std::fill(c, c + count, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < count; ++i) c[i] *= beta;
+  }
+}
+
+void GemmBf16Impl(const LpView& v, float* c, const GemmOptions& opts) {
+  if (v.m <= 0 || v.n <= 0) return;
+  GEO_OBS_COUNT("gemm.bf16_calls", 1);
+  if (v.k <= 0) {
+    ScaleCBf16(c, v.m * v.n, opts.beta);
+    return;
+  }
+  const int64_t work = v.m * v.n * v.k;
+  GEO_OBS_COUNT("gemm.flops", 2 * work);
+  const int64_t mt = CeilDiv(v.m, kMC);
+  const int64_t nt = CeilDiv(v.n, kNC);
+  const bool parallel = opts.allow_parallel &&
+                        GetDefaultDevice() == Device::kParallel &&
+                        work >= kParallelMinWork && mt * nt > 1;
+  if (!parallel) {
+    GemmRegionBf16(v, c, opts.beta, 0, v.m, 0, v.n);
+    return;
+  }
+  ThreadPool::Global().ParallelFor(mt * nt, [&](int64_t t) {
+    const int64_t ti = t / nt;
+    const int64_t tj = t % nt;
+    GemmRegionBf16(v, c, opts.beta, ti * kMC, std::min(v.m, (ti + 1) * kMC),
+                   tj * kNC, std::min(v.n, (tj + 1) * kNC));
+  });
+}
+
+}  // namespace
+
+void GemmBf16(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n, const GemmOptions& opts) {
+  const LpView v{a,       nullptr, b, nullptr,      nullptr,
+                 m,       k,       n, opts.trans_a, opts.trans_b};
+  GemmBf16Impl(v, c, opts);
+}
+
+void GemmBf16(const float* a, const uint16_t* b_bf16, float* c, int64_t m,
+              int64_t k, int64_t n, const GemmOptions& opts) {
+  const LpView v{a, nullptr, nullptr, b_bf16,       nullptr,
+                 m, k,       n,       opts.trans_a, false};
+  GemmBf16Impl(v, c, opts);
+}
+
+void GemmBf16(const uint16_t* a_bf16, const float* b, float* c, int64_t m,
+              int64_t k, int64_t n, const GemmOptions& opts) {
+  const LpView v{nullptr, a_bf16, b,     nullptr, nullptr,
+                 m,       k,      n,     false,   opts.trans_b};
+  GemmBf16Impl(v, c, opts);
+}
+
+int64_t Bf16PackedBSize(int64_t k, int64_t n) {
+  return LpPackedBSize(k, n, kKC);
+}
+
+void PackBf16B(const uint16_t* b, int64_t k, int64_t n, uint16_t* packed) {
+  const LpView v{nullptr, nullptr, nullptr, b,     nullptr,
+                 0,       k,       n,       false, false};
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      PackBBf16(v, pc, kc, jc, nc,
+                packed + LpPackedBOffset(k, n, jc, pc, kKC));
+    }
+  }
+}
+
+void GemmBf16(const float* a, Bf16PackedB b, float* c, int64_t m, int64_t k,
+              int64_t n, const GemmOptions& opts) {
+  const LpView v{a, nullptr, nullptr, nullptr,      b.data,
+                 m, k,       n,       opts.trans_a, false};
+  GemmBf16Impl(v, c, opts);
+}
+
+}  // namespace geotorch::tensor

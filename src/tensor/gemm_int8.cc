@@ -1,0 +1,289 @@
+// int8 symmetric-quantized GEMM with i32 accumulation. Layouts:
+//
+//   A_q: (m, k) row-major int8, per-row (or per-tensor) scales
+//   B_q: (k, n) row-major int8, per-column (or per-tensor) scales
+//   C:   (m, n) f32, C = sa ⊙ (A_q · B_q) ⊙ sb + beta·C
+//
+// The K loop walks *pairs* of k so the panels line up with AVX-512
+// VNNI's i16-pair dot product:
+//
+//   A panel: sign-extended i16 pairs, (p2 * kMR + r) * 2 + t — one
+//            4-byte pair per (k-pair, row), broadcast with set1_epi32.
+//   B panel: interleaved int8 pairs, (p2 * kNRLp + j) * 2 + t — the 64
+//            contiguous bytes for one k-pair widen to two zmm of i16
+//            pairs via cvtepi8_epi16.
+//
+// On VNNI hardware the inner step is one _mm512_dpwssd_epi32 per
+// (row, 16-column lane); elsewhere a portable int32 loop computes the
+// same sums. Integer accumulation is exact, so both paths — and the
+// serial and parallel schedules — produce bitwise-identical output.
+//
+// K is blocked at kKCInt8 = 8192: |a|,|b| <= 127 bounds one pair step
+// at 2*127*127, so a full block stays under 2^31 in i32. Blocks past
+// the first dequantize and accumulate into C in f32 (rare: every model
+// in this repo has k <= 8192 at the quantized layers).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/memory.h"
+#include "core/thread_pool.h"
+#include "obs/obs.h"
+#include "tensor/device.h"
+#include "tensor/gemm.h"
+
+#if defined(__AVX512VNNI__) && defined(__AVX512BW__)
+#include <immintrin.h>
+#define GEO_GEMM_INT8_VNNI 1
+#endif
+
+namespace geotorch::tensor {
+namespace {
+
+using namespace gemm_internal;
+
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Packs A(ic:ic+mc, pc:pc+kc) into kMR-row micro-panels of sign-extended
+// i16 pairs; rows past mc and the odd-k tail pad with zeros.
+void PackAInt8(const int8_t* a, int64_t lda, int64_t ic, int64_t mc,
+               int64_t pc, int64_t kc, int16_t* __restrict ap) {
+  const int64_t kc2 = CeilDiv(kc, 2);
+  for (int64_t pi = 0; pi * kMR < mc; ++pi) {
+    int16_t* panel = ap + pi * kc2 * kMR * 2;
+    const int64_t rows = std::min(kMR, mc - pi * kMR);
+    const int64_t base_i = ic + pi * kMR;
+    for (int64_t p2 = 0; p2 < kc2; ++p2) {
+      int16_t* dst = panel + p2 * kMR * 2;
+      for (int64_t r = 0; r < kMR; ++r) {
+        for (int64_t t = 0; t < 2; ++t) {
+          const int64_t p = 2 * p2 + t;
+          dst[r * 2 + t] = (r < rows && p < kc)
+                               ? static_cast<int16_t>(
+                                     a[(base_i + r) * lda + pc + p])
+                               : int16_t{0};
+        }
+      }
+    }
+  }
+}
+
+// Packs B(pc:pc+kc, jc:jc+nc) into kNRLp-column micro-panels of
+// interleaved int8 pairs.
+void PackBInt8(const int8_t* b, int64_t ldb, int64_t pc, int64_t kc,
+               int64_t jc, int64_t nc, int8_t* __restrict bp) {
+  const int64_t kc2 = CeilDiv(kc, 2);
+  for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
+    int8_t* panel = bp + pj * kc2 * kNRLp * 2;
+    const int64_t cols = std::min(kNRLp, nc - pj * kNRLp);
+    const int64_t base_j = jc + pj * kNRLp;
+    for (int64_t p2 = 0; p2 < kc2; ++p2) {
+      int8_t* dst = panel + p2 * kNRLp * 2;
+      for (int64_t t = 0; t < 2; ++t) {
+        const int64_t p = 2 * p2 + t;
+        if (p < kc) {
+          const int8_t* __restrict src = b + (pc + p) * ldb + base_j;
+          for (int64_t c = 0; c < cols; ++c) dst[c * 2 + t] = src[c];
+          for (int64_t c = cols; c < kNRLp; ++c) dst[c * 2 + t] = 0;
+        } else {
+          for (int64_t c = 0; c < kNRLp; ++c) dst[c * 2 + t] = 0;
+        }
+      }
+    }
+  }
+}
+
+// One kMR x kNRLp register tile: exact i32 sums over the packed pair
+// panels, spilled and dequantized into C. `sa` points at the kMR row
+// scales for this tile, `sb` at the kNRLp column scales.
+void MicroKernelInt8(int64_t kc2, const int16_t* __restrict ap,
+                     const int8_t* __restrict bp, float* __restrict c,
+                     int64_t ldc, int64_t rows, int64_t cols, const float* sa,
+                     const float* sb, float beta_eff) {
+  alignas(64) int32_t spill[kMR * kNRLp];
+#if defined(GEO_GEMM_INT8_VNNI)
+  __m512i acc[kMR][2];
+  for (int64_t r = 0; r < kMR; ++r) {
+    acc[r][0] = _mm512_setzero_si512();
+    acc[r][1] = _mm512_setzero_si512();
+  }
+  for (int64_t p2 = 0; p2 < kc2; ++p2) {
+    const int8_t* __restrict b_slice = bp + p2 * kNRLp * 2;
+    const __m512i b0 = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b_slice)));
+    const __m512i b1 = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b_slice + 32)));
+    const int16_t* __restrict a_slice = ap + p2 * kMR * 2;
+    for (int64_t r = 0; r < kMR; ++r) {
+      int32_t pair;
+      __builtin_memcpy(&pair, a_slice + r * 2, sizeof(pair));
+      const __m512i av = _mm512_set1_epi32(pair);
+      acc[r][0] = _mm512_dpwssd_epi32(acc[r][0], av, b0);
+      acc[r][1] = _mm512_dpwssd_epi32(acc[r][1], av, b1);
+    }
+  }
+  for (int64_t r = 0; r < kMR; ++r) {
+    _mm512_storeu_si512(spill + r * kNRLp, acc[r][0]);
+    _mm512_storeu_si512(spill + r * kNRLp + 16, acc[r][1]);
+  }
+#else
+  int32_t acc[kMR][kNRLp] = {};
+  for (int64_t p2 = 0; p2 < kc2; ++p2) {
+    const int16_t* __restrict a_slice = ap + p2 * kMR * 2;
+    const int8_t* __restrict b_slice = bp + p2 * kNRLp * 2;
+    for (int64_t r = 0; r < kMR; ++r) {
+      const int32_t a0 = a_slice[r * 2];
+      const int32_t a1 = a_slice[r * 2 + 1];
+      for (int64_t j = 0; j < kNRLp; ++j) {
+        acc[r][j] += a0 * b_slice[j * 2] + a1 * b_slice[j * 2 + 1];
+      }
+    }
+  }
+  for (int64_t r = 0; r < kMR; ++r)
+    for (int64_t j = 0; j < kNRLp; ++j) spill[r * kNRLp + j] = acc[r][j];
+#endif
+  for (int64_t r = 0; r < rows; ++r) {
+    const int32_t* __restrict acc_row = spill + r * kNRLp;
+    float* __restrict c_row = c + r * ldc;
+    const float sar = sa[r];
+    if (beta_eff == 0.0f) {
+      for (int64_t j = 0; j < cols; ++j)
+        c_row[j] = sar * sb[j] * static_cast<float>(acc_row[j]);
+    } else if (beta_eff == 1.0f) {
+      for (int64_t j = 0; j < cols; ++j)
+        c_row[j] += sar * sb[j] * static_cast<float>(acc_row[j]);
+    } else {
+      for (int64_t j = 0; j < cols; ++j)
+        c_row[j] = beta_eff * c_row[j] +
+                   sar * sb[j] * static_cast<float>(acc_row[j]);
+    }
+  }
+}
+
+struct Int8View {
+  const int8_t* a;
+  const int8_t* b;         // row-major (k, n); null when packed_b is set
+  const int8_t* packed_b;  // pre-packed panels (PackInt8B layout)
+  int64_t m, k, n;
+  const Int8GemmOptions* opts;
+  float ARowScale(int64_t i) const {
+    return opts->a_scales[opts->a_scales_len == 1 ? 0 : i];
+  }
+};
+
+void GemmRegionInt8(const Int8View& v, float* c, float beta, int64_t mb,
+                    int64_t me, int64_t nb, int64_t ne) {
+  // Per-tile scale slices with pad entries so edge tiles read kMR /
+  // kNRLp valid floats (pad lanes multiply zero sums).
+  alignas(64) float sa_tile[kMR];
+  alignas(64) float sb_tile[kNRLp];
+  for (int64_t jc = nb; jc < ne; jc += kNC) {
+    const int64_t nc = std::min(kNC, ne - jc);
+    for (int64_t pc = 0; pc < v.k; pc += kKCInt8) {
+      const int64_t kc = std::min(kKCInt8, v.k - pc);
+      const int64_t kc2 = CeilDiv(kc, 2);
+      const int8_t* bp;
+      if (v.packed_b != nullptr) {
+        bp = v.packed_b + LpPackedBOffset(v.k, v.n, jc, pc, kKCInt8);
+      } else {
+        const int64_t b_bytes = CeilDiv(nc, kNRLp) * kNRLp * kc2 * 2;
+        int8_t* wp = reinterpret_cast<int8_t*>(
+            ThreadLocalWorkspace(kWorkspaceGemmLpB, CeilDiv(b_bytes, 4)));
+        PackBInt8(v.b, v.n, pc, kc, jc, nc, wp);
+        bp = wp;
+      }
+      const float beta_eff = (pc == 0) ? beta : 1.0f;
+      for (int64_t ic = mb; ic < me; ic += kMC) {
+        const int64_t mc = std::min(kMC, me - ic);
+        const int64_t a_bytes = CeilDiv(mc, kMR) * kMR * kc2 * 2 * 2;
+        int16_t* ap = reinterpret_cast<int16_t*>(
+            ThreadLocalWorkspace(kWorkspaceGemmLpA, CeilDiv(a_bytes, 4)));
+        PackAInt8(v.a, v.k, ic, mc, pc, kc, ap);
+        for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
+          const int64_t cols = std::min(kNRLp, nc - pj * kNRLp);
+          for (int64_t j = 0; j < kNRLp; ++j) {
+            const int64_t col = jc + pj * kNRLp + j;
+            sb_tile[j] =
+                j < cols
+                    ? v.opts->b_scales[v.opts->b_scales_len == 1 ? 0 : col]
+                    : 0.0f;
+          }
+          for (int64_t pi = 0; pi * kMR < mc; ++pi) {
+            const int64_t rows = std::min(kMR, mc - pi * kMR);
+            for (int64_t r = 0; r < kMR; ++r)
+              sa_tile[r] = r < rows ? v.ARowScale(ic + pi * kMR + r) : 0.0f;
+            MicroKernelInt8(kc2, ap + pi * kc2 * kMR * 2,
+                            bp + pj * kc2 * kNRLp * 2,
+                            c + (ic + pi * kMR) * v.n + jc + pj * kNRLp, v.n,
+                            rows, cols, sa_tile, sb_tile, beta_eff);
+          }
+        }
+      }
+    }
+  }
+}
+
+void ScaleCInt8(float* c, int64_t count, float beta) {
+  if (beta == 0.0f) {
+    std::fill(c, c + count, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < count; ++i) c[i] *= beta;
+  }
+}
+
+void GemmInt8Impl(const Int8View& v, float* c, const Int8GemmOptions& opts) {
+  if (v.m <= 0 || v.n <= 0) return;
+  GEO_OBS_COUNT("gemm.int8_calls", 1);
+  if (v.k <= 0) {
+    ScaleCInt8(c, v.m * v.n, opts.beta);
+    return;
+  }
+  const int64_t work = v.m * v.n * v.k;
+  GEO_OBS_COUNT("gemm.flops", 2 * work);
+  const int64_t mt = CeilDiv(v.m, kMC);
+  const int64_t nt = CeilDiv(v.n, kNC);
+  const bool parallel = opts.allow_parallel &&
+                        GetDefaultDevice() == Device::kParallel &&
+                        work >= kParallelMinWork && mt * nt > 1;
+  if (!parallel) {
+    GemmRegionInt8(v, c, opts.beta, 0, v.m, 0, v.n);
+    return;
+  }
+  ThreadPool::Global().ParallelFor(mt * nt, [&](int64_t t) {
+    const int64_t ti = t / nt;
+    const int64_t tj = t % nt;
+    GemmRegionInt8(v, c, opts.beta, ti * kMC, std::min(v.m, (ti + 1) * kMC),
+                   tj * kNC, std::min(v.n, (tj + 1) * kNC));
+  });
+}
+
+}  // namespace
+
+void GemmInt8(const int8_t* a, const int8_t* b, float* c, int64_t m, int64_t k,
+              int64_t n, const Int8GemmOptions& opts) {
+  const Int8View v{a, b, nullptr, m, k, n, &opts};
+  GemmInt8Impl(v, c, opts);
+}
+
+int64_t Int8PackedBSize(int64_t k, int64_t n) {
+  return LpPackedBSize(k, n, kKCInt8);
+}
+
+void PackInt8B(const int8_t* b, int64_t k, int64_t n, int8_t* packed) {
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKCInt8) {
+      const int64_t kc = std::min(kKCInt8, k - pc);
+      PackBInt8(b, n, pc, kc, jc, nc,
+                packed + LpPackedBOffset(k, n, jc, pc, kKCInt8));
+    }
+  }
+}
+
+void GemmInt8(const int8_t* a, Int8PackedB b, float* c, int64_t m, int64_t k,
+              int64_t n, const Int8GemmOptions& opts) {
+  const Int8View v{a, nullptr, b.data, m, k, n, &opts};
+  GemmInt8Impl(v, c, opts);
+}
+
+}  // namespace geotorch::tensor

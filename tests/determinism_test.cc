@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -22,6 +24,7 @@
 #include "models/raster_models.h"
 #include "models/segmentation_models.h"
 #include "models/trainer.h"
+#include "nn/precision.h"
 #include "tensor/device.h"
 
 namespace {
@@ -309,6 +312,193 @@ TEST(DeterminismTest, Fcn) { RunSegDeterminism<models::Fcn>("Fcn"); }
 TEST(DeterminismTest, UNet) { RunSegDeterminism<models::UNet>("UNet"); }
 TEST(DeterminismTest, UNetPlusPlus) {
   RunSegDeterminism<models::UNetPlusPlus>("UNetPlusPlus");
+}
+
+// --- Low-precision eval (DESIGN.md §10) ------------------------------------
+//
+// Two properties per model family:
+//   * bf16 eval output stays close to f32 — bf16 keeps ~3 significant
+//     decimal digits per operand and the GEMMs accumulate in f32, so
+//     even the deepest forward here should diverge well under 5% of
+//     the output's dynamic range;
+//   * the quantized paths (bf16 and int8) are bitwise deterministic
+//     across serial and parallel devices, exactly like f32 — fixed
+//     K-accumulation order for bf16, exact i32 accumulation for int8.
+
+namespace nn = ::geotorch::nn;
+
+// Runs an eval-mode forward of a freshly built model at `precision` on
+// `device` and returns the output bit patterns.
+template <typename MakeModel, typename ForwardFn>
+std::vector<uint32_t> EvalBits(ts::Device device, nn::Precision precision,
+                               const MakeModel& make_model,
+                               const ForwardFn& forward) {
+  ts::DeviceGuard guard(device);
+  ag::NoGradGuard no_grad;
+  auto model = make_model();
+  model->SetTraining(false);
+  model->SetPrecision(precision);
+  return Bits(forward(*model));
+}
+
+// Max |a - b| over the two outputs, relative to the f32 dynamic range.
+double RelDivergence(const std::vector<uint32_t>& f32_bits,
+                     const std::vector<uint32_t>& lp_bits) {
+  EXPECT_EQ(f32_bits.size(), lp_bits.size());
+  double absmax = 0.0, diff = 0.0;
+  for (size_t i = 0; i < f32_bits.size() && i < lp_bits.size(); ++i) {
+    float a, b;
+    std::memcpy(&a, &f32_bits[i], sizeof(a));
+    std::memcpy(&b, &lp_bits[i], sizeof(b));
+    absmax = std::max(absmax, static_cast<double>(std::fabs(a)));
+    diff = std::max(diff, static_cast<double>(std::fabs(a - b)));
+  }
+  return diff / std::max(absmax, 1e-6);
+}
+
+template <typename MakeModel, typename ForwardFn>
+void ExpectLowPrecisionBehaved(const std::string& label,
+                               const MakeModel& make_model,
+                               const ForwardFn& forward) {
+  const std::vector<uint32_t> f32 =
+      EvalBits(ts::Device::kSerial, nn::Precision::kF32, make_model, forward);
+  const std::vector<uint32_t> bf16 =
+      EvalBits(ts::Device::kSerial, nn::Precision::kBf16, make_model, forward);
+  EXPECT_LT(RelDivergence(f32, bf16), 0.05)
+      << label << ": bf16 eval diverges from f32 beyond bf16 rounding";
+  for (nn::Precision p : {nn::Precision::kBf16, nn::Precision::kInt8}) {
+    const std::vector<uint32_t> serial =
+        EvalBits(ts::Device::kSerial, p, make_model, forward);
+    const std::vector<uint32_t> parallel =
+        EvalBits(ts::Device::kParallel, p, make_model, forward);
+    EXPECT_EQ(serial, parallel)
+        << label << ": " << nn::PrecisionName(p)
+        << " eval differs between serial and parallel";
+  }
+}
+
+void RunGridLowPrecision(GridKind kind, const std::string& label) {
+  datasets::GridDataset ds =
+      datasets::MakeTemperature(/*timesteps=*/200, /*height=*/16,
+                                /*width=*/32, /*seed=*/7);
+  ds.MinMaxNormalize();
+  models::GridModelConfig mc;
+  mc.channels = ds.channels();
+  mc.height = ds.height();
+  mc.width = ds.width();
+  mc.len_closeness = 3;
+  mc.len_period = 2;
+  mc.len_trend = 1;
+  mc.hidden = 16;
+  mc.seed = 42;
+  if (kind == GridKind::kConvLstm) {
+    ds.SetSequentialRepresentation(/*history=*/4, /*prediction=*/1);
+  } else {
+    ds.SetPeriodicalRepresentation(mc.len_closeness, mc.len_period,
+                                   mc.len_trend);
+  }
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/4);
+  auto make_model = [&]() -> std::unique_ptr<models::GridModel> {
+    switch (kind) {
+      case GridKind::kPeriodicalCnn:
+        return std::make_unique<models::PeriodicalCnn>(mc);
+      case GridKind::kConvLstm:
+        return std::make_unique<models::ConvLstm>(mc, 1);
+      case GridKind::kStResNet:
+        return std::make_unique<models::StResNet>(mc);
+      case GridKind::kDeepStnPlus:
+        return std::make_unique<models::DeepStnPlus>(mc);
+    }
+    return nullptr;
+  };
+  auto forward = [&batch](models::GridModel& model) {
+    return model.Forward(batch).value();
+  };
+  ExpectLowPrecisionBehaved(label, make_model, forward);
+}
+
+TEST(LowPrecisionEvalTest, PeriodicalCnn) {
+  RunGridLowPrecision(GridKind::kPeriodicalCnn, "PeriodicalCnn");
+}
+TEST(LowPrecisionEvalTest, ConvLstm) {
+  RunGridLowPrecision(GridKind::kConvLstm, "ConvLstm");
+}
+TEST(LowPrecisionEvalTest, StResNet) {
+  RunGridLowPrecision(GridKind::kStResNet, "StResNet");
+}
+TEST(LowPrecisionEvalTest, DeepStnPlus) {
+  RunGridLowPrecision(GridKind::kDeepStnPlus, "DeepStnPlus");
+}
+
+enum class RasterKind { kSatCnn, kDeepSat, kDeepSatV2 };
+
+void RunRasterLowPrecision(RasterKind kind, const std::string& label) {
+  datasets::RasterDatasetOptions options;
+  options.include_additional_features = true;  // DeepSat needs features
+  datasets::RasterClassificationDataset ds =
+      datasets::MakeEuroSat(/*n=*/16, options, /*seed=*/3);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/4);
+  ASSERT_FALSE(batch.extras.empty());
+
+  models::RasterModelConfig rc;
+  rc.in_channels = 13;
+  rc.in_height = 64;
+  rc.in_width = 64;
+  rc.num_classes = 10;
+  rc.num_filtered_features = ds.num_additional_features();
+  rc.base_filters = 16;
+  rc.seed = 42;
+
+  auto make_model = [&]() -> std::unique_ptr<models::RasterClassifier> {
+    switch (kind) {
+      case RasterKind::kSatCnn:
+        return std::make_unique<models::SatCnn>(rc);
+      case RasterKind::kDeepSat:
+        return std::make_unique<models::DeepSat>(rc);
+      case RasterKind::kDeepSatV2:
+        return std::make_unique<models::DeepSatV2>(rc);
+    }
+    return nullptr;
+  };
+  auto forward = [&batch](models::RasterClassifier& model) {
+    return model
+        .Forward(ag::Variable(batch.x), ag::Variable(batch.extras[0]))
+        .value();
+  };
+  ExpectLowPrecisionBehaved(label, make_model, forward);
+}
+
+TEST(LowPrecisionEvalTest, SatCnn) {
+  RunRasterLowPrecision(RasterKind::kSatCnn, "SatCnn");
+}
+TEST(LowPrecisionEvalTest, DeepSat) {
+  RunRasterLowPrecision(RasterKind::kDeepSat, "DeepSat");
+}
+TEST(LowPrecisionEvalTest, DeepSatV2) {
+  RunRasterLowPrecision(RasterKind::kDeepSatV2, "DeepSatV2");
+}
+
+template <typename Model>
+void RunSegLowPrecision(const std::string& label) {
+  datasets::RasterSegmentationDataset ds =
+      datasets::MakeCloud38(/*n=*/8, /*size=*/32, {}, /*seed=*/5);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/2);
+  models::SegModelConfig sc;
+  sc.in_channels = 4;
+  sc.num_classes = 2;
+  sc.base_filters = 8;
+  sc.seed = 42;
+  auto make_model = [&] { return std::make_unique<Model>(sc); };
+  auto forward = [&batch](Model& model) {
+    return model.Forward(ag::Variable(batch.x)).value();
+  };
+  ExpectLowPrecisionBehaved(label, make_model, forward);
+}
+
+TEST(LowPrecisionEvalTest, Fcn) { RunSegLowPrecision<models::Fcn>("Fcn"); }
+TEST(LowPrecisionEvalTest, UNet) { RunSegLowPrecision<models::UNet>("UNet"); }
+TEST(LowPrecisionEvalTest, UNetPlusPlus) {
+  RunSegLowPrecision<models::UNetPlusPlus>("UNetPlusPlus");
 }
 
 }  // namespace

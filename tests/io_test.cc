@@ -433,4 +433,231 @@ TEST(StateDictRoundTrip, UNetPlusPlus) {
   RunSegRoundTrip<models::UNetPlusPlus>("UNetPlusPlus");
 }
 
+// --- GTCP v2: version skew and quantized records ---------------------------
+
+template <typename T>
+void Append(std::vector<unsigned char>& out, T v) {
+  unsigned char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.insert(out.end(), buf, buf + sizeof(T));
+}
+
+void AppendName(std::vector<unsigned char>& out, const std::string& s) {
+  Append(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// Rewrites the u32 version field at byte offset 4 and recomputes the
+// CRC trailer, so the reader sees a structurally-valid file from "the
+// future" and the only thing that can fire is the version check.
+std::vector<unsigned char> WithVersion(std::vector<unsigned char> bytes,
+                                       uint32_t version) {
+  EXPECT_GE(bytes.size(), 12u);
+  std::memcpy(bytes.data() + 4, &version, sizeof(version));
+  const uint32_t crc =
+      geotorch::io::Crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+  std::memcpy(bytes.data() + bytes.size() - sizeof(uint32_t), &crc,
+              sizeof(crc));
+  return bytes;
+}
+
+uint32_t VersionField(const std::vector<unsigned char>& bytes) {
+  uint32_t v = 0;
+  EXPECT_GE(bytes.size(), 8u);
+  std::memcpy(&v, bytes.data() + 4, sizeof(v));
+  return v;
+}
+
+io::QuantTensor SmallQuantTensor() {
+  io::QuantTensor q;
+  q.name = "layer.weight.q";
+  q.dims = {3, 5};
+  q.kind = io::QuantKind::kPerCol;
+  q.zero_point = 0;
+  q.scales = {0.01f, 0.02f, 0.03f, 0.04f, 0.05f};
+  q.data = {1, -2, 3, -4, 5, 6, -7, 8, -9, 10, 11, -12, 13, -14, 15};
+  return q;
+}
+
+TEST(GtcpVersionTest, F32OnlyFilesStayVersion1) {
+  // Files without quantized records must keep the pre-quantization
+  // byte layout (version 1) so checkpoints written before this build —
+  // and readers built before it — keep working.
+  const std::string path = TempPath("v1_f32_only.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, SmallCheckpoint()).ok());
+  EXPECT_EQ(VersionField(ReadFileBytes(path)), 1u);
+}
+
+TEST(GtcpVersionTest, QuantizedFilesAreVersion2) {
+  io::Checkpoint ckpt = SmallCheckpoint();
+  ckpt.qtensors.push_back(SmallQuantTensor());
+  const std::string path = TempPath("v2_quant.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, ckpt).ok());
+  EXPECT_EQ(VersionField(ReadFileBytes(path)), 2u);
+}
+
+TEST(GtcpVersionTest, NewerVersionIsRejectedWithStatusNotParsed) {
+  const std::string path = TempPath("v3_future.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, SmallCheckpoint()).ok());
+  const std::vector<unsigned char> original = ReadFileBytes(path);
+  for (uint32_t future : {3u, 7u, 0xFFFFFFFFu}) {
+    const std::string patched = TempPath("v3_future_patched.ckpt");
+    WriteFileBytes(patched, WithVersion(original, future));
+    auto r = io::ReadCheckpoint(patched);
+    ASSERT_FALSE(r.ok()) << "version " << future << " must be rejected";
+    EXPECT_NE(r.status().message().find("newer"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST(GtcpVersionTest, VersionZeroIsRejected) {
+  const std::string path = TempPath("v0.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, SmallCheckpoint()).ok());
+  const std::string patched = TempPath("v0_patched.ckpt");
+  WriteFileBytes(patched, WithVersion(ReadFileBytes(path), 0));
+  EXPECT_FALSE(io::ReadCheckpoint(patched).ok());
+}
+
+TEST(GtcpVersionTest, HandBuiltV1BlobStillParses) {
+  // A byte-for-byte v1 file assembled by hand, guarding the PR 5
+  // format against accidental layout drift: if this stops parsing,
+  // every old f32 checkpoint in the wild stops loading.
+  std::vector<unsigned char> bytes;
+  const char magic[4] = {'G', 'T', 'C', 'P'};
+  bytes.insert(bytes.end(), magic, magic + 4);
+  Append(bytes, uint32_t{1});  // version
+  Append(bytes, uint32_t{1});  // num tensors
+  Append(bytes, uint32_t{1});  // num ints
+  Append(bytes, uint32_t{1});  // num floats
+  AppendName(bytes, "w");
+  Append(bytes, uint32_t{1});  // rank
+  Append(bytes, int64_t{2});   // dims
+  Append(bytes, 1.5f);
+  Append(bytes, -2.0f);
+  AppendName(bytes, "epoch");
+  Append(bytes, int64_t{7});
+  AppendName(bytes, "lr");
+  Append(bytes, 0.5);
+  Append(bytes, geotorch::io::Crc32(bytes.data(), bytes.size()));
+
+  const std::string path = TempPath("golden_v1.ckpt");
+  WriteFileBytes(path, bytes);
+  auto r = io::ReadCheckpoint(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tensors.size(), 1u);
+  EXPECT_EQ(r->tensors[0].first, "w");
+  ASSERT_EQ(r->tensors[0].second.numel(), 2);
+  EXPECT_EQ(r->tensors[0].second.data()[0], 1.5f);
+  EXPECT_EQ(r->tensors[0].second.data()[1], -2.0f);
+  const int64_t* epoch = r->FindInt("epoch");
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(*epoch, 7);
+  const double* lr = r->FindFloat("lr");
+  ASSERT_NE(lr, nullptr);
+  EXPECT_EQ(*lr, 0.5);
+  EXPECT_TRUE(r->qtensors.empty());
+}
+
+TEST(QuantizedCheckpointTest, QuantTensorRecordRoundTrips) {
+  io::Checkpoint ckpt;
+  ckpt.qtensors.push_back(SmallQuantTensor());
+  const std::string path = TempPath("qtensor_roundtrip.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(path, ckpt).ok());
+  auto r = io::ReadCheckpoint(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->qtensors.size(), 1u);
+  const io::QuantTensor& got = r->qtensors[0];
+  const io::QuantTensor want = SmallQuantTensor();
+  EXPECT_EQ(got.name, want.name);
+  EXPECT_EQ(got.dims, want.dims);
+  EXPECT_EQ(got.kind, want.kind);
+  EXPECT_EQ(got.zero_point, want.zero_point);
+  EXPECT_EQ(got.scales, want.scales);
+  EXPECT_EQ(got.data, want.data);
+  EXPECT_EQ(r->FindQuantTensor("layer.weight.q"), &r->qtensors[0]);
+  EXPECT_EQ(r->FindQuantTensor("nope"), nullptr);
+}
+
+TEST(QuantizedCheckpointTest, SaveLoadSaveIsBitwiseIdentical) {
+  // The acceptance bar for quantized files: write -> read -> write
+  // must reproduce the first file byte for byte, so re-saving a loaded
+  // quantized checkpoint can never silently change its contents.
+  io::Checkpoint ckpt = SmallCheckpoint();
+  geotorch::Rng rng(17);
+  ckpt.qtensors.push_back(SmallQuantTensor());
+  ckpt.qtensors.push_back(
+      io::QuantizeTensor("conv.weight.q", ts::Tensor::Randn({2, 3, 3, 3}, rng)));
+  ckpt.floats.emplace_back("val_loss", 0.125);
+
+  const std::string first = TempPath("bitwise_first.ckpt");
+  const std::string second = TempPath("bitwise_second.ckpt");
+  ASSERT_TRUE(io::WriteCheckpoint(first, ckpt).ok());
+  auto loaded = io::ReadCheckpoint(first);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(io::WriteCheckpoint(second, *loaded).ok());
+  EXPECT_EQ(ReadFileBytes(first), ReadFileBytes(second));
+}
+
+void ExpectDequantWithinHalfScale(const ts::Tensor& t) {
+  const io::QuantTensor q = io::QuantizeTensor("t", t);
+  const ts::Tensor back = io::DequantizeTensor(q);
+  ASSERT_EQ(back.shape(), t.shape());
+  // Map flat index -> scale for this element under the record's kind.
+  const int64_t cols = t.ndim() >= 2 ? t.shape().back() : 1;
+  const int64_t rows = t.ndim() >= 1 ? t.shape()[0] : 1;
+  const int64_t row_stride = t.numel() / std::max<int64_t>(rows, 1);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    float scale = q.scales[0];
+    if (q.kind == io::QuantKind::kPerCol) {
+      scale = q.scales[static_cast<size_t>(i % cols)];
+    } else if (q.kind == io::QuantKind::kPerRow) {
+      scale = q.scales[static_cast<size_t>(i / row_stride)];
+    }
+    EXPECT_LE(std::abs(back.data()[i] - t.data()[i]), 0.5f * scale + 1e-7f)
+        << "element " << i;
+  }
+}
+
+TEST(QuantizedCheckpointTest, DequantErrorAtMostHalfScaleEveryKind) {
+  geotorch::Rng rng(23);
+  // rank 1 -> per-tensor, rank 2 -> per-col, rank 4 -> per-row.
+  ExpectDequantWithinHalfScale(ts::Tensor::Randn({37}, rng));
+  ExpectDequantWithinHalfScale(ts::Tensor::Randn({12, 9}, rng));
+  ExpectDequantWithinHalfScale(ts::Tensor::Randn({4, 3, 5, 5}, rng));
+}
+
+TEST(QuantizedCheckpointTest, QuantizedStateDictLoadsIntoFreshModule) {
+  geotorch::Rng rng(29);
+  nn::Linear src(10, 6, rng);
+  geotorch::Rng rng2(31);
+  nn::Linear dst(10, 6, rng2);
+
+  const std::string path = TempPath("quant_state_dict.ckpt");
+  ASSERT_TRUE(io::SaveQuantizedStateDict(src, path).ok());
+  EXPECT_EQ(VersionField(ReadFileBytes(path)), 2u);
+  ASSERT_TRUE(io::LoadStateDict(dst, path).ok());
+
+  auto src_params = src.NamedParameters();
+  auto dst_params = dst.NamedParameters();
+  ASSERT_EQ(src_params.size(), dst_params.size());
+  for (size_t p = 0; p < src_params.size(); ++p) {
+    const ts::Tensor& a = src_params[p].second.value();
+    const ts::Tensor& b = dst_params[p].second.value();
+    ASSERT_EQ(a.shape(), b.shape()) << src_params[p].first;
+    if (a.ndim() < 2) {
+      // Biases stay f32 in the file: bitwise.
+      EXPECT_EQ(Bits(a), Bits(b)) << src_params[p].first;
+    } else {
+      // Weights went through int8: per-column scale/2 bound.
+      const io::QuantTensor q = io::QuantizeTensor("w", a);
+      const int64_t cols = a.shape().back();
+      for (int64_t i = 0; i < a.numel(); ++i) {
+        const float scale = q.scales[static_cast<size_t>(i % cols)];
+        EXPECT_LE(std::abs(a.data()[i] - b.data()[i]), 0.5f * scale + 1e-7f)
+            << src_params[p].first << " element " << i;
+      }
+    }
+  }
+}
+
 }  // namespace

@@ -1,0 +1,350 @@
+// Numerics of the low-precision inference path (DESIGN.md §10): the
+// bf16/int8 conversion helpers, the quantization error bound, the
+// low-precision GEMM kernels against references, the pre-packed
+// weight-operand path (bitwise identical to on-the-fly packing), and
+// the eval-only gate on Linear (training / grad-enabled forwards stay
+// f32 regardless of the precision setting).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/rng.h"
+#include "nn/layers.h"
+#include "nn/precision.h"
+#include "tensor/device.h"
+#include "tensor/gemm.h"
+#include "tensor/quant.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+namespace ag = ::geotorch::autograd;
+namespace nn = ::geotorch::nn;
+namespace ts = ::geotorch::tensor;
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed, float lo = -2.0f,
+                             float hi = 2.0f) {
+  geotorch::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(lo, hi));
+  return v;
+}
+
+// --- conversion helpers ----------------------------------------------------
+
+TEST(QuantTest, Bf16RoundTripsExactValues) {
+  // Values with <= 8 significand bits survive the round trip exactly.
+  for (float x : {0.0f, 1.0f, -1.0f, 0.5f, -0.375f, 2048.0f, 1.5f}) {
+    EXPECT_EQ(ts::RoundThroughBf16(x), x) << x;
+  }
+  // bf16 keeps 7 fraction bits, so the ulp at 1.0 is 2^-7 and the
+  // midpoint 1 + 2^-8 is exactly between 1.0 and 1 + 2^-7;
+  // round-to-even picks 1.0 (even significand).
+  EXPECT_EQ(ts::RoundThroughBf16(1.0f + 0x1p-8f), 1.0f);
+  // A hair above the midpoint rounds up.
+  EXPECT_EQ(ts::RoundThroughBf16(1.0f + 0x1p-8f + 0x1p-16f), 1.0f + 0x1p-7f);
+  // NaN stays NaN, infinities stay put.
+  EXPECT_TRUE(std::isnan(
+      ts::F32FromBf16(ts::Bf16FromF32(std::nanf("")))));
+  EXPECT_EQ(ts::RoundThroughBf16(INFINITY), INFINITY);
+  EXPECT_EQ(ts::RoundThroughBf16(-INFINITY), -INFINITY);
+}
+
+TEST(QuantTest, Bf16RelativeErrorWithinHalfUlp) {
+  const std::vector<float> xs = RandomVec(4096, 11, -100.0f, 100.0f);
+  for (float x : xs) {
+    // 7 fraction bits: the ulp at x is at most 2^-7 * |x|, and RNE
+    // lands within half of that.
+    EXPECT_LE(std::fabs(ts::RoundThroughBf16(x) - x),
+              std::fabs(x) * 0x1p-8f);
+  }
+}
+
+// --- int8 quantization error bound -----------------------------------------
+
+TEST(QuantTest, Int8DequantErrorAtMostHalfScalePerElement) {
+  const std::vector<float> xs = RandomVec(4096, 23, -3.0f, 3.0f);
+  const float scale = ts::SymmetricScale(ts::AbsMax(xs.data(), xs.size()));
+  std::vector<int8_t> q(xs.size());
+  ts::QuantizeInt8(xs.data(), xs.size(), scale, q.data());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_GE(q[i], -127);
+    EXPECT_LE(q[i], 127);
+    EXPECT_LE(std::fabs(xs[i] - q[i] * scale), scale / 2 + 1e-7f)
+        << "element " << i;
+  }
+}
+
+TEST(QuantTest, PerChannelScalesBoundEveryChannel) {
+  const int64_t rows = 37, cols = 19;
+  const std::vector<float> w = RandomVec(rows * cols, 31, -5.0f, 5.0f);
+  std::vector<int8_t> q(rows * cols);
+  std::vector<float> row_scales(rows), col_scales(cols);
+  ts::QuantizeRowsInt8(w.data(), rows, cols, q.data(), row_scales.data());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      EXPECT_LE(std::fabs(w[r * cols + c] - q[r * cols + c] * row_scales[r]),
+                row_scales[r] / 2 + 1e-7f);
+    }
+  }
+  ts::QuantizeColsInt8(w.data(), rows, cols, q.data(), col_scales.data());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      EXPECT_LE(std::fabs(w[r * cols + c] - q[r * cols + c] * col_scales[c]),
+                col_scales[c] / 2 + 1e-7f);
+    }
+  }
+  // An all-zero channel must not divide by zero.
+  std::vector<float> zeros(8, 0.0f);
+  float s;
+  std::vector<int8_t> qz(8);
+  ts::QuantizeRowsInt8(zeros.data(), 1, 8, qz.data(), &s);
+  EXPECT_EQ(s, 1.0f);
+  for (int8_t v : qz) EXPECT_EQ(v, 0);
+}
+
+// --- GEMM kernels against references ---------------------------------------
+
+// The bf16 GEMM must agree with an f32 GEMM over bf16-rounded operands
+// up to f32 accumulation-order differences.
+TEST(QuantTest, GemmBf16MatchesRoundedReference) {
+  for (auto [m, k, n] : {std::array<int64_t, 3>{7, 13, 9},
+                         std::array<int64_t, 3>{16, 262, 33},
+                         std::array<int64_t, 3>{61, 130, 70}}) {
+    const std::vector<float> a = RandomVec(m * k, 7 * m + k);
+    const std::vector<float> b = RandomVec(k * n, 13 * n + k);
+    std::vector<float> got(m * n), want(m * n, 0.0f);
+    ts::GemmBf16(a.data(), b.data(), got.data(), m, k, n);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) {
+          acc += ts::RoundThroughBf16(a[i * k + p]) *
+                 ts::RoundThroughBf16(b[p * n + j]);
+        }
+        want[i * n + j] = acc;
+      }
+    }
+    for (int64_t i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(got[i], want[i], 1e-3f)
+          << m << "x" << k << "x" << n << " element " << i;
+    }
+  }
+}
+
+TEST(QuantTest, GemmInt8MatchesInt32Reference) {
+  for (auto [m, k, n] : {std::array<int64_t, 3>{7, 13, 9},
+                         std::array<int64_t, 3>{16, 262, 33},
+                         std::array<int64_t, 3>{61, 130, 70}}) {
+    const std::vector<float> af = RandomVec(m * k, m + 3 * k);
+    const std::vector<float> bf = RandomVec(k * n, n + 5 * k);
+    std::vector<int8_t> a(m * k), b(k * n);
+    std::vector<float> b_scales(n);
+    const float a_scale = ts::SymmetricScale(ts::AbsMax(af.data(), m * k));
+    ts::QuantizeInt8(af.data(), m * k, a_scale, a.data());
+    ts::QuantizeColsInt8(bf.data(), k, n, b.data(), b_scales.data());
+    ts::Int8GemmOptions opts;
+    opts.a_scales = &a_scale;
+    opts.a_scales_len = 1;
+    opts.b_scales = b_scales.data();
+    opts.b_scales_len = n;
+    std::vector<float> got(m * n);
+    ts::GemmInt8(a.data(), b.data(), got.data(), m, k, n, opts);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        int32_t acc = 0;
+        for (int64_t p = 0; p < k; ++p) {
+          acc += static_cast<int32_t>(a[i * k + p]) *
+                 static_cast<int32_t>(b[p * n + j]);
+        }
+        const float want =
+            static_cast<float>(acc) * (a_scale * b_scales[j]);
+        EXPECT_NEAR(got[i * n + j], want,
+                    1e-5f * std::max(1.0f, std::fabs(want)))
+            << m << "x" << k << "x" << n;
+      }
+    }
+  }
+}
+
+// --- pre-packed weight operand ---------------------------------------------
+
+// Packing B once at SetPrecision time must change nothing numerically:
+// the packed blob holds exactly the panels the kernel would have built
+// per call, so outputs are bitwise identical, including odd tails.
+TEST(QuantTest, PrepackedBf16BitwiseEqualsOnTheFly) {
+  for (auto [m, k, n] : {std::array<int64_t, 3>{7, 13, 9},
+                         std::array<int64_t, 3>{16, 262, 512},
+                         std::array<int64_t, 3>{61, 530, 700}}) {
+    const std::vector<float> a = RandomVec(m * k, k + 17);
+    const std::vector<float> b = RandomVec(k * n, n + 19);
+    std::vector<uint16_t> b_bf16(k * n);
+    ts::ConvertToBf16(b.data(), b_bf16.data(), k * n);
+    std::vector<float> unpacked(m * n), packed_out(m * n);
+    ts::GemmBf16(a.data(), b_bf16.data(), unpacked.data(), m, k, n);
+    std::vector<uint16_t> packed(ts::Bf16PackedBSize(k, n));
+    ts::PackBf16B(b_bf16.data(), k, n, packed.data());
+    ts::GemmBf16(a.data(), ts::Bf16PackedB{packed.data()}, packed_out.data(),
+                 m, k, n);
+    EXPECT_EQ(0, std::memcmp(unpacked.data(), packed_out.data(),
+                             m * n * sizeof(float)))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(QuantTest, PrepackedInt8BitwiseEqualsOnTheFly) {
+  for (auto [m, k, n] : {std::array<int64_t, 3>{7, 13, 9},
+                         std::array<int64_t, 3>{16, 262, 512},
+                         std::array<int64_t, 3>{61, 530, 700}}) {
+    const std::vector<float> af = RandomVec(m * k, k + 29);
+    const std::vector<float> bf = RandomVec(k * n, n + 37);
+    std::vector<int8_t> a(m * k), b(k * n);
+    std::vector<float> b_scales(n);
+    const float a_scale = ts::SymmetricScale(ts::AbsMax(af.data(), m * k));
+    ts::QuantizeInt8(af.data(), m * k, a_scale, a.data());
+    ts::QuantizeColsInt8(bf.data(), k, n, b.data(), b_scales.data());
+    ts::Int8GemmOptions opts;
+    opts.a_scales = &a_scale;
+    opts.a_scales_len = 1;
+    opts.b_scales = b_scales.data();
+    opts.b_scales_len = n;
+    std::vector<float> unpacked(m * n), packed_out(m * n);
+    ts::GemmInt8(a.data(), b.data(), unpacked.data(), m, k, n, opts);
+    std::vector<int8_t> packed(ts::Int8PackedBSize(k, n));
+    ts::PackInt8B(b.data(), k, n, packed.data());
+    ts::GemmInt8(a.data(), ts::Int8PackedB{packed.data()}, packed_out.data(),
+                 m, k, n, opts);
+    EXPECT_EQ(0, std::memcmp(unpacked.data(), packed_out.data(),
+                             m * n * sizeof(float)))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+// --- serial vs parallel ----------------------------------------------------
+
+// Both low-precision kernels fix their K-accumulation order (bf16) or
+// accumulate exactly in i32 (int8), so crossing the parallel-dispatch
+// threshold must not change a single bit.
+TEST(QuantTest, LowPrecisionGemmSerialEqualsParallelBitwise) {
+  const int64_t m = 128, k = 96, n = 128;  // m*k*n > kParallelMinWork
+  const std::vector<float> a = RandomVec(m * k, 41);
+  const std::vector<float> b = RandomVec(k * n, 43);
+  std::vector<int8_t> aq(m * k), bq(k * n);
+  std::vector<float> b_scales(n);
+  const float a_scale = ts::SymmetricScale(ts::AbsMax(a.data(), m * k));
+  ts::QuantizeInt8(a.data(), m * k, a_scale, aq.data());
+  ts::QuantizeColsInt8(b.data(), k, n, bq.data(), b_scales.data());
+  ts::Int8GemmOptions iopts;
+  iopts.a_scales = &a_scale;
+  iopts.a_scales_len = 1;
+  iopts.b_scales = b_scales.data();
+  iopts.b_scales_len = n;
+
+  std::vector<float> bf16_serial(m * n), bf16_parallel(m * n);
+  std::vector<float> int8_serial(m * n), int8_parallel(m * n);
+  {
+    ts::DeviceGuard guard(ts::Device::kSerial);
+    ts::GemmBf16(a.data(), b.data(), bf16_serial.data(), m, k, n);
+    ts::GemmInt8(aq.data(), bq.data(), int8_serial.data(), m, k, n, iopts);
+  }
+  {
+    ts::DeviceGuard guard(ts::Device::kParallel);
+    ts::GemmBf16(a.data(), b.data(), bf16_parallel.data(), m, k, n);
+    ts::GemmInt8(aq.data(), bq.data(), int8_parallel.data(), m, k, n, iopts);
+  }
+  EXPECT_EQ(0, std::memcmp(bf16_serial.data(), bf16_parallel.data(),
+                           m * n * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(int8_serial.data(), int8_parallel.data(),
+                           m * n * sizeof(float)));
+}
+
+// --- the eval-only gate on layers ------------------------------------------
+
+TEST(QuantTest, LinearPrecisionOnlyAppliesInEvalWithGradsOff) {
+  geotorch::Rng rng(5);
+  nn::Linear layer(24, 16, rng);
+  ts::Tensor x = ts::Tensor::Uninitialized({4, 24});
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.flat(i) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+
+  layer.SetTraining(false);
+  ts::Tensor f32_out;
+  {
+    ag::NoGradGuard no_grad;
+    f32_out = layer.Forward(ag::Variable(x)).value();
+  }
+
+  layer.SetPrecision(nn::Precision::kInt8);
+  // Grad-enabled forward: the gate keeps it f32, bitwise.
+  ts::Tensor grad_on_out = layer.Forward(ag::Variable(x)).value();
+  EXPECT_EQ(0, std::memcmp(f32_out.data(), grad_on_out.data(),
+                           f32_out.numel() * sizeof(float)));
+  // Training-mode forward: still f32, bitwise.
+  layer.SetTraining(true);
+  {
+    ag::NoGradGuard no_grad;
+    ts::Tensor training_out = layer.Forward(ag::Variable(x)).value();
+    EXPECT_EQ(0, std::memcmp(f32_out.data(), training_out.data(),
+                             f32_out.numel() * sizeof(float)));
+  }
+  // Eval + no-grad: the int8 path engages — close to f32, not equal.
+  layer.SetTraining(false);
+  {
+    ag::NoGradGuard no_grad;
+    ts::Tensor int8_out = layer.Forward(ag::Variable(x)).value();
+    double max_diff = 0.0, absmax = 0.0;
+    for (int64_t i = 0; i < int8_out.numel(); ++i) {
+      max_diff = std::max(
+          max_diff,
+          static_cast<double>(std::fabs(int8_out.flat(i) - f32_out.flat(i))));
+      absmax = std::max(absmax,
+                        static_cast<double>(std::fabs(f32_out.flat(i))));
+    }
+    EXPECT_GT(max_diff, 0.0) << "int8 path did not engage";
+    EXPECT_LT(max_diff, 0.05 * std::max(absmax, 1.0));
+  }
+  // Back to f32: bitwise identical to the original forward.
+  layer.SetPrecision(nn::Precision::kF32);
+  {
+    ag::NoGradGuard no_grad;
+    ts::Tensor back = layer.Forward(ag::Variable(x)).value();
+    EXPECT_EQ(0, std::memcmp(f32_out.data(), back.data(),
+                             f32_out.numel() * sizeof(float)));
+  }
+}
+
+// Calibration records a static activation scale: after calibrating on
+// the same input, the int8 output must match the uncalibrated
+// (dynamic-scale) output, since both resolve to the same absmax.
+TEST(QuantTest, CalibratedStaticScaleMatchesDynamicOnCalibrationInput) {
+  geotorch::Rng rng(9);
+  nn::Linear layer(16, 8, rng);
+  ts::Tensor x = ts::Tensor::Uninitialized({4, 16});
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.flat(i) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  layer.SetTraining(false);
+  ag::NoGradGuard no_grad;
+
+  layer.SetPrecision(nn::Precision::kInt8);
+  ts::Tensor dynamic_out = layer.Forward(ag::Variable(x)).value();
+
+  layer.SetPrecision(nn::Precision::kF32);
+  layer.SetCalibrating(true);
+  layer.Forward(ag::Variable(x));
+  layer.SetCalibrating(false);
+  layer.SetPrecision(nn::Precision::kInt8);
+  ts::Tensor static_out = layer.Forward(ag::Variable(x)).value();
+  EXPECT_EQ(0, std::memcmp(dynamic_out.data(), static_out.data(),
+                           dynamic_out.numel() * sizeof(float)));
+}
+
+}  // namespace

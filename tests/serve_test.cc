@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -19,6 +20,7 @@
 #include "datasets/benchmarks.h"
 #include "io/checkpoint.h"
 #include "models/grid_models.h"
+#include "nn/precision.h"
 #include "serve/adapters.h"
 #include "serve/config.h"
 #include "serve/engine.h"
@@ -33,6 +35,7 @@ namespace ts = ::geotorch::tensor;
 namespace data = ::geotorch::data;
 namespace datasets = ::geotorch::datasets;
 namespace models = ::geotorch::models;
+namespace nn = ::geotorch::nn;
 namespace serve = ::geotorch::serve;
 
 std::vector<uint32_t> Bits(const ts::Tensor& t) {
@@ -88,6 +91,20 @@ TEST(EngineOptionsTest, FromEnvParsesAndClamps) {
   EXPECT_EQ(opts.warmup_batches, serve::EngineOptions{}.warmup_batches);
 }
 
+TEST(EngineOptionsTest, FromEnvParsesPrecision) {
+  EnvVarGuard guard({"GEOTORCH_SERVE_PRECISION"});
+  unsetenv("GEOTORCH_SERVE_PRECISION");
+  EXPECT_EQ(serve::EngineOptions::FromEnv().precision, nn::Precision::kF32);
+  setenv("GEOTORCH_SERVE_PRECISION", "bf16", 1);
+  EXPECT_EQ(serve::EngineOptions::FromEnv().precision, nn::Precision::kBf16);
+  setenv("GEOTORCH_SERVE_PRECISION", "int8", 1);
+  EXPECT_EQ(serve::EngineOptions::FromEnv().precision, nn::Precision::kInt8);
+  setenv("GEOTORCH_SERVE_PRECISION", "float32", 1);
+  EXPECT_EQ(serve::EngineOptions::FromEnv().precision, nn::Precision::kF32);
+  setenv("GEOTORCH_SERVE_PRECISION", "fp7", 1);  // unknown -> keep default
+  EXPECT_EQ(serve::EngineOptions::FromEnv().precision, nn::Precision::kF32);
+}
+
 // --- Echo engine: scatter correctness under concurrency ---------------------
 
 TEST(EngineTest, ConcurrentSubmitsGetTheirOwnRows) {
@@ -120,6 +137,41 @@ TEST(EngineTest, ConcurrentSubmitsGetTheirOwnRows) {
   EXPECT_EQ(stats.requests, kThreads * kPerThread);
   EXPECT_EQ(stats.rejected, 0);
   EXPECT_GE(stats.batches, (kThreads * kPerThread + 3) / 4);
+}
+
+TEST(EngineTest, SingleClientBatchedKeepsBatchOneThroughput) {
+  // Regression test for the batcher's singleton skip: a lone
+  // sequential client submits only after the previous reply, so it
+  // never coalesces, and a batched engine must not charge it the
+  // fill-wait quiet window on every request. Compare wall time against
+  // an identical engine at max_batch = 1 (which never waits). Without
+  // the skip, the batched run pays ~kRequests quiet windows (1.25 ms
+  // each here, ~50 ms total) — an order of magnitude past the bound.
+  constexpr int kRequests = 40;
+  auto run_us = [](int max_batch) {
+    serve::EngineOptions opts;
+    opts.max_batch = max_batch;
+    opts.max_delay_us = 20000;  // quiet window = 1.25 ms
+    opts.max_queue = 64;
+    opts.warmup_batches = 1;
+    serve::Engine engine([](const data::Batch& batch) { return batch.x; },
+                         serve::SampleSpec{{4}, {}}, opts);
+    data::Sample s;
+    s.x = ts::Tensor::Full({4}, 1.0f);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRequests; ++i) {
+      auto out = engine.Submit(s);
+      EXPECT_TRUE(out.ok());
+    }
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const int64_t batched_us = run_us(/*max_batch=*/16);
+  const int64_t unbatched_us = run_us(/*max_batch=*/1);
+  EXPECT_LE(batched_us, 3 * unbatched_us + 5000)
+      << "batched " << batched_us << " us vs batch-1 " << unbatched_us
+      << " us";
 }
 
 TEST(EngineTest, ScalarOutputRowsComeBackAsSingletons) {
@@ -367,6 +419,29 @@ TEST(EngineTest, BatchedForwardMatchesDirectSingleSampleForward) {
 }
 
 // --- Checkpoint + serve integration -----------------------------------------
+
+TEST(AdapterTest, WrappingAppliesRequestedPrecisionToTheModel) {
+  datasets::GridDataset ds = datasets::MakeTemperature(
+      /*timesteps=*/60, /*height=*/4, /*width=*/4, /*seed=*/9);
+  models::GridModelConfig mc;
+  mc.channels = ds.channels();
+  mc.height = ds.height();
+  mc.width = ds.width();
+  mc.len_closeness = 3;
+  mc.len_period = 2;
+  mc.len_trend = 1;
+  mc.hidden = 4;
+  mc.seed = 11;
+  models::PeriodicalCnn model(mc);
+  EXPECT_EQ(model.precision(), nn::Precision::kF32);
+
+  // Wrapping quantizes (and packs) once at adapter-construction time,
+  // and puts the model in eval mode so the low-precision gate engages.
+  auto forward = serve::GridForward(model, nn::Precision::kInt8);
+  EXPECT_EQ(model.precision(), nn::Precision::kInt8);
+  EXPECT_FALSE(model.training());
+  (void)forward;
+}
 
 TEST(EngineTest, ServesFromALoadedCheckpoint) {
   datasets::GridDataset ds = datasets::MakeTemperature(
