@@ -20,6 +20,11 @@ enum class StatusCode {
   kOutOfMemory,
   kNotImplemented,
   kInternal,
+  /// A caller-scoped quota (e.g. a serving tenant's request budget) is
+  /// exhausted. Distinct from kOutOfRange, which the serving layer uses
+  /// for queue backpressure: backpressure clears as soon as the queue
+  /// drains, a quota clears on its own schedule.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -61,6 +66,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

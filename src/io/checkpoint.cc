@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "core/check.h"
 #include "io/crc32.h"
 #include "tensor/quant.h"
 #include "tensor/shape.h"
@@ -408,44 +409,80 @@ Status SaveQuantizedStateDict(const nn::Module& module,
 
 Status ApplyStateDict(nn::Module& module, const Checkpoint& ckpt,
                       const LoadOptions& options, const std::string& prefix) {
+  // Transactional: validate the WHOLE plan — every name resolution and
+  // shape check, in both strict and permissive mode — before a single
+  // parameter is written. A checkpoint that fails partway (unknown
+  // name, shape mismatch, missing parameter) must leave the module
+  // exactly as it was: the serving fleet's hot-reload contract is that
+  // a failed load keeps the old model serving, and a half-applied
+  // state dict would silently corrupt it. (The write pass below cannot
+  // fail: everything LoadNamedParameter checks was checked here.)
+  std::vector<std::pair<std::string, const tensor::Tensor*>> plan;
+  std::vector<std::pair<std::string, const QuantTensor*>> qplan;
   std::set<std::string> loaded;
-  for (const auto& [full_name, t] : ckpt.tensors) {
-    if (full_name.compare(0, prefix.size(), prefix) != 0) continue;
-    const std::string name = full_name.substr(prefix.size());
-    Status s = module.LoadNamedParameter(name, t);
-    if (s.code() == StatusCode::kNotFound) {
+  const auto params = module.NamedParameters();
+  auto find_param = [&params](const std::string& name)
+      -> const autograd::Variable* {
+    for (const auto& [pname, p] : params) {
+      if (pname == name) return &p;
+    }
+    return nullptr;
+  };
+  auto check_one = [&](const std::string& name,
+                       const tensor::Shape& shape) -> Result<bool> {
+    const autograd::Variable* p = find_param(name);
+    if (p == nullptr) {
       if (options.strict) {
         return Status::InvalidArgument(
             "state dict has unknown parameter '" + name +
             "' (strict mode; module has no such parameter)");
       }
-      continue;
+      return false;  // permissive: skip
     }
-    GEO_RETURN_NOT_OK(s);
+    if (!tensor::SameShape(p->shape(), shape)) {
+      return Status::InvalidArgument(
+          "shape mismatch for parameter '" + name + "': module has " +
+          tensor::ShapeToString(p->shape()) + ", value has " +
+          tensor::ShapeToString(shape));
+    }
+    return true;
+  };
+
+  for (const auto& [full_name, t] : ckpt.tensors) {
+    if (full_name.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string name = full_name.substr(prefix.size());
+    GEO_ASSIGN_OR_RETURN(const bool apply, check_one(name, t.shape()));
+    if (!apply) continue;
+    plan.emplace_back(name, &t);
     loaded.insert(name);
   }
   for (const QuantTensor& q : ckpt.qtensors) {
     if (q.name.compare(0, prefix.size(), prefix) != 0) continue;
     const std::string name = q.name.substr(prefix.size());
-    Status s = module.LoadNamedParameter(name, DequantizeTensor(q));
-    if (s.code() == StatusCode::kNotFound) {
-      if (options.strict) {
-        return Status::InvalidArgument(
-            "state dict has unknown parameter '" + name +
-            "' (strict mode; module has no such parameter)");
-      }
-      continue;
-    }
-    GEO_RETURN_NOT_OK(s);
+    const tensor::Shape shape(q.dims.begin(), q.dims.end());
+    GEO_ASSIGN_OR_RETURN(const bool apply, check_one(name, shape));
+    if (!apply) continue;
+    qplan.emplace_back(name, &q);
     loaded.insert(name);
   }
   if (options.strict) {
-    for (const auto& [name, p] : module.NamedParameters()) {
+    for (const auto& [name, p] : params) {
       if (loaded.count(name) == 0) {
         return Status::InvalidArgument(
             "state dict is missing parameter '" + name + "' (strict mode)");
       }
     }
+  }
+
+  for (const auto& [name, t] : plan) {
+    Status s = module.LoadNamedParameter(name, *t);
+    GEO_CHECK(s.ok()) << "validated state-dict write failed: "
+                      << s.ToString();
+  }
+  for (const auto& [name, q] : qplan) {
+    Status s = module.LoadNamedParameter(name, DequantizeTensor(*q));
+    GEO_CHECK(s.ok()) << "validated state-dict write failed: "
+                      << s.ToString();
   }
   return Status::OK();
 }

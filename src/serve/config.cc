@@ -38,4 +38,16 @@ EngineOptions EngineOptions::FromEnv() {
   return opts;
 }
 
+FleetOptions FleetOptions::FromEnv() {
+  FleetOptions opts;
+  opts.replicas =
+      ClampMin(EnvInt("GEOTORCH_FLEET_REPLICAS", opts.replicas), 1);
+  opts.tenant_qps =
+      ClampMin(EnvInt("GEOTORCH_FLEET_TENANT_QPS", opts.tenant_qps), 0);
+  opts.tenant_burst =
+      ClampMin(EnvInt("GEOTORCH_FLEET_TENANT_BURST", opts.tenant_burst), 0);
+  opts.engine = EngineOptions::FromEnv();
+  return opts;
+}
+
 }  // namespace geotorch::serve

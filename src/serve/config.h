@@ -43,6 +43,36 @@ struct EngineOptions {
   static EngineOptions FromEnv();
 };
 
+/// Knobs for the sharded, replicated serving fleet (serve/fleet.h,
+/// DESIGN.md §11). FromEnv() reads the GEOTORCH_FLEET_* family and
+/// nests EngineOptions::FromEnv(), so one environment configures both
+/// layers:
+///
+///   GEOTORCH_FLEET_REPLICAS      engines spun up per registered model
+///                                when AddModel does not override it
+///                                (default 2)
+///   GEOTORCH_FLEET_TENANT_QPS    per-tenant admission rate in requests
+///                                per second, enforced by a token
+///                                bucket at the router; 0 disables
+///                                quotas entirely (default 0)
+///   GEOTORCH_FLEET_TENANT_BURST  token-bucket capacity — how many
+///                                requests a tenant may burst above the
+///                                steady rate; 0 means max(1, qps)
+///                                (default 0)
+struct FleetOptions {
+  int replicas = 2;
+  int tenant_qps = 0;
+  int tenant_burst = 0;
+  /// Per-replica engine knobs; every replica of every model shares
+  /// these.
+  EngineOptions engine;
+
+  /// Defaults overridden by any GEOTORCH_FLEET_* / GEOTORCH_SERVE_*
+  /// variables present. replicas is clamped to >= 1, the tenant knobs
+  /// to >= 0; unparsable text is ignored.
+  static FleetOptions FromEnv();
+};
+
 }  // namespace geotorch::serve
 
 #endif  // GEOTORCH_SERVE_CONFIG_H_

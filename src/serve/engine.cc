@@ -229,6 +229,30 @@ void Engine::RunBatch(std::vector<Request> requests) {
                 static_cast<size_t>(row) * sizeof(float));
     requests[i].promise.set_value(std::move(slice));
   }
+
+  // Advance the answered count only after every promise of this batch
+  // holds its value: Drain's contract is "answered", not "dequeued",
+  // so a drainer released here can rely on all b callers having their
+  // results committed.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    answered_ += b;
+  }
+  drained_cv_.notify_all();
+}
+
+void Engine::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Everything accepted so far — queued or mid-batch. Snapshot once:
+  // submits racing this drain raise requests_ but not the target, so
+  // the wait below cannot be extended (no starvation under load).
+  const int64_t target = requests_.load(std::memory_order_relaxed);
+  drained_cv_.wait(lock, [this, target] { return answered_ >= target; });
+}
+
+int Engine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
 }
 
 void Engine::Shutdown() {

@@ -71,6 +71,30 @@ class Engine {
   /// and joins the batcher thread. Idempotent and thread-safe.
   void Shutdown();
 
+  /// Blocks until every request accepted BEFORE this call has been
+  /// answered (its output row committed to the caller's future), then
+  /// returns. The engine keeps running: submits arriving during the
+  /// drain are accepted normally and are NOT waited for, so a drain
+  /// racing a steady request stream still terminates — its target is
+  /// the accepted count snapshotted at entry, which later submits
+  /// cannot grow. Safe to call from several threads at once, and
+  /// returns immediately on an idle engine.
+  ///
+  /// "Answered", not "dequeued": a request leaves the queue when the
+  /// batcher takes its batch, strictly before the forward runs. A
+  /// drain that waited only for an empty queue could hand "quiesced"
+  /// back to a caller while a batch is still mid-forward — a caller
+  /// that then tears down the model the engine serves from would leave
+  /// the batcher computing on freed weights and its waiters blocked on
+  /// futures that are never fulfilled. This is the primitive the fleet
+  /// reload path uses to retire a swapped-out model snapshot.
+  void Drain();
+
+  /// Requests currently waiting in the queue (excludes any batch the
+  /// forward is running right now). The fleet router uses this plus
+  /// its own in-flight accounting for least-loaded replica choice.
+  int queue_depth() const;
+
   EngineStats stats() const;
   const EngineOptions& options() const { return options_; }
   const SampleSpec& spec() const { return spec_; }
@@ -92,9 +116,18 @@ class Engine {
   SampleSpec spec_;
   EngineOptions options_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Signalled by RunBatch each time answered_ advances; Drain waits on
+  /// it. Separate from cv_ so drain wake-ups never contend with the
+  /// batcher's fill-wait.
+  std::condition_variable drained_cv_;
   std::deque<Request> queue_;
+  /// Requests answered so far (output row committed to the caller's
+  /// future). Guarded by mu_; together with the accepted count
+  /// (requests_) it defines Drain's completion predicate
+  /// answered_ >= target.
+  int64_t answered_ = 0;
   bool draining_ = false;
   /// Guarded by mu_. Set by RunBatch when the batch it just ran was a
   /// singleton AND the queue was empty at completion: the request

@@ -1,0 +1,290 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+#include "obs/obs.h"
+
+namespace geotorch::serve {
+
+namespace ts = ::geotorch::tensor;
+
+Fleet::Fleet(FleetOptions options) : options_(options) {
+  GEO_CHECK_GE(options_.replicas, 1);
+}
+
+Fleet::~Fleet() { Shutdown(); }
+
+Fleet::ModelEntry* Fleet::FindModel(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  for (const auto& entry : models_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Status Fleet::AddModel(const std::string& name, SnapshotFactory factory,
+                       SampleSpec spec, int replicas) {
+  if (factory == nullptr) {
+    return Status::InvalidArgument("AddModel needs a snapshot factory");
+  }
+  if (replicas <= 0) replicas = options_.replicas;
+
+  auto entry = std::make_unique<ModelEntry>();
+  entry->name = name;
+  entry->factory = std::move(factory);
+  entry->spec = spec;
+  for (int i = 0; i < replicas; ++i) {
+    ModelSnapshot snap = entry->factory();
+    if (snap.forward == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot factory for model '" + name +
+          "' produced a snapshot with no forward");
+    }
+    snap.version = 1;
+    auto rep = std::make_unique<Replica>();
+    rep->gauge_name =
+        "fleet.queue_depth." + name + "." + std::to_string(i);
+    rep->snapshot = std::make_shared<const ModelSnapshot>(std::move(snap));
+    // The batcher resolves the snapshot pointer once per batch, under a
+    // lock held only for the pointer copy: a reload swapping the
+    // pointer can never be observed mid-forward, and the shared_ptr
+    // the batch holds keeps a swapped-out snapshot alive until the
+    // batch's rows are scattered (drain-and-retire).
+    Replica* rep_ptr = rep.get();
+    rep->engine = std::make_unique<Engine>(
+        [rep_ptr](const data::Batch& batch) {
+          std::shared_ptr<const ModelSnapshot> snap_ref;
+          {
+            std::lock_guard<std::mutex> lock(rep_ptr->snap_mu);
+            snap_ref = rep_ptr->snapshot;
+          }
+          return snap_ref->forward(batch);
+        },
+        spec, options_.engine);
+    entry->replicas.push_back(std::move(rep));
+  }
+
+  std::lock_guard<std::mutex> lock(models_mu_);
+  for (const auto& existing : models_) {
+    if (existing->name == name) {
+      return Status::AlreadyExists("model '" + name +
+                                   "' is already registered");
+    }
+  }
+  models_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+bool Fleet::Admit(const std::string& tenant) {
+  if (options_.tenant_qps <= 0) return true;
+  const double qps = static_cast<double>(options_.tenant_qps);
+  const double burst = options_.tenant_burst > 0
+                           ? static_cast<double>(options_.tenant_burst)
+                           : std::max(1.0, qps);
+  const int64_t now = obs::NowNs();
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  TenantBucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = burst;
+  } else {
+    bucket.tokens = std::min(
+        burst, bucket.tokens +
+                   static_cast<double>(now - bucket.last_ns) * 1e-9 * qps);
+  }
+  bucket.last_ns = now;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+Result<ts::Tensor> Fleet::Submit(const std::string& model,
+                                 const std::string& tenant,
+                                 const data::Sample& sample) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("fleet is shut down");
+  }
+  ModelEntry* entry = FindModel(model);
+  if (entry == nullptr) {
+    return Status::NotFound("no model named '" + model + "'");
+  }
+  if (!Admit(tenant)) {
+    tenant_rejected_.fetch_add(1, std::memory_order_relaxed);
+    GEO_OBS_COUNT("fleet.tenant_rejected", 1);
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' is over its request quota (" +
+        std::to_string(options_.tenant_qps) + " qps)");
+  }
+
+  // Least-queue-depth routing with round-robin tie-break: scan the
+  // replicas starting from a rotating cursor and order them by
+  // outstanding requests; the stable sort keeps the rotated order
+  // among equals, so an idle fleet round-robins exactly. Replicas are
+  // then TRIED in that order — a full replica (OutOfRange) falls
+  // through to the next-least-loaded one, so callers only see
+  // backpressure when every replica's queue is full.
+  const size_t n = entry->replicas.size();
+  std::vector<std::pair<int64_t, size_t>> order;  // (outstanding, index)
+  {
+    GEO_OBS_SPAN(route_span, "fleet.route");
+    const uint64_t start =
+        entry->rr.fetch_add(1, std::memory_order_relaxed) % n;
+    order.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      const size_t idx = (start + k) % n;
+      order.emplace_back(
+          entry->replicas[idx]->outstanding.load(std::memory_order_relaxed),
+          idx);
+    }
+    std::stable_sort(
+        order.begin(), order.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  GEO_OBS_COUNT("fleet.routed", 1);
+
+  Status last_reject = Status::OutOfRange("fleet has no replicas");
+  for (const auto& [depth, idx] : order) {
+    Replica& rep = *entry->replicas[idx];
+    const int64_t now_out =
+        rep.outstanding.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (GEO_OBS_ON()) obs::SetGauge(rep.gauge_name, now_out);
+    Result<ts::Tensor> out = rep.engine->Submit(sample);
+    const int64_t after =
+        rep.outstanding.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (GEO_OBS_ON()) obs::SetGauge(rep.gauge_name, after);
+    if (out.ok() ||
+        out.status().code() != StatusCode::kOutOfRange) {
+      return out;  // answered, or a non-backpressure error
+    }
+    last_reject = out.status();
+  }
+  return last_reject;
+}
+
+Status Fleet::Reload(const std::string& model, const std::string& path) {
+  GEO_OBS_SPAN(reload_span, "fleet.reload");
+  ModelEntry* entry = FindModel(model);
+  if (entry == nullptr) {
+    return Status::NotFound("no model named '" + model + "'");
+  }
+  std::lock_guard<std::mutex> reload_lock(entry->reload_mu);
+  const int64_t next_version =
+      entry->version.load(std::memory_order_relaxed) + 1;
+
+  // Phase 1 — build and load a shadow snapshot per replica while the
+  // old snapshots keep serving. Any failure aborts here, before a
+  // single replica swapped: a truncated or bit-flipped checkpoint
+  // leaves the fleet serving the old version on every replica, never a
+  // mixed-version split.
+  std::vector<std::shared_ptr<const ModelSnapshot>> shadows;
+  shadows.reserve(entry->replicas.size());
+  for (size_t i = 0; i < entry->replicas.size(); ++i) {
+    ModelSnapshot shadow = entry->factory();
+    if (shadow.forward == nullptr) {
+      reload_failures_.fetch_add(1, std::memory_order_relaxed);
+      GEO_OBS_COUNT("fleet.reload_failed", 1);
+      return Status::Internal("snapshot factory for model '" + model +
+                              "' produced a snapshot with no forward");
+    }
+    if (shadow.load == nullptr) {
+      reload_failures_.fetch_add(1, std::memory_order_relaxed);
+      GEO_OBS_COUNT("fleet.reload_failed", 1);
+      return Status::NotImplemented("model '" + model +
+                                    "' is not hot-reloadable (snapshot "
+                                    "factory wires no load hook)");
+    }
+    Status st = shadow.load(path);
+    if (!st.ok()) {
+      reload_failures_.fetch_add(1, std::memory_order_relaxed);
+      GEO_OBS_COUNT("fleet.reload_failed", 1);
+      return st;
+    }
+    shadow.version = next_version;
+    shadows.push_back(
+        std::make_shared<const ModelSnapshot>(std::move(shadow)));
+  }
+
+  // Phase 2 — commit: swap each replica's pointer (observed by its
+  // batcher between batches, never mid-forward), then drain so that on
+  // return no forward still runs the old weights. The drained
+  // replica's old snapshot drops its last reference and retires.
+  for (size_t i = 0; i < entry->replicas.size(); ++i) {
+    Replica& rep = *entry->replicas[i];
+    {
+      std::lock_guard<std::mutex> lock(rep.snap_mu);
+      rep.snapshot = std::move(shadows[i]);
+    }
+    reload_swaps_.fetch_add(1, std::memory_order_relaxed);
+    GEO_OBS_COUNT("fleet.reload_swaps", 1);
+  }
+  for (const auto& rep : entry->replicas) rep->engine->Drain();
+  entry->version.store(next_version, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<int64_t> Fleet::ModelVersion(const std::string& model) const {
+  const ModelEntry* entry = FindModel(model);
+  if (entry == nullptr) {
+    return Status::NotFound("no model named '" + model + "'");
+  }
+  return entry->version.load(std::memory_order_relaxed);
+}
+
+int Fleet::ReplicaCount(const std::string& model) const {
+  const ModelEntry* entry = FindModel(model);
+  return entry == nullptr ? 0 : static_cast<int>(entry->replicas.size());
+}
+
+std::vector<int64_t> Fleet::Outstanding(const std::string& model) const {
+  std::vector<int64_t> depths;
+  const ModelEntry* entry = FindModel(model);
+  if (entry == nullptr) return depths;
+  depths.reserve(entry->replicas.size());
+  for (const auto& rep : entry->replicas) {
+    depths.push_back(rep->outstanding.load(std::memory_order_relaxed));
+  }
+  return depths;
+}
+
+std::vector<EngineStats> Fleet::ReplicaStats(const std::string& model) const {
+  std::vector<EngineStats> stats;
+  const ModelEntry* entry = FindModel(model);
+  if (entry == nullptr) return stats;
+  stats.reserve(entry->replicas.size());
+  for (const auto& rep : entry->replicas) {
+    stats.push_back(rep->engine->stats());
+  }
+  return stats;
+}
+
+FleetStats Fleet::stats() const {
+  FleetStats s;
+  s.routed = routed_.load(std::memory_order_relaxed);
+  s.tenant_rejected = tenant_rejected_.load(std::memory_order_relaxed);
+  s.reload_swaps = reload_swaps_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Fleet::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  // Collect the entries under the lock, join the engines outside it:
+  // Shutdown blocks until each batcher drains, and holding models_mu_
+  // across that would stall concurrent FindModel lookups.
+  std::vector<ModelEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(models_mu_);
+    entries.reserve(models_.size());
+    for (const auto& entry : models_) entries.push_back(entry.get());
+  }
+  for (ModelEntry* entry : entries) {
+    for (const auto& rep : entry->replicas) rep->engine->Shutdown();
+  }
+}
+
+}  // namespace geotorch::serve

@@ -337,6 +337,85 @@ TEST(EngineTest, ShutdownDrainsAcceptedRequests) {
   EXPECT_EQ(served.load(), 5);
 }
 
+TEST(EngineTest, DrainWaitsForInFlightAnswersNotJustAnEmptyQueue) {
+  // Drain()'s contract is "answered, not dequeued": a request the
+  // batcher has already pulled into a batch leaves the queue empty, but
+  // its caller has not been answered yet. A drain that only watched the
+  // queue would return here — and a fleet reload using it would retire
+  // the model while the forward still runs on it. Pin the strong
+  // semantics: Drain must block until the gated forward completes and
+  // the promise is fulfilled.
+  auto gate = std::make_shared<GatedForward>();
+  serve::EngineOptions opts;
+  opts.max_batch = 1;
+  opts.max_delay_us = 0;
+  opts.max_queue = 16;
+  opts.warmup_batches = 0;
+  serve::Engine engine(
+      [gate](const data::Batch& batch) { return (*gate)(batch); },
+      serve::SampleSpec{{2}, {}}, opts);
+
+  data::Sample s;
+  s.x = ts::Tensor::Full({2}, 1.0f);
+  std::thread client([&engine, s] { EXPECT_TRUE(engine.Submit(s).ok()); });
+  gate->WaitUntilInForward(1);
+  ASSERT_EQ(engine.queue_depth(), 0);  // dequeued — but not answered
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&engine, &drained] {
+    engine.Drain();
+    drained.store(true, std::memory_order_release);
+  });
+  // Give the drainer ample time to (wrongly) return early.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(drained.load(std::memory_order_acquire));
+
+  gate->Open();
+  drainer.join();
+  client.join();
+  EXPECT_TRUE(drained.load());
+  // The engine keeps serving after a drain — this is not a shutdown.
+  EXPECT_TRUE(engine.Submit(s).ok());
+}
+
+TEST(EngineTest, DrainOnIdleEngineReturnsImmediately) {
+  serve::Engine engine([](const data::Batch& batch) { return batch.x; },
+                       serve::SampleSpec{{2}, {}}, FastOptions());
+  engine.Drain();  // nothing accepted, nothing to wait for
+  data::Sample s;
+  s.x = ts::Tensor::Full({2}, 2.0f);
+  ASSERT_TRUE(engine.Submit(s).ok());
+  engine.Drain();  // everything accepted so far is already answered
+}
+
+TEST(EngineTest, DrainRacingSubmitsNeitherDeadlocksNorStarves) {
+  // Drain snapshots its target at entry: requests accepted AFTER the
+  // Drain call starts are not waited for, so a steady stream of new
+  // submits cannot starve a drainer. Hammer submits from several
+  // threads while draining repeatedly from another.
+  serve::Engine engine([](const data::Batch& batch) { return batch.x; },
+                       serve::SampleSpec{{2}, {}}, FastOptions());
+  std::atomic<bool> stop{false};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&engine, &stop, &served] {
+      data::Sample s;
+      s.x = ts::Tensor::Full({2}, 4.0f);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (engine.Submit(s).ok()) served.fetch_add(1);
+      }
+    });
+  }
+  // Keep draining until real traffic has flowed through the races.
+  while (served.load(std::memory_order_relaxed) < 200) engine.Drain();
+  stop.store(true);
+  for (auto& c : clients) c.join();
+  EXPECT_GT(served.load(), 0);
+  engine.Drain();  // full quiesce: everything accepted is now answered
+  EXPECT_EQ(engine.queue_depth(), 0);
+}
+
 // --- Against a real model ---------------------------------------------------
 
 TEST(EngineTest, BatchedForwardMatchesDirectSingleSampleForward) {
