@@ -57,14 +57,9 @@ bool SameResult(const std::vector<sp::JoinPair>& a,
 void WriteJson(const std::string& path, int64_t num_points,
                const std::vector<Record>& records, int largest_grid,
                double best_parallel_speedup, double grid_vs_tree) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    std::printf("WARNING: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"ablation_spatial_join\",\n");
-  std::fprintf(f, "  \"hardware_threads\": %u,\n",
-               std::max(1u, std::thread::hardware_concurrency()));
+  BenchJsonWriter json(path, "ablation_spatial_join");
+  if (!json.ok()) return;
+  std::FILE* f = json.stream();
   std::fprintf(f, "  \"num_points\": %lld,\n",
                static_cast<long long>(num_points));
   std::fprintf(f, "  \"results\": [\n");
@@ -84,9 +79,8 @@ void WriteJson(const std::string& path, int64_t num_points,
                best_parallel_speedup);
   std::fprintf(f, "    \"grid_fastpath_vs_strtree_serial\": %.3f\n",
                grid_vs_tree);
-  std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  std::fprintf(f, "  },\n");
+  json.Finish();
 }
 
 void Run(const BenchArgs& args, const std::string& json_path, bool smoke) {

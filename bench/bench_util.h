@@ -1,10 +1,14 @@
 #ifndef GEOTORCH_BENCH_BENCH_UTIL_H_
 #define GEOTORCH_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+
+#include "core/memory.h"
 
 namespace geotorch::bench {
 
@@ -33,6 +37,60 @@ struct BenchArgs {
     if (args.iterations < 1) args.iterations = 1;
     return args;
   }
+};
+
+/// Streams one BENCH_*.json report with the envelope every committed
+/// result carries: the bench name, the report schema version, and the
+/// machine's hardware thread count up front; the process peak
+/// resident-set size (VmHWM) stamped at Finish(). The envelope makes
+/// reports comparable across hosts and revisions without parsing
+/// bench-specific fields.
+///
+///   BenchJsonWriter json(path, "my_bench");
+///   if (json.ok()) {
+///     std::fprintf(json.stream(), "  \"rows\": %d,\n", rows);  // body
+///     json.Finish();
+///   }
+///
+/// Body fields written through stream() must each end with ",\n" —
+/// Finish() appends the peak-RSS field and the closing brace.
+class BenchJsonWriter {
+ public:
+  /// Bump when the shared envelope changes shape.
+  static constexpr int kSchemaVersion = 2;
+
+  BenchJsonWriter(const std::string& path, const char* bench)
+      : path_(path), f_(std::fopen(path.c_str(), "wb")) {
+    if (f_ == nullptr) {
+      std::printf("WARNING: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f_, "{\n  \"bench\": \"%s\",\n", bench);
+    std::fprintf(f_, "  \"schema_version\": %d,\n", kSchemaVersion);
+    std::fprintf(f_, "  \"hardware_threads\": %u,\n",
+                 std::max(1u, std::thread::hardware_concurrency()));
+  }
+  ~BenchJsonWriter() {
+    if (f_ != nullptr) Finish();
+  }
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  std::FILE* stream() { return f_; }
+
+  void Finish() {
+    if (f_ == nullptr) return;
+    std::fprintf(f_, "  \"peak_rss_mb\": %.1f\n}\n",
+                 static_cast<double>(PeakRssBytes()) / (1 << 20));
+    std::fclose(f_);
+    f_ = nullptr;
+    std::printf("wrote %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::FILE* f_;
 };
 
 /// "12.345±0.678" formatting used by the paper's tables.

@@ -10,9 +10,18 @@
 // Memory is the engines' logical-bytes accounting (both sides use the
 // same accounting; see DESIGN.md §6); the baseline's simulated heap
 // budget makes the largest run fail with OOM like GeoPandas does.
+//
+// The out-of-core sweep at the end re-runs the pipeline under a
+// PartitionStore resident budget *below* the dataset size: partitions
+// spill to GTDF files and fault back in on demand, the run completes
+// with bounded peak resident bytes, and the RAM-only baseline given the
+// same budget OOMs (DESIGN.md §12). --json=PATH writes BENCH_df.json;
+// --smoke shrinks the sweep for CI.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -20,7 +29,9 @@
 #include "bench/bench_util.h"
 #include "core/memory.h"
 #include "core/stopwatch.h"
+#include "core/thread_pool.h"
 #include "df/dataframe.h"
+#include "df/partition_store.h"
 #include "prep/st_manager.h"
 #include "synth/taxi.h"
 #include "tensor/ops.h"
@@ -82,6 +93,106 @@ RunOutcome RunGeoTorch(const std::vector<synth::TripRecord>& trips,
   return outcome;
 }
 
+// One out-of-core run: the same pipeline under a PartitionStore budget
+// smaller than the dataset, so cold partitions spill to GTDF and fault
+// back in on demand. The headline claim is the bound: the store's peak
+// resident bytes never exceed budget + the partitions concurrently
+// pinned by workers (one input + one output per worker — the "±1
+// partition" allowance of the admission policy).
+struct SpillOutcome {
+  double seconds = 0.0;
+  int64_t dataset_bytes = 0;   ///< widest intermediate frame, unrestricted
+  int64_t budget_bytes = 0;
+  int64_t peak_resident = 0;
+  int64_t bound_bytes = 0;
+  int64_t spills = 0;
+  int64_t faults = 0;
+  int64_t spill_bytes = 0;
+  bool bounded = false;
+  bool mass_ok = false;
+};
+
+SpillOutcome RunOutOfCore(const std::vector<synth::TripRecord>& trips,
+                          int num_partitions, double budget_fraction) {
+  df::PartitionStore& store = df::PartitionStore::Global();
+  const df::PartitionStore::Options saved = store.options();
+
+  SpillOutcome out;
+  {
+    // Size the widest intermediate (points + derived channels) with no
+    // budget; this is what a RAM-only engine must hold at once.
+    df::DataFrame raw = synth::TripsToDataFrame(trips, num_partitions);
+    df::DataFrame with_points =
+        prep::STManager::AddSpatialPoints(raw, "lat", "lon", "point");
+    out.dataset_bytes =
+        with_points.ByteSize() +
+        2 * static_cast<int64_t>(sizeof(double)) * with_points.NumRows();
+  }
+
+  df::PartitionStore::Options opts;
+  opts.enabled = true;
+  opts.resident_budget_bytes = std::max<int64_t>(
+      1 << 20, static_cast<int64_t>(budget_fraction *
+                                    static_cast<double>(out.dataset_bytes)));
+  opts.spill_dir = "geotorch_spill_fig8";
+  store.Configure(opts);
+  store.ResetPeak();
+  const df::PartitionStore::Stats before = store.GetStats();
+  out.budget_bytes = opts.resident_budget_bytes;
+
+  {
+    Stopwatch timer;
+    df::DataFrame raw = synth::TripsToDataFrame(trips, num_partitions);
+    df::DataFrame with_points =
+        prep::STManager::AddSpatialPoints(raw, "lat", "lon", "point");
+    const int pickup_idx = with_points.schema().FieldIndex("is_pickup");
+    df::DataFrame channels =
+        with_points
+            .WithColumn("pu", df::DataType::kDouble,
+                        [pickup_idx](const df::RowView& row) -> df::Value {
+                          return static_cast<double>(row.GetInt64(pickup_idx));
+                        })
+            .WithColumn("do", df::DataType::kDouble,
+                        [pickup_idx](const df::RowView& row) -> df::Value {
+                          return 1.0 - static_cast<double>(
+                                           row.GetInt64(pickup_idx));
+                        });
+    raw = df::DataFrame();
+    with_points = df::DataFrame();
+
+    prep::StGridSpec spec;
+    spec.partitions_x = 12;
+    spec.partitions_y = 16;
+    spec.step_duration_sec = 1800;
+    spec.aggs = {{df::AggKind::kSum, "pu", "pickups"},
+                 {df::AggKind::kSum, "do", "dropoffs"}};
+    prep::StGridResult result =
+        prep::STManager::GetStGridDataFrame(channels, spec);
+    ts::Tensor tensor =
+        prep::STManager::GetStGridTensor(result, {"pickups", "dropoffs"});
+    out.seconds = timer.ElapsedSeconds();
+    out.mass_ok = static_cast<int64_t>(ts::SumAll(tensor)) ==
+                  static_cast<int64_t>(trips.size());
+  }
+
+  const df::PartitionStore::Stats after = store.GetStats();
+  out.peak_resident = after.peak_resident_bytes;
+  out.spills = after.spill_count - before.spill_count;
+  out.faults = after.fault_count - before.fault_count;
+  out.spill_bytes = after.spill_bytes - before.spill_bytes;
+  // Widest frame per partition, doubled (one pinned input + one output
+  // being built), per concurrent worker.
+  const int64_t part_bytes = out.dataset_bytes / num_partitions;
+  const int workers = std::max(1, ThreadPool::Global().num_threads());
+  out.bound_bytes = out.budget_bytes + 2 * part_bytes * workers;
+  out.bounded = out.peak_resident <= out.bound_bytes;
+
+  store.Configure(saved);
+  std::error_code ec;
+  std::filesystem::remove_all(opts.spill_dir, ec);
+  return out;
+}
+
 RunOutcome RunBaseline(const std::vector<synth::TripRecord>& trips,
                        int64_t memory_limit) {
   baseline::BaselineOptions options;
@@ -99,7 +210,7 @@ RunOutcome RunBaseline(const std::vector<synth::TripRecord>& trips,
   return run;
 }
 
-void Run(const BenchArgs& args) {
+void Run(const BenchArgs& args, const std::string& json_path, bool smoke) {
   // Laptop-scaled sweep (paper: 1.4M / 14M / 100M / 250M records). The
   // simulated heap budget plays the role of the testbed's 120 GB RAM,
   // scaled so the largest input OOMs the baseline like in the paper.
@@ -108,6 +219,9 @@ void Run(const BenchArgs& args) {
   if (args.paper_scale) {
     sizes = {1400000, 14000000};
     budget = 6LL << 30;
+  } else if (smoke) {
+    sizes = {20000, 100000};
+    budget = 30LL << 20;
   } else {
     sizes = {20000, 100000, 500000, 2500000};
     budget = 600LL << 20;  // 600 MB simulated heap
@@ -177,7 +291,9 @@ void Run(const BenchArgs& args) {
   std::printf("%-12s %-12s %-12s\n", "partitions", "time (s)", "speedup");
   PrintRule();
   double base_secs = 0.0;
-  for (int p : {1, 2, 4, 8}) {
+  const std::vector<int> part_sweep =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  for (int p : part_sweep) {
     RunGeoTorch(sweep_trips, p);  // warm-up
     RunOutcome outcome = RunGeoTorch(sweep_trips, p);
     if (p == 1) base_secs = outcome.seconds;
@@ -185,12 +301,100 @@ void Run(const BenchArgs& args) {
                 base_secs / outcome.seconds);
   }
   PrintRule();
+
+  // Out-of-core sweep: same pipeline, resident budget below the dataset
+  // size. The engine spills cold partitions to GTDF and completes with
+  // peak resident bytes bounded by the budget plus pinned partitions; a
+  // RAM-only engine given the same budget (the baseline's simulated
+  // heap) dies with OOM.
+  const int64_t spill_n = sweep_n;
+  const int spill_parts = 16;
+  std::printf("\nout-of-core: resident budget below dataset size "
+              "(%lld records, %d partitions)\n",
+              static_cast<long long>(spill_n), spill_parts);
+  PrintRule();
+  std::printf("%-10s %-10s %-10s %-10s %-8s %-8s %-9s %-9s\n", "budget%",
+              "data MB", "budgetMB", "peak MB", "spills", "faults",
+              "bounded", "baseline");
+  PrintRule();
+  struct SpillRow {
+    double fraction;
+    SpillOutcome oc;
+    bool baseline_oom;
+  };
+  std::vector<SpillRow> spill_rows;
+  for (double fraction : {0.5, 0.25}) {
+    SpillOutcome oc = RunOutOfCore(sweep_trips, spill_parts, fraction);
+    RunOutcome base = RunBaseline(sweep_trips, oc.budget_bytes);
+    spill_rows.push_back({fraction, oc, base.oom});
+    std::printf("%-10.0f %-10.1f %-10.1f %-10.1f %-8lld %-8lld %-9s %-9s\n",
+                fraction * 100.0,
+                static_cast<double>(oc.dataset_bytes) / (1 << 20),
+                static_cast<double>(oc.budget_bytes) / (1 << 20),
+                static_cast<double>(oc.peak_resident) / (1 << 20),
+                static_cast<long long>(oc.spills),
+                static_cast<long long>(oc.faults),
+                oc.bounded ? "yes" : "NO",
+                base.oom ? "OOM" : "survived");
+    if (!oc.mass_ok) std::printf("WARNING: tensor mass mismatch\n");
+    if (!oc.bounded) {
+      std::printf("WARNING: peak resident %.1f MB exceeds bound %.1f MB\n",
+                  static_cast<double>(oc.peak_resident) / (1 << 20),
+                  static_cast<double>(oc.bound_bytes) / (1 << 20));
+    }
+  }
+  PrintRule();
+
+  if (!json_path.empty()) {
+    BenchJsonWriter json(json_path, "fig8_tensor_prep");
+    if (json.ok()) {
+      std::FILE* f = json.stream();
+      std::fprintf(f, "  \"records\": %lld,\n",
+                   static_cast<long long>(spill_n));
+      std::fprintf(f, "  \"spill_partitions\": %d,\n", spill_parts);
+      std::fprintf(f, "  \"out_of_core\": [\n");
+      for (size_t i = 0; i < spill_rows.size(); ++i) {
+        const SpillRow& r = spill_rows[i];
+        std::fprintf(
+            f,
+            "    {\"budget_fraction\": %.2f, \"dataset_mb\": %.2f, "
+            "\"budget_mb\": %.2f, \"peak_resident_mb\": %.2f, "
+            "\"bound_mb\": %.2f, \"bounded\": %s, \"spills\": %lld, "
+            "\"faults\": %lld, \"spilled_mb\": %.2f, \"seconds\": %.3f, "
+            "\"mass_ok\": %s, \"baseline_oom\": %s}%s\n",
+            r.fraction,
+            static_cast<double>(r.oc.dataset_bytes) / (1 << 20),
+            static_cast<double>(r.oc.budget_bytes) / (1 << 20),
+            static_cast<double>(r.oc.peak_resident) / (1 << 20),
+            static_cast<double>(r.oc.bound_bytes) / (1 << 20),
+            r.oc.bounded ? "true" : "false",
+            static_cast<long long>(r.oc.spills),
+            static_cast<long long>(r.oc.faults),
+            static_cast<double>(r.oc.spill_bytes) / (1 << 20), r.oc.seconds,
+            r.oc.mass_ok ? "true" : "false",
+            r.baseline_oom ? "true" : "false",
+            i + 1 < spill_rows.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
+      json.Finish();
+    }
+  }
 }
 
 }  // namespace
 }  // namespace geotorch::bench
 
 int main(int argc, char** argv) {
-  geotorch::bench::Run(geotorch::bench::BenchArgs::Parse(argc, argv));
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  geotorch::bench::Run(geotorch::bench::BenchArgs::Parse(argc, argv),
+                       json_path, smoke);
   return 0;
 }

@@ -242,14 +242,9 @@ ReloadRecord RunReload(const ModelSpec& m, int replicas, int clients,
 
 void WriteJson(const std::string& path, const std::vector<Record>& records,
                const std::vector<ReloadRecord>& reloads) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    std::printf("WARNING: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"fleet_bench\",\n");
-  std::fprintf(f, "  \"hardware_threads\": %u,\n",
-               std::max(1u, std::thread::hardware_concurrency()));
+  BenchJsonWriter json(path, "fleet_bench");
+  if (!json.ok()) return;
+  std::FILE* f = json.stream();
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
@@ -275,9 +270,8 @@ void WriteJson(const std::string& path, const std::vector<Record>& records,
                  static_cast<long long>(r.dropped),
                  i + 1 < reloads.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  std::fprintf(f, "  ],\n");
+  json.Finish();
 }
 
 void Run(const BenchArgs& args, const std::string& json_path, bool smoke) {

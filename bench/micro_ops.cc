@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/rng.h"
 #include "core/storage_pool.h"
 #include "core/thread_pool.h"
@@ -228,11 +229,8 @@ double MeasureGflops(int64_t m, int64_t k, int64_t n, Fn&& fn) {
 
 int RunGemmSweep(const std::string& json_path, bool smoke) {
   // Fail before measuring, not after: a full sweep takes minutes.
-  std::FILE* out = std::fopen(json_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
-    return 1;
-  }
+  bench::BenchJsonWriter json(json_path, "gemm");
+  if (!json.ok()) return 1;
   // Full sizes: 512^3 is the acceptance shape; 256^3 sits near the L2
   // capacity knee; the rectangular shapes are im2col products
   // (F x C*KH*KW @ C*KH*KW x OH*OW) and batched linear projections from
@@ -299,15 +297,13 @@ int RunGemmSweep(const std::string& json_path, bool smoke) {
     rows += row;
   }
 
-  std::fprintf(out,
-               "{\n  \"benchmark\": \"gemm\",\n"
+  std::fprintf(json.stream(),
                "  \"flop_formula\": \"2*m*k*n, best-of-reps timing\",\n"
                "  \"pool_threads\": %d,\n  \"smoke\": %s,\n"
-               "  \"shapes\": [\n%s\n  ]\n}\n",
+               "  \"shapes\": [\n%s\n  ],\n",
                ThreadPool::Global().num_threads(), smoke ? "true" : "false",
                rows.c_str());
-  std::fclose(out);
-  std::printf("wrote %s\n", json_path.c_str());
+  json.Finish();
   return 0;
 }
 

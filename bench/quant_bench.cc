@@ -312,14 +312,9 @@ void WriteJson(const std::string& path, const std::vector<GemmRow>& gemms,
                const std::string& headline_model, int headline_clients,
                int headline_batch, double bf16_speedup, double int8_speedup,
                double bf16_acc_delta, double int8_acc_delta) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    std::printf("WARNING: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"quant_bench\",\n");
-  std::fprintf(f, "  \"hardware_threads\": %u,\n",
-               std::max(1u, std::thread::hardware_concurrency()));
+  BenchJsonWriter json(path, "quant_bench");
+  if (!json.ok()) return;
+  std::FILE* f = json.stream();
   std::fprintf(f, "  \"gemm\": [\n");
   for (size_t i = 0; i < gemms.size(); ++i) {
     const GemmRow& g = gemms[i];
@@ -374,9 +369,8 @@ void WriteJson(const std::string& path, const std::vector<GemmRow>& gemms,
                100.0 * bf16_acc_delta);
   std::fprintf(f, "    \"int8_top1_delta_pct\": %.3f\n",
                100.0 * int8_acc_delta);
-  std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  std::fprintf(f, "  },\n");
+  json.Finish();
 }
 
 // ----------------------------------------------------------------- run

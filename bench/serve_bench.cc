@@ -142,14 +142,9 @@ Record RunOne(const std::string& model_name, models::GridModel& model,
 void WriteJson(const std::string& path, const std::vector<Record>& records,
                const std::string& speedup_model, double batching_speedup,
                int speedup_clients, int speedup_batch) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    std::printf("WARNING: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"serve_bench\",\n");
-  std::fprintf(f, "  \"hardware_threads\": %u,\n",
-               std::max(1u, std::thread::hardware_concurrency()));
+  BenchJsonWriter json(path, "serve_bench");
+  if (!json.ok()) return;
+  std::FILE* f = json.stream();
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
@@ -173,9 +168,8 @@ void WriteJson(const std::string& path, const std::vector<Record>& records,
   std::fprintf(f, "    \"speedup_max_batch\": %d,\n", speedup_batch);
   std::fprintf(f, "    \"batching_speedup_vs_batch1\": %.3f\n",
                batching_speedup);
-  std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  std::fprintf(f, "  },\n");
+  json.Finish();
 }
 
 void Run(const BenchArgs& args, const std::string& json_path, bool smoke) {

@@ -42,6 +42,18 @@ int64_t CurrentRssBytes() {
   return static_cast<int64_t>(resident) * sysconf(_SC_PAGESIZE);
 }
 
+int64_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<int64_t>(kb) * 1024;
+}
+
 namespace {
 
 // One growable buffer per (thread, slot). Workers in the global pool

@@ -53,6 +53,11 @@ class ScopedAllocation {
 /// 0 when unavailable. Used as a cross-check next to logical accounting.
 int64_t CurrentRssBytes();
 
+/// Lifetime peak resident-set size in bytes (VmHWM from
+/// /proc/self/status); 0 when unavailable. Stamped into bench JSON so
+/// results carry the real high-water mark, not just logical accounting.
+int64_t PeakRssBytes();
+
 /// Named per-thread scratch slots for kernel workspaces. Each slot is an
 /// independent buffer on the calling thread, so a kernel may hold several
 /// live workspaces at once (e.g. an im2col buffer while the GEMM packs

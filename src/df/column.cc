@@ -41,7 +41,33 @@ Column Column::FromPoints(std::vector<spatial::Point> values) {
   return c;
 }
 
+Column Column::ViewDoubles(const double* data, int64_t n,
+                           std::shared_ptr<const void> keepalive) {
+  Column c(DataType::kDouble);
+  c.view_ = data;
+  c.view_size_ = n;
+  c.keepalive_ = std::move(keepalive);
+  return c;
+}
+Column Column::ViewInt64s(const int64_t* data, int64_t n,
+                          std::shared_ptr<const void> keepalive) {
+  Column c(DataType::kInt64);
+  c.view_ = data;
+  c.view_size_ = n;
+  c.keepalive_ = std::move(keepalive);
+  return c;
+}
+Column Column::ViewPoints(const spatial::Point* data, int64_t n,
+                          std::shared_ptr<const void> keepalive) {
+  Column c(DataType::kGeometry);
+  c.view_ = data;
+  c.view_size_ = n;
+  c.keepalive_ = std::move(keepalive);
+  return c;
+}
+
 int64_t Column::size() const {
+  if (view_ != nullptr) return view_size_;
   switch (type_) {
     case DataType::kDouble:
       return static_cast<int64_t>(doubles_.size());
@@ -56,6 +82,19 @@ int64_t Column::size() const {
 }
 
 int64_t Column::ByteSize() const {
+  if (view_ != nullptr) {
+    switch (type_) {
+      case DataType::kDouble:
+        return view_size_ * static_cast<int64_t>(sizeof(double));
+      case DataType::kInt64:
+        return view_size_ * static_cast<int64_t>(sizeof(int64_t));
+      case DataType::kGeometry:
+        return view_size_ * static_cast<int64_t>(sizeof(spatial::Point));
+      case DataType::kString:
+        break;  // strings never have a view backing
+    }
+    return 0;
+  }
   switch (type_) {
     case DataType::kDouble:
       return static_cast<int64_t>(doubles_.capacity() * sizeof(double));
@@ -76,54 +115,68 @@ int64_t Column::ByteSize() const {
   return 0;
 }
 
-const std::vector<double>& Column::doubles() const {
+std::span<const double> Column::doubles() const {
   GEO_CHECK(type_ == DataType::kDouble);
-  return doubles_;
+  if (view_ != nullptr) {
+    return {static_cast<const double*>(view_),
+            static_cast<size_t>(view_size_)};
+  }
+  return {doubles_.data(), doubles_.size()};
 }
-const std::vector<int64_t>& Column::int64s() const {
+std::span<const int64_t> Column::int64s() const {
   GEO_CHECK(type_ == DataType::kInt64);
-  return int64s_;
+  if (view_ != nullptr) {
+    return {static_cast<const int64_t*>(view_),
+            static_cast<size_t>(view_size_)};
+  }
+  return {int64s_.data(), int64s_.size()};
 }
-const std::vector<std::string>& Column::strings() const {
+std::span<const std::string> Column::strings() const {
   GEO_CHECK(type_ == DataType::kString);
-  return strings_;
+  return {strings_.data(), strings_.size()};
 }
-const std::vector<spatial::Point>& Column::points() const {
+std::span<const spatial::Point> Column::points() const {
   GEO_CHECK(type_ == DataType::kGeometry);
-  return points_;
+  if (view_ != nullptr) {
+    return {static_cast<const spatial::Point*>(view_),
+            static_cast<size_t>(view_size_)};
+  }
+  return {points_.data(), points_.size()};
 }
 std::vector<double>& Column::mutable_doubles() {
-  GEO_CHECK(type_ == DataType::kDouble);
+  GEO_CHECK(type_ == DataType::kDouble && view_ == nullptr);
   return doubles_;
 }
 std::vector<int64_t>& Column::mutable_int64s() {
-  GEO_CHECK(type_ == DataType::kInt64);
+  GEO_CHECK(type_ == DataType::kInt64 && view_ == nullptr);
   return int64s_;
 }
 std::vector<std::string>& Column::mutable_strings() {
-  GEO_CHECK(type_ == DataType::kString);
+  GEO_CHECK(type_ == DataType::kString && view_ == nullptr);
   return strings_;
 }
 std::vector<spatial::Point>& Column::mutable_points() {
-  GEO_CHECK(type_ == DataType::kGeometry);
+  GEO_CHECK(type_ == DataType::kGeometry && view_ == nullptr);
   return points_;
 }
 
 Value Column::Get(int64_t row) const {
+  GEO_CHECK(row >= 0 && row < size());
   switch (type_) {
     case DataType::kDouble:
-      return doubles_.at(row);
+      return doubles()[row];
     case DataType::kInt64:
-      return int64s_.at(row);
+      return int64s()[row];
     case DataType::kString:
-      return strings_.at(row);
+      return strings_[row];
     case DataType::kGeometry:
-      return points_.at(row);
+      return points()[row];
   }
   return 0.0;
 }
 
 void Column::Append(const Value& v) {
+  GEO_CHECK(view_ == nullptr) << "cannot append to a view column";
   switch (type_) {
     case DataType::kDouble:
       doubles_.push_back(std::get<double>(v));
@@ -144,13 +197,15 @@ Column Column::Gather(const std::vector<int64_t>& indices) const {
   Column out(type_);
   switch (type_) {
     case DataType::kDouble: {
+      const auto src = doubles();
       out.doubles_.reserve(indices.size());
-      for (int64_t i : indices) out.doubles_.push_back(doubles_[i]);
+      for (int64_t i : indices) out.doubles_.push_back(src[i]);
       break;
     }
     case DataType::kInt64: {
+      const auto src = int64s();
       out.int64s_.reserve(indices.size());
-      for (int64_t i : indices) out.int64s_.push_back(int64s_[i]);
+      for (int64_t i : indices) out.int64s_.push_back(src[i]);
       break;
     }
     case DataType::kString: {
@@ -159,8 +214,9 @@ Column Column::Gather(const std::vector<int64_t>& indices) const {
       break;
     }
     case DataType::kGeometry: {
+      const auto src = points();
       out.points_.reserve(indices.size());
-      for (int64_t i : indices) out.points_.push_back(points_[i]);
+      for (int64_t i : indices) out.points_.push_back(src[i]);
       break;
     }
   }
@@ -168,19 +224,20 @@ Column Column::Gather(const std::vector<int64_t>& indices) const {
 }
 
 void Column::AppendFrom(const Column& other, int64_t row) {
-  GEO_CHECK(type_ == other.type_);
+  GEO_CHECK(type_ == other.type_ && view_ == nullptr);
+  GEO_CHECK(row >= 0 && row < other.size());
   switch (type_) {
     case DataType::kDouble:
-      doubles_.push_back(other.doubles_.at(row));
+      doubles_.push_back(other.doubles()[row]);
       return;
     case DataType::kInt64:
-      int64s_.push_back(other.int64s_.at(row));
+      int64s_.push_back(other.int64s()[row]);
       return;
     case DataType::kString:
-      strings_.push_back(other.strings_.at(row));
+      strings_.push_back(other.strings_[row]);
       return;
     case DataType::kGeometry:
-      points_.push_back(other.points_.at(row));
+      points_.push_back(other.points()[row]);
       return;
   }
 }

@@ -17,6 +17,7 @@ Status WriteCsv(const DataFrame& frame, const std::string& path) {
   out << '\n';
   for (int pi = 0; pi < frame.num_partitions(); ++pi) {
     const Partition& part = frame.partition(pi);
+    Partition::Pin pin(part);
     for (int64_t r = 0; r < part.num_rows(); ++r) {
       for (int c = 0; c < schema.num_fields(); ++c) {
         if (c > 0) out << ',';
@@ -44,7 +45,8 @@ Status WriteCsv(const DataFrame& frame, const std::string& path) {
   return Status::OK();
 }
 
-Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema) {
+Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema,
+                          const CsvReadOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for read: " + path);
   std::string line;
@@ -55,6 +57,19 @@ Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema) {
   for (int c = 0; c < schema.num_fields(); ++c) {
     cols.emplace_back(schema.type(c));
   }
+  std::vector<std::shared_ptr<const Partition>> partitions;
+  int64_t chunk_rows = 0;
+  // Hands the accumulated columns off as a finished partition — which
+  // registers with the PartitionStore, so a budget can spill it while
+  // the rest of the file is still streaming through the parser.
+  const auto flush = [&] {
+    partitions.push_back(std::make_shared<Partition>(std::move(cols)));
+    cols.clear();
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      cols.emplace_back(schema.type(c));
+    }
+    chunk_rows = 0;
+  };
   int64_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
@@ -90,12 +105,21 @@ Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema) {
         }
       }
     }
+    if (options.rows_per_partition > 0 &&
+        ++chunk_rows >= options.rows_per_partition) {
+      flush();
+    }
   }
-  std::vector<std::pair<std::string, Column>> named;
-  for (int c = 0; c < schema.num_fields(); ++c) {
-    named.emplace_back(schema.name(c), std::move(cols[c]));
+  if (partitions.empty()) {
+    std::vector<std::pair<std::string, Column>> named;
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      named.emplace_back(schema.name(c), std::move(cols[c]));
+    }
+    return DataFrame::FromColumns(std::move(named));
   }
-  return DataFrame::FromColumns(std::move(named));
+  if (chunk_rows > 0) flush();
+  return DataFrame::FromPartitions(
+      std::make_shared<Schema>(schema.fields()), std::move(partitions));
 }
 
 }  // namespace geotorch::df

@@ -12,10 +12,24 @@ namespace geotorch::df {
 /// "x;y"). Partitions are written in order.
 Status WriteCsv(const DataFrame& frame, const std::string& path);
 
+struct CsvReadOptions {
+  /// When > 0, the reader flushes a completed partition every
+  /// `rows_per_partition` rows instead of materializing the whole file
+  /// into one partition. Each flushed partition registers with the
+  /// PartitionStore immediately, so under a resident budget an
+  /// arbitrarily large CSV ingests with bounded memory — cold chunks
+  /// spill to GTDF while the tail of the file is still being parsed.
+  /// 0 (default) preserves the single-partition behavior.
+  int64_t rows_per_partition = 0;
+};
+
 /// Reads a CSV produced by WriteCsv (or any headered CSV whose columns
-/// match `schema` in order). The result has one partition; call
-/// Repartition() for parallelism.
-Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema);
+/// match `schema` in order). With default options the result has one
+/// partition; call Repartition() for parallelism, or set
+/// `options.rows_per_partition` to partition (and spill) during the
+/// read itself.
+Result<DataFrame> ReadCsv(const std::string& path, const Schema& schema,
+                          const CsvReadOptions& options = {});
 
 }  // namespace geotorch::df
 

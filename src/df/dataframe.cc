@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <numeric>
 #include <queue>
+#include <span>
 #include <unordered_map>
 
 #include "core/check.h"
 #include "core/thread_pool.h"
+#include "df/partition_store.h"
 #include "obs/obs.h"
 
 namespace geotorch::df {
@@ -175,12 +178,29 @@ void Partition::Init() {
       GEO_CHECK_EQ(c->size(), num_rows_) << "ragged partition";
     }
   }
+  types_.reserve(columns_.size());
+  int64_t bytes = 0;
+  for (const auto& c : columns_) {
+    types_.push_back(c->type());
+    bytes += c->ByteSize();
+  }
+  resident_bytes_ = bytes;
+  // The store decision is made once, here: a partition created while
+  // spilling is disabled stays unmanaged for its whole life even if the
+  // store is reconfigured later.
+  PartitionStore& store = PartitionStore::Global();
+  if (store.options().enabled) {
+    store_ = &store;
+    store_->Register(this, bytes);
+    store_->EnforceBudget(this);
+  }
 }
 
-int64_t Partition::ByteSize() const {
-  int64_t bytes = 0;
-  for (const auto& c : columns_) bytes += c->ByteSize();
-  return bytes;
+Partition::~Partition() {
+  if (store_ != nullptr) {
+    store_->Unregister(this);
+    if (!spill_path_.empty()) std::remove(spill_path_.c_str());
+  }
 }
 
 // --- DataFrame ------------------------------------------------------------
@@ -227,6 +247,7 @@ void DataFrame::ForEachPartition(
   ThreadPool::Global().ParallelFor(
       static_cast<int64_t>(partitions_.size()), [&](int64_t i) {
         const int64_t t0 = GEO_OBS_ON() ? obs::NowNs() : 0;
+        Partition::Pin pin(*partitions_[i]);
         fn(*partitions_[i], static_cast<int>(i));
         if (t0 != 0) {
           GEO_OBS_HIST("df.partition_us", (obs::NowNs() - t0) / 1000);
@@ -265,6 +286,7 @@ DataFrame DataFrame::Repartition(int n) const {
       Column merged(schema_->type(c));
       for (size_t pi = 0; pi < partitions_.size(); ++pi) {
         if (take[pi].empty()) continue;
+        Partition::Pin pin(*partitions_[pi]);
         Column piece = partitions_[pi]->column(c).Gather(take[pi]);
         if (merged.size() == 0) {
           merged = std::move(piece);
@@ -387,8 +409,9 @@ DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
   bool packable = key_idx.size() <= 2;
   if (packable) {
     for (int pi = 0; pi < num_partitions() && packable; ++pi) {
+      Partition::Pin pin(*partitions_[pi]);
       for (int k : key_idx) {
-        const auto& vals = partitions_[pi]->column(k).int64s();
+        const auto vals = partitions_[pi]->column(k).int64s();
         for (int64_t v : vals) {
           if (v < 0 || v >= (int64_t{1} << 31)) {
             packable = false;
@@ -412,15 +435,15 @@ DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
     GEO_OBS_SPAN(partial_span, "df.groupby.partial");
     ForEachPartition([&](const Partition& part, int pi) {
       const int64_t rows = part.num_rows();
-      std::vector<const std::vector<int64_t>*> key_cols;
-      for (int k : key_idx) key_cols.push_back(&part.column(k).int64s());
+      std::vector<std::span<const int64_t>> key_cols;
+      for (int k : key_idx) key_cols.push_back(part.column(k).int64s());
       if (packable) {
         std::vector<PackedMap> shards(num_shards);
         for (auto& m : shards) m.reserve(rows / num_shards + 16);
         for (int64_t r = 0; r < rows; ++r) {
-          uint64_t packed = static_cast<uint64_t>((*key_cols[0])[r]);
+          uint64_t packed = static_cast<uint64_t>(key_cols[0][r]);
           if (key_cols.size() == 2) {
-            packed = (packed << 31) | static_cast<uint64_t>((*key_cols[1])[r]);
+            packed = (packed << 31) | static_cast<uint64_t>(key_cols[1][r]);
           }
           const int shard = static_cast<int>(MixHash(packed) % num_shards);
           AggState& state = shards[shard][packed];
@@ -442,7 +465,7 @@ DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
         std::vector<int64_t> key(key_idx.size());
         for (int64_t r = 0; r < rows; ++r) {
           for (size_t k = 0; k < key_cols.size(); ++k) {
-            key[k] = (*key_cols[k])[r];
+            key[k] = key_cols[k][r];
           }
           const int shard = static_cast<int>(HashKey(key) % num_shards);
           AggState& state = shards[shard][key];
@@ -542,11 +565,20 @@ DataFrame DataFrame::JoinInner(const DataFrame& right,
 
   GEO_OBS_SPAN(op_span, "df.join");
 
+  // The broadcast side must stay resident from the hash build through
+  // the last probe-side gather (the build table stores row positions,
+  // not values).
+  std::vector<Partition::Pin> right_pins;
+  right_pins.reserve(right.num_partitions());
+  for (int pi = 0; pi < right.num_partitions(); ++pi) {
+    right_pins.emplace_back(right.partition(pi));
+  }
+
   // Build side: key -> (partition, row) list.
   std::unordered_multimap<int64_t, std::pair<int, int64_t>> build;
   for (int pi = 0; pi < right.num_partitions(); ++pi) {
     const Partition& part = right.partition(pi);
-    const auto& keys = part.column(rk).int64s();
+    const auto keys = part.column(rk).int64s();
     for (int64_t r = 0; r < part.num_rows(); ++r) {
       build.emplace(keys[r], std::make_pair(pi, r));
     }
@@ -570,7 +602,7 @@ DataFrame DataFrame::JoinInner(const DataFrame& right,
     // Matched (left row, right partition, right row) triples.
     std::vector<int64_t> left_rows;
     std::vector<std::pair<int, int64_t>> right_rows;
-    const auto& keys = part.column(lk).int64s();
+    const auto keys = part.column(lk).int64s();
     for (int64_t r = 0; r < part.num_rows(); ++r) {
       auto [begin, end] = build.equal_range(keys[r]);
       for (auto it = begin; it != end; ++it) {
@@ -614,7 +646,7 @@ DataFrame DataFrame::SortByInt64(const std::string& name) const {
   const int np = num_partitions();
   std::vector<std::vector<Loc>> runs(np);
   ForEachPartition([&](const Partition& part, int pi) {
-    const auto& keys = part.column(idx).int64s();
+    const auto keys = part.column(idx).int64s();
     std::vector<Loc>& run = runs[pi];
     run.reserve(part.num_rows());
     for (int64_t r = 0; r < part.num_rows(); ++r) {
@@ -653,7 +685,12 @@ DataFrame DataFrame::SortByInt64(const std::string& name) const {
     }
   }
 
-  // Materialize output columns independently across the pool.
+  // Materialize output columns independently across the pool. Every
+  // column task reads from every input partition, so all inputs stay
+  // pinned for the gather (sort output is a small single partition).
+  std::vector<Partition::Pin> pins;
+  pins.reserve(partitions_.size());
+  for (const auto& p : partitions_) pins.emplace_back(*p);
   std::vector<Column> cols;
   for (int c = 0; c < schema_->num_fields(); ++c) {
     cols.emplace_back(schema_->type(c));
@@ -691,7 +728,8 @@ std::vector<int64_t> DataFrame::CollectInt64(const std::string& name) const {
   std::vector<int64_t> out;
   out.reserve(NumRows());
   for (const auto& p : partitions_) {
-    const auto& v = p->column(idx).int64s();
+    Partition::Pin pin(*p);
+    const auto v = p->column(idx).int64s();
     out.insert(out.end(), v.begin(), v.end());
   }
   return out;
@@ -702,7 +740,8 @@ std::vector<double> DataFrame::CollectDouble(const std::string& name) const {
   std::vector<double> out;
   out.reserve(NumRows());
   for (const auto& p : partitions_) {
-    const auto& v = p->column(idx).doubles();
+    Partition::Pin pin(*p);
+    const auto v = p->column(idx).doubles();
     out.insert(out.end(), v.begin(), v.end());
   }
   return out;

@@ -1,8 +1,10 @@
 #ifndef GEOTORCH_DF_DATAFRAME_H_
 #define GEOTORCH_DF_DATAFRAME_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,31 +47,83 @@ using SharedColumn = std::shared_ptr<const Column>;
 /// reference drops.
 SharedColumn TrackColumn(Column column);
 
+class PartitionStore;
+
 /// One horizontal slice of a DataFrame — the unit of parallel work, the
 /// analogue of a Spark partition living on one executor. Columns are
 /// immutable and may be shared with other partitions/frames.
+///
+/// A partition is *spillable*: when the process-wide PartitionStore has
+/// a resident budget, cold partitions are written to a GTDF file and
+/// their columns dropped; the first access afterwards faults the
+/// columns back in (fixed-width columns as zero-copy spans over the
+/// mmap'ed file). `column()` fault-in is transparent, but a reference
+/// it returns is only guaranteed to stay valid against a *concurrent*
+/// eviction while a Pin is held — every multi-partition DataFrame op
+/// and ForEachPartition pins for you; only code that hands bare
+/// `Partition&`s to its own threads needs to Pin explicitly.
 class Partition {
  public:
   /// Wraps freshly built columns (registers their bytes).
   explicit Partition(std::vector<Column> columns);
   /// Shares already-tracked columns (no new accounting).
   explicit Partition(std::vector<SharedColumn> columns);
+  ~Partition();
   Partition(const Partition&) = delete;
   Partition& operator=(const Partition&) = delete;
 
   int64_t num_rows() const { return num_rows_; }
-  int num_columns() const { return static_cast<int>(columns_.size()); }
-  const Column& column(int i) const { return *columns_[i]; }
-  SharedColumn column_ptr(int i) const { return columns_[i]; }
-  /// Bytes of this partition's columns (shared columns count in every
-  /// partition that references them).
+  int num_columns() const { return static_cast<int>(types_.size()); }
+  DataType column_type(int i) const { return types_[i]; }
+  /// Faults the partition in if spilled.
+  const Column& column(int i) const;
+  /// Faults in if spilled; the returned shared column stays valid even
+  /// if this partition is evicted afterwards.
+  SharedColumn column_ptr(int i) const;
+  /// Resident bytes of this partition's columns (shared columns count
+  /// in every partition that references them); 0 while spilled.
   int64_t ByteSize() const;
+  bool resident() const {
+    return resident_.load(std::memory_order_acquire);
+  }
+
+  /// RAII residency pin: faults the partition in and blocks eviction
+  /// until destroyed. Cheap (one mutex round-trip) and reentrant.
+  class Pin {
+   public:
+    explicit Pin(const Partition& p);
+    ~Pin();
+    Pin(Pin&& other) noexcept : p_(other.p_) { other.p_ = nullptr; }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    Pin& operator=(Pin&&) = delete;
+
+   private:
+    const Partition* p_;
+  };
 
  private:
+  friend class PartitionStore;
   void Init();
+  /// Requires mu_; loads columns from spill_path_ and re-admits.
+  void FaultInLocked() const;
+  /// Requires mu_, resident, unpinned. Writes the GTDF file on first
+  /// eviction (columns are immutable, so a re-eviction reuses it) and
+  /// drops the column references. Returns false if the write failed
+  /// (the partition then simply stays resident); *file_bytes gets the
+  /// bytes newly written to disk.
+  bool SpillLocked(int64_t* file_bytes) const;
 
-  std::vector<SharedColumn> columns_;
+  std::vector<DataType> types_;
   int64_t num_rows_ = 0;
+  PartitionStore* store_ = nullptr;
+
+  mutable std::mutex mu_;
+  mutable std::vector<SharedColumn> columns_;  // empty while spilled
+  mutable std::atomic<bool> resident_{true};
+  mutable int pin_count_ = 0;          // guarded by mu_
+  mutable int64_t resident_bytes_ = 0;  // guarded by mu_
+  mutable std::string spill_path_;      // set on first spill
 };
 
 /// Read-only view of one row of a partition.

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "core/check.h"
+#include "core/thread_pool.h"
 #include "obs/obs.h"
 #include "spatial/join.h"
 
@@ -119,7 +120,16 @@ StGridResult STManager::GetStGridDataFrame(const df::DataFrame& frame,
       [cell_idx](const df::RowView& row) {
         return row.GetInt64(cell_idx) >= 0;
       });
-  df::DataFrame aggregated = inside.GroupByAgg({"cell_id", "time_id"}, aggs);
+  // Shard the aggregation at least as fine as the input partitioning:
+  // with near-unique (cell, time) keys the output is data-sized, and a
+  // single merge shard (the default on a small pool) would produce one
+  // dataset-scale partition — the exact granularity the out-of-core
+  // store cannot usefully evict (DESIGN.md §12).
+  const int agg_shards =
+      std::max(inside.num_partitions(),
+               std::max(1, ThreadPool::Global().num_threads()));
+  df::DataFrame aggregated =
+      inside.GroupByAgg({"cell_id", "time_id"}, aggs, agg_shards);
 
   // Number of timesteps: max time_id + 1 over the aggregated frame.
   int64_t max_time = -1;

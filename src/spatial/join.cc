@@ -145,7 +145,7 @@ std::vector<JoinPair> PointInPolygonJoin(const std::vector<Point>& points,
   return PointInPolygonJoin(points, polygons, options, grid);
 }
 
-std::vector<int64_t> AssignPointsToCells(const std::vector<Point>& points,
+std::vector<int64_t> AssignPointsToCells(std::span<const Point> points,
                                          const GridPartitioner& grid,
                                          bool parallel, ThreadPool* pool) {
   GEO_OBS_SPAN(probe_span, "spatial.probe");

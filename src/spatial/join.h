@@ -2,6 +2,7 @@
 #define GEOTORCH_SPATIAL_JOIN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "spatial/geometry.h"
@@ -65,10 +66,12 @@ std::vector<JoinPair> PointInPolygonJoin(const std::vector<Point>& points,
 
 /// Fast path used by the preprocessing module: assigns each point its
 /// grid cell id (-1 when outside the extent) in O(1) per point — no
-/// tree walk. Runs partition-parallel on `pool` (nullptr: the global
-/// pool) unless disabled; every slot is written independently, so the
-/// output never depends on the execution mode.
-std::vector<int64_t> AssignPointsToCells(const std::vector<Point>& points,
+/// tree walk. Takes a span so a DataFrame column can be probed straight
+/// out of a memory-mapped partition without copying. Runs
+/// partition-parallel on `pool` (nullptr: the global pool) unless
+/// disabled; every slot is written independently, so the output never
+/// depends on the execution mode.
+std::vector<int64_t> AssignPointsToCells(std::span<const Point> points,
                                          const GridPartitioner& grid,
                                          bool parallel = true,
                                          ThreadPool* pool = nullptr);

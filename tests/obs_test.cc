@@ -7,7 +7,12 @@
 #include <thread>
 #include <vector>
 
+#include <cstdint>
+#include <filesystem>
+
 #include "core/thread_pool.h"
+#include "df/dataframe.h"
+#include "df/partition_store.h"
 #include "spatial/grid.h"
 #include "spatial/join.h"
 #include "spatial/strtree.h"
@@ -359,6 +364,63 @@ TEST_F(ObsTest, ServeEngineCountersHistogramsAndSpans) {
   for (const char* needle :
        {"\"serve.requests\"", "\"serve.batches\"", "\"serve.batch_size\"",
         "\"serve.latency_us\"", "\"serve.queue_depth\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(ObsTest, DataFrameSpillCountersGaugeAndSpans) {
+  namespace df = ::geotorch::df;
+
+  const auto saved = df::PartitionStore::Global().options();
+  df::PartitionStore::Options opts;
+  opts.enabled = true;
+  opts.resident_budget_bytes = 1;  // spill everything evictable
+  opts.spill_dir = "obs_test_spill";
+  df::PartitionStore::Global().Configure(opts);
+  {
+    std::vector<int64_t> ids(512);
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int64_t>(i);
+    df::DataFrame frame =
+        df::DataFrame::FromColumns(
+            {{"id", df::Column::FromInt64s(std::move(ids))}})
+            .Repartition(4);
+    // Round-trip every partition through the spill path: cycling pins
+    // under a 1-byte budget forces evictions and fault-ins.
+    for (int round = 0; round < 2; ++round) {
+      for (int pi = 0; pi < frame.num_partitions(); ++pi) {
+        df::Partition::Pin pin(frame.partition(pi));
+      }
+    }
+  }
+  df::PartitionStore::Global().Configure(saved);
+  std::error_code ec;
+  std::filesystem::remove_all(opts.spill_dir, ec);
+
+  // Counters: GTDF bytes actually written, and fault-ins from the pins.
+  EXPECT_GT(obs::GetCounter("df.spill_bytes")->value(), 0);
+  EXPECT_GT(obs::GetCounter("df.fault_in")->value(), 0);
+
+  // Gauge: the store publishes its resident footprint on every change.
+  const auto gauges = obs::GaugeValues();
+  const auto it =
+      std::find_if(gauges.begin(), gauges.end(),
+                   [](const auto& g) { return g.first == "df.resident_bytes"; });
+  ASSERT_NE(it, gauges.end());
+  EXPECT_GE(it->second, 0);
+
+  // Spans: one df.spill per eviction, one df.fault per fault-in.
+  const auto spans = obs::AggregateSpans();
+  const obs::SpanNode* spill = FindNode(spans, "df.spill");
+  ASSERT_NE(spill, nullptr);
+  EXPECT_GT(spill->count, 0);
+  const obs::SpanNode* fault = FindNode(spans, "df.fault");
+  ASSERT_NE(fault, nullptr);
+  EXPECT_GT(fault->count, 0);
+
+  const std::string json = obs::ExportJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  for (const char* needle : {"\"df.spill_bytes\"", "\"df.fault_in\"",
+                             "\"df.resident_bytes\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
 }
