@@ -5,11 +5,19 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "autograd/variable.h"
+#include "core/stopwatch.h"
+#include "models/raster_models.h"
+#include "nn/precision.h"
+#include "tensor/fusion.h"
+#include "tensor/quant.h"
 
 #include "bench/bench_util.h"
 #include "core/rng.h"
@@ -475,6 +483,240 @@ int RunAllocAb(const std::string& json_path, bool smoke) {
   return hit_rate >= 0.9 ? 0 : 2;
 }
 
+// ---------------------------------------------------------------------------
+// Fused eval-path A/B (DESIGN.md §13): the fused conv entry points
+// (bias+activation GEMM epilogues, implicit-im2col / direct kernels,
+// 1x1 bypass) against the unfused Conv2dForward* + separate bias/relu
+// passes, per precision, on the conv shapes SatCNN and DeepSAT actually
+// run — plus a model-level SatCNN eval forward toggling
+// ts::SetFusionEnabled. Invoked by --fusion_ab[=PATH]; the acceptance
+// gate is the batch-1 f32 SatCNN speedup (>= 1.3x).
+// ---------------------------------------------------------------------------
+
+struct FusionOpShape {
+  const char* name;
+  int64_t c, f, hw, k, stride, pad;
+};
+
+template <typename Fn>
+double TimeBestUs(Fn&& fn, int reps, int blocks) {
+  fn();
+  fn();  // warm caches, lazy workspaces, folded snapshots
+  double best = 1e30;
+  for (int b = 0; b < blocks; ++b) {
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) fn();
+    best = std::min(best, sw.ElapsedSeconds() * 1e6 / reps);
+  }
+  return best;
+}
+
+int RunFusionAb(const std::string& json_path, bool smoke) {
+  namespace ag = ::geotorch::autograd;
+  ts::DeviceGuard device(ts::Device::kParallel);
+  const bool fusion_was = ts::FusionEnabled();
+
+  static const FusionOpShape kShapes[] = {
+      {"satcnn_conv1a", 4, 16, 28, 3, 1, 1},
+      {"satcnn_conv1b", 16, 16, 28, 3, 1, 1},
+      {"satcnn_conv2a", 16, 32, 14, 3, 1, 1},
+      {"satcnn_conv2b", 32, 32, 14, 3, 1, 1},
+      {"satcnn_conv3", 32, 32, 7, 3, 1, 1},
+      {"deepsat_conv1", 4, 64, 28, 3, 1, 1},
+      {"pointwise_1x1", 32, 16, 14, 1, 1, 0},
+  };
+  const int n_shapes =
+      smoke ? 2 : static_cast<int>(sizeof(kShapes) / sizeof(kShapes[0]));
+  const int64_t batch = smoke ? 2 : 4;
+  const int op_reps = smoke ? 5 : 100;
+  const int blocks = smoke ? 1 : 3;
+
+  // us[precision][0]=unfused, [1]=fused; precision 0=f32 1=bf16 2=int8.
+  std::vector<std::array<std::array<double, 2>, 3>> op_us(n_shapes);
+
+  std::printf("fusion A/B, op level (batch %lld, best of %d x %d reps):\n",
+              static_cast<long long>(batch), blocks, op_reps);
+  std::printf("  %-14s %9s %9s %6s | %9s %6s | %9s %6s\n", "shape",
+              "f32 unf", "f32 fus", "x", "bf16 fus", "x", "int8 fus", "x");
+  for (int s = 0; s < n_shapes; ++s) {
+    const FusionOpShape& sh = kShapes[s];
+    Rng rng(40 + static_cast<uint64_t>(s));
+    const ts::Tensor x =
+        ts::Tensor::Randn({batch, sh.c, sh.hw, sh.hw}, rng);
+    const ts::Tensor w =
+        ts::Tensor::Randn({sh.f, sh.c, sh.k, sh.k}, rng, 0.0f, 0.2f);
+    const ts::Tensor bias = ts::Tensor::Randn({sh.f}, rng, 0.0f, 0.1f);
+    const ts::ConvSpec spec{sh.stride, sh.pad};
+    const int64_t ck = sh.c * sh.k * sh.k;
+    std::vector<uint16_t> w_bf16(static_cast<size_t>(w.numel()));
+    ts::ConvertToBf16(w.data(), w_bf16.data(), w.numel());
+    std::vector<int8_t> w_q(static_cast<size_t>(w.numel()));
+    std::vector<float> w_scales(static_cast<size_t>(sh.f));
+    ts::QuantizeRowsInt8(w.data(), sh.f, ck, w_q.data(), w_scales.data());
+
+    op_us[s][0][0] = TimeBestUs(
+        [&] { (void)ts::Relu(ts::Conv2dForward(x, w, bias, spec)); },
+        op_reps, blocks);
+    op_us[s][0][1] = TimeBestUs(
+        [&] {
+          (void)ts::Conv2dForwardFused(x, w, bias, spec,
+                                       ts::EpilogueAct::kRelu, 0.01f);
+        },
+        op_reps, blocks);
+    op_us[s][1][0] = TimeBestUs(
+        [&] {
+          (void)ts::Relu(ts::Conv2dForwardBf16(x, w_bf16.data(), sh.f, sh.c,
+                                               sh.k, sh.k, bias, spec));
+        },
+        op_reps, blocks);
+    op_us[s][1][1] = TimeBestUs(
+        [&] {
+          (void)ts::Conv2dForwardFusedBf16(x, w_bf16.data(), sh.f, sh.c,
+                                           sh.k, sh.k, bias, spec,
+                                           ts::EpilogueAct::kRelu, 0.01f);
+        },
+        op_reps, blocks);
+    op_us[s][2][0] = TimeBestUs(
+        [&] {
+          (void)ts::Relu(ts::Conv2dForwardInt8(x, w_q.data(),
+                                               w_scales.data(), sh.f, sh.c,
+                                               sh.k, sh.k, 0.0f, bias, spec));
+        },
+        op_reps, blocks);
+    op_us[s][2][1] = TimeBestUs(
+        [&] {
+          (void)ts::Conv2dForwardFusedInt8(x, w_q.data(), w_scales.data(),
+                                           sh.f, sh.c, sh.k, sh.k, 0.0f,
+                                           bias, spec, ts::EpilogueAct::kRelu,
+                                           0.01f);
+        },
+        op_reps, blocks);
+    std::printf(
+        "  %-14s %9.1f %9.1f %5.2fx | %9.1f %5.2fx | %9.1f %5.2fx\n",
+        sh.name, op_us[s][0][0], op_us[s][0][1],
+        op_us[s][0][0] / op_us[s][0][1], op_us[s][1][1],
+        op_us[s][1][0] / op_us[s][1][1], op_us[s][2][1],
+        op_us[s][2][0] / op_us[s][2][1]);
+  }
+
+  // Model level: the acceptance shape — SatCNN eval forward, fused vs
+  // unfused, per precision. int8 needs one calibration pass first so
+  // the activation scales exist before either arm runs.
+  models::RasterModelConfig cfg;
+  cfg.in_channels = 4;
+  cfg.in_height = 28;
+  cfg.in_width = 28;
+  cfg.num_classes = 6;
+  cfg.base_filters = 16;
+  cfg.seed = 17;
+  models::SatCnn model(cfg);
+  model.SetTraining(false);
+  {
+    ag::NoGradGuard no_grad;
+    Rng rng(7);
+    model.SetCalibrating(true);
+    (void)model.Forward(
+        ag::Variable(ts::Tensor::Randn({8, 4, 28, 28}, rng)), ag::Variable());
+    model.SetCalibrating(false);
+  }
+
+  static const char* kPrecNames[] = {"f32", "bf16", "int8"};
+  static const nn::Precision kPrecs[] = {
+      nn::Precision::kF32, nn::Precision::kBf16, nn::Precision::kInt8};
+  const int64_t batches[] = {1, 8};
+  // model_us[precision][batch index][0]=unfused, [1]=fused
+  double model_us[3][2][2] = {};
+  std::printf("fusion A/B, SatCNN eval forward (4ch 28x28, base 16):\n");
+  for (int p = 0; p < 3; ++p) {
+    model.SetPrecision(kPrecs[p]);
+    for (int bi = 0; bi < 2; ++bi) {
+      Rng rng(90 + static_cast<uint64_t>(bi));
+      const ts::Tensor xt =
+          ts::Tensor::Randn({batches[bi], 4, 28, 28}, rng);
+      for (int fused = 0; fused < 2; ++fused) {
+        ts::SetFusionEnabled(fused == 1);
+        ag::NoGradGuard no_grad;
+        ag::Variable xv(xt);
+        ag::Variable feat;
+        const int reps = smoke ? 3 : (bi == 0 ? 300 : 120);
+        model_us[p][bi][fused] = TimeBestUs(
+            [&] { (void)model.Forward(xv, feat); }, reps, blocks);
+      }
+      std::printf("  %-5s batch %lld: unfused %8.1f us  fused %8.1f us"
+                  "  (%.2fx)\n",
+                  kPrecNames[p], static_cast<long long>(batches[bi]),
+                  model_us[p][bi][0], model_us[p][bi][1],
+                  model_us[p][bi][0] / model_us[p][bi][1]);
+    }
+  }
+  model.SetPrecision(nn::Precision::kF32);
+  ts::SetFusionEnabled(fusion_was);
+
+  const double satcnn_f32_speedup = model_us[0][0][0] / model_us[0][0][1];
+  std::printf("  satcnn_f32_speedup (batch 1): %.2fx (gate: 1.30x)\n",
+              satcnn_f32_speedup);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"fusion_ab\",\n"
+                 "  \"schema_version\": 2,\n"
+                 "  \"config\": \"fused vs unfused eval conv, batch %lld op "
+                 "level; SatCNN 4ch 28x28 base16 model level\",\n"
+                 "  \"pool_threads\": %d,\n  \"smoke\": %s,\n"
+                 "  \"conv_ops\": [\n",
+                 static_cast<long long>(batch),
+                 ThreadPool::Global().num_threads(), smoke ? "true" : "false");
+    for (int s = 0; s < n_shapes; ++s) {
+      const FusionOpShape& sh = kShapes[s];
+      std::fprintf(
+          out,
+          "    {\"shape\": \"%s\", \"c\": %lld, \"f\": %lld, \"hw\": %lld, "
+          "\"k\": %lld, \"stride\": %lld, \"pad\": %lld,\n"
+          "     \"f32_unfused_us\": %.1f, \"f32_fused_us\": %.1f, "
+          "\"f32_speedup\": %.3f,\n"
+          "     \"bf16_unfused_us\": %.1f, \"bf16_fused_us\": %.1f, "
+          "\"bf16_speedup\": %.3f,\n"
+          "     \"int8_unfused_us\": %.1f, \"int8_fused_us\": %.1f, "
+          "\"int8_speedup\": %.3f}%s\n",
+          sh.name, static_cast<long long>(sh.c), static_cast<long long>(sh.f),
+          static_cast<long long>(sh.hw), static_cast<long long>(sh.k),
+          static_cast<long long>(sh.stride), static_cast<long long>(sh.pad),
+          op_us[s][0][0], op_us[s][0][1], op_us[s][0][0] / op_us[s][0][1],
+          op_us[s][1][0], op_us[s][1][1], op_us[s][1][0] / op_us[s][1][1],
+          op_us[s][2][0], op_us[s][2][1], op_us[s][2][0] / op_us[s][2][1],
+          s + 1 < n_shapes ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"model\": [\n");
+    for (int p = 0; p < 3; ++p) {
+      for (int bi = 0; bi < 2; ++bi) {
+        std::fprintf(
+            out,
+            "    {\"model\": \"SatCNN\", \"precision\": \"%s\", "
+            "\"batch\": %lld, \"unfused_us\": %.1f, \"fused_us\": %.1f, "
+            "\"speedup\": %.3f}%s\n",
+            kPrecNames[p], static_cast<long long>(batches[bi]),
+            model_us[p][bi][0], model_us[p][bi][1],
+            model_us[p][bi][0] / model_us[p][bi][1],
+            (p == 2 && bi == 1) ? "" : ",");
+      }
+    }
+    std::fprintf(out,
+                 "  ],\n  \"summary\": {\n"
+                 "    \"satcnn_f32_speedup\": %.3f,\n"
+                 "    \"speedup_gate\": 1.3\n  }\n}\n",
+                 satcnn_f32_speedup);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (smoke) return 0;
+  return satcnn_f32_speedup >= 1.3 ? 0 : 2;
+}
+
 }  // namespace
 }  // namespace geotorch
 
@@ -482,8 +724,10 @@ int RunAllocAb(const std::string& json_path, bool smoke) {
 // and writes the JSON report; `--obs_ab[=PATH]` measures observability
 // overhead on the GEMM hot path; `--alloc_ab[=PATH]` A/B-tests the
 // storage pool on the table7 epoch loop (default PATH
-// BENCH_alloc.json, smoke-sized with --gemm_smoke); any other
-// invocation behaves exactly
+// BENCH_alloc.json, smoke-sized with --gemm_smoke);
+// `--fusion_ab[=PATH]` A/B-tests the fused eval path (DESIGN.md §13)
+// on SatCNN/DeepSAT conv shapes and the SatCNN model forward (default
+// PATH BENCH_fusion.json); any other invocation behaves exactly
 // like BENCHMARK_MAIN(). `--trace_json=PATH` additionally dumps the
 // observability snapshot (counters, histograms, spans) after any mode.
 int main(int argc, char** argv) {
@@ -491,9 +735,11 @@ int main(int argc, char** argv) {
   std::string trace_json;
   std::string obs_ab_json;
   std::string alloc_ab_json = "BENCH_alloc.json";
+  std::string fusion_ab_json = "BENCH_fusion.json";
   bool gemm_smoke = false;
   bool obs_ab = false;
   bool alloc_ab = false;
+  bool fusion_ab = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--gemm_json=", 12) == 0) {
       gemm_json = argv[i] + 12;
@@ -511,10 +757,17 @@ int main(int argc, char** argv) {
       alloc_ab_json = argv[i] + 11;
     } else if (std::strcmp(argv[i], "--alloc_ab") == 0) {
       alloc_ab = true;
+    } else if (std::strncmp(argv[i], "--fusion_ab=", 12) == 0) {
+      fusion_ab = true;
+      fusion_ab_json = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--fusion_ab") == 0) {
+      fusion_ab = true;
     }
   }
   int rc = 0;
-  if (alloc_ab) {
+  if (fusion_ab) {
+    rc = geotorch::RunFusionAb(fusion_ab_json, gemm_smoke);
+  } else if (alloc_ab) {
     rc = geotorch::RunAllocAb(alloc_ab_json, gemm_smoke);
   } else if (obs_ab) {
     rc = geotorch::RunObsAb(obs_ab_json, gemm_smoke);

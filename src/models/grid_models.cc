@@ -41,8 +41,13 @@ PeriodicalCnn::PeriodicalCnn(const GridModelConfig& config)
 
 ag::Variable PeriodicalCnn::Forward(const data::Batch& batch) {
   ag::Variable h = PeriodicalInput(batch);
-  h = ag::Relu(conv1_.Forward(h));
-  h = ag::Relu(conv2_.Forward(h));
+  if (nn::FusedEvalEligible(*this)) {
+    h = conv1_.ForwardFusedEval(h, nullptr, ts::EpilogueAct::kRelu);
+    h = conv2_.ForwardFusedEval(h, nullptr, ts::EpilogueAct::kRelu);
+  } else {
+    h = ag::Relu(conv1_.Forward(h));
+    h = ag::Relu(conv2_.Forward(h));
+  }
   return conv3_.Forward(h);
 }
 
@@ -258,8 +263,15 @@ ag::Variable CnnLstm::Forward(const data::Batch& batch) {
   for (int64_t step = 0; step < t; ++step) {
     ag::Variable frame =
         ag::Reshape(ag::Slice(x, 1, step, step + 1), {b, c, h, w});
-    ag::Variable feat = ag::Relu(conv1_.Forward(frame));
-    feat = ag::Relu(conv2_.Forward(feat));  // stride-2 local summary
+    ag::Variable feat;
+    if (nn::FusedEvalEligible(*this)) {
+      feat = conv1_.ForwardFusedEval(frame, nullptr, ts::EpilogueAct::kRelu);
+      // stride-2 local summary
+      feat = conv2_.ForwardFusedEval(feat, nullptr, ts::EpilogueAct::kRelu);
+    } else {
+      feat = ag::Relu(conv1_.Forward(frame));
+      feat = ag::Relu(conv2_.Forward(feat));  // stride-2 local summary
+    }
     state = lstm_.Step(ag::Reshape(feat, {b, feature_dim_}), state);
   }
   ag::Variable out = head_->Forward(state.h);

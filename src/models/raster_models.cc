@@ -5,6 +5,7 @@
 namespace geotorch::models {
 
 namespace ag = ::geotorch::autograd;
+namespace ts = ::geotorch::tensor;
 
 namespace {
 // Stage-wise pooling decisions are made in the constructors: a stage
@@ -48,9 +49,11 @@ SatCnn::SatCnn(const RasterModelConfig& config)
 ag::Variable SatCnn::Forward(const ag::Variable& x,
                              const ag::Variable& features) {
   (void)features;  // SatCNN is image-only.
+  const bool fused = nn::FusedEvalEligible(*this);
   ag::Variable h = features_net_.Forward(x);
   h = ag::Reshape(h, {x.shape()[0], flat_size_});
-  h = ag::Relu(fc1_->Forward(h));
+  h = fused ? fc1_->ForwardFusedEval(h, ts::EpilogueAct::kRelu)
+            : ag::Relu(fc1_->Forward(h));
   h = dropout_.Forward(h);
   return fc2_->Forward(h);
 }
@@ -84,9 +87,12 @@ ag::Variable DeepSat::Forward(const ag::Variable& x,
   ag::Variable var = ag::Sub(sq_mean, ag::Mul(mean, mean));
   ag::Variable stddev = ag::Sqrt(ag::AddScalar(var, 1e-6f));
   ag::Variable h = ag::Concat({features, mean, stddev}, 1);
-  h = ag::Relu(fc1_->Forward(h));
+  const bool fused = nn::FusedEvalEligible(*this);
+  h = fused ? fc1_->ForwardFusedEval(h, ts::EpilogueAct::kRelu)
+            : ag::Relu(fc1_->Forward(h));
   h = dropout_.Forward(h);
-  h = ag::Relu(fc2_->Forward(h));
+  h = fused ? fc2_->ForwardFusedEval(h, ts::EpilogueAct::kRelu)
+            : ag::Relu(fc2_->Forward(h));
   return fc3_->Forward(h);
 }
 
@@ -131,7 +137,9 @@ ag::Variable DeepSatV2::Forward(const ag::Variable& x,
     GEO_CHECK_EQ(features.shape()[1], config_.num_filtered_features);
     h = ag::Concat({h, features}, 1);  // feature fusion
   }
-  h = ag::Relu(fc1_->Forward(h));
+  h = nn::FusedEvalEligible(*this)
+          ? fc1_->ForwardFusedEval(h, ts::EpilogueAct::kRelu)
+          : ag::Relu(fc1_->Forward(h));
   h = dropout_.Forward(h);
   return fc2_->Forward(h);
 }

@@ -3,6 +3,7 @@
 namespace geotorch::models {
 
 namespace ag = ::geotorch::autograd;
+namespace ts = ::geotorch::tensor;
 
 namespace {
 Rng MakeRng(uint64_t seed) { return Rng(seed); }
@@ -15,6 +16,11 @@ DoubleConv::DoubleConv(int64_t in, int64_t out, Rng& rng)
 }
 
 ag::Variable DoubleConv::Forward(const ag::Variable& x) {
+  if (nn::FusedEvalEligible(*this)) {
+    return conv2_.ForwardFusedEval(
+        conv1_.ForwardFusedEval(x, nullptr, ts::EpilogueAct::kRelu), nullptr,
+        ts::EpilogueAct::kRelu);
+  }
   return ag::Relu(conv2_.Forward(ag::Relu(conv1_.Forward(x))));
 }
 

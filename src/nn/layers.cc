@@ -8,6 +8,7 @@
 #include "nn/init.h"
 #include "obs/obs.h"
 #include "tensor/conv.h"
+#include "tensor/fusion.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/quant.h"
@@ -60,6 +61,11 @@ void AddBiasRow(float* y, const float* b, int64_t m, int64_t n) {
 }
 
 }  // namespace
+
+bool FusedEvalEligible(const Module& m) {
+  return !m.training() && !m.calibrating() && !ag::GradEnabled() &&
+         ts::FusionEnabled();
+}
 
 // --- Linear ---------------------------------------------------------------
 
@@ -142,6 +148,51 @@ void Linear::OnPrecisionChanged() {
   }
 }
 
+ag::Variable Linear::ForwardFusedEval(const ag::Variable& x,
+                                      ts::EpilogueAct act, float leaky_slope) {
+  GEO_CHECK_EQ(x.value().ndim(), 2);
+  GEO_OBS_COUNT("fusion.linear_calls", 1);
+  const ts::Tensor& xv = x.value();
+  const int64_t m = xv.size(0);
+  const int64_t k = xv.size(1);
+  const int64_t n = weight_.shape()[1];
+  ts::GemmEpilogue ep;
+  ep.col_bias = has_bias_ ? bias_.value().data() : nullptr;
+  ep.act = act;
+  ep.leaky_slope = leaky_slope;
+  ts::Tensor y = ts::Tensor::Uninitialized({m, n});
+  if (UseLowPrecision(*this)) {
+    if (precision() == Precision::kBf16 && !w_bf16_.empty()) {
+      ts::GemmOptions opts;
+      opts.epilogue = &ep;
+      ts::GemmBf16(xv.data(), ts::Bf16PackedB{w_bf16_.data()}, y.data(), m, k,
+                   n, opts);
+      return ag::Variable(std::move(y));
+    }
+    if (precision() == Precision::kInt8 && !w_q_.empty()) {
+      const float act_scale =
+          act_absmax_ > 0.0f
+              ? ts::SymmetricScale(act_absmax_)
+              : ts::SymmetricScale(ts::AbsMax(xv.data(), xv.numel()));
+      int8_t* xq = reinterpret_cast<int8_t*>(
+          ThreadLocalWorkspace(kWorkspaceQuant, (m * k + 3) / 4));
+      ts::QuantizeInt8(xv.data(), m * k, act_scale, xq);
+      ts::Int8GemmOptions opts;
+      opts.a_scales = &act_scale;
+      opts.a_scales_len = 1;
+      opts.b_scales = w_scales_.data();
+      opts.b_scales_len = n;
+      opts.epilogue = &ep;
+      ts::GemmInt8(xq, ts::Int8PackedB{w_q_.data()}, y.data(), m, k, n, opts);
+      return ag::Variable(std::move(y));
+    }
+  }
+  ts::GemmOptions opts;
+  opts.epilogue = &ep;
+  ts::Gemm(xv.data(), weight_.value().data(), y.data(), m, k, n, opts);
+  return ag::Variable(std::move(y));
+}
+
 // --- Conv2d ---------------------------------------------------------------
 
 Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
@@ -205,6 +256,101 @@ void Conv2d::OnPrecisionChanged() {
   }
 }
 
+ag::Variable Conv2d::ForwardFusedEval(const ag::Variable& x,
+                                      const BatchNorm2d* bn,
+                                      ts::EpilogueAct act, float leaky_slope) {
+  const ts::Tensor& xv = x.value();
+  const ts::Tensor& w = weight_.value();
+  const int64_t f = w.size(0);
+  const int64_t c = w.size(1);
+  const int64_t kh = w.size(2);
+  const int64_t kw = w.size(3);
+  const bool lp = UseLowPrecision(*this);
+  if (bn == nullptr) {
+    // No folding: fuse only the bias + activation epilogue over the
+    // live parameters (bitwise vs the unfused sequence).
+    const ts::Tensor empty;
+    const ts::Tensor& b = has_bias_ ? bias_.value() : empty;
+    if (lp && precision() == Precision::kBf16 && !w_bf16_.empty()) {
+      return ag::Variable(ts::Conv2dForwardFusedBf16(
+          xv, w_bf16_.data(), f, c, kh, kw, b, spec_, act, leaky_slope));
+    }
+    if (lp && precision() == Precision::kInt8 && !w_q_.empty()) {
+      const float act_scale =
+          act_absmax_ > 0.0f ? ts::SymmetricScale(act_absmax_) : 0.0f;
+      return ag::Variable(ts::Conv2dForwardFusedInt8(
+          xv, w_q_.data(), w_scales_.data(), f, c, kh, kw, act_scale, b,
+          spec_, act, leaky_slope));
+    }
+    return ag::Variable(
+        ts::Conv2dForwardFused(xv, w, b, spec_, act, leaky_slope));
+  }
+  GEO_CHECK_EQ(bn->channels(), f) << "conv+BN fusion channel mismatch";
+  const Precision prec = lp ? precision() : Precision::kF32;
+  RefreshFoldedCache(*bn, prec);
+  if (prec == Precision::kBf16 && !fold_.w_bf16.empty()) {
+    return ag::Variable(ts::Conv2dForwardFusedBf16(
+        xv, fold_.w_bf16.data(), f, c, kh, kw, fold_.b, spec_, act,
+        leaky_slope));
+  }
+  if (prec == Precision::kInt8 && !fold_.w_q.empty()) {
+    const float act_scale =
+        act_absmax_ > 0.0f ? ts::SymmetricScale(act_absmax_) : 0.0f;
+    return ag::Variable(ts::Conv2dForwardFusedInt8(
+        xv, fold_.w_q.data(), fold_.w_scales.data(), f, c, kh, kw, act_scale,
+        fold_.b, spec_, act, leaky_slope));
+  }
+  return ag::Variable(
+      ts::Conv2dForwardFused(xv, fold_.w, fold_.b, spec_, act, leaky_slope));
+}
+
+void Conv2d::RefreshFoldedCache(const BatchNorm2d& bn, Precision prec) {
+  std::lock_guard<std::mutex> lock(fold_mu_);
+  if (fold_.valid && fold_.bn == &bn && fold_.conv_version == state_version() &&
+      fold_.bn_version == bn.state_version() && fold_.precision == prec) {
+    return;
+  }
+  GEO_OBS_COUNT("fusion.fold_rebuilds", 1);
+  const ts::Tensor& w = weight_.value();
+  const int64_t f = w.size(0);
+  const int64_t ck = w.numel() / f;
+  std::vector<float> scale;
+  std::vector<float> shift;
+  bn.FoldedAffine(&scale, &shift);
+  // Fold first, always from the f32 parameters; quantization (below)
+  // then sees the already-scaled weights, so per-channel int8 scales
+  // adapt to the folded magnitudes.
+  fold_.w = ts::Tensor::Uninitialized(w.shape());
+  fold_.b = ts::Tensor::Uninitialized({f});
+  const float* pw = w.data();
+  const float* pb = has_bias_ ? bias_.value().data() : nullptr;
+  float* pfw = fold_.w.data();
+  float* pfb = fold_.b.data();
+  for (int64_t fi = 0; fi < f; ++fi) {
+    const float s = scale[fi];
+    for (int64_t j = 0; j < ck; ++j) pfw[fi * ck + j] = pw[fi * ck + j] * s;
+    pfb[fi] = (pb != nullptr ? pb[fi] * s : 0.0f) + shift[fi];
+  }
+  fold_.w_bf16.clear();
+  fold_.w_q.clear();
+  fold_.w_scales.clear();
+  if (prec == Precision::kBf16) {
+    fold_.w_bf16.resize(w.numel());
+    ts::ConvertToBf16(pfw, fold_.w_bf16.data(), w.numel());
+  } else if (prec == Precision::kInt8) {
+    fold_.w_q.resize(w.numel());
+    fold_.w_scales.resize(f);
+    ts::QuantizeRowsInt8(pfw, f, ck, fold_.w_q.data(), fold_.w_scales.data());
+    PublishWeightQuantError(pfw, fold_.w_q.data(), fold_.w_scales.data(), f,
+                            ck, /*per_row=*/true);
+  }
+  fold_.bn = &bn;
+  fold_.conv_version = state_version();
+  fold_.bn_version = bn.state_version();
+  fold_.precision = prec;
+  fold_.valid = true;
+}
+
 // --- ConvTranspose2d -------------------------------------------------------
 
 ConvTranspose2d::ConvTranspose2d(int64_t in_channels, int64_t out_channels,
@@ -250,21 +396,56 @@ ag::Variable BatchNorm2d::Forward(const ag::Variable& x) {
         true);
     ag::Variable inv_std = ag::PowScalar(ag::AddScalar(var, eps_), -0.5f);
     ag::Variable norm = ag::Mul(centered, inv_std);
-    // Running statistics (no autograd): ema of batch stats.
+    // Running statistics (no autograd): ema of batch stats. The eval
+    // caches (inv_std, folded affine) depend on them, so flag them
+    // stale.
     {
       const float m = momentum_;
       running_mean_.ScaleInPlace(1.0f - m);
       ts::AddScaledInPlace(running_mean_, mean.value(), m);
       running_var_.ScaleInPlace(1.0f - m);
       ts::AddScaledInPlace(running_var_, var.value(), m);
+      BumpStateVersion();
     }
     return ag::Add(ag::Mul(norm, gamma_), beta_);
   }
-  // Eval: use running stats as constants.
+  // Eval: use running stats as constants. inv_std comes from the
+  // version-keyed cache; it was previously recomputed (two temporary
+  // tensors and a pow) on every call.
+  RefreshEvalCache();
   ag::Variable mean(running_mean_);
-  ag::Variable inv_std(ts::PowScalar(ts::AddScalar(running_var_, eps_), -0.5f));
+  ag::Variable inv_std(inv_std_);
   ag::Variable norm = ag::Mul(ag::Sub(x, mean), inv_std);
   return ag::Add(ag::Mul(norm, gamma_), beta_);
+}
+
+void BatchNorm2d::RefreshEvalCache() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_valid_ && cache_version_ == state_version()) return;
+  GEO_OBS_COUNT("fusion.bn_cache_rebuilds", 1);
+  // Exact op sequence of the old per-call eval path, so the cached
+  // tensor is bitwise what the uncached forward multiplied by.
+  inv_std_ = ts::PowScalar(ts::AddScalar(running_var_, eps_), -0.5f);
+  fold_scale_.assign(channels_, 0.0f);
+  fold_shift_.assign(channels_, 0.0f);
+  const float* g = gamma_.value().data();
+  const float* b = beta_.value().data();
+  const float* mu = running_mean_.data();
+  const float* inv = inv_std_.data();
+  for (int64_t ci = 0; ci < channels_; ++ci) {
+    fold_scale_[ci] = g[ci] * inv[ci];
+    fold_shift_[ci] = b[ci] - mu[ci] * fold_scale_[ci];
+  }
+  cache_version_ = state_version();
+  cache_valid_ = true;
+}
+
+void BatchNorm2d::FoldedAffine(std::vector<float>* scale,
+                               std::vector<float>* shift) const {
+  RefreshEvalCache();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  *scale = fold_scale_;
+  *shift = fold_shift_;
 }
 
 // --- Dropout -----------------------------------------------------------------
@@ -285,9 +466,71 @@ Sequential& Sequential::Add(std::unique_ptr<UnaryModule> layer) {
   return *this;
 }
 
+namespace {
+
+// Maps an activation layer onto its GEMM-epilogue equivalent. Tanh has
+// no epilogue (it never follows a conv/linear in the repo's models).
+bool EpilogueActOf(UnaryModule* m, ts::EpilogueAct* act, float* slope) {
+  if (dynamic_cast<ReluLayer*>(m) != nullptr) {
+    *act = ts::EpilogueAct::kRelu;
+    return true;
+  }
+  if (auto* leaky = dynamic_cast<LeakyReluLayer*>(m)) {
+    *act = ts::EpilogueAct::kLeakyRelu;
+    *slope = leaky->slope();
+    return true;
+  }
+  if (dynamic_cast<SigmoidLayer*>(m) != nullptr) {
+    *act = ts::EpilogueAct::kSigmoid;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 ag::Variable Sequential::Forward(const ag::Variable& x) {
+  if (FusedEvalEligible(*this)) return ForwardFusedEval(x);
   ag::Variable cur = x;
   for (auto& layer : layers_) cur = layer->Forward(cur);
+  return cur;
+}
+
+ag::Variable Sequential::ForwardFusedEval(const ag::Variable& x) {
+  ag::Variable cur = x;
+  size_t i = 0;
+  while (i < layers_.size()) {
+    UnaryModule* m = layers_[i].get();
+    ts::EpilogueAct act = ts::EpilogueAct::kNone;
+    float slope = 0.01f;
+    if (auto* conv = dynamic_cast<Conv2d*>(m)) {
+      size_t next = i + 1;
+      BatchNorm2d* bn = nullptr;
+      if (next < layers_.size()) {
+        bn = dynamic_cast<BatchNorm2d*>(layers_[next].get());
+        if (bn != nullptr) ++next;
+      }
+      if (next < layers_.size() &&
+          EpilogueActOf(layers_[next].get(), &act, &slope)) {
+        ++next;
+      }
+      if (bn != nullptr || act != ts::EpilogueAct::kNone) {
+        GEO_OBS_COUNT("fusion.seq_conv_groups", 1);
+        cur = conv->ForwardFusedEval(cur, bn, act, slope);
+        i = next;
+        continue;
+      }
+    } else if (auto* linear = dynamic_cast<Linear*>(m)) {
+      if (i + 1 < layers_.size() &&
+          EpilogueActOf(layers_[i + 1].get(), &act, &slope)) {
+        cur = linear->ForwardFusedEval(cur, act, slope);
+        i += 2;
+        continue;
+      }
+    }
+    cur = m->Forward(cur);
+    ++i;
+  }
   return cur;
 }
 

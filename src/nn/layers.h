@@ -3,12 +3,23 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "autograd/ops.h"
 #include "nn/module.h"
+#include "tensor/gemm.h"
 
 namespace geotorch::nn {
+
+class BatchNorm2d;
+
+/// True when `m` may take the fused eval path: eval mode, not
+/// calibrating (calibration must observe the unfused per-layer
+/// activations), no gradient graph being recorded, and the
+/// GEOTORCH_FUSION kill switch not engaged. With fusion disabled every
+/// forward takes exactly the pre-fusion code path.
+bool FusedEvalEligible(const Module& m);
 
 /// Fully connected layer: y = x @ W + b with x: (N, in), W: (in, out).
 ///
@@ -22,6 +33,15 @@ class Linear : public UnaryModule {
   Linear(int64_t in_features, int64_t out_features, Rng& rng,
          bool bias = true);
   autograd::Variable Forward(const autograd::Variable& x) override;
+
+  /// Eval-only fused forward: bias and the given activation run as GEMM
+  /// epilogue passes instead of separate full-tensor ops. Bitwise
+  /// identical to Forward followed by the matching activation op (the
+  /// epilogue applies the same per-element formulas in the same order).
+  /// Caller must have checked FusedEvalEligible.
+  autograd::Variable ForwardFusedEval(const autograd::Variable& x,
+                                      tensor::EpilogueAct act,
+                                      float leaky_slope = 0.01f);
 
  protected:
   void OnPrecisionChanged() override;
@@ -51,10 +71,45 @@ class Conv2d : public UnaryModule {
          bool bias = true);
   autograd::Variable Forward(const autograd::Variable& x) override;
 
+  /// Eval-only fused forward. When `bn` is non-null its running
+  /// statistics and affine are folded into the convolution weights and
+  /// bias (W' = W·scale_f, b' = b·scale_f + shift_f per output channel)
+  /// from a cached snapshot keyed on both modules' state versions; low
+  /// precision quantizes the folded f32 weights, never the other way
+  /// round. The activation runs as a GEMM epilogue. Without `bn` the
+  /// result is bitwise identical to Forward plus the activation op;
+  /// with `bn` it matches conv→BN→act within a small relative error
+  /// (the fold reassociates the per-channel multiplies).
+  /// Caller must have checked FusedEvalEligible.
+  autograd::Variable ForwardFusedEval(const autograd::Variable& x,
+                                      const BatchNorm2d* bn,
+                                      tensor::EpilogueAct act,
+                                      float leaky_slope = 0.01f);
+
  protected:
   void OnPrecisionChanged() override;
 
  private:
+  /// Folded-weight snapshot for conv+BN fusion. Rebuilt lazily under
+  /// fold_mu_ whenever either module's state version moved or the
+  /// precision changed; safe to build lazily from concurrent forwards
+  /// because the first builder holds the mutex and later readers see a
+  /// version match. Mutating the modules while forwards are in flight
+  /// is excluded by the serving contract (copy-on-swap hot reload).
+  struct FoldedCache {
+    const BatchNorm2d* bn = nullptr;
+    uint64_t conv_version = 0;
+    uint64_t bn_version = 0;
+    Precision precision = Precision::kF32;
+    bool valid = false;
+    tensor::Tensor w;  // folded f32 weight, same shape as weight_
+    tensor::Tensor b;  // folded f32 bias (F)
+    std::vector<uint16_t> w_bf16;
+    std::vector<int8_t> w_q;
+    std::vector<float> w_scales;
+  };
+  void RefreshFoldedCache(const BatchNorm2d& bn, Precision prec);
+
   autograd::Variable weight_;
   autograd::Variable bias_;
   tensor::ConvSpec spec_;
@@ -63,6 +118,8 @@ class Conv2d : public UnaryModule {
   std::vector<int8_t> w_q_;
   std::vector<float> w_scales_;
   float act_absmax_ = 0.0f;
+  std::mutex fold_mu_;
+  FoldedCache fold_;
 };
 
 /// Transposed 2-D convolution (upsampling decoder layers).
@@ -90,8 +147,26 @@ class BatchNorm2d : public UnaryModule {
 
   const tensor::Tensor& running_mean() const { return running_mean_; }
   const tensor::Tensor& running_var() const { return running_var_; }
+  int64_t channels() const { return channels_; }
+
+  /// The per-channel affine equivalent of this layer's eval transform:
+  /// y_c = scale_c · x_c + shift_c with scale_c = γ_c·inv_std_c and
+  /// shift_c = β_c − μ_c·scale_c. This is what a preceding Conv2d folds
+  /// into its weights. Served from the same cached inv_std as the
+  /// unfused eval forward, so both paths normalize with identical
+  /// per-channel constants.
+  void FoldedAffine(std::vector<float>* scale,
+                    std::vector<float>* shift) const;
 
  private:
+  /// (Re)computes the cached eval-path constants — the inv_std tensor
+  /// the unfused eval forward multiplies by, and the folded per-channel
+  /// affine — iff the state version moved since the last build. The
+  /// cached inv_std is produced by the exact op sequence the uncached
+  /// eval path used (PowScalar(AddScalar(var, eps), -0.5)), keeping the
+  /// unfused eval output bitwise unchanged.
+  void RefreshEvalCache() const;
+
   autograd::Variable gamma_;
   autograd::Variable beta_;
   tensor::Tensor running_mean_;  // (1, C, 1, 1)
@@ -99,6 +174,12 @@ class BatchNorm2d : public UnaryModule {
   float eps_;
   float momentum_;
   int64_t channels_;
+  mutable std::mutex cache_mu_;
+  mutable uint64_t cache_version_ = 0;
+  mutable bool cache_valid_ = false;
+  mutable tensor::Tensor inv_std_;  // (1, C, 1, 1)
+  mutable std::vector<float> fold_scale_;
+  mutable std::vector<float> fold_shift_;
 };
 
 /// Inverted dropout; identity in eval mode.
@@ -131,6 +212,7 @@ class LeakyReluLayer : public UnaryModule {
   autograd::Variable Forward(const autograd::Variable& x) override {
     return autograd::LeakyRelu(x, slope_);
   }
+  float slope() const { return slope_; }
 
  private:
   float slope_;
@@ -200,6 +282,11 @@ class Sequential : public UnaryModule {
   size_t size() const { return layers_.size(); }
 
  private:
+  /// Fused eval walk: scans for Conv2d→[BatchNorm2d]→[activation] and
+  /// Linear→[activation] runs and dispatches each as one fused call;
+  /// anything else forwards layer by layer as before.
+  autograd::Variable ForwardFusedEval(const autograd::Variable& x);
+
   std::vector<std::unique_ptr<UnaryModule>> layers_;
 };
 

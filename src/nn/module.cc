@@ -31,12 +31,22 @@ Module::NamedParameters() const {
 
 Status Module::LoadNamedParameter(const std::string& name,
                                   const tensor::Tensor& value) {
-  auto named = NamedParameters();
-  for (auto& [pname, p] : named) {
+  return LoadNamedParameterImpl(name, name, value);
+}
+
+// Recurses along the dotted path so the write lands on (and bumps the
+// state version of) the module that actually owns the parameter —
+// a flat scan over NamedParameters() could not tell whose derived
+// caches went stale. Error messages always cite the full path the
+// caller used, not the per-level remainder.
+Status Module::LoadNamedParameterImpl(const std::string& name,
+                                      const std::string& full_name,
+                                      const tensor::Tensor& value) {
+  for (auto& [pname, p] : params_) {
     if (pname != name) continue;
     if (!tensor::SameShape(p.shape(), value.shape())) {
       return Status::InvalidArgument(
-          "shape mismatch for parameter '" + name + "': module has " +
+          "shape mismatch for parameter '" + full_name + "': module has " +
           tensor::ShapeToString(p.shape()) + ", value has " +
           tensor::ShapeToString(value.shape()));
     }
@@ -44,9 +54,17 @@ Status Module::LoadNamedParameter(const std::string& name,
       std::memcpy(p.mutable_value().data(), value.data(),
                   static_cast<size_t>(value.numel()) * sizeof(float));
     }
+    BumpStateVersion();
     return Status::OK();
   }
-  return Status::NotFound("no parameter named '" + name + "'");
+  for (auto& [cname, child] : children_) {
+    if (name.size() > cname.size() + 1 && name[cname.size()] == '.' &&
+        name.compare(0, cname.size(), cname) == 0) {
+      return child->LoadNamedParameterImpl(name.substr(cname.size() + 1),
+                                           full_name, value);
+    }
+  }
+  return Status::NotFound("no parameter named '" + full_name + "'");
 }
 
 void Module::ZeroGrad() {
@@ -55,17 +73,20 @@ void Module::ZeroGrad() {
 
 void Module::SetTraining(bool training) {
   training_ = training;
+  BumpStateVersion();
   for (auto& [name, child] : children_) child->SetTraining(training);
 }
 
 void Module::SetPrecision(Precision precision) {
   precision_ = precision;
+  BumpStateVersion();
   for (auto& [name, child] : children_) child->SetPrecision(precision);
   OnPrecisionChanged();
 }
 
 void Module::SetCalibrating(bool calibrating) {
   calibrating_ = calibrating;
+  BumpStateVersion();
   for (auto& [name, child] : children_) child->SetCalibrating(calibrating);
 }
 

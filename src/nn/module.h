@@ -1,6 +1,7 @@
 #ifndef GEOTORCH_NN_MODULE_H_
 #define GEOTORCH_NN_MODULE_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -65,6 +66,16 @@ class Module {
   /// Total number of scalar parameters.
   int64_t NumParameters() const;
 
+  /// Monotonic counter bumped whenever state that derived caches depend
+  /// on changes: parameter loads, running-stat updates, train/eval
+  /// flips, precision or calibration changes. The fused eval path
+  /// snapshots folded / quantized weights keyed on this counter, so a
+  /// stale cache is detected by a plain integer compare. Mutation is
+  /// not synchronized: per the serving contract (DESIGN.md §13), state
+  /// changes happen only on offline models, never on a model that is
+  /// concurrently serving forwards.
+  uint64_t state_version() const { return state_version_; }
+
  protected:
   /// Registers a leaf parameter initialized to `init`.
   autograd::Variable RegisterParameter(std::string name,
@@ -77,12 +88,22 @@ class Module {
   /// low-precision weight caches here.
   virtual void OnPrecisionChanged() {}
 
+  /// Marks derived caches stale. Subclasses call this when they mutate
+  /// non-parameter state that caches depend on (e.g. BatchNorm running
+  /// statistics).
+  void BumpStateVersion() { ++state_version_; }
+
  private:
+  Status LoadNamedParameterImpl(const std::string& name,
+                                const std::string& full_name,
+                                const tensor::Tensor& value);
+
   std::vector<std::pair<std::string, autograd::Variable>> params_;
   std::vector<std::pair<std::string, Module*>> children_;
   bool training_ = true;
   Precision precision_ = Precision::kF32;
   bool calibrating_ = false;
+  uint64_t state_version_ = 0;
 };
 
 /// A module with the common one-in/one-out forward signature, enabling

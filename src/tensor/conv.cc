@@ -9,6 +9,7 @@
 #include "core/check.h"
 #include "core/memory.h"
 #include "core/thread_pool.h"
+#include "obs/obs.h"
 #include "tensor/device.h"
 #include "tensor/gemm.h"
 #include "tensor/quant.h"
@@ -243,6 +244,183 @@ Tensor Conv2dForwardInt8(const Tensor& x, const int8_t* w_q,
     opts.b_scales_len = 1;
     GemmInt8(w_q, colsq, out_i, f, d.ck, d.l, opts);
     if (pb != nullptr) AddBiasRows(out_i, pb, f, d.l);
+  });
+  return out;
+}
+
+namespace {
+
+// True when the patch matrix of sample i IS the (C, H·W) input plane,
+// so even the implicit-im2col gather can be skipped.
+bool Is1x1Direct(int64_t kh, int64_t kw, const ConvSpec& spec) {
+  return kh == 1 && kw == 1 && spec.stride == 1 && spec.padding == 0;
+}
+
+// Stride-1 f32 convs always go through GemmConv: past the reference
+// threshold it runs the direct im2col-free kernel, which beats both
+// materialize+pack and the gather-pack at every depth. For strided
+// shapes (and bf16, which has no direct kernel) the implicit gather
+// only beats materialize+pack when the patch matrix is shallow (few
+// rows re-reading the same input plane); for deep patch matrices the
+// branchy row gather loses to the memcpy-based Im2ColInto followed by
+// a contiguous pack. int8 is exempt: its win comes from quantizing the
+// input once instead of once per kernel-tap replica, which dominates
+// at every depth.
+constexpr int64_t kImplicitGatherMaxK = 64;
+
+template <typename T>
+ConvImageView<T> MakeConvView(const T* plane, int64_t c, int64_t h, int64_t w,
+                              int64_t kh, int64_t kw, const ConvSpec& spec,
+                              int64_t oh, int64_t ow) {
+  ConvImageView<T> view;
+  view.x = plane;
+  view.c = c;
+  view.h = h;
+  view.w = w;
+  view.kh = kh;
+  view.kw = kw;
+  view.stride = spec.stride;
+  view.pad = spec.padding;
+  view.oh = oh;
+  view.ow = ow;
+  return view;
+}
+
+}  // namespace
+
+Tensor Conv2dForwardFused(const Tensor& x, const Tensor& w, const Tensor& bias,
+                          const ConvSpec& spec, EpilogueAct act,
+                          float leaky_slope) {
+  GEO_CHECK_EQ(x.ndim(), 4);
+  GEO_CHECK_EQ(w.ndim(), 4);
+  const int64_t c = x.size(1);
+  const int64_t h = x.size(2);
+  const int64_t wd = x.size(3);
+  const int64_t f = w.size(0);
+  GEO_CHECK_EQ(w.size(1), c) << "Conv2d channel mismatch";
+  const int64_t kh = w.size(2);
+  const int64_t kw = w.size(3);
+  const LpConvDims d = LpConvCheck(x, f, c, kh, kw, bias, spec);
+  GEO_OBS_COUNT("fusion.conv_calls", 1);
+  Tensor out = Tensor::Uninitialized({d.n, f, d.oh, d.ow});
+  GemmEpilogue ep;
+  ep.row_bias = bias.numel() > 0 ? bias.data() : nullptr;
+  ep.act = act;
+  ep.leaky_slope = leaky_slope;
+  const float* pw = w.data();
+  const float* px = x.data();
+  float* po = out.data();
+  const bool direct = Is1x1Direct(kh, kw, spec);
+  if (direct) GEO_OBS_COUNT("fusion.conv_1x1", d.n);
+  const bool implicit =
+      !direct && (spec.stride == 1 || d.ck <= kImplicitGatherMaxK);
+  ForEachSample(d.n, [&](int64_t i) {
+    float* out_i = po + i * f * d.l;
+    const float* plane = px + i * c * h * wd;
+    GemmOptions opts;
+    opts.beta = 0.0f;
+    opts.epilogue = &ep;
+    if (direct) {
+      // 1×1 stride-1 unpadded: the input plane is the patch matrix.
+      Gemm(pw, plane, out_i, f, c, d.l, opts);
+    } else if (implicit) {
+      const ConvImageView<float> view =
+          MakeConvView(plane, c, h, wd, kh, kw, spec, d.oh, d.ow);
+      GemmConv(pw, view, out_i, f, opts);
+    } else {
+      float* cols = ThreadLocalWorkspace(kWorkspaceIm2Col, d.ck * d.l);
+      Im2ColInto(x, i, kh, kw, spec, cols);
+      Gemm(pw, cols, out_i, f, d.ck, d.l, opts);
+    }
+  });
+  return out;
+}
+
+Tensor Conv2dForwardFusedBf16(const Tensor& x, const uint16_t* w_bf16,
+                              int64_t f, int64_t c, int64_t kh, int64_t kw,
+                              const Tensor& bias, const ConvSpec& spec,
+                              EpilogueAct act, float leaky_slope) {
+  const LpConvDims d = LpConvCheck(x, f, c, kh, kw, bias, spec);
+  const int64_t h = x.size(2);
+  const int64_t wd = x.size(3);
+  GEO_OBS_COUNT("fusion.conv_calls", 1);
+  Tensor out = Tensor::Uninitialized({d.n, f, d.oh, d.ow});
+  GemmEpilogue ep;
+  ep.row_bias = bias.numel() > 0 ? bias.data() : nullptr;
+  ep.act = act;
+  ep.leaky_slope = leaky_slope;
+  const float* px = x.data();
+  float* po = out.data();
+  const bool direct = Is1x1Direct(kh, kw, spec);
+  if (direct) GEO_OBS_COUNT("fusion.conv_1x1", d.n);
+  const bool implicit = !direct && d.ck <= kImplicitGatherMaxK;
+  ForEachSample(d.n, [&](int64_t i) {
+    float* out_i = po + i * f * d.l;
+    const float* plane = px + i * c * h * wd;
+    GemmOptions opts;
+    opts.beta = 0.0f;
+    opts.epilogue = &ep;
+    if (direct) {
+      GemmBf16(w_bf16, plane, out_i, f, c, d.l, opts);
+    } else if (implicit) {
+      const ConvImageView<float> view =
+          MakeConvView(plane, c, h, wd, kh, kw, spec, d.oh, d.ow);
+      GemmConvBf16(w_bf16, view, out_i, f, opts);
+    } else {
+      float* cols = ThreadLocalWorkspace(kWorkspaceIm2Col, d.ck * d.l);
+      Im2ColInto(x, i, kh, kw, spec, cols);
+      GemmBf16(w_bf16, cols, out_i, f, d.ck, d.l, opts);
+    }
+  });
+  return out;
+}
+
+Tensor Conv2dForwardFusedInt8(const Tensor& x, const int8_t* w_q,
+                              const float* w_scales, int64_t f, int64_t c,
+                              int64_t kh, int64_t kw, float act_scale,
+                              const Tensor& bias, const ConvSpec& spec,
+                              EpilogueAct act, float leaky_slope) {
+  const LpConvDims d = LpConvCheck(x, f, c, kh, kw, bias, spec);
+  const int64_t h = x.size(2);
+  const int64_t wd = x.size(3);
+  GEO_OBS_COUNT("fusion.conv_calls", 1);
+  if (act_scale <= 0.0f) {
+    act_scale = SymmetricScale(AbsMax(x.data(), x.numel()));
+  }
+  // Quantize the input batch once, up front, on the calling thread:
+  // elementwise quantization commutes with the im2col gather (and the
+  // zero padding quantizes to 0), so this matches quantizing the patch
+  // matrix bitwise while touching each input element once instead of
+  // once per kernel-tap replica. Workers read the buffer through the
+  // captured pointer; their own workspace slots are untouched.
+  int8_t* xq = reinterpret_cast<int8_t*>(
+      ThreadLocalWorkspace(kWorkspaceQuant, (x.numel() + 3) / 4));
+  QuantizeInt8(x.data(), x.numel(), act_scale, xq);
+  Tensor out = Tensor::Uninitialized({d.n, f, d.oh, d.ow});
+  GemmEpilogue ep;
+  ep.row_bias = bias.numel() > 0 ? bias.data() : nullptr;
+  ep.act = act;
+  ep.leaky_slope = leaky_slope;
+  float* po = out.data();
+  const float act_scale_val = act_scale;
+  const bool direct = Is1x1Direct(kh, kw, spec);
+  if (direct) GEO_OBS_COUNT("fusion.conv_1x1", d.n);
+  ForEachSample(d.n, [&](int64_t i) {
+    float* out_i = po + i * f * d.l;
+    const int8_t* plane = xq + i * c * h * wd;
+    Int8GemmOptions opts;
+    opts.a_scales = w_scales;
+    opts.a_scales_len = f;
+    opts.b_scales = &act_scale_val;
+    opts.b_scales_len = 1;
+    opts.epilogue = &ep;
+    if (direct) {
+      GemmInt8(w_q, plane, out_i, f, c, d.l, opts);
+    } else {
+      const ConvImageView<int8_t> view =
+          MakeConvView(plane, c, h, wd, kh, kw, spec, d.oh, d.ow);
+      GemmConvInt8(w_q, view, out_i, f, opts);
+    }
   });
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include <utility>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace geotorch::tensor {
@@ -54,6 +55,36 @@ Tensor Conv2dForwardInt8(const Tensor& x, const int8_t* w_q,
                          const float* w_scales, int64_t f, int64_t c,
                          int64_t kh, int64_t kw, float act_scale,
                          const Tensor& bias, const ConvSpec& spec);
+
+/// Fused eval-path convolutions (DESIGN.md §13): bias and activation run
+/// as a GEMM epilogue in the kernel write-back, and the patch matrix is
+/// never materialized — panels are gathered straight from the input
+/// image (implicit im2col), with 1×1 stride-1 unpadded convs bypassing
+/// the gather entirely (the (C, H·W) input plane IS the patch matrix).
+/// `act` uses the exact elementwise formulas of tensor/ops.cc, so for
+/// f32 and int8 the output is bitwise identical to Conv2dForward*
+/// followed by the separate bias/activation passes. Eval-only: no
+/// backward exists for these entry points.
+Tensor Conv2dForwardFused(const Tensor& x, const Tensor& w, const Tensor& bias,
+                          const ConvSpec& spec, EpilogueAct act,
+                          float leaky_slope);
+
+/// bf16 weights, pre-converted row-major (F, C*KH*KW).
+Tensor Conv2dForwardFusedBf16(const Tensor& x, const uint16_t* w_bf16,
+                              int64_t f, int64_t c, int64_t kh, int64_t kw,
+                              const Tensor& bias, const ConvSpec& spec,
+                              EpilogueAct act, float leaky_slope);
+
+/// int8 weights as in Conv2dForwardInt8. The whole input batch is
+/// quantized once up front (elementwise quantization commutes with the
+/// im2col gather, and zero-padding quantizes to 0, so this matches the
+/// unfused quantize-the-patch-matrix path bitwise) instead of
+/// re-quantizing every patch-matrix copy of each pixel per sample.
+Tensor Conv2dForwardFusedInt8(const Tensor& x, const int8_t* w_q,
+                              const float* w_scales, int64_t f, int64_t c,
+                              int64_t kh, int64_t kw, float act_scale,
+                              const Tensor& bias, const ConvSpec& spec,
+                              EpilogueAct act, float leaky_slope);
 
 struct Conv2dGrads {
   Tensor grad_x;

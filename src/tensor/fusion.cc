@@ -1,0 +1,32 @@
+#include "tensor/fusion.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace geotorch::tensor {
+namespace {
+
+bool FusionEnabledFromEnv() {
+  const char* env = std::getenv("GEOTORCH_FUSION");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& FusionFlag() {
+  static std::atomic<bool> flag{FusionEnabledFromEnv()};
+  return flag;
+}
+
+}  // namespace
+
+bool FusionEnabled() {
+  return FusionFlag().load(std::memory_order_relaxed);
+}
+
+void SetFusionEnabled(bool on) {
+  FusionFlag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace geotorch::tensor

@@ -1,0 +1,23 @@
+#ifndef GEOTORCH_TENSOR_FUSION_H_
+#define GEOTORCH_TENSOR_FUSION_H_
+
+namespace geotorch::tensor {
+
+/// Runtime kill switch for the fused eval path: GEMM bias+activation
+/// epilogues, BatchNorm folding into Conv2d/Linear weights, and the
+/// im2col-free conv lowering. Mirrors GEOTORCH_POOL /
+/// GEOTORCH_SPATIAL_PARALLEL: set GEOTORCH_FUSION to "0", "off", or
+/// "false" in the environment to restore the pre-fusion eval path
+/// (bitwise-identical outputs for every unfolded layer; see
+/// DESIGN.md §13). Training and calibration never use fusion, so the
+/// switch only affects inference.
+bool FusionEnabled();
+
+/// Overrides the compiled-in default (on unless the environment says
+/// otherwise). Used by tests and benches; not thread-safe with respect
+/// to concurrently running forwards.
+void SetFusionEnabled(bool on);
+
+}  // namespace geotorch::tensor
+
+#endif  // GEOTORCH_TENSOR_FUSION_H_

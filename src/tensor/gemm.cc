@@ -38,12 +38,15 @@ using namespace gemm_internal;
 
 inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 
-// Logical-element access over the (possibly transposed) operands.
+// Logical-element access over the (possibly transposed) operands. When
+// `conv_b` is set, B is an implicit im2col view and the packing stage
+// gathers panel rows straight from the image (never transposed).
 struct OperandView {
   const float* a;
   const float* b;
   int64_t m, k, n;
   bool ta, tb;
+  const ConvImageView<float>* conv_b = nullptr;
   float A(int64_t i, int64_t p) const { return ta ? a[p * m + i] : a[i * k + p]; }
   float B(int64_t p, int64_t j) const { return tb ? b[j * k + p] : b[p * n + j]; }
 };
@@ -71,6 +74,24 @@ void PackABlock(const OperandView& v, int64_t ic, int64_t mc, int64_t pc,
 // column inner); columns past `nc` pad with zeros.
 void PackBBlock(const OperandView& v, int64_t pc, int64_t kc, int64_t jc,
                 int64_t nc, float* __restrict bp) {
+  if (v.conv_b != nullptr) {
+    // Gather each virtual row once at full block width into an L1 stage
+    // (one GatherRow per K row amortizes its row-walk over all panels),
+    // then deal the stage out to the kNR-column micro-panels.
+    alignas(64) float stage[kNC];
+    for (int64_t p = 0; p < kc; ++p) {
+      v.conv_b->GatherRow(pc + p, jc, nc, stage);
+      for (int64_t pj = 0; pj * kNR < nc; ++pj) {
+        const int64_t cols = std::min(kNR, nc - pj * kNR);
+        float* __restrict dst = bp + pj * kc * kNR + p * kNR;
+        const float* __restrict src = stage + pj * kNR;
+        int64_t c = 0;
+        for (; c < cols; ++c) dst[c] = src[c];
+        for (; c < kNR; ++c) dst[c] = 0.0f;
+      }
+    }
+    return;
+  }
   for (int64_t pj = 0; pj * kNR < nc; ++pj) {
     float* panel = bp + pj * kc * kNR;
     const int64_t cols = std::min(kNR, nc - pj * kNR);
@@ -119,10 +140,14 @@ inline VecLane LoadLane(const float* p) {
 // trip counts, so it lives entirely in SIMD registers across the k
 // loop; each k step reads one contiguous MR slice of A and NR slice of
 // B. `beta_eff` is the caller's beta on the first K block, 1 afterwards;
-// only the valid rows×cols corner is written for edge tiles.
+// only the valid rows×cols corner is written for edge tiles. `ep` is
+// non-null only on the final K block: the fused epilogue runs over the
+// just-written C rows while they are still in L1 (row0/col0 locate the
+// tile inside C for the bias lookups).
 void MicroKernel(int64_t kc, const float* __restrict ap,
                  const float* __restrict bp, float* __restrict c, int64_t ldc,
-                 int64_t rows, int64_t cols, float beta_eff) {
+                 int64_t rows, int64_t cols, float beta_eff,
+                 const GemmEpilogue* ep, int64_t row0, int64_t col0) {
   VecLane acc[kMR][kLanesPerRow] = {};
   for (int64_t p = 0; p < kc; ++p) {
     const float* __restrict a_slice = ap + p * kMR;
@@ -155,6 +180,12 @@ void MicroKernel(int64_t kc, const float* __restrict ap,
         }
       }
     }
+    if (ep != nullptr) {
+      for (int64_t r = 0; r < rows; ++r)
+        ApplyEpilogueRow(c + r * ldc, cols, ep->row_bias, row0 + r,
+                         ep->col_bias != nullptr ? ep->col_bias + col0 : nullptr,
+                         *ep);
+    }
     return;
   }
   // Edge tile: spill the accumulator and merge the valid corner.
@@ -173,19 +204,25 @@ void MicroKernel(int64_t kc, const float* __restrict ap,
         c_row[j] = beta_eff * c_row[j] + acc_row[j];
     }
   }
+  if (ep != nullptr) {
+    for (int64_t r = 0; r < rows; ++r)
+      ApplyEpilogueRow(c + r * ldc, cols, ep->row_bias, row0 + r,
+                       ep->col_bias != nullptr ? ep->col_bias + col0 : nullptr,
+                       *ep);
+  }
 }
 
 // All register tiles of one (mc × nc) macro-block against packed panels.
 void MacroKernel(const float* ap, const float* bp, float* c, int64_t ldc,
                  int64_t ic, int64_t mc, int64_t jc, int64_t nc, int64_t kc,
-                 float beta_eff) {
+                 float beta_eff, const GemmEpilogue* ep) {
   for (int64_t pj = 0; pj * kNR < nc; ++pj) {
     const int64_t cols = std::min(kNR, nc - pj * kNR);
     for (int64_t pi = 0; pi * kMR < mc; ++pi) {
       const int64_t rows = std::min(kMR, mc - pi * kMR);
       MicroKernel(kc, ap + pi * kc * kMR, bp + pj * kc * kNR,
                   c + (ic + pi * kMR) * ldc + jc + pj * kNR, ldc, rows, cols,
-                  beta_eff);
+                  beta_eff, ep, ic + pi * kMR, jc + pj * kNR);
     }
   }
 }
@@ -194,11 +231,14 @@ void MacroKernel(const float* ap, const float* bp, float* c, int64_t ldc,
 // invocation packs into the calling thread's workspace slots, so
 // parallel tasks over disjoint regions never share scratch.
 void GemmRegion(const OperandView& v, float* c, float beta, int64_t mb,
-                int64_t me, int64_t nb, int64_t ne) {
+                int64_t me, int64_t nb, int64_t ne,
+                const GemmEpilogue* epilogue) {
   for (int64_t jc = nb; jc < ne; jc += kNC) {
     const int64_t nc = std::min(kNC, ne - jc);
     for (int64_t pc = 0; pc < v.k; pc += kKC) {
       const int64_t kc = std::min(kKC, v.k - pc);
+      // The epilogue fires exactly once per element: on the last K block.
+      const GemmEpilogue* ep = (pc + kc == v.k) ? epilogue : nullptr;
       const int64_t b_floats = CeilDiv(nc, kNR) * kNR * kc;
       float* bp = ThreadLocalWorkspace(kWorkspaceGemmPackB, b_floats);
       PackBBlock(v, pc, kc, jc, nc, bp);
@@ -212,7 +252,131 @@ void GemmRegion(const OperandView& v, float* c, float beta, int64_t mb,
         PackABlock(v, ic, mc, pc, kc, ap);
         GEO_OBS_COUNT("gemm.pack_a_bytes",
                       a_floats * static_cast<int64_t>(sizeof(float)));
-        MacroKernel(ap, bp, c, v.n, ic, mc, jc, nc, kc, beta_eff);
+        MacroKernel(ap, bp, c, v.n, ic, mc, jc, nc, kc, beta_eff, ep);
+      }
+    }
+  }
+}
+
+// Direct (im2col-free) stride-1 convolution. Instead of gathering the
+// patch matrix and packing it into B panels, the register tile walks the
+// image itself: for a tile of kMR output channels and kNR output columns
+// of one output row, each kernel tap contributes one unaligned kNR-wide
+// load from a zero-padded copy of the input plane plus one broadcast-FMA
+// per channel. The staged copy means out-of-image taps participate as
+// fma(w, 0, acc) — exactly the term the im2col zeros contribute — so no
+// tap is skipped or reordered.
+//
+// Bitwise contract with the blocked path: a C element's value depends
+// only on its K-order accumulation chain, never on how rows/columns are
+// tiled. This kernel keeps (a) the tap order p = (ci, ki, kj), the
+// im2col row order, (b) the accumulator split at kKC boundaries with the
+// same first-block-writes / later-blocks-add merge, and (c) the same
+// `acc += broadcast(a) * lane(b)` VecLane idiom in the same translation
+// unit, so it contracts to the same FMA sequence the micro-kernel emits.
+// determinism_test pins fused == unfused bitwise on top of this.
+void ConvDirectKernel(const float* a, const ConvImageView<float>& b, float* c,
+                      int64_t m, const GemmOptions& opts) {
+  const int64_t k = b.K();
+  const int64_t n = b.N();
+  const int64_t ph = b.h + 2 * b.pad;
+  // Row slack so the widest tile's lane loads stay inside the buffer:
+  // max column read is j0 + (kw-1) + kNR-1 < (w + 2*pad) + kNR.
+  const int64_t ws = b.w + 2 * b.pad + kNR;
+  float* padded = ThreadLocalWorkspace(kWorkspaceIm2Col, b.c * ph * ws);
+  std::fill(padded, padded + b.c * ph * ws, 0.0f);
+  for (int64_t ci = 0; ci < b.c; ++ci) {
+    for (int64_t ii = 0; ii < b.h; ++ii) {
+      __builtin_memcpy(padded + (ci * ph + ii + b.pad) * ws + b.pad,
+                       b.x + (ci * b.h + ii) * b.w,
+                       static_cast<size_t>(b.w) * sizeof(float));
+    }
+  }
+  const OperandView av{a, nullptr, m, k, n, opts.trans_a, false};
+  const int64_t mtiles = CeilDiv(m, kMR);
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t kc = std::min(kKC, k - pc);
+    float* ap = ThreadLocalWorkspace(kWorkspaceGemmPackA, mtiles * kMR * kc);
+    PackABlock(av, 0, m, pc, kc, ap);
+    // Per-tap base offset into the padded image; with stride 1 the
+    // output-row origin then advances by one padded row per oi.
+    int32_t off[kKC];
+    for (int64_t idx = 0; idx < kc; ++idx) {
+      const int64_t p = pc + idx;
+      const int64_t ci = p / (b.kh * b.kw);
+      const int64_t rem = p - ci * b.kh * b.kw;
+      off[idx] = static_cast<int32_t>(
+          (ci * ph + rem / b.kw) * ws + rem % b.kw);
+    }
+    const float beta_eff = (pc == 0) ? opts.beta : 1.0f;
+    const GemmEpilogue* ep = (pc + kc == k) ? opts.epilogue : nullptr;
+    for (int64_t pi = 0; pi < mtiles; ++pi) {
+      const int64_t rows = std::min(kMR, m - pi * kMR);
+      const float* panel = ap + pi * kc * kMR;
+      for (int64_t oi = 0; oi < b.oh; ++oi) {
+        const float* in_origin = padded + oi * ws;
+        for (int64_t j0 = 0; j0 < b.ow; j0 += kNR) {
+          const int64_t cols = std::min(kNR, b.ow - j0);
+          VecLane acc[kMR][kLanesPerRow] = {};
+          for (int64_t idx = 0; idx < kc; ++idx) {
+            const float* __restrict bsrc = in_origin + off[idx] + j0;
+            const float* __restrict a_slice = panel + idx * kMR;
+            VecLane b_lane[kLanesPerRow];
+            for (int64_t l = 0; l < kLanesPerRow; ++l)
+              b_lane[l] = LoadLane(bsrc + l * kLane);
+            for (int64_t r = 0; r < kMR; ++r) {
+              const VecLane avv = a_slice[r] - VecLane{};  // broadcast
+              for (int64_t l = 0; l < kLanesPerRow; ++l)
+                acc[r][l] += avv * b_lane[l];
+            }
+          }
+          float* ctile = c + pi * kMR * n + oi * b.ow + j0;
+          if (rows == kMR && cols == kNR) {
+            for (int64_t r = 0; r < kMR; ++r) {
+              float* __restrict c_row = ctile + r * n;
+              if (beta_eff == 0.0f) {
+                for (int64_t l = 0; l < kLanesPerRow; ++l)
+                  __builtin_memcpy(c_row + l * kLane, &acc[r][l],
+                                   sizeof(VecLane));
+              } else if (beta_eff == 1.0f) {
+                for (int64_t l = 0; l < kLanesPerRow; ++l) {
+                  const VecLane sum = LoadLane(c_row + l * kLane) + acc[r][l];
+                  __builtin_memcpy(c_row + l * kLane, &sum, sizeof(VecLane));
+                }
+              } else {
+                for (int64_t l = 0; l < kLanesPerRow; ++l) {
+                  const VecLane sum =
+                      beta_eff * LoadLane(c_row + l * kLane) + acc[r][l];
+                  __builtin_memcpy(c_row + l * kLane, &sum, sizeof(VecLane));
+                }
+              }
+            }
+          } else {
+            alignas(64) float spill[kMR * kNR];
+            for (int64_t r = 0; r < kMR; ++r)
+              __builtin_memcpy(spill + r * kNR, acc[r], sizeof(acc[r]));
+            for (int64_t r = 0; r < rows; ++r) {
+              const float* __restrict acc_row = spill + r * kNR;
+              float* __restrict c_row = ctile + r * n;
+              if (beta_eff == 0.0f) {
+                for (int64_t j = 0; j < cols; ++j) c_row[j] = acc_row[j];
+              } else if (beta_eff == 1.0f) {
+                for (int64_t j = 0; j < cols; ++j) c_row[j] += acc_row[j];
+              } else {
+                for (int64_t j = 0; j < cols; ++j)
+                  c_row[j] = beta_eff * c_row[j] + acc_row[j];
+              }
+            }
+          }
+          if (ep != nullptr) {
+            for (int64_t r = 0; r < rows; ++r)
+              ApplyEpilogueRow(
+                  ctile + r * n, cols, ep->row_bias, pi * kMR + r,
+                  ep->col_bias != nullptr ? ep->col_bias + oi * b.ow + j0
+                                          : nullptr,
+                  *ep);
+          }
+        }
       }
     }
   }
@@ -227,6 +391,29 @@ void ScaleC(float* c, int64_t count, float beta) {
   }
 }
 
+// Shared blocked dispatch for Gemm and GemmConv once the view is built
+// and the reference fallback has been ruled out.
+void GemmBlocked(const OperandView& v, float* c, const GemmOptions& opts,
+                 int64_t work) {
+  const int64_t mt = CeilDiv(v.m, kMC);
+  const int64_t nt = CeilDiv(v.n, kNC);
+  const bool parallel = opts.allow_parallel &&
+                        GetDefaultDevice() == Device::kParallel &&
+                        work >= kParallelMinWork && mt * nt > 1;
+  if (!parallel) {
+    GEO_OBS_COUNT("gemm.path.blocked_serial", 1);
+    GemmRegion(v, c, opts.beta, 0, v.m, 0, v.n, opts.epilogue);
+    return;
+  }
+  GEO_OBS_COUNT("gemm.path.blocked_parallel", 1);
+  ThreadPool::Global().ParallelFor(mt * nt, [&](int64_t t) {
+    const int64_t ti = t / nt;
+    const int64_t tj = t % nt;
+    GemmRegion(v, c, opts.beta, ti * kMC, std::min(v.m, (ti + 1) * kMC),
+               tj * kNC, std::min(v.n, (tj + 1) * kNC), opts.epilogue);
+  });
+}
+
 }  // namespace
 
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
@@ -235,6 +422,11 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
   GEO_OBS_COUNT("gemm.calls", 1);
   if (k <= 0) {
     ScaleC(c, m * n, opts.beta);
+    if (opts.epilogue != nullptr) {
+      for (int64_t i = 0; i < m; ++i)
+        ApplyEpilogueRow(c + i * n, n, opts.epilogue->row_bias, i,
+                         opts.epilogue->col_bias, *opts.epilogue);
+    }
     return;
   }
   const int64_t work = m * n * k;
@@ -245,23 +437,35 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
     return;
   }
   const OperandView v{a, b, m, k, n, opts.trans_a, opts.trans_b};
-  const int64_t mt = CeilDiv(m, kMC);
-  const int64_t nt = CeilDiv(n, kNC);
-  const bool parallel = opts.allow_parallel &&
-                        GetDefaultDevice() == Device::kParallel &&
-                        work >= kParallelMinWork && mt * nt > 1;
-  if (!parallel) {
-    GEO_OBS_COUNT("gemm.path.blocked_serial", 1);
-    GemmRegion(v, c, opts.beta, 0, m, 0, n);
+  GemmBlocked(v, c, opts, work);
+}
+
+void GemmConv(const float* a, const ConvImageView<float>& b, float* c,
+              int64_t m, const GemmOptions& opts) {
+  const int64_t k = b.K();
+  const int64_t n = b.N();
+  if (m <= 0 || n <= 0) return;
+  GEO_OBS_COUNT("gemm.calls", 1);
+  GEO_OBS_COUNT("fusion.conv_implicit", 1);
+  const int64_t work = m * n * k;
+  GEO_OBS_COUNT("gemm.flops", 2 * work);
+  if (work < kBlockedMinWork) {
+    // Mirror the unfused small-problem path bitwise: materialize the
+    // patch matrix and run the reference loop (which applies the
+    // epilogue as separate post-passes, like the unfused layer code).
+    GEO_OBS_COUNT("gemm.path.ref", 1);
+    float* cols = ThreadLocalWorkspace(kWorkspaceIm2Col, k * n);
+    for (int64_t p = 0; p < k; ++p) b.GatherRow(p, 0, n, cols + p * n);
+    ReferenceGemm(a, cols, c, m, k, n, opts);
     return;
   }
-  GEO_OBS_COUNT("gemm.path.blocked_parallel", 1);
-  ThreadPool::Global().ParallelFor(mt * nt, [&](int64_t t) {
-    const int64_t ti = t / nt;
-    const int64_t tj = t % nt;
-    GemmRegion(v, c, opts.beta, ti * kMC, std::min(m, (ti + 1) * kMC),
-               tj * kNC, std::min(n, (tj + 1) * kNC));
-  });
+  if (b.stride == 1) {
+    GEO_OBS_COUNT("gemm.path.conv_direct", 1);
+    ConvDirectKernel(a, b, c, m, opts);
+    return;
+  }
+  const OperandView v{a, nullptr, m, k, n, opts.trans_a, false, &b};
+  GemmBlocked(v, c, opts, work);
 }
 
 }  // namespace geotorch::tensor

@@ -1,9 +1,40 @@
 #ifndef GEOTORCH_TENSOR_GEMM_H_
 #define GEOTORCH_TENSOR_GEMM_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 namespace geotorch::tensor {
+
+/// Activation applied by a fused GEMM epilogue. Formulas are the exact
+/// scalar expressions the unfused elementwise ops use (tensor/ops.cc),
+/// so fusing them changes no per-element result.
+enum class EpilogueAct : uint8_t {
+  kNone = 0,
+  kRelu,       // x > 0 ? x : 0
+  kLeakyRelu,  // x > 0 ? x : slope * x
+  kSigmoid,    // 1 / (1 + exp(-x))
+};
+
+/// Fused GEMM epilogue: bias add and activation applied inside the
+/// kernel write-back while the C tile is still hot, instead of as
+/// separate full-tensor passes after the GEMM returns. Per-element the
+/// op order is identical to the unfused sequence (accumulate → +bias →
+/// activation; for int8, dequantize → +bias → activation), and each
+/// step runs as its own pass over the register tile, so fused output is
+/// bitwise identical to unfused for f32 and int8. The epilogue fires
+/// exactly once per element, on the final K block.
+struct GemmEpilogue {
+  /// Per-row bias: c[i][j] += row_bias[i]. Conv uses this (one bias per
+  /// output channel; channels are rows of the (F, H·W) output).
+  const float* row_bias = nullptr;
+  /// Per-column bias: c[i][j] += col_bias[j]. Linear uses this (one
+  /// bias per output feature; features are columns of (batch, out)).
+  const float* col_bias = nullptr;
+  EpilogueAct act = EpilogueAct::kNone;
+  float leaky_slope = 0.01f;
+};
 
 /// Options for Gemm(). Operands are dense row-major float32; the
 /// `trans_*` flags select a logically transposed operand without
@@ -23,6 +54,10 @@ struct GemmOptions {
   /// loops) degrade to serial automatically, so leaving this on is safe
   /// everywhere; set false only to force serial execution.
   bool allow_parallel = true;
+  /// Optional fused epilogue (bias + activation in the write-back).
+  /// Must stay valid for the duration of the call; null means the
+  /// plain write-back, byte-identical to the pre-fusion kernel.
+  const GemmEpilogue* epilogue = nullptr;
 };
 
 /// Blocked, packed SGEMM: C (m×n) = A_op (m×k) · B_op (k×n) + beta·C.
@@ -89,6 +124,11 @@ struct Int8GemmOptions {
   /// C := dequant(A·B) + beta·C (beta in {0, 1} fast paths as in Gemm).
   float beta = 0.0f;
   bool allow_parallel = true;
+  /// Optional fused epilogue, applied after dequantization (the int8
+  /// "dequant scale" is already part of the kernel write-back): c =
+  /// act(sa·sb·acc + bias). Same validity/bitwise contract as
+  /// GemmOptions::epilogue.
+  const GemmEpilogue* epilogue = nullptr;
 };
 
 /// int8 symmetric-quantized GEMM with i32 accumulation (gemm_int8.cc):
@@ -114,6 +154,86 @@ int64_t Int8PackedBSize(int64_t k, int64_t n);
 void PackInt8B(const int8_t* b, int64_t k, int64_t n, int8_t* packed);
 void GemmInt8(const int8_t* a, Int8PackedB b, float* c, int64_t m, int64_t k,
               int64_t n, const Int8GemmOptions& opts);
+
+/// Implicit im2col view of one (C, H, W) image plane: the B operand of
+/// a convolution GEMM without materializing the (C·KH·KW, OH·OW) patch
+/// matrix. The packing stage gathers panel rows straight from the image
+/// — row p of the virtual matrix is kernel tap (ci, ki, kj) = unflatten
+/// of p, column j is output pixel (oi, oj) = unflatten of j — producing
+/// byte-identical panels to packing a materialized im2col matrix, while
+/// skipping the full extra write+read pass over it.
+template <typename T>
+struct ConvImageView {
+  const T* x = nullptr;  // one sample, (c, h, w) row-major
+  int64_t c = 0, h = 0, w = 0;
+  int64_t kh = 0, kw = 0;
+  int64_t stride = 1, pad = 0;
+  int64_t oh = 0, ow = 0;
+
+  int64_t K() const { return c * kh * kw; }
+  int64_t N() const { return oh * ow; }
+
+  /// Gathers columns [j0, j0 + len) of virtual row p into dst.
+  /// Out-of-image taps read as zero, matching Im2ColInto's memset.
+  /// Stride-1 spans copy their interior with memcpy (only the padded
+  /// edges need element fills), so packing costs roughly what the
+  /// dense pack pays — without ever writing the patch matrix.
+  void GatherRow(int64_t p, int64_t j0, int64_t len, T* dst) const {
+    const int64_t ci = p / (kh * kw);
+    const int64_t rem = p - ci * kh * kw;
+    const int64_t ki = rem / kw;
+    const int64_t kj = rem - ki * kw;
+    int64_t oi = j0 / ow;  // the only division; spans then walk rows
+    int64_t oj0 = j0 - oi * ow;
+    int64_t remaining = len;
+    T* out = dst;
+    const T* src_plane = x + ci * h * w;
+    while (remaining > 0) {
+      const int64_t span = std::min(remaining, ow - oj0);
+      const int64_t ii = oi * stride + ki - pad;
+      if (ii < 0 || ii >= h) {
+        for (int64_t s = 0; s < span; ++s) out[s] = T{0};
+      } else {
+        const T* src_row = src_plane + ii * w;
+        if (stride == 1) {
+          const int64_t jj0 = oj0 + kj - pad;  // source col of out[0]
+          int64_t s = std::min(span, std::max(int64_t{0}, -jj0));
+          for (int64_t t = 0; t < s; ++t) out[t] = T{0};
+          const int64_t valid = std::min(span, w - jj0);
+          if (valid > s) {
+            __builtin_memcpy(out + s, src_row + jj0 + s,
+                             static_cast<size_t>(valid - s) * sizeof(T));
+            s = valid;
+          }
+          for (; s < span; ++s) out[s] = T{0};
+        } else {
+          for (int64_t s = 0; s < span; ++s) {
+            const int64_t jj = (oj0 + s) * stride + kj - pad;
+            out[s] = (jj >= 0 && jj < w) ? src_row[jj] : T{0};
+          }
+        }
+      }
+      out += span;
+      remaining -= span;
+      oj0 = 0;
+      ++oi;
+    }
+  }
+};
+
+/// Convolution GEMMs over an implicit im2col B operand: C (m × b.N()) =
+/// A (m × b.K()) · im2col(b), same blocking, determinism, and epilogue
+/// semantics as the dense overloads (the small-problem reference
+/// fallback materializes the patch matrix into the im2col workspace, so
+/// outputs are bitwise identical to the explicit-im2col path at every
+/// size). A is the weight matrix: f32 row-major, bf16 row-major, or
+/// row-quantized int8 respectively.
+void GemmConv(const float* a, const ConvImageView<float>& b, float* c,
+              int64_t m, const GemmOptions& opts = {});
+void GemmConvBf16(const uint16_t* a_bf16, const ConvImageView<float>& b,
+                  float* c, int64_t m, const GemmOptions& opts = {});
+void GemmConvInt8(const int8_t* a, const ConvImageView<int8_t>& b, float* c,
+                  int64_t m, const Int8GemmOptions& opts);
 
 namespace gemm_internal {
 
@@ -175,6 +295,38 @@ inline int64_t LpPackedBOffset(int64_t k, int64_t n, int64_t jc, int64_t pc,
     k_before += 2 * LpCeilDiv(kc, 2);
   }
   return jc * LpPairedK(k, kc_block) + width * k_before;
+}
+
+// Applies a fused epilogue to one written-back C row segment. Each step
+// is its own pass over the segment — the same pass structure as the
+// unfused full-tensor ops — so per-element results match the unfused
+// path bitwise (no cross-step FMA contraction is possible).
+inline void ApplyEpilogueRow(float* row, int64_t cols, const float* row_bias,
+                             int64_t r, const float* col_bias,
+                             const GemmEpilogue& ep) {
+  if (row_bias != nullptr) {
+    const float b = row_bias[r];
+    for (int64_t j = 0; j < cols; ++j) row[j] += b;
+  }
+  if (col_bias != nullptr) {
+    for (int64_t j = 0; j < cols; ++j) row[j] += col_bias[j];
+  }
+  switch (ep.act) {
+    case EpilogueAct::kNone:
+      break;
+    case EpilogueAct::kRelu:
+      for (int64_t j = 0; j < cols; ++j)
+        row[j] = row[j] > 0.0f ? row[j] : 0.0f;
+      break;
+    case EpilogueAct::kLeakyRelu:
+      for (int64_t j = 0; j < cols; ++j)
+        row[j] = row[j] > 0.0f ? row[j] : ep.leaky_slope * row[j];
+      break;
+    case EpilogueAct::kSigmoid:
+      for (int64_t j = 0; j < cols; ++j)
+        row[j] = 1.0f / (1.0f + std::exp(-row[j]));
+      break;
+  }
 }
 
 }  // namespace gemm_internal

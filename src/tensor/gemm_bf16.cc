@@ -54,6 +54,8 @@ struct LpView {
   const uint16_t* packed_b;  // pre-packed panels (PackBf16B layout)
   int64_t m, k, n;
   bool ta, tb;
+  // Implicit im2col B (f32 image, rounded to bf16 while packing).
+  const ConvImageView<float>* conv_b = nullptr;
   uint16_t A(int64_t i, int64_t p) const {
     if (a_bf16 != nullptr) return a_bf16[i * k + p];
     return Bf16FromF32(ta ? a[p * m + i] : a[i * k + p]);
@@ -93,6 +95,33 @@ void PackABf16(const LpView& v, int64_t ic, int64_t mc, int64_t pc, int64_t kc,
 void PackBBf16(const LpView& v, int64_t pc, int64_t kc, int64_t jc, int64_t nc,
                uint16_t* __restrict bp) {
   const int64_t kc2 = CeilDiv(kc, 2);
+  if (v.conv_b != nullptr) {
+    // Implicit im2col: gather each virtual row once at full block width
+    // into an L1 stage, then deal it into the pair-interleaved panels.
+    alignas(64) float stage[kNC];
+    for (int64_t p = 0; p < kc; ++p) {
+      v.conv_b->GatherRow(pc + p, jc, nc, stage);
+      const int64_t p2 = p / 2;
+      const int64_t t = p % 2;
+      for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
+        const int64_t cols = std::min(kNRLp, nc - pj * kNRLp);
+        uint16_t* __restrict dst = bp + (pj * kc2 + p2) * kNRLp * 2;
+        const float* __restrict src = stage + pj * kNRLp;
+        int64_t c = 0;
+        for (; c < cols; ++c) dst[c * 2 + t] = Bf16FromF32(src[c]);
+        for (; c < kNRLp; ++c) dst[c * 2 + t] = 0;
+      }
+    }
+    if (kc % 2 == 1) {
+      // Odd K tail: zero the second slot of the last pair.
+      const int64_t p2 = kc / 2;
+      for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
+        uint16_t* __restrict dst = bp + (pj * kc2 + p2) * kNRLp * 2;
+        for (int64_t c = 0; c < kNRLp; ++c) dst[c * 2 + 1] = 0;
+      }
+    }
+    return;
+  }
   for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
     uint16_t* panel = bp + pj * kc2 * kNRLp * 2;
     const int64_t cols = std::min(kNRLp, nc - pj * kNRLp);
@@ -119,7 +148,8 @@ void PackBBf16(const LpView& v, int64_t pc, int64_t kc, int64_t jc, int64_t nc,
 // vdpbf16ps per (row, half-tile) per K pair.
 void MicroKernelBf16(int64_t kc2, const uint16_t* __restrict ap,
                      const uint16_t* __restrict bp, float* __restrict c,
-                     int64_t ldc, int64_t rows, int64_t cols, float beta_eff) {
+                     int64_t ldc, int64_t rows, int64_t cols, float beta_eff,
+                     const GemmEpilogue* ep, int64_t row0, int64_t col0) {
   __m512 acc[kMR][2];
   for (int64_t r = 0; r < kMR; ++r)
     for (int64_t l = 0; l < 2; ++l) acc[r][l] = _mm512_setzero_ps();
@@ -150,6 +180,12 @@ void MicroKernelBf16(int64_t kc2, const uint16_t* __restrict ap,
         _mm512_storeu_ps(c_row + l * 16, sum);
       }
     }
+    if (ep != nullptr) {
+      for (int64_t r = 0; r < rows; ++r)
+        ApplyEpilogueRow(c + r * ldc, cols, ep->row_bias, row0 + r,
+                         ep->col_bias != nullptr ? ep->col_bias + col0 : nullptr,
+                         *ep);
+    }
     return;
   }
   alignas(64) float spill[kMR * kNRLp];
@@ -168,6 +204,12 @@ void MicroKernelBf16(int64_t kc2, const uint16_t* __restrict ap,
       for (int64_t j = 0; j < cols; ++j)
         c_row[j] = beta_eff * c_row[j] + acc_row[j];
     }
+  }
+  if (ep != nullptr) {
+    for (int64_t r = 0; r < rows; ++r)
+      ApplyEpilogueRow(c + r * ldc, cols, ep->row_bias, row0 + r,
+                       ep->col_bias != nullptr ? ep->col_bias + col0 : nullptr,
+                       *ep);
   }
 }
 
@@ -195,7 +237,8 @@ inline VecFB LoadLaneB(const float* p) {
 
 void MicroKernelBf16(int64_t kc2, const uint16_t* __restrict ap,
                      const uint16_t* __restrict bp, float* __restrict c,
-                     int64_t ldc, int64_t rows, int64_t cols, float beta_eff) {
+                     int64_t ldc, int64_t rows, int64_t cols, float beta_eff,
+                     const GemmEpilogue* ep, int64_t row0, int64_t col0) {
   VecFB acc[kMR][kLanesPerRowB] = {};
   alignas(64) float bw0[kNRLp], bw1[kNRLp];
   for (int64_t p2 = 0; p2 < kc2; ++p2) {
@@ -228,13 +271,20 @@ void MicroKernelBf16(int64_t kc2, const uint16_t* __restrict ap,
         c_row[j] = beta_eff * c_row[j] + acc_row[j];
     }
   }
+  if (ep != nullptr) {
+    for (int64_t r = 0; r < rows; ++r)
+      ApplyEpilogueRow(c + r * ldc, cols, ep->row_bias, row0 + r,
+                       ep->col_bias != nullptr ? ep->col_bias + col0 : nullptr,
+                       *ep);
+  }
 }
 
 #endif  // GEO_GEMM_BF16_DPBF16
 
 void MacroKernelBf16(const uint16_t* ap, const uint16_t* bp, float* c,
                      int64_t ldc, int64_t ic, int64_t mc, int64_t jc,
-                     int64_t nc, int64_t kc, float beta_eff) {
+                     int64_t nc, int64_t kc, float beta_eff,
+                     const GemmEpilogue* ep) {
   const int64_t kc2 = CeilDiv(kc, 2);
   for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
     const int64_t cols = std::min(kNRLp, nc - pj * kNRLp);
@@ -242,18 +292,20 @@ void MacroKernelBf16(const uint16_t* ap, const uint16_t* bp, float* c,
       const int64_t rows = std::min(kMR, mc - pi * kMR);
       MicroKernelBf16(kc2, ap + pi * kc2 * kMR * 2, bp + pj * kc2 * kNRLp * 2,
                       c + (ic + pi * kMR) * ldc + jc + pj * kNRLp, ldc, rows,
-                      cols, beta_eff);
+                      cols, beta_eff, ep, ic + pi * kMR, jc + pj * kNRLp);
     }
   }
 }
 
 void GemmRegionBf16(const LpView& v, float* c, float beta, int64_t mb,
-                    int64_t me, int64_t nb, int64_t ne) {
+                    int64_t me, int64_t nb, int64_t ne,
+                    const GemmEpilogue* epilogue) {
   for (int64_t jc = nb; jc < ne; jc += kNC) {
     const int64_t nc = std::min(kNC, ne - jc);
     for (int64_t pc = 0; pc < v.k; pc += kKC) {
       const int64_t kc = std::min(kKC, v.k - pc);
       const int64_t kc2 = CeilDiv(kc, 2);
+      const GemmEpilogue* ep = (pc + kc == v.k) ? epilogue : nullptr;
       const uint16_t* bp;
       if (v.packed_b != nullptr) {
         bp = v.packed_b + LpPackedBOffset(v.k, v.n, jc, pc, kKC);
@@ -272,7 +324,7 @@ void GemmRegionBf16(const LpView& v, float* c, float beta, int64_t mb,
         uint16_t* ap = reinterpret_cast<uint16_t*>(
             ThreadLocalWorkspace(kWorkspaceGemmLpA, CeilDiv(a_u16s, 2)));
         PackABf16(v, ic, mc, pc, kc, ap);
-        MacroKernelBf16(ap, bp, c, v.n, ic, mc, jc, nc, kc, beta_eff);
+        MacroKernelBf16(ap, bp, c, v.n, ic, mc, jc, nc, kc, beta_eff, ep);
       }
     }
   }
@@ -291,6 +343,11 @@ void GemmBf16Impl(const LpView& v, float* c, const GemmOptions& opts) {
   GEO_OBS_COUNT("gemm.bf16_calls", 1);
   if (v.k <= 0) {
     ScaleCBf16(c, v.m * v.n, opts.beta);
+    if (opts.epilogue != nullptr) {
+      for (int64_t i = 0; i < v.m; ++i)
+        ApplyEpilogueRow(c + i * v.n, v.n, opts.epilogue->row_bias, i,
+                         opts.epilogue->col_bias, *opts.epilogue);
+    }
     return;
   }
   const int64_t work = v.m * v.n * v.k;
@@ -301,14 +358,14 @@ void GemmBf16Impl(const LpView& v, float* c, const GemmOptions& opts) {
                         GetDefaultDevice() == Device::kParallel &&
                         work >= kParallelMinWork && mt * nt > 1;
   if (!parallel) {
-    GemmRegionBf16(v, c, opts.beta, 0, v.m, 0, v.n);
+    GemmRegionBf16(v, c, opts.beta, 0, v.m, 0, v.n, opts.epilogue);
     return;
   }
   ThreadPool::Global().ParallelFor(mt * nt, [&](int64_t t) {
     const int64_t ti = t / nt;
     const int64_t tj = t % nt;
     GemmRegionBf16(v, c, opts.beta, ti * kMC, std::min(v.m, (ti + 1) * kMC),
-                   tj * kNC, std::min(v.n, (tj + 1) * kNC));
+                   tj * kNC, std::min(v.n, (tj + 1) * kNC), opts.epilogue);
   });
 }
 
@@ -356,6 +413,14 @@ void GemmBf16(const float* a, Bf16PackedB b, float* c, int64_t m, int64_t k,
               int64_t n, const GemmOptions& opts) {
   const LpView v{a, nullptr, nullptr, nullptr,      b.data,
                  m, k,       n,       opts.trans_a, false};
+  GemmBf16Impl(v, c, opts);
+}
+
+void GemmConvBf16(const uint16_t* a_bf16, const ConvImageView<float>& b,
+                  float* c, int64_t m, const GemmOptions& opts) {
+  GEO_OBS_COUNT("fusion.conv_implicit", 1);
+  const LpView v{nullptr, a_bf16, nullptr, nullptr, nullptr,
+                 m,       b.K(),  b.N(),   false,   false,  &b};
   GemmBf16Impl(v, c, opts);
 }
 

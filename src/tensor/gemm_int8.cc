@@ -93,13 +93,48 @@ void PackBInt8(const int8_t* b, int64_t ldb, int64_t pc, int64_t kc,
   }
 }
 
+// Packs an implicit-im2col B block (already-quantized input image) into
+// the same interleaved-pair panel layout as PackBInt8.
+void PackBInt8Conv(const ConvImageView<int8_t>& view, int64_t pc, int64_t kc,
+                   int64_t jc, int64_t nc, int8_t* __restrict bp) {
+  const int64_t kc2 = CeilDiv(kc, 2);
+  // Gather each virtual row once at full block width into an L1 stage,
+  // then deal it into the pair-interleaved panels.
+  alignas(64) int8_t stage[kNC];
+  for (int64_t p = 0; p < kc; ++p) {
+    view.GatherRow(pc + p, jc, nc, stage);
+    const int64_t p2 = p / 2;
+    const int64_t t = p % 2;
+    for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
+      const int64_t cols = std::min(kNRLp, nc - pj * kNRLp);
+      int8_t* __restrict dst = bp + (pj * kc2 + p2) * kNRLp * 2;
+      const int8_t* __restrict src = stage + pj * kNRLp;
+      int64_t c = 0;
+      for (; c < cols; ++c) dst[c * 2 + t] = src[c];
+      for (; c < kNRLp; ++c) dst[c * 2 + t] = 0;
+    }
+  }
+  if (kc % 2 == 1) {
+    // Odd K tail: zero the second slot of the last pair.
+    const int64_t p2 = kc / 2;
+    for (int64_t pj = 0; pj * kNRLp < nc; ++pj) {
+      int8_t* __restrict dst = bp + (pj * kc2 + p2) * kNRLp * 2;
+      for (int64_t c = 0; c < kNRLp; ++c) dst[c * 2 + 1] = 0;
+    }
+  }
+}
+
 // One kMR x kNRLp register tile: exact i32 sums over the packed pair
 // panels, spilled and dequantized into C. `sa` points at the kMR row
-// scales for this tile, `sb` at the kNRLp column scales.
+// scales for this tile, `sb` at the kNRLp column scales. The epilogue
+// (non-null only on the final K block) runs after dequantization as
+// separate bias/activation passes over the row segment, matching the
+// unfused op order bitwise.
 void MicroKernelInt8(int64_t kc2, const int16_t* __restrict ap,
                      const int8_t* __restrict bp, float* __restrict c,
                      int64_t ldc, int64_t rows, int64_t cols, const float* sa,
-                     const float* sb, float beta_eff) {
+                     const float* sb, float beta_eff, const GemmEpilogue* ep,
+                     int64_t row0, int64_t col0) {
   alignas(64) int32_t spill[kMR * kNRLp];
 #if defined(GEO_GEMM_INT8_VNNI)
   __m512i acc[kMR][2];
@@ -158,6 +193,12 @@ void MicroKernelInt8(int64_t kc2, const int16_t* __restrict ap,
                    sar * sb[j] * static_cast<float>(acc_row[j]);
     }
   }
+  if (ep != nullptr) {
+    for (int64_t r = 0; r < rows; ++r)
+      ApplyEpilogueRow(c + r * ldc, cols, ep->row_bias, row0 + r,
+                       ep->col_bias != nullptr ? ep->col_bias + col0 : nullptr,
+                       *ep);
+  }
 }
 
 struct Int8View {
@@ -166,6 +207,8 @@ struct Int8View {
   const int8_t* packed_b;  // pre-packed panels (PackInt8B layout)
   int64_t m, k, n;
   const Int8GemmOptions* opts;
+  // Implicit im2col B over a quantized input image.
+  const ConvImageView<int8_t>* conv_b = nullptr;
   float ARowScale(int64_t i) const {
     return opts->a_scales[opts->a_scales_len == 1 ? 0 : i];
   }
@@ -189,10 +232,15 @@ void GemmRegionInt8(const Int8View& v, float* c, float beta, int64_t mb,
         const int64_t b_bytes = CeilDiv(nc, kNRLp) * kNRLp * kc2 * 2;
         int8_t* wp = reinterpret_cast<int8_t*>(
             ThreadLocalWorkspace(kWorkspaceGemmLpB, CeilDiv(b_bytes, 4)));
-        PackBInt8(v.b, v.n, pc, kc, jc, nc, wp);
+        if (v.conv_b != nullptr) {
+          PackBInt8Conv(*v.conv_b, pc, kc, jc, nc, wp);
+        } else {
+          PackBInt8(v.b, v.n, pc, kc, jc, nc, wp);
+        }
         bp = wp;
       }
       const float beta_eff = (pc == 0) ? beta : 1.0f;
+      const GemmEpilogue* ep = (pc + kc == v.k) ? v.opts->epilogue : nullptr;
       for (int64_t ic = mb; ic < me; ic += kMC) {
         const int64_t mc = std::min(kMC, me - ic);
         const int64_t a_bytes = CeilDiv(mc, kMR) * kMR * kc2 * 2 * 2;
@@ -215,7 +263,8 @@ void GemmRegionInt8(const Int8View& v, float* c, float beta, int64_t mb,
             MicroKernelInt8(kc2, ap + pi * kc2 * kMR * 2,
                             bp + pj * kc2 * kNRLp * 2,
                             c + (ic + pi * kMR) * v.n + jc + pj * kNRLp, v.n,
-                            rows, cols, sa_tile, sb_tile, beta_eff);
+                            rows, cols, sa_tile, sb_tile, beta_eff, ep,
+                            ic + pi * kMR, jc + pj * kNRLp);
           }
         }
       }
@@ -236,6 +285,11 @@ void GemmInt8Impl(const Int8View& v, float* c, const Int8GemmOptions& opts) {
   GEO_OBS_COUNT("gemm.int8_calls", 1);
   if (v.k <= 0) {
     ScaleCInt8(c, v.m * v.n, opts.beta);
+    if (opts.epilogue != nullptr) {
+      for (int64_t i = 0; i < v.m; ++i)
+        ApplyEpilogueRow(c + i * v.n, v.n, opts.epilogue->row_bias, i,
+                         opts.epilogue->col_bias, *opts.epilogue);
+    }
     return;
   }
   const int64_t work = v.m * v.n * v.k;
@@ -283,6 +337,13 @@ void PackInt8B(const int8_t* b, int64_t k, int64_t n, int8_t* packed) {
 void GemmInt8(const int8_t* a, Int8PackedB b, float* c, int64_t m, int64_t k,
               int64_t n, const Int8GemmOptions& opts) {
   const Int8View v{a, nullptr, b.data, m, k, n, &opts};
+  GemmInt8Impl(v, c, opts);
+}
+
+void GemmConvInt8(const int8_t* a, const ConvImageView<int8_t>& b, float* c,
+                  int64_t m, const Int8GemmOptions& opts) {
+  GEO_OBS_COUNT("fusion.conv_implicit", 1);
+  const Int8View v{a, nullptr, nullptr, m, b.K(), b.N(), &opts, &b};
   GemmInt8Impl(v, c, opts);
 }
 

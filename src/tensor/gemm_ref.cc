@@ -9,6 +9,20 @@
 
 namespace geotorch::tensor {
 
+namespace {
+
+// Fused epilogue over the finished reference output: bias pass(es)
+// then activation pass, exactly the op order of the unfused layer code
+// (GEMM, then bias loop over the tensor, then activation loop), so the
+// fallback stays bitwise identical to the pre-fusion eval path.
+void ApplyEpilogue(float* c, int64_t m, int64_t n, const GemmEpilogue& ep) {
+  for (int64_t i = 0; i < m; ++i)
+    gemm_internal::ApplyEpilogueRow(c + i * n, n, ep.row_bias, i, ep.col_bias,
+                                    ep);
+}
+
+}  // namespace
+
 void ReferenceGemm(const float* a, const float* b, float* c, int64_t m,
                    int64_t k, int64_t n, const GemmOptions& opts) {
   if (m <= 0 || n <= 0) return;
@@ -30,6 +44,7 @@ void ReferenceGemm(const float* a, const float* b, float* c, int64_t m,
         for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
       }
     }
+    if (opts.epilogue != nullptr) ApplyEpilogue(c, m, n, *opts.epilogue);
     return;
   }
   for (int64_t i = 0; i < m; ++i) {
@@ -42,6 +57,7 @@ void ReferenceGemm(const float* a, const float* b, float* c, int64_t m,
       }
     }
   }
+  if (opts.epilogue != nullptr) ApplyEpilogue(c, m, n, *opts.epilogue);
 }
 
 }  // namespace geotorch::tensor

@@ -26,6 +26,7 @@
 #include "models/trainer.h"
 #include "nn/precision.h"
 #include "tensor/device.h"
+#include "tensor/fusion.h"
 
 namespace {
 
@@ -499,6 +500,137 @@ TEST(LowPrecisionEvalTest, Fcn) { RunSegLowPrecision<models::Fcn>("Fcn"); }
 TEST(LowPrecisionEvalTest, UNet) { RunSegLowPrecision<models::UNet>("UNet"); }
 TEST(LowPrecisionEvalTest, UNetPlusPlus) {
   RunSegLowPrecision<models::UNetPlusPlus>("UNetPlusPlus");
+}
+
+// --- Fused eval path (DESIGN.md §13) ---------------------------------------
+//
+// With GEOTORCH_FUSION on (the default), eval-mode forwards route
+// through the fused kernels: GEMM epilogues, the im2col-free direct
+// conv, and the 1×1 bypass. None of the shipped models place a
+// BatchNorm between conv and activation, so no folding reassociation
+// happens and the fused output must be BITWISE identical to the
+// unfused path — at every precision, on both devices. Training is
+// gated out of fusion entirely, so one training step must be bitwise
+// unchanged by the toggle.
+
+// Restores the fusion flag even when an assertion fails mid-test.
+struct FusionFlagGuard {
+  FusionFlagGuard() : prev(ts::FusionEnabled()) {}
+  ~FusionFlagGuard() { ts::SetFusionEnabled(prev); }
+  bool prev;
+};
+
+template <typename MakeModel, typename ForwardFn>
+void ExpectFusionTransparentEval(const std::string& label,
+                                 const MakeModel& make_model,
+                                 const ForwardFn& forward) {
+  FusionFlagGuard guard;
+  for (nn::Precision p :
+       {nn::Precision::kF32, nn::Precision::kBf16, nn::Precision::kInt8}) {
+    ts::SetFusionEnabled(false);
+    const std::vector<uint32_t> off =
+        EvalBits(ts::Device::kSerial, p, make_model, forward);
+    ts::SetFusionEnabled(true);
+    const std::vector<uint32_t> on =
+        EvalBits(ts::Device::kSerial, p, make_model, forward);
+    EXPECT_EQ(off, on) << label << ": " << nn::PrecisionName(p)
+                       << " fused eval differs from unfused";
+    const std::vector<uint32_t> on_parallel =
+        EvalBits(ts::Device::kParallel, p, make_model, forward);
+    EXPECT_EQ(on, on_parallel)
+        << label << ": " << nn::PrecisionName(p)
+        << " fused eval differs between serial and parallel";
+  }
+}
+
+TEST(FusedEvalTest, SatCnnFusedMatchesUnfusedBitwise) {
+  datasets::RasterClassificationDataset ds =
+      datasets::MakeEuroSat(/*n=*/16, {}, /*seed=*/3);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/4);
+  models::RasterModelConfig rc;
+  rc.in_channels = 13;
+  rc.in_height = 64;
+  rc.in_width = 64;
+  rc.num_classes = 10;
+  rc.base_filters = 16;
+  rc.seed = 42;
+  auto make_model = [&] { return std::make_unique<models::SatCnn>(rc); };
+  auto forward = [&batch](models::SatCnn& model) {
+    return model.Forward(ag::Variable(batch.x), {}).value();
+  };
+  ExpectFusionTransparentEval("SatCnn", make_model, forward);
+}
+
+TEST(FusedEvalTest, UNetFusedMatchesUnfusedBitwise) {
+  datasets::RasterSegmentationDataset ds =
+      datasets::MakeCloud38(/*n=*/8, /*size=*/32, {}, /*seed=*/5);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/2);
+  models::SegModelConfig sc;
+  sc.in_channels = 4;
+  sc.num_classes = 2;
+  sc.base_filters = 8;
+  sc.seed = 42;
+  auto make_model = [&] { return std::make_unique<models::UNet>(sc); };
+  auto forward = [&batch](models::UNet& model) {
+    return model.Forward(ag::Variable(batch.x)).value();
+  };
+  ExpectFusionTransparentEval("UNet", make_model, forward);
+}
+
+TEST(FusedEvalTest, PeriodicalCnnFusedMatchesUnfusedBitwise) {
+  datasets::GridDataset ds =
+      datasets::MakeTemperature(/*timesteps=*/200, /*height=*/16,
+                                /*width=*/32, /*seed=*/7);
+  ds.MinMaxNormalize();
+  models::GridModelConfig mc;
+  mc.channels = ds.channels();
+  mc.height = ds.height();
+  mc.width = ds.width();
+  mc.len_closeness = 3;
+  mc.len_period = 2;
+  mc.len_trend = 1;
+  mc.hidden = 16;
+  mc.seed = 42;
+  ds.SetPeriodicalRepresentation(mc.len_closeness, mc.len_period,
+                                 mc.len_trend);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/4);
+  auto make_model = [&] { return std::make_unique<models::PeriodicalCnn>(mc); };
+  auto forward = [&batch](models::PeriodicalCnn& model) {
+    return model.Forward(batch).value();
+  };
+  ExpectFusionTransparentEval("PeriodicalCnn", make_model, forward);
+}
+
+// The fusion gate excludes training and grad-enabled forwards, so a
+// full forward/backward must be bitwise indifferent to the flag.
+TEST(FusedEvalTest, TrainingStepUnchangedByFusionToggle) {
+  datasets::RasterClassificationDataset ds =
+      datasets::MakeEuroSat(/*n=*/16, {}, /*seed=*/3);
+  const data::Batch batch = FirstBatch(ds, /*batch_size=*/4);
+  models::RasterModelConfig rc;
+  rc.in_channels = 13;
+  rc.in_height = 64;
+  rc.in_width = 64;
+  rc.num_classes = 10;
+  rc.base_filters = 16;
+  rc.seed = 42;
+  auto make_model = [&] { return std::make_unique<models::SatCnn>(rc); };
+  auto loss_fn = [&batch](models::SatCnn& model) {
+    ag::Variable logits = model.Forward(ag::Variable(batch.x), {});
+    return ag::CrossEntropyLoss(logits, batch.y.Reshape({batch.y.numel()}));
+  };
+  FusionFlagGuard guard;
+  ts::SetFusionEnabled(false);
+  const StepResult off = RunStep(ts::Device::kSerial, make_model, loss_fn);
+  ts::SetFusionEnabled(true);
+  const StepResult on = RunStep(ts::Device::kSerial, make_model, loss_fn);
+  EXPECT_EQ(off.loss_bits, on.loss_bits)
+      << "training loss changed with fusion enabled";
+  ASSERT_EQ(off.grad_bits.size(), on.grad_bits.size());
+  for (size_t i = 0; i < off.grad_bits.size(); ++i) {
+    EXPECT_EQ(off.grad_bits[i], on.grad_bits[i])
+        << "gradient of parameter " << i << " changed with fusion enabled";
+  }
 }
 
 }  // namespace
