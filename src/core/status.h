@@ -25,6 +25,12 @@ enum class StatusCode {
   /// for queue backpressure: backpressure clears as soon as the queue
   /// drains, a quota clears on its own schedule.
   kResourceExhausted,
+  /// A caller-supplied per-request deadline elapsed before the work
+  /// finished. Distinct from kOutOfRange backpressure: the request WAS
+  /// admitted (and may still complete in the background); only this
+  /// caller stopped waiting. The streaming predictor uses it to bound
+  /// event-to-prediction staleness.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -69,6 +75,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,21 +8,12 @@
 #include <filesystem>
 
 #include "core/check.h"
+#include "core/env.h"
 #include "df/dataframe.h"
 #include "df/gtdf.h"
 #include "obs/obs.h"
 
 namespace geotorch::df {
-namespace {
-
-bool EnvFlagOff(const char* name) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return false;
-  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
-         std::strcmp(v, "false") == 0;
-}
-
-}  // namespace
 
 // --- Partition residency ------------------------------------------------
 
@@ -125,14 +116,10 @@ bool Partition::SpillLocked(int64_t* file_bytes) const {
 
 PartitionStore::Options PartitionStore::Options::FromEnv() {
   Options opts;
-  opts.enabled = !EnvFlagOff("GEOTORCH_DF_SPILL");
-  if (const char* mb = std::getenv("GEOTORCH_DF_RESIDENT_MB")) {
-    const long long v = std::atoll(mb);
-    if (v > 0) opts.resident_budget_bytes = static_cast<int64_t>(v) << 20;
-  }
-  if (const char* dir = std::getenv("GEOTORCH_DF_SPILL_DIR")) {
-    if (dir[0] != '\0') opts.spill_dir = dir;
-  }
+  opts.enabled = EnvBool("GEOTORCH_DF_SPILL", true);
+  const int64_t mb = EnvInt64("GEOTORCH_DF_RESIDENT_MB", 0, 0);
+  if (mb > 0) opts.resident_budget_bytes = mb << 20;
+  opts.spill_dir = EnvString("GEOTORCH_DF_SPILL_DIR", opts.spill_dir);
   return opts;
 }
 

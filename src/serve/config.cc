@@ -3,34 +3,18 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/env.h"
+
 namespace geotorch::serve {
-namespace {
-
-// Reads an integer env var; returns `fallback` when unset or when the
-// value does not start with a digit (or '-').
-int EnvInt(const char* name, int fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  if (end == env) return fallback;
-  return static_cast<int>(v);
-}
-
-int ClampMin(int v, int lo) { return v < lo ? lo : v; }
-
-}  // namespace
 
 EngineOptions EngineOptions::FromEnv() {
   EngineOptions opts;
-  opts.max_batch =
-      ClampMin(EnvInt("GEOTORCH_SERVE_MAX_BATCH", opts.max_batch), 1);
+  opts.max_batch = EnvInt("GEOTORCH_SERVE_MAX_BATCH", opts.max_batch, 1);
   opts.max_delay_us =
-      ClampMin(EnvInt("GEOTORCH_SERVE_MAX_DELAY_US", opts.max_delay_us), 0);
-  opts.max_queue =
-      ClampMin(EnvInt("GEOTORCH_SERVE_MAX_QUEUE", opts.max_queue), 1);
+      EnvInt("GEOTORCH_SERVE_MAX_DELAY_US", opts.max_delay_us, 0);
+  opts.max_queue = EnvInt("GEOTORCH_SERVE_MAX_QUEUE", opts.max_queue, 1);
   opts.warmup_batches =
-      ClampMin(EnvInt("GEOTORCH_SERVE_WARMUP", opts.warmup_batches), 0);
+      EnvInt("GEOTORCH_SERVE_WARMUP", opts.warmup_batches, 0);
   if (const char* env = std::getenv("GEOTORCH_SERVE_PRECISION");
       env != nullptr && *env != '\0') {
     nn::ParsePrecision(std::string(env), &opts.precision);
@@ -40,12 +24,10 @@ EngineOptions EngineOptions::FromEnv() {
 
 FleetOptions FleetOptions::FromEnv() {
   FleetOptions opts;
-  opts.replicas =
-      ClampMin(EnvInt("GEOTORCH_FLEET_REPLICAS", opts.replicas), 1);
-  opts.tenant_qps =
-      ClampMin(EnvInt("GEOTORCH_FLEET_TENANT_QPS", opts.tenant_qps), 0);
+  opts.replicas = EnvInt("GEOTORCH_FLEET_REPLICAS", opts.replicas, 1);
+  opts.tenant_qps = EnvInt("GEOTORCH_FLEET_TENANT_QPS", opts.tenant_qps, 0);
   opts.tenant_burst =
-      ClampMin(EnvInt("GEOTORCH_FLEET_TENANT_BURST", opts.tenant_burst), 0);
+      EnvInt("GEOTORCH_FLEET_TENANT_BURST", opts.tenant_burst, 0);
   opts.engine = EngineOptions::FromEnv();
   return opts;
 }

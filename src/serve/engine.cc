@@ -69,7 +69,8 @@ void Engine::Warmup() {
   for (int i = 0; i < options_.warmup_batches; ++i) forward_(batch);
 }
 
-Result<ts::Tensor> Engine::Submit(const data::Sample& sample) {
+Result<ts::Tensor> Engine::Submit(const data::Sample& sample,
+                                  int64_t deadline_us) {
   if (!ts::SameShape(sample.x.shape(), spec_.x)) {
     return Status::InvalidArgument(
         "sample shape " + ts::ShapeToString(sample.x.shape()) +
@@ -118,6 +119,20 @@ Result<ts::Tensor> Engine::Submit(const data::Sample& sample) {
   }
   cv_.notify_one();
 
+  if (deadline_us > 0) {
+    // Abandoning the future is safe: the promise keeps the shared state
+    // alive, so the batcher's set_value after this return is a no-op
+    // from our perspective, and the request still advances answered_
+    // (Drain's contract is unchanged).
+    if (fut.wait_for(std::chrono::microseconds(deadline_us)) !=
+        std::future_status::ready) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      GEO_OBS_COUNT("serve.deadline_exceeded", 1);
+      return Status::DeadlineExceeded(
+          "request not answered within " + std::to_string(deadline_us) +
+          "us (queued behind a stalled or overloaded batcher)");
+    }
+  }
   ts::Tensor out = fut.get();
   GEO_OBS_HIST("serve.latency_us", (obs::NowNs() - t0) / 1000);
   return out;
@@ -270,6 +285,7 @@ EngineStats Engine::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -30,6 +30,10 @@ struct EngineStats {
   int64_t requests = 0;  ///< accepted submits
   int64_t rejected = 0;  ///< backpressure rejections (queue full)
   int64_t batches = 0;   ///< forward passes run (excluding warmup)
+  /// Submits whose caller stopped waiting because its per-request
+  /// deadline elapsed. These requests were admitted and still count in
+  /// `requests`; the batcher answers them in the background.
+  int64_t deadline_exceeded = 0;
 };
 
 /// Dynamically-batched inference engine (DESIGN.md §9). Callers submit
@@ -62,10 +66,21 @@ class Engine {
 
   /// Submits one sample (sample.x and sample.extras must match the
   /// SampleSpec; sample.y is ignored) and blocks until its output row
-  /// is ready. Errors:
-  ///   InvalidArgument — shape/extras mismatch, or engine shut down;
-  ///   OutOfRange     — bounded queue full (backpressure; retry later).
-  Result<tensor::Tensor> Submit(const data::Sample& sample);
+  /// is ready. `deadline_us` bounds the wait, measured from entry
+  /// (queueing + batching + forward); 0 or negative waits forever.
+  /// Errors:
+  ///   InvalidArgument  — shape/extras mismatch, or engine shut down;
+  ///   OutOfRange       — bounded queue full (backpressure; retry later);
+  ///   DeadlineExceeded — the deadline elapsed before the output row was
+  ///                      ready. The request was already admitted, so
+  ///                      the batcher still answers it in the background
+  ///                      (it keeps counting toward Drain); only this
+  ///                      caller abandons the wait. Callers with a
+  ///                      staleness budget (the streaming predictor) use
+  ///                      this so a stalled batcher costs one deadline,
+  ///                      not an unbounded block.
+  Result<tensor::Tensor> Submit(const data::Sample& sample,
+                                int64_t deadline_us = 0);
 
   /// Stops accepting new submits, serves everything already queued,
   /// and joins the batcher thread. Idempotent and thread-safe.
@@ -141,6 +156,7 @@ class Engine {
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
 
   std::mutex join_mu_;  // serializes concurrent Shutdown() calls
   std::thread batcher_;

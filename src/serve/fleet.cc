@@ -104,7 +104,8 @@ bool Fleet::Admit(const std::string& tenant) {
 
 Result<ts::Tensor> Fleet::Submit(const std::string& model,
                                  const std::string& tenant,
-                                 const data::Sample& sample) {
+                                 const data::Sample& sample,
+                                 int64_t deadline_us) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("fleet is shut down");
   }
@@ -153,7 +154,7 @@ Result<ts::Tensor> Fleet::Submit(const std::string& model,
     const int64_t now_out =
         rep.outstanding.fetch_add(1, std::memory_order_relaxed) + 1;
     if (GEO_OBS_ON()) obs::SetGauge(rep.gauge_name, now_out);
-    Result<ts::Tensor> out = rep.engine->Submit(sample);
+    Result<ts::Tensor> out = rep.engine->Submit(sample, deadline_us);
     const int64_t after =
         rep.outstanding.fetch_sub(1, std::memory_order_relaxed) - 1;
     if (GEO_OBS_ON()) obs::SetGauge(rep.gauge_name, after);

@@ -93,17 +93,23 @@ class Fleet {
                   SampleSpec spec, int replicas = 0);
 
   /// Routes one sample to the least-loaded replica of `model` and
-  /// blocks until its output row is ready. Errors:
+  /// blocks until its output row is ready. `deadline_us` bounds the
+  /// wait on the chosen replica (0 = forever; see Engine::Submit).
+  /// Errors:
   ///   NotFound          — no model with that name;
   ///   ResourceExhausted — `tenant` is over its request quota;
   ///   OutOfRange        — every replica's queue is full (backpressure);
+  ///   DeadlineExceeded  — admitted, but not answered in time;
   ///   InvalidArgument   — shape mismatch, or fleet shut down.
   /// Replicas are tried in ascending outstanding-request order, so a
   /// single full replica does not bounce a request the next one could
-  /// take; only when all reject does the caller see backpressure.
+  /// take; only when all reject does the caller see backpressure. A
+  /// deadline expiry is NOT retried on the next replica — the time is
+  /// already spent, which is the point of the deadline.
   Result<tensor::Tensor> Submit(const std::string& model,
                                 const std::string& tenant,
-                                const data::Sample& sample);
+                                const data::Sample& sample,
+                                int64_t deadline_us = 0);
 
   /// Hot-swaps every replica of `model` to the checkpoint at `path`
   /// (copy-on-swap, see class comment). On success the model's version

@@ -1,0 +1,35 @@
+#ifndef GEOTORCH_STREAM_EVENT_H_
+#define GEOTORCH_STREAM_EVENT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace geotorch::stream {
+
+/// One spatiotemporal event on the streaming pipeline's wire format
+/// (DESIGN.md §14). `time_sec` is dataset time (the window clock);
+/// `ingest_ns` is the wall-clock stamp the producer applies at ring
+/// admission, which is what event-to-prediction staleness is measured
+/// against.
+struct Event {
+  double lon = 0.0;
+  double lat = 0.0;
+  int64_t time_sec = 0;
+  bool is_pickup = false;
+  int64_t ingest_ns = 0;
+};
+
+/// Pull-driven source of ordered event ticks. Contract: event times
+/// never decrease ACROSS ticks; within one tick they may be in any
+/// order. NextTick appends (never clears) and returns false — appending
+/// nothing — once the source is exhausted. Called from the pipeline's
+/// producer thread only.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  virtual bool NextTick(std::vector<Event>* out) = 0;
+};
+
+}  // namespace geotorch::stream
+
+#endif  // GEOTORCH_STREAM_EVENT_H_

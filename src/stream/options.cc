@@ -1,0 +1,26 @@
+#include "stream/options.h"
+
+#include "core/env.h"
+
+namespace geotorch::stream {
+
+StreamOptions StreamOptions::FromEnv() {
+  StreamOptions opts;
+  opts.window_sec = EnvInt64("GEOTORCH_STREAM_WINDOW", opts.window_sec, 1);
+  opts.slide_sec = EnvInt64("GEOTORCH_STREAM_SLIDE", opts.slide_sec, 0);
+  opts.queue = EnvInt("GEOTORCH_STREAM_QUEUE", opts.queue, 1);
+  opts.window_queue =
+      EnvInt("GEOTORCH_STREAM_WINDOW_QUEUE", opts.window_queue, 1);
+  opts.len_closeness =
+      EnvInt("GEOTORCH_STREAM_CLOSENESS", opts.len_closeness, 1);
+  opts.len_period = EnvInt("GEOTORCH_STREAM_PERIOD", opts.len_period, 0);
+  opts.len_trend = EnvInt("GEOTORCH_STREAM_TREND", opts.len_trend, 0);
+  opts.steps_per_day =
+      EnvInt64("GEOTORCH_STREAM_STEPS_PER_DAY", opts.steps_per_day, 1);
+  opts.predict_timeout_us =
+      EnvInt64("GEOTORCH_STREAM_TIMEOUT_US", opts.predict_timeout_us, 0);
+  opts.target_eps = EnvInt64("GEOTORCH_STREAM_RATE", opts.target_eps, 0);
+  return opts;
+}
+
+}  // namespace geotorch::stream

@@ -1,0 +1,67 @@
+#ifndef GEOTORCH_STREAM_OPTIONS_H_
+#define GEOTORCH_STREAM_OPTIONS_H_
+
+#include <cstdint>
+
+namespace geotorch::stream {
+
+/// Knobs of the streaming spatiotemporal pipeline (DESIGN.md §14).
+/// FromEnv() reads the GEOTORCH_STREAM_* family through the shared
+/// core/env.h helpers, following the serve/fleet conventions:
+///
+///   GEOTORCH_STREAM_WINDOW       aggregation window in dataset seconds:
+///                                each emitted frame covers the last
+///                                WINDOW seconds of events (default 1800,
+///                                the paper's 30-minute slot)
+///   GEOTORCH_STREAM_SLIDE        seconds between window closes; 0 (the
+///                                default) means == WINDOW, i.e. tumbling
+///                                windows. Must divide WINDOW
+///   GEOTORCH_STREAM_QUEUE        event-ring capacity between producer
+///                                and aggregator; a full ring blocks the
+///                                producer (backpressure), it never grows
+///                                (default 8192)
+///   GEOTORCH_STREAM_WINDOW_QUEUE closed-window queue capacity between
+///                                aggregator and predictor (default 64)
+///   GEOTORCH_STREAM_CLOSENESS    frames in the closeness stack the
+///                                online predictor submits (default 3)
+///   GEOTORCH_STREAM_PERIOD       frames in the period stack; 0 disables
+///                                the period input (default 0)
+///   GEOTORCH_STREAM_TREND        frames in the trend stack; 0 disables
+///                                the trend input (default 0)
+///   GEOTORCH_STREAM_STEPS_PER_DAY window slides per day, the period
+///                                stride (default 48 = 30-minute slides)
+///   GEOTORCH_STREAM_TIMEOUT_US   per-prediction deadline handed to
+///                                Fleet::Submit; 0 waits forever
+///                                (default 0). Setting it bounds
+///                                event-to-prediction staleness even if
+///                                a batcher stalls
+///   GEOTORCH_STREAM_RATE         producer pacing in events per
+///                                wall-clock second; 0 runs unthrottled
+///                                (default 0). The staleness-vs-
+///                                throughput ablation sweeps this
+struct StreamOptions {
+  int64_t window_sec = 1800;
+  int64_t slide_sec = 0;  ///< 0 = window_sec (tumbling)
+  int queue = 8192;
+  int window_queue = 64;
+  int len_closeness = 3;
+  int len_period = 0;
+  int len_trend = 0;
+  int64_t steps_per_day = 48;
+  int64_t predict_timeout_us = 0;
+  int64_t target_eps = 0;
+
+  /// Effective slide (resolves the 0 default).
+  int64_t EffectiveSlide() const {
+    return slide_sec > 0 ? slide_sec : window_sec;
+  }
+
+  /// Defaults overridden by any GEOTORCH_STREAM_* variables present,
+  /// range-validated by clamping (window/slide >= 1s where set, queues
+  /// >= 1, stack lengths >= 0).
+  static StreamOptions FromEnv();
+};
+
+}  // namespace geotorch::stream
+
+#endif  // GEOTORCH_STREAM_OPTIONS_H_

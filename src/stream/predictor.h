@@ -1,0 +1,104 @@
+#ifndef GEOTORCH_STREAM_PREDICTOR_H_
+#define GEOTORCH_STREAM_PREDICTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "serve/fleet.h"
+#include "stream/aggregator.h"
+#include "tensor/tensor.h"
+
+namespace geotorch::stream {
+
+/// Online prediction stage (DESIGN.md §14): consumes ClosedWindows in
+/// window_id order, maintains just enough frame history to assemble the
+/// periodical representation the grid models train on (closeness /
+/// period / trend stacks, mirroring datasets::GridDataset::FrameStack —
+/// oldest frame first, frames t-k*stride for k=len..1 where t is the
+/// NEXT frame index), and submits each assembled sample to a
+/// serve::Fleet.
+///
+/// Frames the history does not hold yet (stream warm-up, or a period /
+/// trend lookback past the start of time) are ZERO frames, so every
+/// closed window produces exactly one Submit — that one-to-one mapping
+/// is what makes the pipeline's lossless-drain accounting (windows
+/// closed == predictions attempted) checkable.
+///
+/// Event-to-prediction staleness is measured per window when the Submit
+/// resolves: wall clock now minus the window's newest ingest stamp
+/// (close time for an empty window). Recorded into the
+/// `stream.staleness_us` histogram and kept as raw samples for exact
+/// bench percentiles.
+///
+/// Threading: Predict runs on the predictor stage's thread only;
+/// counters and StalenessSamplesUs may be read from any thread.
+class OnlinePredictor {
+ public:
+  struct Options {
+    std::string model;           ///< fleet model name to submit to
+    std::string tenant = "stream";
+    int len_closeness = 3;
+    int len_period = 0;          ///< 0 disables the period input
+    int len_trend = 0;           ///< 0 disables the trend input
+    int64_t steps_per_day = 48;  ///< period stride, in window slides
+    /// Per-request deadline for Fleet::Submit; 0 waits forever. A
+    /// bounded deadline caps staleness even when a batcher stalls.
+    int64_t deadline_us = 0;
+  };
+
+  OnlinePredictor(serve::Fleet* fleet, Options options);
+
+  /// Feeds one closed window (must arrive in window_id order), submits
+  /// the assembled sample, and records staleness. Returns the Submit
+  /// status; failures are counted, not fatal — the frame history still
+  /// advances so one rejected request cannot skew every later stack.
+  Status Predict(const ClosedWindow& window);
+
+  /// The sample Predict would submit AFTER absorbing `window` — the
+  /// input for forecasting frame window_id + 1. Exposed so tests can
+  /// pin the stacking layout without a fleet.
+  data::Sample AssembleAfter(const ClosedWindow& window);
+
+  int64_t predictions_ok() const {
+    return predictions_ok_.load(std::memory_order_relaxed);
+  }
+  int64_t predictions_failed() const {
+    return predictions_failed_.load(std::memory_order_relaxed);
+  }
+  /// Raw per-window staleness samples, in microseconds.
+  std::vector<int64_t> StalenessSamplesUs() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Appends the window's frame and trims history to the deepest
+  /// lookback any stack needs.
+  void Absorb(const ClosedWindow& window);
+  /// Frame at absolute window index `id`; zeros outside the history.
+  const tensor::Tensor* FrameAt(int64_t id) const;
+  /// (len*C, H, W) stack of frames next-k*stride for k=len..1.
+  tensor::Tensor Stack(int64_t next, int64_t len, int64_t stride) const;
+
+  serve::Fleet* fleet_;
+  Options options_;
+  int64_t max_lookback_ = 1;
+
+  int64_t height_ = 0;  ///< learned from the first frame
+  int64_t width_ = 0;
+  std::deque<tensor::Tensor> frames_;  ///< history, oldest first
+  int64_t base_id_ = 0;                ///< window_id of frames_.front()
+
+  std::atomic<int64_t> predictions_ok_{0};
+  std::atomic<int64_t> predictions_failed_{0};
+  mutable std::mutex staleness_mu_;
+  std::vector<int64_t> staleness_us_;
+};
+
+}  // namespace geotorch::stream
+
+#endif  // GEOTORCH_STREAM_PREDICTOR_H_

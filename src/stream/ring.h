@@ -1,0 +1,105 @@
+#ifndef GEOTORCH_STREAM_RING_H_
+#define GEOTORCH_STREAM_RING_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "core/check.h"
+
+namespace geotorch::stream {
+
+/// Bounded MPSC/SPSC handoff queue between pipeline stages — the
+/// backpressure primitive of DESIGN.md §14. Push blocks while the ring
+/// is full (producers slow to the consumer's pace instead of growing an
+/// unbounded buffer); Pop blocks while it is empty. Close() starts the
+/// drain: pushes are refused from then on, pops keep succeeding until
+/// the buffered items are gone, and only then does Pop return false.
+/// That ordering is what makes a pipeline drain lossless — every item
+/// admitted before Close is consumed.
+///
+/// A mutex + two condvars rather than a lock-free ring on purpose: the
+/// consumers do tensor-sized work per item, so the handoff is never the
+/// bottleneck, and the blocking semantics (backpressure, drain) are the
+/// actual product here.
+template <typename T>
+class BoundedRing {
+ public:
+  explicit BoundedRing(size_t capacity) : capacity_(capacity) {
+    GEO_CHECK_GE(capacity, 1u);
+  }
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
+
+  /// Blocks until there is room (backpressure) or the ring is closed;
+  /// false means closed-and-refused (the item was NOT enqueued).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed. Lets producers count
+  /// would-block events instead of stalling.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the ring is closed AND empty;
+  /// false only in the latter case (drain complete).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Refuses further pushes; buffered items remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace geotorch::stream
+
+#endif  // GEOTORCH_STREAM_RING_H_

@@ -1,0 +1,21 @@
+#include "stream/taxi_source.h"
+
+namespace geotorch::stream {
+
+bool TaxiEventSource::NextTick(std::vector<Event>* out) {
+  scratch_.clear();
+  if (!stream_.NextTick(&scratch_)) return false;
+  out->reserve(out->size() + scratch_.size());
+  for (const synth::TripRecord& trip : scratch_) {
+    Event e;
+    e.lon = trip.lon;
+    e.lat = trip.lat;
+    e.time_sec = trip.time_sec;
+    e.is_pickup = trip.is_pickup != 0;
+    // ingest_ns is stamped by the pipeline producer at ring admission.
+    out->push_back(e);
+  }
+  return true;
+}
+
+}  // namespace geotorch::stream

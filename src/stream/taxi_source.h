@@ -1,0 +1,31 @@
+#ifndef GEOTORCH_STREAM_TAXI_SOURCE_H_
+#define GEOTORCH_STREAM_TAXI_SOURCE_H_
+
+#include <vector>
+
+#include "stream/event.h"
+#include "synth/taxi.h"
+
+namespace geotorch::stream {
+
+/// Adapts synth::TaxiEventStream to the pipeline's EventSource
+/// contract. Lives in its own TU so the stream stages themselves stay
+/// free of the synth dependency (the TSan harness compiles the stage
+/// sources directly and substitutes its own inline source).
+class TaxiEventSource : public EventSource {
+ public:
+  explicit TaxiEventSource(const synth::TaxiStreamConfig& config)
+      : stream_(config) {}
+
+  bool NextTick(std::vector<Event>* out) override;
+
+  const synth::TaxiEventStream& stream() const { return stream_; }
+
+ private:
+  synth::TaxiEventStream stream_;
+  std::vector<synth::TripRecord> scratch_;
+};
+
+}  // namespace geotorch::stream
+
+#endif  // GEOTORCH_STREAM_TAXI_SOURCE_H_

@@ -20,6 +20,45 @@ double WeeklyFactor(int day_of_week) {
   return (day_of_week >= 5) ? 0.6 : 1.0;
 }
 
+using HotSpot = TaxiEventStream::HotSpot;
+
+// Draws the activity centers. Both the batch generator and the event
+// stream call this with a fresh seed-initialized Rng, so a stream and a
+// batch over the same seed share one spatial world.
+std::vector<HotSpot> SampleHotSpots(Rng& rng, const spatial::Envelope& extent,
+                                    int num_hotspots) {
+  std::vector<HotSpot> spots;
+  spots.reserve(num_hotspots);
+  for (int s = 0; s < num_hotspots; ++s) {
+    HotSpot h;
+    h.lon = rng.Uniform(extent.min_x() + 0.1 * extent.width(),
+                        extent.max_x() - 0.1 * extent.width());
+    h.lat = rng.Uniform(extent.min_y() + 0.1 * extent.height(),
+                        extent.max_y() - 0.1 * extent.height());
+    h.sigma = rng.Uniform(0.003, 0.02);
+    h.weight = rng.Uniform(0.5, 2.0);
+    spots.push_back(h);
+  }
+  return spots;
+}
+
+// Hot-spot mixture draw: 85% from a weighted spot (clamped into the
+// extent), 15% uniform background traffic.
+void DrawLocation(Rng& rng, const std::vector<HotSpot>& spots,
+                  const std::vector<double>& weights,
+                  const spatial::Envelope& extent, TripRecord* rec) {
+  if (rng.Bernoulli(0.85)) {
+    const HotSpot& h = spots[rng.Categorical(weights)];
+    rec->lon = rng.Normal(h.lon, h.sigma);
+    rec->lat = rng.Normal(h.lat, h.sigma);
+    rec->lon = std::clamp(rec->lon, extent.min_x(), extent.max_x());
+    rec->lat = std::clamp(rec->lat, extent.min_y(), extent.max_y());
+  } else {
+    rec->lon = rng.Uniform(extent.min_x(), extent.max_x());
+    rec->lat = rng.Uniform(extent.min_y(), extent.max_y());
+  }
+}
+
 }  // namespace
 
 double TripIntensity(int64_t time_sec) {
@@ -35,26 +74,11 @@ std::vector<TripRecord> GenerateTaxiTrips(const TaxiTripConfig& config) {
 
   // Hot spots: fixed activity centers inside the extent with
   // per-spot spread and weight.
-  struct HotSpot {
-    double lon;
-    double lat;
-    double sigma;
-    double weight;
-  };
-  std::vector<HotSpot> spots;
+  std::vector<HotSpot> spots =
+      SampleHotSpots(rng, config.extent, config.num_hotspots);
   std::vector<double> weights;
-  for (int s = 0; s < config.num_hotspots; ++s) {
-    HotSpot h;
-    h.lon = rng.Uniform(config.extent.min_x() + 0.1 * config.extent.width(),
-                        config.extent.max_x() - 0.1 * config.extent.width());
-    h.lat =
-        rng.Uniform(config.extent.min_y() + 0.1 * config.extent.height(),
-                    config.extent.max_y() - 0.1 * config.extent.height());
-    h.sigma = rng.Uniform(0.003, 0.02);
-    h.weight = rng.Uniform(0.5, 2.0);
-    spots.push_back(h);
-    weights.push_back(h.weight);
-  }
+  weights.reserve(spots.size());
+  for (const HotSpot& h : spots) weights.push_back(h.weight);
 
   // Rejection-free time sampling: draw a uniform time, accept with
   // probability proportional to intensity (thinning); loop until
@@ -69,24 +93,47 @@ std::vector<TripRecord> GenerateTaxiTrips(const TaxiTripConfig& config) {
     TripRecord rec;
     rec.time_sec = t;
     rec.is_pickup = rng.Bernoulli(0.5) ? 1 : 0;
-    if (rng.Bernoulli(0.85)) {
-      // Hot-spot draw.
-      const auto& h = spots[rng.Categorical(weights)];
-      rec.lon = rng.Normal(h.lon, h.sigma);
-      rec.lat = rng.Normal(h.lat, h.sigma);
-      // Clamp stragglers into the extent.
-      rec.lon = std::clamp(rec.lon, config.extent.min_x(),
-                           config.extent.max_x());
-      rec.lat = std::clamp(rec.lat, config.extent.min_y(),
-                           config.extent.max_y());
-    } else {
-      // Background uniform traffic.
-      rec.lon = rng.Uniform(config.extent.min_x(), config.extent.max_x());
-      rec.lat = rng.Uniform(config.extent.min_y(), config.extent.max_y());
-    }
+    DrawLocation(rng, spots, weights, config.extent, &rec);
     records.push_back(rec);
   }
   return records;
+}
+
+TaxiEventStream::TaxiEventStream(const TaxiStreamConfig& config)
+    : config_(config), rng_(config.seed) {
+  GEO_CHECK_GT(config_.events_per_sec, 0.0);
+  GEO_CHECK_GT(config_.duration_sec, 0);
+  GEO_CHECK_GT(config_.tick_sec, 0);
+  spots_ = SampleHotSpots(rng_, config_.extent, config_.num_hotspots);
+  weights_.reserve(spots_.size());
+  for (const HotSpot& h : spots_) weights_.push_back(h.weight);
+}
+
+bool TaxiEventStream::NextTick(std::vector<TripRecord>* out) {
+  if (next_tick_sec_ >= config_.duration_sec) return false;
+  const int64_t t0 = next_tick_sec_;
+  const int64_t t1 =
+      std::min(config_.duration_sec, t0 + config_.tick_sec);
+  next_tick_sec_ = t0 + config_.tick_sec;
+
+  // Poisson arrival count at the intensity-modulated rate, evaluated at
+  // the tick start — fine for ticks much shorter than the diurnal
+  // profile's features (hours).
+  const double mean = config_.events_per_sec *
+                      static_cast<double>(t1 - t0) * TripIntensity(t0);
+  const int64_t n = rng_.Poisson(mean);
+  for (int64_t i = 0; i < n; ++i) {
+    TripRecord rec;
+    // Uniform WITHIN the tick: ticks are ordered, events inside one
+    // tick are not — downstream bucketing must not rely on intra-tick
+    // order (and cannot, as long as slide >= tick_sec).
+    rec.time_sec = rng_.UniformInt(t0, t1 - 1);
+    rec.is_pickup = rng_.Bernoulli(0.5) ? 1 : 0;
+    DrawLocation(rng_, spots_, weights_, config_.extent, &rec);
+    out->push_back(rec);
+  }
+  events_emitted_ += n;
+  return true;
 }
 
 df::DataFrame TripsToDataFrame(const std::vector<TripRecord>& trips,

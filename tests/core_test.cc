@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 
+#include "core/env.h"
 #include "core/memory.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
@@ -31,6 +33,72 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
                "NotImplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, DeadlineExceededFactory) {
+  Status s = Status::DeadlineExceeded("took too long");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: took too long");
+}
+
+// --- Shared GEOTORCH_* env parsing (core/env.h) -----------------------------
+
+struct ScopedEnv {
+  explicit ScopedEnv(const char* name) : name_(name) { unsetenv(name_); }
+  ~ScopedEnv() { unsetenv(name_); }
+  void Set(const char* value) { setenv(name_, value, 1); }
+  const char* name_;
+};
+
+TEST(EnvTest, IntFallsBackWhenUnsetEmptyOrUnparsable) {
+  ScopedEnv var("GEOTORCH_TEST_ENV_INT");
+  EXPECT_EQ(EnvInt("GEOTORCH_TEST_ENV_INT", 7, 0), 7);
+  var.Set("");
+  EXPECT_EQ(EnvInt("GEOTORCH_TEST_ENV_INT", 7, 0), 7);
+  var.Set("banana");
+  EXPECT_EQ(EnvInt("GEOTORCH_TEST_ENV_INT", 7, 0), 7);
+}
+
+TEST(EnvTest, IntParsesAndClampsIntoRange) {
+  ScopedEnv var("GEOTORCH_TEST_ENV_INT");
+  var.Set("42");
+  EXPECT_EQ(EnvInt("GEOTORCH_TEST_ENV_INT", 7, 0), 42);
+  var.Set("-5");
+  EXPECT_EQ(EnvInt("GEOTORCH_TEST_ENV_INT", 7, 1), 1);  // clamped up
+  var.Set("1000");
+  EXPECT_EQ(EnvInt("GEOTORCH_TEST_ENV_INT", 7, 0, 100), 100);  // down
+}
+
+TEST(EnvTest, Int64HandlesValuesBeyondIntRange) {
+  ScopedEnv var("GEOTORCH_TEST_ENV_INT64");
+  var.Set("8589934592");  // 8 GiB in bytes: > INT32_MAX
+  EXPECT_EQ(EnvInt64("GEOTORCH_TEST_ENV_INT64", 0, 0), 8589934592LL);
+}
+
+TEST(EnvTest, BoolFollowsKillSwitchConvention) {
+  ScopedEnv var("GEOTORCH_TEST_ENV_BOOL");
+  EXPECT_TRUE(EnvBool("GEOTORCH_TEST_ENV_BOOL", true));
+  EXPECT_FALSE(EnvBool("GEOTORCH_TEST_ENV_BOOL", false));
+  for (const char* off : {"0", "off", "false"}) {
+    var.Set(off);
+    EXPECT_FALSE(EnvBool("GEOTORCH_TEST_ENV_BOOL", true)) << off;
+  }
+  for (const char* on : {"1", "on", "yes", "anything"}) {
+    var.Set(on);
+    EXPECT_TRUE(EnvBool("GEOTORCH_TEST_ENV_BOOL", false)) << on;
+  }
+}
+
+TEST(EnvTest, StringFallsBackWhenUnsetOrEmpty) {
+  ScopedEnv var("GEOTORCH_TEST_ENV_STR");
+  EXPECT_EQ(EnvString("GEOTORCH_TEST_ENV_STR", "dflt"), "dflt");
+  var.Set("");
+  EXPECT_EQ(EnvString("GEOTORCH_TEST_ENV_STR", "dflt"), "dflt");
+  var.Set("/tmp/spill");
+  EXPECT_EQ(EnvString("GEOTORCH_TEST_ENV_STR", "dflt"), "/tmp/spill");
 }
 
 Result<int> ParsePositive(int x) {

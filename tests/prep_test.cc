@@ -2,12 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
+#include <vector>
 
 #include "baseline/geopandas_like.h"
+#include "core/rng.h"
 #include "prep/df_to_torch.h"
 #include "prep/raster_processing.h"
 #include "raster/ops.h"
+#include "spatial/grid.h"
+#include "stream/aggregator.h"
+#include "stream/event.h"
 #include "synth/taxi.h"
 #include "tensor/ops.h"
 
@@ -323,6 +329,213 @@ TEST(DfToTorchTest, ToDatasetMaterializes) {
   double sum = 0.0;
   for (int64_t i = 0; i < 4; ++i) sum += dataset->Get(i).y.flat(0);
   EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+// --- Streaming incremental grid vs. batch rebuild ---------------------------
+//
+// The window aggregator's core claim (DESIGN.md §14): the incrementally
+// maintained ST grid is BITWISE equal to a from-scratch batch rebuild
+// through STManager at every window boundary — empty windows, final
+// partial flush, out-of-order-within-tick arrival, and out-of-extent
+// events included. Integer accumulation is order-free and exact in
+// float, so equality is exact, not approximate.
+
+namespace stream = ::geotorch::stream;
+
+// Batch reference: all `trips` through the batch preprocessing path at
+// `step` resolution — (T, 2, H, W) with channel 0 = count, channel 1 =
+// sum(is_pickup), T = last nonempty time slot + 1.
+ts::Tensor BatchGridTensor(const std::vector<synth::TripRecord>& trips,
+                           const spatial::Envelope& extent, int nx, int ny,
+                           int64_t step) {
+  df::DataFrame frame = synth::TripsToDataFrame(trips, 3);
+  df::DataFrame with_points =
+      STManager::AddSpatialPoints(frame, "lat", "lon", "point");
+  StGridSpec spec;
+  spec.partitions_x = nx;
+  spec.partitions_y = ny;
+  spec.step_duration_sec = step;
+  spec.extent = extent;
+  spec.aggs = {{df::AggKind::kCount, "", "count"},
+               {df::AggKind::kSum, "is_pickup", "pickups"}};
+  StGridResult result = STManager::GetStGridDataFrame(with_points, spec);
+  return STManager::GetStGridTensor(result, {"count", "pickups"});
+}
+
+// True when `frame` equals batch frame `t` bit for bit (frames past the
+// batch tensor's last nonempty slot must be all-zero).
+::testing::AssertionResult FrameMatchesBatch(const ts::Tensor& frame,
+                                             const ts::Tensor& batch,
+                                             int64_t t) {
+  const int64_t per_frame = frame.numel();
+  const float* got = frame.data();
+  if (t < batch.shape()[0]) {
+    const float* want = batch.data() + t * per_frame;
+    if (std::memcmp(got, want, per_frame * sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "window " << t << " diverges from the batch rebuild";
+    }
+    return ::testing::AssertionSuccess();
+  }
+  for (int64_t i = 0; i < per_frame; ++i) {
+    if (got[i] != 0.0f) {
+      return ::testing::AssertionFailure()
+             << "window " << t << " past the batch horizon is nonzero";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(StreamBatchEquivalenceTest, TumblingBitwiseEqualAtEveryBoundary) {
+  const spatial::Envelope extent(0.0, 0.0, 1.0, 1.0);
+  const int nx = 5;
+  const int ny = 4;
+  const int64_t window = 100;
+  spatial::GridPartitioner grid(extent, nx, ny);
+
+  // Hand-built tick stream: ticks of 50s, events unordered WITHIN each
+  // tick, buckets 3-4 left empty, plus out-of-extent strays that both
+  // paths must drop identically.
+  geotorch::Rng rng(41);
+  std::vector<std::vector<synth::TripRecord>> ticks;
+  for (int64_t tick_start = 0; tick_start < 800; tick_start += 50) {
+    std::vector<synth::TripRecord> tick;
+    const int64_t bucket = tick_start / window;
+    if (bucket == 3 || bucket == 4) {
+      ticks.push_back(tick);  // empty windows mid-stream
+      continue;
+    }
+    const int64_t n = rng.UniformInt(5, 30);
+    for (int64_t i = 0; i < n; ++i) {
+      synth::TripRecord r;
+      const bool outside = rng.Bernoulli(0.1);
+      r.lon = outside ? 2.0 + rng.Uniform() : rng.Uniform();
+      r.lat = rng.Uniform();
+      // Unordered within the tick; ordered across ticks.
+      r.time_sec = rng.UniformInt(tick_start, tick_start + 49);
+      r.is_pickup = rng.Bernoulli(0.5) ? 1 : 0;
+      tick.push_back(r);
+    }
+    ticks.push_back(tick);
+  }
+
+  stream::WindowAggregator::Options opts;
+  opts.window_sec = window;
+  opts.slide_sec = window;
+  stream::WindowAggregator agg(grid, opts);
+
+  std::vector<synth::TripRecord> fed;   // everything the stream has seen
+  std::vector<stream::ClosedWindow> closed;
+  int64_t compared = 0;
+  auto compare_closed = [&] {
+    for (const stream::ClosedWindow& w : closed) {
+      // Rebuild from scratch with exactly the events at time < end_sec
+      // — everything this and all earlier windows cover.
+      std::vector<synth::TripRecord> upto;
+      for (const auto& r : fed) {
+        if (r.time_sec < w.end_sec) upto.push_back(r);
+      }
+      if (upto.empty()) {
+        EXPECT_EQ(ts::SumAll(w.frame), 0.0f);
+        ++compared;
+        continue;
+      }
+      ts::Tensor batch = BatchGridTensor(upto, extent, nx, ny, window);
+      EXPECT_TRUE(FrameMatchesBatch(w.frame, batch, w.window_id));
+      ++compared;
+    }
+    closed.clear();
+  };
+
+  for (const auto& tick : ticks) {
+    for (const auto& r : tick) {
+      stream::Event e;
+      e.lon = r.lon;
+      e.lat = r.lat;
+      e.time_sec = r.time_sec;
+      e.is_pickup = r.is_pickup != 0;
+      agg.Add(e, &closed);
+      fed.push_back(r);
+      compare_closed();
+    }
+  }
+  agg.Flush(&closed);  // the final partial window must match too
+  compare_closed();
+
+  EXPECT_EQ(agg.late_events(), 0);
+  EXPECT_GT(agg.dropped_outside(), 0);  // the strays exercised the filter
+  EXPECT_EQ(compared, agg.windows_closed());
+  EXPECT_GE(compared, 8);  // covered every bucket incl. the empty ones
+}
+
+TEST(StreamBatchEquivalenceTest, SlidingTaxiStreamMatchesBatchAtEverySlide) {
+  synth::TaxiStreamConfig config;
+  config.events_per_sec = 2.0;
+  config.duration_sec = 4 * 3600;
+  config.tick_sec = 600;
+  config.seed = 23;
+  synth::TaxiEventStream source(config);
+
+  const int nx = 6;
+  const int ny = 5;
+  const int64_t slide = 1800;
+  const int64_t window = 3600;  // every window spans 2 slide buckets
+  spatial::GridPartitioner grid(config.extent, nx, ny);
+  stream::WindowAggregator::Options opts;
+  opts.window_sec = window;
+  opts.slide_sec = slide;
+  stream::WindowAggregator agg(grid, opts);
+
+  std::vector<synth::TripRecord> fed;
+  std::vector<stream::ClosedWindow> closed;
+  std::vector<synth::TripRecord> tick;
+  int64_t compared = 0;
+  while (true) {
+    tick.clear();
+    const bool more = source.NextTick(&tick);
+    for (const auto& r : tick) {
+      stream::Event e;
+      e.lon = r.lon;
+      e.lat = r.lat;
+      e.time_sec = r.time_sec;
+      e.is_pickup = r.is_pickup != 0;
+      agg.Add(e, &closed);
+      fed.push_back(r);
+    }
+    if (!more) agg.Flush(&closed);
+    for (const stream::ClosedWindow& w : closed) {
+      // Sliding reference: the batch rebuild at `slide` resolution over
+      // events at time < end_sec, with the window's trailing buckets
+      // summed in int64 (every batch value is an exact integer) and
+      // cast to float — the same arithmetic the aggregator commits to.
+      std::vector<synth::TripRecord> upto;
+      for (const auto& r : fed) {
+        if (r.time_sec < w.end_sec) upto.push_back(r);
+      }
+      ASSERT_FALSE(upto.empty());
+      ts::Tensor batch = BatchGridTensor(upto, config.extent, nx, ny, slide);
+      const int64_t per_frame = 2LL * ny * nx;
+      std::vector<int64_t> want(per_frame, 0);
+      for (int64_t b = w.start_sec / slide; b <= w.window_id; ++b) {
+        if (b >= batch.shape()[0]) continue;
+        const float* src = batch.data() + b * per_frame;
+        for (int64_t i = 0; i < per_frame; ++i) {
+          want[i] += static_cast<int64_t>(src[i]);
+        }
+      }
+      const float* got = w.frame.data();
+      for (int64_t i = 0; i < per_frame; ++i) {
+        ASSERT_EQ(got[i], static_cast<float>(want[i]))
+            << "window " << w.window_id << " cell " << i;
+      }
+      ++compared;
+    }
+    closed.clear();
+    if (!more) break;
+  }
+  EXPECT_EQ(compared, agg.windows_closed());
+  EXPECT_GE(compared, config.duration_sec / slide);
+  EXPECT_EQ(agg.late_events(), 0);
 }
 
 }  // namespace

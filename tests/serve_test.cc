@@ -304,6 +304,50 @@ TEST(EngineTest, FullQueueRejectsWithBackpressure) {
   EXPECT_EQ(engine.stats().requests, 3);
 }
 
+TEST(EngineTest, DeadlineExpiresBehindStalledBatcherThenDrains) {
+  auto gate = std::make_shared<GatedForward>();
+  serve::EngineOptions opts;
+  opts.max_batch = 1;
+  opts.max_delay_us = 0;
+  opts.max_queue = 16;
+  opts.warmup_batches = 0;
+  serve::Engine engine(
+      [gate](const data::Batch& batch) { return (*gate)(batch); },
+      serve::SampleSpec{{2}, {}}, opts);
+
+  data::Sample s;
+  s.x = ts::Tensor::Full({2}, 4.0f);
+
+  // First request occupies the batcher, which blocks at the gate.
+  std::thread first([&engine, s] {
+    auto r = engine.Submit(s);
+    EXPECT_TRUE(r.ok());
+  });
+  gate->WaitUntilInForward(1);
+
+  // Queued behind a stalled batcher with a tight deadline: the caller
+  // must get DeadlineExceeded instead of blocking forever.
+  auto expired = engine.Submit(s, /*deadline_us=*/2000);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(),
+            geotorch::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.stats().deadline_exceeded, 1);
+  // The request was ADMITTED — it still counts and still gets served
+  // in the background once the batcher unsticks.
+  EXPECT_EQ(engine.stats().requests, 2);
+
+  gate->Open();
+  first.join();
+  engine.Drain();  // covers the abandoned request too
+  EXPECT_GE(engine.stats().batches, 2);
+
+  // With the batcher healthy, a generous deadline never fires.
+  auto prompt = engine.Submit(s, /*deadline_us=*/5'000'000);
+  ASSERT_TRUE(prompt.ok());
+  EXPECT_TRUE(Bits(*prompt) == Bits(s.x));
+  EXPECT_EQ(engine.stats().deadline_exceeded, 1);
+}
+
 TEST(EngineTest, ShutdownDrainsAcceptedRequests) {
   auto gate = std::make_shared<GatedForward>();
   serve::EngineOptions opts;
